@@ -1,0 +1,292 @@
+package munin
+
+// Contract tests for the public API: configuration validation, lifecycle
+// panics, the extension knobs, tracing, and failure reporting.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"munin/internal/network"
+	"munin/internal/wire"
+)
+
+func expectPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic, expected one mentioning %q", substr)
+			return
+		}
+		if !strings.Contains(fmt.Sprint(r), substr) {
+			t.Errorf("panic %v does not mention %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestNewRejectsBadProcessorCounts(t *testing.T) {
+	expectPanic(t, "processors", func() { New(Config{Processors: 0}) })
+	expectPanic(t, "processors", func() { New(Config{Processors: 17}) })
+	expectPanic(t, "processors", func() { New(Config{Processors: -3}) })
+	if rt := New(Config{Processors: 16}); rt.Processors() != 16 {
+		t.Error("16 processors rejected")
+	}
+}
+
+func TestDeclarationAfterRunPanics(t *testing.T) {
+	rt := New(Config{Processors: 1})
+	rt.DeclareWords("x", 4, Conventional)
+	if err := rt.Run(func(root *Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	expectPanic(t, "declaration after Run", func() { rt.DeclareWords("y", 4, Conventional) })
+	expectPanic(t, "Run called twice", func() { _ = rt.Run(func(root *Thread) {}) })
+}
+
+func TestStatsBeforeRunPanics(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	expectPanic(t, "Stats before Run", func() { rt.Stats() })
+}
+
+func TestZeroSizeDeclarationPanics(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	expectPanic(t, "size", func() { rt.DeclareWords("x", 0, Conventional) })
+}
+
+func TestSpawnOnInvalidNodePanics(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	err := rt.Run(func(root *Thread) {
+		expectPanic(t, "invalid node", func() { root.Spawn(5, "bad", func(*Thread) {}) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	bar := rt.CreateBarrier(3) // only 2 threads will ever arrive
+	err := rt.Run(func(root *Thread) {
+		root.Spawn(1, "stuck", func(tt *Thread) { bar.Wait(tt) })
+		bar.Wait(root)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want a deadlock report", err)
+	}
+}
+
+func TestRuntimeErrorSurfacesFromRun(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	ro := rt.DeclareWords("ro", 4, ReadOnly)
+	err := rt.Run(func(root *Thread) {
+		ro.Store(root, 0, 1)
+	})
+	if err == nil {
+		t.Fatal("write to read_only succeeded")
+	}
+	var re interface{ Error() string } = err
+	if !strings.Contains(re.Error(), "not writable") {
+		t.Errorf("err = %v, want the not-writable runtime error", err)
+	}
+}
+
+func TestTraceObservesEveryMessage(t *testing.T) {
+	var traced int
+	var kinds = map[wire.Kind]int{}
+	rt := New(Config{Processors: 2, Trace: func(env network.Envelope) {
+		traced++
+		kinds[env.Msg.Kind()]++
+		if env.Bytes <= 0 || env.DeliveredAt < env.SentAt {
+			t.Errorf("malformed envelope %+v", env)
+		}
+	}})
+	data := rt.DeclareWords("d", 2048, WriteShared)
+	bar := rt.CreateBarrier(2)
+	err := rt.Run(func(root *Thread) {
+		root.Spawn(1, "reader", func(tt *Thread) {
+			_ = data.Load(tt, 0)
+			bar.Wait(tt)
+		})
+		bar.Wait(root)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if traced != st.Messages {
+		t.Errorf("traced %d messages, stats report %d", traced, st.Messages)
+	}
+	if kinds[wire.KindReadReq] == 0 || kinds[wire.KindBarrierArrive] == 0 {
+		t.Errorf("expected read and barrier traffic, got %v", kinds)
+	}
+}
+
+// TestMachineOptionMatrix: the extension knobs compose; each combination
+// computes the same matmul product.
+func TestMachineOptionMatrix(t *testing.T) {
+	const n, procs = 32, 4
+	want := matmulReference(n)
+	for _, cfg := range []Config{
+		{Processors: procs},
+		{Processors: procs, ExactCopyset: true},
+		{Processors: procs, AwaitUpdateAcks: true},
+		{Processors: procs, BarrierTree: true},
+		{Processors: procs, BarrierTree: true, BarrierFanout: 2},
+		{Processors: procs, PendingUpdates: true},
+		{Processors: procs, PendingUpdates: true, BarrierTree: true, ExactCopyset: true},
+	} {
+		cfg := cfg
+		got := matmulProgramWith(t, cfg, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%+v: element %d = %d, want %d", cfg, i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+// matmulProgramWith is matmulProgram with an explicit machine config.
+func matmulProgramWith(t *testing.T, cfg Config, n int) []int32 {
+	t.Helper()
+	rt := New(cfg)
+	procs := cfg.Processors
+	a := rt.DeclareInt32Matrix("input1", n, n, ReadOnly)
+	b := rt.DeclareInt32Matrix("input2", n, n, ReadOnly)
+	c := rt.DeclareInt32Matrix("output", n, n, Result)
+	a.Init(func(i, j int) int32 { return int32(i + j) })
+	b.Init(func(i, j int) int32 { return int32(i - j) })
+	done := rt.CreateBarrier(procs + 1)
+	err := rt.Run(func(root *Thread) {
+		for w := 0; w < procs; w++ {
+			w := w
+			lo, hi := w*n/procs, (w+1)*n/procs
+			root.Spawn(w, "worker", func(th *Thread) {
+				arow := make([]int32, n)
+				brow := make([]int32, n)
+				crow := make([]int32, n)
+				for i := lo; i < hi; i++ {
+					a.ReadRow(th, i, arow)
+					for k := range crow {
+						crow[k] = 0
+					}
+					for k := 0; k < n; k++ {
+						b.ReadRow(th, k, brow)
+						aik := arow[k]
+						for j := 0; j < n; j++ {
+							crow[j] += aik * brow[j]
+						}
+					}
+					c.WriteRow(th, i, crow)
+				}
+				done.Wait(th)
+			})
+		}
+		done.Wait(root)
+	})
+	if err != nil {
+		t.Fatalf("%+v: %v", cfg, err)
+	}
+	out, err := c.Snapshot(0)
+	if err != nil {
+		out, err = c.SnapshotAny()
+	}
+	if err != nil {
+		t.Fatalf("%+v: snapshot: %v", cfg, err)
+	}
+	return out
+}
+
+// TestInvalidateSharedEndToEnd runs the extension protocol through the
+// public API: a producer's delayed invalidations force the consumer to
+// re-fault, and the values still flow correctly.
+func TestInvalidateSharedEndToEnd(t *testing.T) {
+	rt := New(Config{Processors: 3})
+	data := rt.DeclareWords("d", 2048, InvalidateShared)
+	bar := rt.CreateBarrier(3 + 1)
+	var got [3]uint32
+	err := rt.Run(func(root *Thread) {
+		for w := 0; w < 3; w++ {
+			w := w
+			root.Spawn(w, "node", func(tt *Thread) {
+				_ = data.Load(tt, 0)
+				bar.Wait(tt)
+				if w == 0 {
+					data.Store(tt, 0, 42)
+				}
+				bar.Wait(tt)
+				got[w] = data.Load(tt, 0)
+				bar.Wait(tt)
+			})
+		}
+		for i := 0; i < 3; i++ {
+			bar.Wait(root)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, v := range got {
+		if v != 42 {
+			t.Errorf("node %d sees %d, want 42", w, v)
+		}
+	}
+}
+
+// TestSnapshotAnyFindsWorkerCopies: after a run whose final copies live
+// at the workers, SnapshotAny assembles the variable from any holders.
+func TestSnapshotAnyFindsWorkerCopies(t *testing.T) {
+	const n, procs = 16, 4
+	rt := New(Config{Processors: procs})
+	m := rt.DeclareInt32Matrix("m", n, n, WriteShared)
+	bar := rt.CreateBarrier(procs + 1)
+	err := rt.Run(func(root *Thread) {
+		for w := 0; w < procs; w++ {
+			w := w
+			root.Spawn(w, "writer", func(tt *Thread) {
+				row := make([]int32, n)
+				for i := w * n / procs; i < (w+1)*n/procs; i++ {
+					for j := range row {
+						row[j] = int32(i*100 + j)
+					}
+					m.WriteRow(tt, i, row)
+				}
+				bar.Wait(tt)
+			})
+		}
+		bar.Wait(root)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.SnapshotAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got[i*n+j] != int32(i*100+j) {
+				t.Fatalf("element (%d,%d) = %d, want %d", i, j, got[i*n+j], i*100+j)
+			}
+		}
+	}
+}
+
+// TestAnnotationErrorsAreDescriptive: every misuse error names the
+// operation and the address.
+func TestAnnotationErrorsAreDescriptive(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	red := rt.DeclareWords("red", 1, Reduction)
+	err := rt.Run(func(root *Thread) {
+		red.Store(root, 0, 1) // raw write to a reduction object
+	})
+	if err == nil {
+		t.Fatal("raw write to a reduction object succeeded")
+	}
+	if !strings.Contains(err.Error(), "Fetch-and-") {
+		t.Errorf("err %v does not explain the reduction constraint", err)
+	}
+}

@@ -1,0 +1,182 @@
+// Command munin-bench regenerates the evaluation tables of
+// "Implementation and Performance of Munin" (SOSP '91) and the ablation
+// studies described in DESIGN.md.
+//
+// Usage:
+//
+//	munin-bench -table all                 # every table
+//	munin-bench -table 3                   # Matrix Multiply vs message passing
+//	munin-bench -table 6b                  # Table 6 in the false-sharing regime
+//	munin-bench -table tsp                 # the extra branch-and-bound workload
+//	munin-bench -ablation all              # A1–A6
+//	munin-bench -table 5 -procs 1,4,16     # custom processor sweep
+//	munin-bench -table 3 -n 200            # smaller matrix
+//
+// Times are virtual seconds from the calibrated cost model (a 1991-era
+// SUN-3/60 cluster on 10 Mbps Ethernet); see EXPERIMENTS.md for how each
+// table's shape compares with the published one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"munin/internal/bench"
+	"munin/internal/model"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp or all")
+		ablation = flag.String("ablation", "", "ablation to run: A1-A6 or all")
+		procs    = flag.String("procs", "", "comma-separated processor counts for tables 3-5 (default 1,2,4,8,16)")
+		n        = flag.Int("n", 0, "matrix dimension for tables 3/4/6 (default 400)")
+		rows     = flag.Int("rows", 0, "SOR grid rows (default 512)")
+		cols     = flag.Int("cols", 0, "SOR grid columns (default 2048)")
+		iters    = flag.Int("iters", 0, "SOR iterations (default 100)")
+	)
+	flag.Parse()
+	if *table == "" && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := bench.AppOpts{N: *n, Rows: *rows, Cols: *cols, Iters: *iters}
+	if *procs != "" {
+		ps, err := parseProcs(*procs)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Procs = ps
+	}
+
+	if *table != "" {
+		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp"}) {
+			runTable(t, opts)
+			fmt.Println()
+		}
+	}
+	if *ablation != "" {
+		for _, a := range splitList(*ablation, []string{"A1", "A2", "A3", "A4", "A5", "A6"}) {
+			runAblation(a)
+			fmt.Println()
+		}
+	}
+}
+
+// splitList expands "all" and validates entries against the known set.
+func splitList(arg string, all []string) []string {
+	if strings.EqualFold(arg, "all") {
+		return all
+	}
+	var out []string
+	for _, s := range strings.Split(arg, ",") {
+		s = strings.TrimSpace(s)
+		found := false
+		for _, k := range all {
+			if strings.EqualFold(s, k) {
+				out = append(out, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown selection %q (valid: %s, all)", s, strings.Join(all, ", ")))
+		}
+	}
+	return out
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 || v > 16 {
+			return nil, fmt.Errorf("bad processor count %q (want 1-16)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runTable(t string, opts bench.AppOpts) {
+	switch t {
+	case "1":
+		bench.RunTable1().Format(os.Stdout)
+	case "2":
+		r, err := bench.RunTable2(model.Default())
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(os.Stdout)
+	case "3":
+		r, err := bench.RunTable3(opts)
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(os.Stdout)
+	case "4":
+		r, err := bench.RunTable4(opts)
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(os.Stdout)
+	case "5":
+		r, err := bench.RunTable5(opts)
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(os.Stdout)
+	case "6":
+		r, err := bench.RunTable6(bench.Table6Opts{AppOpts: opts})
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(os.Stdout)
+	case "6b":
+		r, err := bench.RunTable6FalseSharing(bench.Table6Opts{})
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(os.Stdout)
+	case "tsp":
+		r, err := bench.RunTSP(opts)
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(os.Stdout)
+	}
+}
+
+func runAblation(a string) {
+	var (
+		r   bench.Ablation
+		err error
+	)
+	switch a {
+	case "A1":
+		r, err = bench.RunAblationA1(bench.AblationOpts{})
+	case "A2":
+		r, err = bench.RunAblationA2(bench.AblationOpts{})
+	case "A3":
+		r, err = bench.RunAblationA3(bench.AblationOpts{})
+	case "A4":
+		r, err = bench.RunAblationA4(bench.AblationOpts{})
+	case "A5":
+		r, err = bench.RunAblationA5(bench.AblationOpts{})
+	case "A6":
+		r, err = bench.RunAblationA6(bench.AblationOpts{})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	r.Format(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "munin-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Matrix Multiply — the first evaluation program of the paper (§4.1),
+// written against the public API exactly as its shared declarations read:
+//
+//	shared read_only int input1[N][N];
+//	shared read_only int input2[N][N];
+//	shared result    int output[N][N];
+//
+// Each worker computes a block of output rows. Workers page the inputs in
+// on first access; output writes are buffered in the delayed update queue
+// and flushed — straight to the root, because output is a result object —
+// when the worker reaches the final barrier. After initialization each
+// worker therefore sends a single batched result message, the same
+// communication pattern as a hand-coded message-passing program.
+//
+// Run with:
+//
+//	go run ./examples/matmul -n 200 -procs 8 [-single]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"munin"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 200, "matrix dimension")
+		procs  = flag.Int("procs", 8, "processors (1-16)")
+		single = flag.Bool("single", false, "treat input2 as a single object (the §2.5 SingleObject optimization)")
+	)
+	flag.Parse()
+
+	rt := munin.New(munin.Config{Processors: *procs})
+
+	var opts []munin.DeclOption
+	if *single {
+		opts = append(opts, munin.WithSingleObject())
+	}
+	input1 := rt.DeclareInt32Matrix("input1", *n, *n, munin.ReadOnly)
+	input2 := rt.DeclareInt32Matrix("input2", *n, *n, munin.ReadOnly, opts...)
+	output := rt.DeclareInt32Matrix("output", *n, *n, munin.Result)
+
+	// user_init: fill the inputs sequentially before the program runs.
+	input1.Init(func(i, j int) int32 { return int32(i + 2*j) })
+	input2.Init(func(i, j int) int32 { return int32(3*i - j) })
+
+	done := rt.CreateBarrier(*procs + 1)
+
+	dim := *n
+	err := rt.Run(func(root *munin.Thread) {
+		for w := 0; w < *procs; w++ {
+			w := w
+			lo, hi := w*dim / *procs, (w+1)*dim / *procs
+			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
+				arow := make([]int32, dim)
+				brow := make([]int32, dim)
+				crow := make([]int32, dim)
+				for i := lo; i < hi; i++ {
+					input1.ReadRow(t, i, arow)
+					for j := range crow {
+						crow[j] = 0
+					}
+					for k := 0; k < dim; k++ {
+						input2.ReadRow(t, k, brow)
+						for j := range crow {
+							crow[j] += arow[k] * brow[j]
+						}
+					}
+					output.WriteRow(t, i, crow)
+				}
+				done.Wait(t)
+			})
+		}
+		done.Wait(root)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// user_done: the product is at the root (the result flushes carried
+	// it); spot-check one element against a direct computation.
+	got, err := output.Snapshot(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i, j := dim/2, dim/3
+	var want int64
+	for k := 0; k < dim; k++ {
+		want += int64(i+2*k) * int64(3*k-j)
+	}
+	fmt.Printf("output[%d][%d] = %d (check %d)\n", i, j, got[i*dim+j], want)
+
+	st := rt.Stats()
+	fmt.Printf("%d procs: %.3f virtual s (root: %.3f user + %.3f system), %d messages\n",
+		*procs, st.Elapsed.Seconds(), st.RootUser.Seconds(), st.RootSystem.Seconds(), st.Messages)
+}

@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+func TestAblationA5TreeBarrierFaster(t *testing.T) {
+	a, err := RunAblationA5(AblationOpts{Rounds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, tree := a.Rows[0], a.Rows[1]
+	if tree.Elapsed >= central.Elapsed {
+		t.Errorf("tree release %v not faster than centralized %v", tree.Elapsed, central.Elapsed)
+	}
+	// The tree sends one release per node instead of one per arrival —
+	// never more messages.
+	if tree.Messages > central.Messages {
+		t.Errorf("tree messages %d above centralized %d", tree.Messages, central.Messages)
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+
+	"munin/internal/model"
+)
+
+func TestAblationA6PUQCoalesces(t *testing.T) {
+	a, err := RunAblationA6(AblationOpts{Procs: 6, Rounds: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, puq := a.Rows[0], a.Rows[1]
+	// Elapsed stays comparable (the simulator models no per-node CPU
+	// contention); the win is the merge work below.
+	if float64(puq.Elapsed) > 1.05*float64(eager.Elapsed) {
+		t.Errorf("PUQ %v much slower than eager %v", puq.Elapsed, eager.Elapsed)
+	}
+	// Typed counters from direct reruns (the ablation rows carry them
+	// only as formatted detail).
+	e, err := RunReductionStorm(model.CostModel{}, 6, 15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := RunReductionStorm(model.CostModel{}, 6, 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Applied >= e.Applied {
+		t.Errorf("PUQ applied %d updates, eager %d — no coalescing", q.Applied, e.Applied)
+	}
+	if q.Coalesced == 0 {
+		t.Error("PUQ coalesced nothing")
+	}
+	if e.Coalesced != 0 {
+		t.Errorf("eager mode coalesced %d", e.Coalesced)
+	}
+	if q.Final != e.Final {
+		t.Errorf("results differ: %d vs %d", q.Final, e.Final)
+	}
+	if q.MergeCPU >= e.MergeCPU/2 {
+		t.Errorf("PUQ merge CPU %v not well below eager %v", q.MergeCPU, e.MergeCPU)
+	}
+	if want := uint32(6 * 15); q.Final != want {
+		t.Errorf("histogram sum = %d, want %d", q.Final, want)
+	}
+}

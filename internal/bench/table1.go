@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"munin/internal/protocol"
+)
+
+// Table1 is the annotation→parameter-bit mapping of the paper's Table 1,
+// generated from the protocol package (the same code the runtime uses, so
+// the printed table cannot drift from the implementation).
+type Table1 struct {
+	Header [8]string
+	Rows   []Table1Row
+}
+
+// Table1Row is one annotation's row.
+type Table1Row struct {
+	Annotation protocol.Annotation
+	Values     [8]string
+	// Extension marks rows beyond the published table (delayed
+	// invalidation, §2.3.2's "considered but not implemented" protocol).
+	Extension bool
+}
+
+// RunTable1 builds the table.
+func RunTable1() Table1 {
+	t := Table1{Header: protocol.Table1Header()}
+	for _, a := range protocol.Annotations() {
+		t.Rows = append(t.Rows, Table1Row{Annotation: a, Values: a.Table1Row()})
+	}
+	for _, a := range protocol.Extensions() {
+		t.Rows = append(t.Rows, Table1Row{Annotation: a, Values: a.Table1Row(), Extension: true})
+	}
+	return t
+}
+
+// Format prints the table as published (extensions flagged with a "+").
+func (t Table1) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Munin Annotations and Corresponding Protocol Parameters")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Annotation")
+	for _, h := range t.Header {
+		fmt.Fprintf(tw, "\t%s", h)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range t.Rows {
+		name := r.Annotation.String()
+		if r.Extension {
+			name += " (+)"
+		}
+		fmt.Fprintf(tw, "%s", name)
+		for _, v := range r.Values {
+			fmt.Fprintf(tw, "\t%s", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"munin"
+	"munin/internal/diffenc"
+	"munin/internal/model"
+	"munin/internal/network"
+	"munin/internal/sim"
+	"munin/internal/wire"
+)
+
+// Table2ObjectBytes is the object size of the paper's Table 2 (8 KB — one
+// virtual memory page).
+const Table2ObjectBytes = 8192
+
+// WritePattern is one of Table 2's three modification patterns.
+type WritePattern int
+
+const (
+	// OneWord changes a single word of the object.
+	OneWord WritePattern = iota
+	// AllWords changes every word.
+	AllWords
+	// AlternateWords changes every other word — the worst case for the
+	// run-length encoding because it maximizes the number of
+	// minimum-length runs (§3.3).
+	AlternateWords
+)
+
+// String names the pattern as in the paper's column headers.
+func (p WritePattern) String() string {
+	switch p {
+	case OneWord:
+		return "One Word"
+	case AllWords:
+		return "All Words"
+	case AlternateWords:
+		return "Alternate Words"
+	default:
+		return fmt.Sprintf("WritePattern(%d)", int(p))
+	}
+}
+
+// Patterns lists Table 2's column order.
+func Patterns() []WritePattern { return []WritePattern{OneWord, AllWords, AlternateWords} }
+
+// Mutate flips the pattern's words in an object image (word w becomes
+// w+1, guaranteeing a change against any prior value except that exact
+// increment, which the drivers never produce).
+func (p WritePattern) Mutate(obj []byte) {
+	step := 1
+	switch p {
+	case OneWord:
+		w := binary.LittleEndian.Uint32(obj)
+		binary.LittleEndian.PutUint32(obj, w+1)
+		return
+	case AlternateWords:
+		step = 2
+	}
+	for off := 0; off < len(obj); off += 4 * step {
+		w := binary.LittleEndian.Uint32(obj[off:])
+		binary.LittleEndian.PutUint32(obj[off:], w+1)
+	}
+}
+
+// Table2Column is the component breakdown for one write pattern —
+// Table 2's rows, in milliseconds once formatted.
+type Table2Column struct {
+	Pattern WritePattern
+
+	// The six components of the paper's Table 2, computed from the cost
+	// model and the real diff codec running over a real 8 KB object.
+	HandleFault sim.Time
+	CopyObject  sim.Time
+	Encode      sim.Time
+	Transmit    sim.Time
+	Decode      sim.Time
+	Reply       sim.Time
+
+	// Total is the component sum.
+	Total sim.Time
+
+	// DiffBytes is the encoded diff's size; Runs and ChangedWords are the
+	// codec statistics the encode/decode charges derive from.
+	DiffBytes    int
+	Runs         int
+	ChangedWords int
+
+	// Measured breaks the same flow observed on a live two-node system:
+	// MeasuredWrite covers the faulting write (fault handling + twin
+	// copy), MeasuredFlush the release-time encode/transmit/decode/reply
+	// round trip, MeasuredTotal their sum.
+	MeasuredWrite sim.Time
+	MeasuredFlush sim.Time
+	MeasuredTotal sim.Time
+}
+
+// Table2 reports the DUQ handling cost for an 8 KB object.
+type Table2 struct {
+	Columns []Table2Column
+}
+
+// RunTable2 computes the component model and measures the live system for
+// each pattern.
+func RunTable2(m model.CostModel) (Table2, error) {
+	if m == (model.CostModel{}) {
+		m = model.Default()
+	}
+	var t Table2
+	for _, p := range Patterns() {
+		col, err := table2Column(m, p)
+		if err != nil {
+			return Table2{}, fmt.Errorf("bench: table 2 %v: %w", p, err)
+		}
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}
+
+// table2Column computes one pattern's column.
+func table2Column(m model.CostModel, p WritePattern) (Table2Column, error) {
+	// Run the real codec over a real object image to obtain the exact
+	// run/word statistics the encode and decode steps charge for.
+	twin := make([]byte, Table2ObjectBytes)
+	for off := 0; off < len(twin); off += 4 {
+		binary.LittleEndian.PutUint32(twin[off:], uint32(off/4)*2654435761)
+	}
+	cur := append([]byte(nil), twin...)
+	p.Mutate(cur)
+	diff, st := diffenc.Encode(twin, cur)
+
+	col := Table2Column{
+		Pattern:      p,
+		DiffBytes:    len(diff),
+		Runs:         st.Runs,
+		ChangedWords: st.Changed,
+	}
+	col.HandleFault = m.FaultTrap + m.DirLookup + m.PageMapOp
+	col.CopyObject = m.CopyCost(Table2ObjectBytes)
+	col.Encode = m.DiffScanPerWord*sim.Time(st.Words) +
+		m.DiffEncodePerWord*sim.Time(st.Changed) +
+		m.DiffRunOverhead*sim.Time(st.Runs)
+	update := wire.UpdateBatch{From: 0, NeedAck: true, Entries: []wire.UpdateEntry{
+		{Addr: 0x80000000, Size: Table2ObjectBytes, Diff: diff},
+	}}
+	col.Transmit = m.MsgSendCPU + m.MsgTime(wire.Size(update)+network.HeaderBytes) +
+		m.WireLatency + m.MsgRecvCPU + m.RequestHandlerCPU
+	col.Decode = m.DiffDecodePerWord*sim.Time(st.Changed) + m.DiffDecodePerRun*sim.Time(st.Runs)
+	ack := wire.UpdateAck{Count: 1}
+	col.Reply = m.MsgSendCPU + m.MsgTime(wire.Size(ack)+network.HeaderBytes) +
+		m.WireLatency + m.MsgRecvCPU + m.RequestHandlerCPU
+	col.Total = col.HandleFault + col.CopyObject + col.Encode + col.Transmit + col.Decode + col.Reply
+
+	// Measure the same flow end to end on a live two-node machine: a
+	// remote reader holds a copy, the root writes the pattern and
+	// releases a lock, and the flush pushes the diff to the reader.
+	mw, mf, err := measureDUQ(m, p)
+	if err != nil {
+		return Table2Column{}, err
+	}
+	col.MeasuredWrite = mw
+	col.MeasuredFlush = mf
+	col.MeasuredTotal = mw + mf
+	return col, nil
+}
+
+// measureDUQ observes the faulting write and the release flush on a real
+// two-node system.
+func measureDUQ(m model.CostModel, p WritePattern) (write, flush sim.Time, err error) {
+	// Acked flushes, so the measured flush spans the full Table 2 flow
+	// including the remote decode and the Reply.
+	rt := munin.New(munin.Config{Processors: 2, Model: m, AwaitUpdateAcks: true})
+	obj := rt.DeclareWords("obj", Table2ObjectBytes/4, munin.WriteShared)
+	vals := make([]uint32, Table2ObjectBytes/4)
+	for i := range vals {
+		vals[i] = uint32(i) * 2654435761
+	}
+	obj.Init(vals...)
+	l := rt.CreateLock()
+	ready := rt.CreateBarrier(2)
+	done := rt.CreateBarrier(2)
+
+	image := make([]byte, Table2ObjectBytes)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(image[i*4:], v)
+	}
+	p.Mutate(image)
+
+	runErr := rt.Run(func(root *munin.Thread) {
+		root.Spawn(1, "reader", func(t *munin.Thread) {
+			obj.Load(t, 0) // fault in a read copy so the flush has a destination
+			ready.Wait(t)
+			done.Wait(t)
+		})
+		ready.Wait(root)
+		l.Acquire(root)
+		t0 := root.Now()
+		root.Write(obj.Base(), image)
+		t1 := root.Now()
+		l.Release(root)
+		t2 := root.Now()
+		write, flush = t1-t0, t2-t1
+		done.Wait(root)
+	})
+	if runErr != nil {
+		return 0, 0, runErr
+	}
+	return write, flush, nil
+}
+
+// Format prints Table 2 in the paper's layout (components in msec), with
+// the live-system measurements below.
+func (t Table2) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: Time to Handle an 8-kilobyte Object through DUQ (msec)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "Component")
+	for _, c := range t.Columns {
+		fmt.Fprintf(tw, "\t%s", c.Pattern)
+	}
+	fmt.Fprintln(tw)
+	row := func(name string, pick func(Table2Column) sim.Time) {
+		fmt.Fprintf(tw, "%s", name)
+		for _, c := range t.Columns {
+			fmt.Fprintf(tw, "\t%.2f", pick(c).Milliseconds())
+		}
+		fmt.Fprintln(tw)
+	}
+	row("Handle Fault", func(c Table2Column) sim.Time { return c.HandleFault })
+	row("Copy object", func(c Table2Column) sim.Time { return c.CopyObject })
+	row("Encode object", func(c Table2Column) sim.Time { return c.Encode })
+	row("Transmit object", func(c Table2Column) sim.Time { return c.Transmit })
+	row("Decode object", func(c Table2Column) sim.Time { return c.Decode })
+	row("Reply", func(c Table2Column) sim.Time { return c.Reply })
+	row("Total", func(c Table2Column) sim.Time { return c.Total })
+	fmt.Fprintln(tw)
+	row("Measured write", func(c Table2Column) sim.Time { return c.MeasuredWrite })
+	row("Measured flush", func(c Table2Column) sim.Time { return c.MeasuredFlush })
+	row("Measured total", func(c Table2Column) sim.Time { return c.MeasuredTotal })
+	fmt.Fprintf(tw, "Diff bytes")
+	for _, c := range t.Columns {
+		fmt.Fprintf(tw, "\t%d", c.DiffBytes)
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+}

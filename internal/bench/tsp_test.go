@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+func TestTSPBothVersionsFindOptimum(t *testing.T) {
+	tbl, err := RunTSP(AppOpts{Procs: []int{1, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		if !r.ChecksOK {
+			t.Errorf("p=%d: a version missed the optimum", r.Procs)
+		}
+	}
+	// Both versions speed up with processors.
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if last.Munin >= first.Munin || last.DM >= first.DM {
+		t.Errorf("no speedup: munin %v->%v, dm %v->%v", first.Munin, last.Munin, first.DM, last.DM)
+	}
+}

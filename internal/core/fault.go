@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"munin/internal/directory"
+	"munin/internal/duq"
+	"munin/internal/protocol"
+	"munin/internal/sim"
+	"munin/internal/vm"
+	"munin/internal/wire"
+)
+
+// advance charges d to p when a process is running; post-run inspection
+// paths pass nil.
+func advance(p *sim.Proc, d sim.Time) {
+	if p != nil {
+		p.Advance(d)
+	}
+}
+
+// handleFault is the entry point from the vm layer: a user thread's access
+// missed or violated protection. It plays the role of the prototype's
+// "Munin root thread invoked on access miss" (§3.1): classify the object,
+// run the protocol action its annotation selects, and return so the access
+// retries.
+func (n *Node) handleFault(t *Thread, base vm.Addr, write bool) {
+	p := t.proc
+	prev := p.SetKind(sim.KindSystem)
+	defer p.SetKind(prev)
+	p.Advance(n.sys.cost.FaultTrap)
+
+	e := n.entry(t, base)
+	e.Sem.Acquire(p)
+	defer e.Sem.Release()
+	// Queued incoming updates must merge before the protocol inspects or
+	// twins the local copy.
+	n.drainPendingObject(p, e.Start)
+
+	// Another thread may have resolved the fault while we waited on the
+	// entry semaphore.
+	if e.Valid && (!write || e.Writable) {
+		return
+	}
+	if write {
+		n.writeMiss(t, e)
+	} else {
+		n.readMiss(t, e)
+	}
+}
+
+// readMiss obtains a readable copy of the object.
+func (n *Node) readMiss(t *Thread, e *directory.Entry) {
+	switch {
+	case e.Annot == protocol.Migratory:
+		// Migrate with read AND write access even if the first access
+		// is a read (§2.3.2), avoiding a second fault.
+		n.migrate(t, e)
+	default:
+		n.fetchReadCopy(t, e, false)
+	}
+}
+
+// writeMiss obtains a writable copy, dispatching on the annotation.
+func (n *Node) writeMiss(t *Thread, e *directory.Entry) {
+	if !e.Params.Writable {
+		fail(n.id, e.Start, "write fault", fmt.Sprintf("object is %v and not writable", e.Annot))
+	}
+	switch {
+	case e.Annot == protocol.Reduction:
+		fail(n.id, e.Start, "write fault",
+			"reduction objects must be accessed via Fetch-and-Φ operations")
+	case e.Annot == protocol.Migratory:
+		n.migrate(t, e)
+		e.Modified = true
+	case e.Params.Delayed:
+		n.delayedWrite(t, e)
+	default:
+		n.conventionalWrite(t, e)
+	}
+}
+
+// fetchReadCopy replicates the object locally with read access by asking
+// the probable owner (forwarded as needed).
+func (n *Node) fetchReadCopy(t *Thread, e *directory.Entry, prefetch bool) {
+	// The home can materialize from its own fresh backing without any
+	// message: the initial contents are right here.
+	if e.Home == n.id && !e.BackingStale && e.Backing != nil {
+		n.installObject(t.proc, e, append([]byte(nil), e.Backing...), vm.ProtRead)
+		return
+	}
+	n.ReadMisses++
+	dst := e.ProbOwner
+	if dst == n.id {
+		dst = e.Home
+	}
+	if dst == n.id {
+		fail(n.id, e.Start, "read miss", "no holder known for object")
+	}
+	reply := n.rpc(t, dst, pendKey{pendRead, uint64(e.Start)},
+		wire.ReadReq{Addr: e.Start, Requester: uint8(n.id), Prefetch: prefetch}).(wire.ReadReply)
+	e.ProbOwner = int(reply.Owner)
+	n.installObject(t.proc, e, reply.Data, vm.ProtRead)
+}
+
+// serveRead answers a ReadReq if this node can supply current data,
+// otherwise forwards it along the probable-owner chain.
+func (n *Node) serveRead(p *sim.Proc, m wire.ReadReq) {
+	e, ok := n.dir.Lookup(m.Addr)
+	if !ok {
+		n.forwardOrFail(p, m.Addr, int(m.Requester), m, "read request")
+		return
+	}
+	n.drainPendingObject(p, e.Start) // serve current data, not queued-stale
+	data := n.currentData(e)
+	if data == nil {
+		n.forward(p, e, m, int(m.Requester))
+		return
+	}
+	// A stable-sharing object may not acquire new sharers after the
+	// relationship has been determined (§2.3.2: "If the sharing pattern
+	// changes unexpectedly a runtime error is generated").
+	req := int(m.Requester)
+	if e.Params.StableSharing && e.CopysetKnown && !e.Copyset.Has(req) {
+		fail(n.id, e.Start, "read serve",
+			fmt.Sprintf("node %d violates the determined stable sharing pattern", req))
+	}
+	e.Copyset = e.Copyset.Add(req)
+	// A single-writer object now has replicas: the local copy must be
+	// write-protected so the next local write faults and invalidates them
+	// (otherwise the replicas would go silently stale). Multiple-writer
+	// objects keep write access; their changes flow through the DUQ.
+	if !e.Params.MultipleWriters && e.Writable {
+		n.protectObject(p, e, vm.ProtRead)
+	}
+	p.Advance(n.sys.cost.CopyCost(e.Size))
+	n.sys.net.Send(p, n.id, req, wire.ReadReply{Addr: e.Start, Owner: uint8(n.id), Data: data})
+	if n.sys.cfg.ExactCopyset && e.Home != n.id {
+		// Keep the home's tracked copyset complete: it is the node the
+		// improved determination algorithm will ask (§3.3).
+		n.sys.net.Send(p, n.id, e.Home, wire.CopysetNotify{Addr: e.Start, Reader: uint8(req)})
+	}
+}
+
+// migrate moves a migratory object here with read+write access,
+// invalidating the previous copy (§2.3.2).
+func (n *Node) migrate(t *Thread, e *directory.Entry) {
+	n.ReadMisses++
+	dst := e.ProbOwner
+	if dst == n.id {
+		dst = e.Home
+	}
+	if dst == n.id {
+		// Home with fresh backing: first use, no holder elsewhere.
+		if !e.BackingStale && e.Backing != nil {
+			n.installObject(t.proc, e, append([]byte(nil), e.Backing...), vm.ProtReadWrite)
+			e.Owned = true
+			e.ProbOwner = n.id
+			return
+		}
+		fail(n.id, e.Start, "migrate", "no holder known for migratory object")
+	}
+	reply := n.rpc(t, dst, pendKey{pendMigrate, uint64(e.Start)},
+		wire.MigrateReq{Addr: e.Start, Requester: uint8(n.id)}).(wire.MigrateReply)
+	n.installObject(t.proc, e, reply.Data, vm.ProtReadWrite)
+	e.Owned = true
+	e.ProbOwner = n.id
+}
+
+// serveMigrate hands a migratory object over, invalidating the local copy.
+func (n *Node) serveMigrate(p *sim.Proc, m wire.MigrateReq) {
+	e, ok := n.dir.Lookup(m.Addr)
+	if !ok {
+		n.forwardOrFail(p, m.Addr, int(m.Requester), m, "migrate request")
+		return
+	}
+	n.drainPendingObject(p, e.Start)
+	data := n.currentData(e)
+	if data == nil {
+		n.forward(p, e, m, int(m.Requester))
+		return
+	}
+	req := int(m.Requester)
+	n.dropObject(p, e)
+	e.Owned = false
+	e.ProbOwner = req
+	if e.Home == n.id {
+		e.BackingStale = true
+	}
+	p.Advance(n.sys.cost.CopyCost(e.Size))
+	n.sys.net.Send(p, n.id, req, wire.MigrateReply{Addr: e.Start, Data: data})
+}
+
+// delayedWrite implements the DUQ write path (§3.3): fetch current data if
+// needed, twin if multiple writers are allowed, enqueue, unprotect.
+func (n *Node) delayedWrite(t *Thread, e *directory.Entry) {
+	// Stable objects whose determined copyset is empty are private: made
+	// locally writable with no twin and no further consistency overhead
+	// (§4.2). A fault here means the page was somehow re-protected;
+	// restore write access and return.
+	if e.Params.StableSharing && e.CopysetKnown && e.Copyset.Empty() && e.Valid {
+		n.protectObject(t.proc, e, vm.ProtReadWrite)
+		e.Modified = true
+		return
+	}
+	if !e.Valid {
+		// The write needs the object's current contents to diff
+		// against: page it in first (the matmul output pages come from
+		// the root exactly this way, §4.1).
+		n.WriteMisses++
+		n.fetchReadCopy(t, e, false)
+	}
+	if e.Params.MultipleWriters {
+		t.proc.Advance(n.sys.cost.CopyCost(e.Size))
+		duq.MakeTwin(e, n.readObject(e))
+		n.Twins++
+	}
+	n.duq.Enqueue(e)
+	n.protectObject(t.proc, e, vm.ProtReadWrite)
+	e.Modified = true
+}
+
+// conventionalWrite implements the ownership-based write-invalidate
+// protocol (Ivy-like): become owner, then invalidate every other replica
+// and block until the local copy is the only one (§2.3.2).
+func (n *Node) conventionalWrite(t *Thread, e *directory.Entry) {
+	if !e.Owned {
+		n.WriteMisses++
+		dst := e.ProbOwner
+		if dst == n.id {
+			dst = e.Home
+		}
+		if dst == n.id {
+			// Home owning a never-shared object: take write access
+			// directly from backing.
+			if !e.BackingStale && e.Backing != nil {
+				n.installObject(t.proc, e, append([]byte(nil), e.Backing...), vm.ProtReadWrite)
+				e.Owned = true
+				e.Modified = true
+				return
+			}
+			fail(n.id, e.Start, "write miss", "no owner known for object")
+		}
+		reply := n.rpc(t, dst, pendKey{pendOwn, uint64(e.Start)},
+			wire.OwnReq{Addr: e.Start, Requester: uint8(n.id)}).(wire.OwnReply)
+		cs := directory.Copyset(reply.Copyset).Remove(n.id)
+		if reply.Data != nil {
+			n.installObject(t.proc, e, reply.Data, vm.ProtReadWrite)
+		} else {
+			n.protectObject(t.proc, e, vm.ProtReadWrite)
+			e.Valid = true
+		}
+		e.Owned = true
+		e.ProbOwner = n.id
+		e.Copyset = cs
+	} else if e.Valid {
+		n.protectObject(t.proc, e, vm.ProtReadWrite)
+	} else if e.Home == n.id && !e.BackingStale && e.Backing != nil {
+		// Owner at home that never materialized a live copy: build it
+		// from the initial contents.
+		n.installObject(t.proc, e, append([]byte(nil), e.Backing...), vm.ProtReadWrite)
+	} else {
+		fail(n.id, e.Start, "write miss", "owner holds no valid data")
+	}
+	n.invalidateCopies(t, e)
+	e.Modified = true
+}
+
+// invalidateCopies sends invalidations to every copyset member and blocks
+// until all acknowledge.
+func (n *Node) invalidateCopies(t *Thread, e *directory.Entry) {
+	members := e.Copyset.Remove(n.id).Nodes(n.sys.Nodes())
+	if len(members) == 0 {
+		e.Copyset = 0
+		return
+	}
+	c := n.newCollector(pendKey{pendOwn, uint64(e.Start)}, len(members), "invalidate-acks")
+	for _, d := range members {
+		n.Invalidations++
+		n.sys.net.Send(t.proc, n.id, d, wire.Invalidate{Addr: e.Start, NewOwner: uint8(n.id)})
+	}
+	c.fut.Wait(t.proc)
+	e.Copyset = 0
+}
+
+// serveOwn transfers ownership: reply with data and the copyset, then drop
+// the local copy (the new owner invalidates the other replicas).
+func (n *Node) serveOwn(p *sim.Proc, m wire.OwnReq) {
+	e, ok := n.dir.Lookup(m.Addr)
+	if !ok {
+		n.forwardOrFail(p, m.Addr, int(m.Requester), m, "ownership request")
+		return
+	}
+	n.drainPendingObject(p, e.Start)
+	if !e.Owned {
+		n.forward(p, e, m, int(m.Requester))
+		return
+	}
+	data := n.currentData(e)
+	if data == nil {
+		fail(n.id, e.Start, "ownership serve", "owner holds no valid data")
+	}
+	req := int(m.Requester)
+	cs := e.Copyset.Remove(req)
+	n.dropObject(p, e)
+	e.Owned = false
+	e.ProbOwner = req
+	e.Copyset = 0
+	if e.Home == n.id {
+		e.BackingStale = true
+	}
+	p.Advance(n.sys.cost.CopyCost(e.Size))
+	n.sys.net.Send(p, n.id, req, wire.OwnReply{Addr: e.Start, Copyset: uint64(cs), Data: data})
+}
+
+// serveInvalidate drops the local copy. A dirty copy under a
+// multiple-writer protocol first propagates its pending updates to the new
+// owner; a dirty copy otherwise is a runtime error (§3.3).
+func (n *Node) serveInvalidate(p *sim.Proc, src int, m wire.Invalidate) {
+	if e, ok := n.dir.Lookup(m.Addr); ok {
+		if n.puq != nil {
+			// The invalidation supersedes any queued updates for the
+			// dying copy.
+			n.puq.drop(e.Start)
+		}
+		if e.Modified {
+			if e.Params.MultipleWriters && e.Twin != nil {
+				entry, _ := n.encodeEntry(p, e)
+				if entry != nil {
+					n.UpdatesSent++
+					n.sys.net.Send(p, n.id, src, wire.UpdateBatch{
+						From: uint8(n.id), Entries: []wire.UpdateEntry{*entry},
+					})
+				}
+			} else {
+				fail(n.id, e.Start, "invalidate",
+					"invalidation would lose local modifications (single-writer object)")
+			}
+		}
+		n.dropObject(p, e)
+		e.Owned = false
+		e.ProbOwner = int(m.NewOwner)
+		if e.Home == n.id {
+			e.BackingStale = true
+		}
+	}
+	n.sys.net.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
+}
+
+// forward relays a request along the probable-owner chain; requester is
+// used for path compression on the hint.
+func (n *Node) forward(p *sim.Proc, e *directory.Entry, m wire.Message, requester int) {
+	dst := e.ProbOwner
+	if dst == n.id {
+		dst = e.Home
+	}
+	if dst == n.id || dst == requester {
+		fail(n.id, e.Start, "forward", fmt.Sprintf("probable-owner chain for %v dead-ends here", m.Kind()))
+	}
+	n.sys.net.Send(p, n.id, dst, m)
+}
+
+// forwardOrFail handles a request for an object this node has never seen:
+// only the home can be asked blind, so relay there; the home failing to
+// know the object is a program error.
+func (n *Node) forwardOrFail(p *sim.Proc, addr vm.Addr, requester int, m wire.Message, op string) {
+	if n.id == 0 {
+		fail(n.id, addr, op, "request for an address outside every declared shared object")
+	}
+	n.sys.net.Send(p, n.id, 0, m)
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"munin/internal/diffenc"
+	"munin/internal/directory"
+	"munin/internal/duq"
+	"munin/internal/sim"
+	"munin/internal/vm"
+	"munin/internal/wire"
+)
+
+// releaseFlush propagates every pending write on the DUQ. It runs whenever
+// a local thread releases a lock or arrives at a barrier (§3.3) — the
+// conservative, eager implementation of release consistency: updates are
+// propagated (and acknowledged) at the release itself.
+func (n *Node) releaseFlush(t *Thread) {
+	if n.duq.Len() == 0 {
+		return
+	}
+	n.flushSem.Acquire(t.proc)
+	defer n.flushSem.Release()
+	entries := n.duq.Drain()
+	n.Flushes++
+	n.flushEntries(t, entries)
+}
+
+// flushEntries pushes the given enqueued entries' modifications out:
+// determine destinations, encode diffs, combine per-destination batches
+// into single messages, send, and wait for acknowledgements.
+func (n *Node) flushEntries(t *Thread, entries []*directory.Entry) {
+	p := t.proc
+
+	// Phase 1: find the set of remote copies for entries that need it.
+	// Result objects skip this (changes go only to the owner/home);
+	// stable objects reuse the copyset determined the first time.
+	var query []*directory.Entry
+	for _, e := range entries {
+		if e.Params.FlushToOwner {
+			continue
+		}
+		if e.Params.StableSharing && e.CopysetKnown {
+			continue
+		}
+		query = append(query, e)
+	}
+	if len(query) > 0 && n.sys.Nodes() > 1 {
+		n.determineCopysets(t, query)
+	}
+
+	// Phase 2: encode each entry and assemble one batch per destination.
+	batches := make(map[int][]wire.UpdateEntry)
+	var invalidateDelayed []*directory.Entry
+	for _, e := range entries {
+		// Merge any queued incoming updates first, so the diff encoded
+		// below carries only this node's own writes.
+		n.drainPendingObject(p, e.Start)
+		var dests []int
+		switch {
+		case e.Params.FlushToOwner:
+			if e.Home != n.id {
+				dests = []int{e.Home}
+			}
+		default:
+			dests = e.Copyset.Remove(n.id).Nodes(n.sys.Nodes())
+		}
+		if len(dests) == 0 {
+			// No remote copies. A stable object becomes private: keep
+			// it writable with no twin and no further faults (§4.2).
+			duq.DropTwin(e)
+			e.Modified = false
+			if e.Params.StableSharing {
+				n.protectObject(p, e, vm.ProtReadWrite)
+			} else {
+				n.protectObject(p, e, vm.ProtRead)
+			}
+			continue
+		}
+		if e.Params.Invalidate {
+			// Delayed-invalidate protocol (the §2.3.2 variant the
+			// prototype "considered but did not implement"; our A1
+			// ablation enables it).
+			invalidateDelayed = append(invalidateDelayed, e)
+			continue
+		}
+		entry, changed := n.encodeEntry(p, e)
+		if changed {
+			for _, d := range dests {
+				batches[d] = append(batches[d], *entry)
+				n.UpdatesSent++
+			}
+		}
+		if e.Params.FlushToOwner {
+			// Fl: the local copy dies once changes are flushed.
+			n.dropObject(p, e)
+			e.ProbOwner = e.Home
+		} else {
+			duq.DropTwin(e)
+			e.Modified = false
+			n.protectObject(p, e, vm.ProtRead)
+		}
+	}
+
+	// Phase 3: one message per destination (§3.3: "the update mechanism
+	// automatically combines the elements destined for the same node into
+	// a single message"). The prototype does not block for replies: the
+	// in-order network delivers these updates to any node before it can
+	// observe the release itself, which satisfies release consistency
+	// condition (2). With AwaitUpdateAcks the flush instead blocks until
+	// every destination acknowledges.
+	if len(batches) > 0 {
+		await := n.sys.cfg.AwaitUpdateAcks
+		dests := make([]int, 0, len(batches))
+		for d := range batches {
+			dests = append(dests, d)
+		}
+		sort.Ints(dests)
+		var c *collector
+		if await {
+			c = n.newCollector(pendKey{pendRead, 0}, len(dests), "flush-acks")
+		}
+		for _, d := range dests {
+			n.sys.net.Send(p, n.id, d, wire.UpdateBatch{
+				From: uint8(n.id), NeedAck: await, Entries: batches[d],
+			})
+		}
+		if await {
+			c.fut.Wait(p)
+		}
+	}
+
+	// Delayed invalidations (A1 ablation): invalidate remote copies at
+	// the release instead of updating them.
+	for _, e := range invalidateDelayed {
+		n.invalidateCopies(t, e)
+		duq.DropTwin(e)
+		e.Modified = false
+		n.protectObject(p, e, vm.ProtRead)
+	}
+}
+
+// determineCopysets finds the remote copies of the given modified entries,
+// with the eager broadcast algorithm of §3.3 by default, or with the
+// improved home-directed algorithm when the system is configured for it.
+// Stable objects cache the result either way.
+func (n *Node) determineCopysets(t *Thread, entries []*directory.Entry) {
+	if n.sys.cfg.ExactCopyset {
+		n.determineCopysetsExact(t, entries)
+		return
+	}
+	n.determineCopysetsBroadcast(t, entries)
+}
+
+// determineCopysetsBroadcast runs the prototype's dynamic copyset
+// determination (§3.3): broadcast the list of locally modified objects,
+// and let every node reply with the subset it holds. The paper calls this
+// "somewhat inefficient": 2(N−1) messages per flush that must query.
+func (n *Node) determineCopysetsBroadcast(t *Thread, entries []*directory.Entry) {
+	addrs := make([]vm.Addr, 0, len(entries))
+	for _, e := range entries {
+		addrs = append(addrs, e.Start)
+	}
+	c := n.newCollector(pendKey{pendDir, 0}, n.sys.Nodes()-1, "copyset-determination")
+	n.sys.net.Broadcast(t.proc, n.id, wire.CopysetQuery{From: uint8(n.id), Addrs: addrs})
+	holders := c.fut.Wait(t.proc).(map[vm.Addr]directory.Copyset)
+	for _, e := range entries {
+		e.Copyset = holders[e.Start]
+		if e.Params.StableSharing {
+			e.CopysetKnown = true
+		}
+	}
+}
+
+// determineCopysetsExact implements the improved algorithm of §3.3
+// ("uses the owner node to collect Copyset information"): ask each
+// modified object's home node for the copyset it tracks, two messages per
+// home instead of 2(N−1) per flush. The home learns of remotely-served
+// reads through CopysetNotify messages, so its view is complete for
+// stable patterns; if it overshoots (a node silently dropped its copy),
+// the spurious update is ignored at the receiver (StaleUpdates).
+func (n *Node) determineCopysetsExact(t *Thread, entries []*directory.Entry) {
+	byHome := make(map[int][]vm.Addr)
+	holders := make(map[vm.Addr]directory.Copyset)
+	for _, e := range entries {
+		if e.Home == n.id {
+			// The home is flushing its own object: its directory entry
+			// already tracks every reader it served.
+			holders[e.Start] = e.Copyset
+			continue
+		}
+		byHome[e.Home] = append(byHome[e.Home], e.Start)
+	}
+	if len(byHome) > 0 {
+		homes := make([]int, 0, len(byHome))
+		for h := range byHome {
+			homes = append(homes, h)
+		}
+		sort.Ints(homes)
+		c := n.newCollector(pendKey{pendDir, 0}, len(homes), "copyset-lookup")
+		c.holders = holders
+		for _, h := range homes {
+			n.sys.net.Send(t.proc, n.id, h, wire.CopysetLookup{From: uint8(n.id), Addrs: byHome[h]})
+		}
+		holders = c.fut.Wait(t.proc).(map[vm.Addr]directory.Copyset)
+	}
+	for _, e := range entries {
+		e.Copyset = holders[e.Start].Remove(n.id)
+		if e.Params.StableSharing {
+			e.CopysetKnown = true
+		}
+	}
+}
+
+// serveCopysetLookup answers an exact-copyset request from the home's
+// tracked directory state. The home includes itself when it holds a live
+// copy, and marks its backing stale — the requester is writing.
+func (n *Node) serveCopysetLookup(p *sim.Proc, m wire.CopysetLookup) {
+	sets := make([]uint64, len(m.Addrs))
+	for i, a := range m.Addrs {
+		e, ok := n.dir.Lookup(a)
+		if !ok {
+			continue
+		}
+		cs := e.Copyset
+		if e.Valid {
+			cs = cs.Add(n.id)
+		}
+		sets[i] = uint64(cs)
+		if e.Home == n.id {
+			e.BackingStale = true
+			e.ProbOwner = int(m.From)
+		}
+	}
+	n.sys.net.Send(p, n.id, int(m.From), wire.CopysetInfo{Addrs: m.Addrs, Sets: sets})
+}
+
+// serveCopysetNotify records at the home that Reader obtained a copy from
+// some other node, keeping the exact-copyset view complete.
+func (n *Node) serveCopysetNotify(m wire.CopysetNotify) {
+	if e, ok := n.dir.Lookup(m.Addr); ok {
+		e.Copyset = e.Copyset.Add(int(m.Reader))
+	}
+}
+
+// serveCopysetQuery reports which of the queried objects this node holds a
+// valid copy of. A home node holding only stale-able backing marks it
+// stale (a writer exists now) and remembers the writer as probable owner.
+func (n *Node) serveCopysetQuery(p *sim.Proc, m wire.CopysetQuery) {
+	var held []vm.Addr
+	for _, a := range m.Addrs {
+		e, ok := n.dir.Lookup(a)
+		if !ok {
+			continue
+		}
+		if e.Valid {
+			held = append(held, a)
+			continue
+		}
+		if e.Home == n.id {
+			// The initial contents can no longer serve reads: the
+			// querying node is writing the object.
+			e.BackingStale = true
+			e.ProbOwner = int(m.From)
+		}
+	}
+	n.sys.net.Send(p, n.id, int(m.From), wire.CopysetReply{Addrs: held})
+}
+
+// encodeEntry turns a modified entry into an UpdateEntry: a word diff
+// against the twin when one exists, or the full object otherwise. Returns
+// changed=false if the diff is empty.
+func (n *Node) encodeEntry(p *sim.Proc, e *directory.Entry) (*wire.UpdateEntry, bool) {
+	if e.Twin != nil {
+		cur := n.readObject(e)
+		diff, st := diffenc.Encode(e.Twin, cur)
+		p.Advance(n.sys.cost.DiffScanPerWord*sim.Time(st.Words) +
+			n.sys.cost.DiffEncodePerWord*sim.Time(st.Changed) +
+			n.sys.cost.DiffRunOverhead*sim.Time(st.Runs))
+		if diffenc.Empty(diff) {
+			return nil, false
+		}
+		return &wire.UpdateEntry{Addr: e.Start, Size: uint32(e.Size), Diff: diff}, true
+	}
+	p.Advance(n.sys.cost.CopyCost(e.Size))
+	return &wire.UpdateEntry{Addr: e.Start, Size: uint32(e.Size), Full: n.readObject(e)}, true
+}
+
+// serveUpdateBatch merges incoming updates into the local copies (§3.3: a
+// node with a dirty copy incorporates the changes immediately — including
+// into the twin, so its own later diff carries only its own writes).
+func (n *Node) serveUpdateBatch(p *sim.Proc, src int, m wire.UpdateBatch) {
+	for _, u := range m.Entries {
+		e, ok := n.dir.Lookup(u.Addr)
+		if !ok {
+			fail(n.id, u.Addr, "update apply", "update for an object this node has never seen")
+		}
+		if n.puq != nil {
+			// Pending update queue (§6): buffer now, apply at the next
+			// synchronization point or local touch.
+			n.queuePendingUpdate(u)
+			continue
+		}
+		n.applyUpdate(p, e, u, src)
+	}
+	if m.NeedAck {
+		n.sys.net.Send(p, n.id, src, wire.UpdateAck{Count: uint32(len(m.Entries))})
+	}
+}
+
+// applyUpdate merges one UpdateEntry into the local copy.
+func (n *Node) applyUpdate(p *sim.Proc, e *directory.Entry, u wire.UpdateEntry, src int) {
+	n.UpdatesApply++
+	if int(u.Size) != e.Size {
+		fail(n.id, e.Start, "update apply",
+			fmt.Sprintf("update sized %d for object sized %d (granularity mismatch)", u.Size, e.Size))
+	}
+	if u.Full != nil {
+		prot := vm.ProtRead
+		if e.Writable {
+			prot = vm.ProtReadWrite
+		}
+		advance(p, n.sys.cost.CopyCost(e.Size))
+		n.installObject(p, e, u.Full, prot)
+		if e.Home == n.id {
+			e.BackingStale = true
+		}
+		return
+	}
+	if !e.Valid {
+		// A result object's flush lands at a home that may not have
+		// materialized a copy yet: build it from the backing first.
+		if e.Home == n.id && e.Backing != nil && !e.BackingStale {
+			n.installObject(p, e, append([]byte(nil), e.Backing...), vm.ProtRead)
+		} else if n.sys.cfg.ExactCopyset {
+			// The home-tracked copyset overshot: this node dropped its
+			// copy without the home learning of it. It holds nothing to
+			// keep consistent, so the update is safely ignored; a later
+			// read faults in fresh data from a holder.
+			n.StaleUpdates++
+			return
+		} else {
+			fail(n.id, e.Start, "update apply", "diff received for an invalid local copy")
+		}
+	}
+	cur := n.readObject(e)
+	st, err := diffenc.Decode(cur, u.Diff)
+	if err != nil {
+		fail(n.id, e.Start, "update apply", err.Error())
+	}
+	advance(p, n.sys.cost.DiffDecodePerWord*sim.Time(st.Changed)+
+		n.sys.cost.DiffDecodePerRun*sim.Time(st.Runs))
+	n.writeObjectData(e, cur)
+	if e.Twin != nil {
+		if _, err := diffenc.Decode(e.Twin, u.Diff); err != nil {
+			fail(n.id, e.Start, "update apply", "twin merge: "+err.Error())
+		}
+	}
+	if e.Home == n.id {
+		e.BackingStale = true
+	}
+}
+
+// writeObjectData stores data into the entry's mapped pages without
+// touching protections.
+func (n *Node) writeObjectData(e *directory.Entry, data []byte) {
+	off := 0
+	for _, base := range n.pagesOf(e) {
+		pg, ok := n.space.Lookup(base)
+		if !ok {
+			panic(fmt.Sprintf("core: node %d writing unmapped page %#x", n.id, base))
+		}
+		start := 0
+		if base < e.Start {
+			start = int(e.Start - base)
+		}
+		end := n.sys.cfg.PageSize
+		if base+vm.Addr(n.sys.cfg.PageSize) > e.End() {
+			end = int(e.End() - base)
+		}
+		off += copy(pg.Data[start:end], data[off:])
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"munin/internal/protocol"
+)
+
+func TestLockStressManyNodes(t *testing.T) {
+	for _, procs := range []int{4, 8, 16} {
+		for _, threadsPer := range []int{1, 2} {
+			decl := Decl{Name: "x", Start: page(0), Size: 8192, Annot: protocol.Migratory, Synchq: -1}
+			lock := LockDecl{ID: 1, Home: 0}
+			total := procs * threadsPer
+			bar := BarrierDecl{ID: 1000, Home: 0, Expected: total + 1}
+			sys := testSystem(t, procs, []Decl{decl}, []LockDecl{lock}, []BarrierDecl{bar})
+			rounds := 6
+			err := sys.Run(func(root *Thread) {
+				for w := 0; w < total; w++ {
+					root.Spawn(w%procs, "w", func(tt *Thread) {
+						for r := 0; r < rounds; r++ {
+							tt.AcquireLock(1)
+							tt.WriteWord(page(0), tt.ReadWord(page(0))+1)
+							tt.ReleaseLock(1)
+							tt.WaitAtBarrier(1000)
+						}
+					})
+				}
+				for r := 0; r < rounds; r++ {
+					root.WaitAtBarrier(1000)
+				}
+				root.AcquireLock(1)
+				if v := root.ReadWord(page(0)); v != uint32(total*rounds) {
+					t.Errorf("procs=%d threads=%d: counter=%d want %d", procs, threadsPer, v, total*rounds)
+				}
+				root.ReleaseLock(1)
+			})
+			if err != nil {
+				t.Fatalf("procs=%d threads=%d: %v", procs, threadsPer, err)
+			}
+		}
+	}
+}

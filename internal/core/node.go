@@ -1,0 +1,479 @@
+package core
+
+import (
+	"fmt"
+
+	"munin/internal/directory"
+	"munin/internal/duq"
+	"munin/internal/network"
+	"munin/internal/protocol"
+	"munin/internal/sim"
+	"munin/internal/vm"
+	"munin/internal/wire"
+)
+
+// pendClass distinguishes outstanding request types so replies route to
+// the right waiter without wire-level request IDs: per-object operations
+// are serialized by the entry semaphore, so (class, id) is unique.
+type pendClass uint8
+
+const (
+	pendRead pendClass = iota
+	pendOwn
+	pendMigrate
+	pendReduce
+	pendDir
+	pendLock
+)
+
+type pendKey struct {
+	class pendClass
+	id    uint64
+}
+
+// collector gathers a fixed number of replies (copyset queries,
+// invalidation acks, update acks) before completing its future.
+type collector struct {
+	need int
+	got  int
+	fut  *sim.Future
+	// holders accumulates, per object address, the nodes that reported a
+	// copy (copyset determination).
+	holders map[vm.Addr]directory.Copyset
+}
+
+func (c *collector) add() {
+	c.got++
+	if c.got == c.need {
+		c.fut.Complete(c.holders)
+	}
+}
+
+// Node is one processor of the simulated machine: its address space,
+// directories, delayed update queue and dispatcher.
+type Node struct {
+	sys   *System
+	id    int
+	space *vm.Space
+	dir   *directory.Table
+	synch *directory.SynchTable
+	duq   *duq.Queue
+
+	procs []*sim.Proc // every process hosted here, for time accounting
+
+	pending    map[pendKey]*sim.Future
+	collectors map[pendKey]*collector
+	dirFetch   map[vm.Addr]*sim.Future
+
+	// flushSem serializes DUQ flushes (one release in progress per node).
+	flushSem *sim.Semaphore
+
+	// barrierWait holds local threads blocked at each barrier;
+	// barrierFrom tracks, at the barrier's owner, which nodes the
+	// remote arrivals came from.
+	barrierWait map[int][]*sim.Future
+	barrierFrom map[int][]int
+	// lockWait holds local threads queued behind a local holder, and
+	// lockPend marks an in-flight remote acquire.
+	lockWait map[int][]*sim.Future
+	lockPend map[int]bool
+
+	// Stats
+	ReadMisses    int
+	WriteMisses   int
+	Twins         int
+	Flushes       int
+	UpdatesSent   int
+	UpdatesApply  int
+	Invalidations int
+	// StaleUpdates counts updates ignored because the exact-copyset
+	// algorithm's home-tracked copyset overshot (a node had dropped its
+	// copy without the home learning of it).
+	StaleUpdates int
+	// PendingQueued and PendingCoalesced count pending-update-queue
+	// activity (Config.PendingUpdates).
+	PendingQueued    int
+	PendingCoalesced int
+
+	// puq is the pending update queue; nil unless Config.PendingUpdates.
+	// puqSem serializes drains against the node's other threads.
+	puq    *pendingUpdates
+	puqSem *sim.Semaphore
+}
+
+func newNode(s *System, id int) *Node {
+	n := &Node{
+		sys:         s,
+		id:          id,
+		space:       vm.NewSpace(s.cfg.PageSize),
+		dir:         directory.NewTable(s.cfg.PageSize),
+		synch:       directory.NewSynchTable(),
+		duq:         duq.New(),
+		pending:     make(map[pendKey]*sim.Future),
+		collectors:  make(map[pendKey]*collector),
+		dirFetch:    make(map[vm.Addr]*sim.Future),
+		flushSem:    s.sim.NewSemaphore(fmt.Sprintf("flush[%d]", id), 1),
+		barrierWait: make(map[int][]*sim.Future),
+		barrierFrom: make(map[int][]int),
+		lockWait:    make(map[int][]*sim.Future),
+		lockPend:    make(map[int]bool),
+	}
+	if s.cfg.PendingUpdates {
+		n.puq = newPendingUpdates()
+		n.puqSem = s.sim.NewSemaphore(fmt.Sprintf("puq[%d]", id), 1)
+	}
+	n.space.SetHandler(vm.FaultHandlerFunc(func(ctx any, base vm.Addr, write bool) {
+		t, ok := ctx.(*Thread)
+		if !ok {
+			panic(fmt.Sprintf("core: fault with non-thread context %T", ctx))
+		}
+		n.handleFault(t, base, write)
+	}))
+	return n
+}
+
+// ID returns the node's index.
+func (n *Node) ID() int { return n.id }
+
+// Space exposes the node's address space (tests).
+func (n *Node) Space() *vm.Space { return n.space }
+
+// Dir exposes the node's data object directory (tests, trace tool).
+func (n *Node) Dir() *directory.Table { return n.dir }
+
+// startDispatcher spawns the node's Munin root thread: an event loop that
+// serves remote requests. It never blocks on remote state — requests it
+// cannot answer are forwarded — so request chains cannot deadlock.
+func (n *Node) startDispatcher() {
+	n.sys.sim.Spawn(fmt.Sprintf("munin-root@n%d", n.id), func(p *sim.Proc) {
+		n.procs = append(n.procs, p)
+		p.SetKind(sim.KindSystem)
+		for {
+			env := n.sys.net.Recv(p, n.id)
+			p.Advance(n.sys.cost.RequestHandlerCPU)
+			n.dispatch(p, env)
+		}
+	})
+}
+
+// dispatch handles one incoming message on the dispatcher.
+func (n *Node) dispatch(p *sim.Proc, env network.Envelope) {
+	switch m := env.Msg.(type) {
+	case wire.DirReq:
+		n.serveDirReq(p, env.Src, m)
+	case wire.ReadReq:
+		n.serveRead(p, m)
+	case wire.OwnReq:
+		n.serveOwn(p, m)
+	case wire.Invalidate:
+		n.serveInvalidate(p, env.Src, m)
+	case wire.MigrateReq:
+		n.serveMigrate(p, m)
+	case wire.CopysetQuery:
+		n.serveCopysetQuery(p, m)
+	case wire.UpdateBatch:
+		n.serveUpdateBatch(p, env.Src, m)
+	case wire.ReduceReq:
+		n.serveReduce(p, m)
+	case wire.PhaseChange:
+		n.servePhaseChange(m)
+	case wire.ChangeAnnot:
+		n.serveChangeAnnot(m)
+	case wire.CopysetLookup:
+		n.serveCopysetLookup(p, m)
+	case wire.CopysetNotify:
+		n.serveCopysetNotify(m)
+	case wire.LockAcq:
+		n.serveLockAcq(p, m)
+	case wire.LockSetSucc:
+		n.serveLockSetSucc(m)
+	case wire.LockGrant:
+		n.serveLockGrant(p, m)
+	case wire.BarrierArrive:
+		n.serveBarrierArrive(p, m)
+	case wire.BarrierRelease:
+		n.serveBarrierRelease(p, m)
+
+	case wire.ReadReply:
+		n.complete(pendKey{pendRead, uint64(m.Addr)}, m)
+	case wire.OwnReply:
+		n.complete(pendKey{pendOwn, uint64(m.Addr)}, m)
+	case wire.MigrateReply:
+		n.complete(pendKey{pendMigrate, uint64(m.Addr)}, m)
+	case wire.ReduceReply:
+		n.complete(pendKey{pendReduce, uint64(m.Addr)}, m)
+	case wire.DirReply:
+		n.completeDirFetch(m)
+	case wire.CopysetReply:
+		n.collectCopyset(env.Src, m)
+	case wire.CopysetInfo:
+		n.collectCopysetInfo(m)
+	case wire.InvalidateAck:
+		n.collect(pendKey{pendOwn, uint64(m.Addr)})
+	case wire.UpdateAck:
+		n.collect(pendKey{pendRead, 0}) // flush-ack collector key
+	default:
+		panic(fmt.Sprintf("core: node %d cannot dispatch %T", n.id, env.Msg))
+	}
+}
+
+// rpc registers a future under key, sends msg, and blocks t until the
+// reply completes it.
+func (n *Node) rpc(t *Thread, dst int, key pendKey, msg wire.Message) any {
+	if _, ok := n.pending[key]; ok {
+		panic(fmt.Sprintf("core: node %d duplicate outstanding request %v", n.id, key))
+	}
+	f := n.sys.sim.NewFuture(fmt.Sprintf("rpc[n%d %v]", n.id, msg.Kind()))
+	n.pending[key] = f
+	n.sys.net.Send(t.proc, n.id, dst, msg)
+	return f.Wait(t.proc)
+}
+
+// complete resolves the pending request under key with v.
+func (n *Node) complete(key pendKey, v any) {
+	f, ok := n.pending[key]
+	if !ok {
+		panic(fmt.Sprintf("core: node %d unexpected reply %v", n.id, key))
+	}
+	delete(n.pending, key)
+	f.Complete(v)
+}
+
+// newCollector registers a reply collector expecting need replies.
+func (n *Node) newCollector(key pendKey, need int, name string) *collector {
+	if _, ok := n.collectors[key]; ok {
+		panic(fmt.Sprintf("core: node %d duplicate collector %v", n.id, key))
+	}
+	c := &collector{
+		need:    need,
+		fut:     n.sys.sim.NewFuture(fmt.Sprintf("collect[n%d %s]", n.id, name)),
+		holders: make(map[vm.Addr]directory.Copyset),
+	}
+	n.collectors[key] = c
+	return c
+}
+
+// collect counts one anonymous reply toward the collector under key.
+func (n *Node) collect(key pendKey) {
+	c, ok := n.collectors[key]
+	if !ok {
+		panic(fmt.Sprintf("core: node %d unexpected ack %v", n.id, key))
+	}
+	c.add()
+	if c.got == c.need {
+		delete(n.collectors, key)
+	}
+}
+
+// collectCopysetInfo merges a home's exact-copyset reply.
+func (n *Node) collectCopysetInfo(m wire.CopysetInfo) {
+	key := pendKey{pendDir, 0}
+	c, ok := n.collectors[key]
+	if !ok {
+		panic(fmt.Sprintf("core: node %d unexpected copyset info", n.id))
+	}
+	for i, a := range m.Addrs {
+		if i < len(m.Sets) {
+			c.holders[a] |= directory.Copyset(m.Sets[i])
+		}
+	}
+	c.add()
+	if c.got == c.need {
+		delete(n.collectors, key)
+	}
+}
+
+// collectCopyset merges a copyset reply from src.
+func (n *Node) collectCopyset(src int, m wire.CopysetReply) {
+	key := pendKey{pendDir, 0}
+	c, ok := n.collectors[key]
+	if !ok {
+		panic(fmt.Sprintf("core: node %d unexpected copyset reply", n.id))
+	}
+	for _, a := range m.Addrs {
+		c.holders[a] = c.holders[a].Add(src)
+	}
+	c.add()
+	if c.got == c.need {
+		delete(n.collectors, key)
+	}
+}
+
+// entry returns the directory entry describing addr, fetching it from the
+// object's home node if this node has never seen the object (§3.2: "When
+// Munin cannot find an object directory entry in the local hash table, it
+// requests a copy from the object's home node"). Charges a directory
+// lookup.
+func (n *Node) entry(t *Thread, addr vm.Addr) *directory.Entry {
+	t.proc.Advance(n.sys.cost.DirLookup)
+	if e, ok := n.dir.Lookup(addr); ok {
+		return e
+	}
+	if n.id == 0 {
+		fail(n.id, addr, "directory lookup", "address is not part of any declared shared object")
+	}
+	// Coalesce concurrent fetches of the same entry.
+	base := addr - vm.Addr(uint32(addr)%uint32(n.sys.cfg.PageSize))
+	if f, ok := n.dirFetch[base]; ok {
+		f.Wait(t.proc)
+	} else {
+		f := n.sys.sim.NewFuture(fmt.Sprintf("dirfetch[n%d %#x]", n.id, base))
+		n.dirFetch[base] = f
+		n.sys.net.Send(t.proc, n.id, 0, wire.DirReq{Addr: addr})
+		f.Wait(t.proc)
+		delete(n.dirFetch, base)
+	}
+	e, ok := n.dir.Lookup(addr)
+	if !ok {
+		fail(n.id, addr, "directory fetch", "home node does not describe this address")
+	}
+	return e
+}
+
+// serveDirReq answers a directory fetch from the home node's table. Only
+// the root (home for all statically allocated objects) serves these.
+func (n *Node) serveDirReq(p *sim.Proc, src int, m wire.DirReq) {
+	p.Advance(n.sys.cost.DirLookup)
+	e, ok := n.dir.Lookup(m.Addr)
+	if !ok {
+		n.sys.net.Send(p, n.id, src, wire.DirReply{Found: false})
+		return
+	}
+	n.sys.net.Send(p, n.id, src, wire.DirReply{
+		Found: true,
+		Start: e.Start,
+		Size:  uint32(e.Size),
+		Annot: uint8(e.Annot),
+		Home:  uint8(e.Home),
+		Owner: uint8(e.ProbOwner),
+	})
+}
+
+// completeDirFetch installs a fetched directory entry and wakes waiters.
+func (n *Node) completeDirFetch(m wire.DirReply) {
+	if !m.Found {
+		fail(n.id, 0, "directory fetch", "home node reported no such object")
+	}
+	if _, ok := n.dir.Lookup(m.Start); !ok {
+		annot := protocol.Annotation(m.Annot)
+		n.dir.Insert(&directory.Entry{
+			Start:     m.Start,
+			Size:      int(m.Size),
+			Annot:     annot,
+			Params:    annot.Params(),
+			Home:      int(m.Home),
+			ProbOwner: int(m.Owner),
+			Synchq:    -1,
+			Sem:       n.sys.sim.NewSemaphore(fmt.Sprintf("entry[n%d %#x]", n.id, m.Start), 1),
+		})
+	}
+	// Wake every fetch waiting on any page the object covers: the fault
+	// may have been on a later page of a multi-page (SingleObject)
+	// variable than the entry's start.
+	for base := n.space.PageBase(m.Start); base < m.Start+vm.Addr(m.Size); base += vm.Addr(n.sys.cfg.PageSize) {
+		if f, ok := n.dirFetch[base]; ok && !f.Done() {
+			f.Complete(nil)
+		}
+	}
+}
+
+// pagesOf returns the page bases covering an entry.
+func (n *Node) pagesOf(e *directory.Entry) []vm.Addr {
+	return n.space.PageSpan(e.Start, e.Size)
+}
+
+// readObject copies the entry's bytes out of the local pages. The local
+// copy must be valid.
+func (n *Node) readObject(e *directory.Entry) []byte {
+	out := make([]byte, e.Size)
+	off := 0
+	for _, base := range n.pagesOf(e) {
+		pg, ok := n.space.Lookup(base)
+		if !ok {
+			panic(fmt.Sprintf("core: node %d reading unmapped page %#x of %v", n.id, base, e))
+		}
+		start := 0
+		if base < e.Start {
+			start = int(e.Start - base)
+		}
+		end := n.sys.cfg.PageSize
+		if base+vm.Addr(n.sys.cfg.PageSize) > e.End() {
+			end = int(e.End() - base)
+		}
+		off += copy(out[off:], pg.Data[start:end])
+	}
+	return out
+}
+
+// installObject maps data as the entry's local copy with the given
+// protection, allocating pages as needed.
+func (n *Node) installObject(p *sim.Proc, e *directory.Entry, data []byte, prot vm.Prot) {
+	if len(data) != e.Size {
+		panic(fmt.Sprintf("core: installing %d bytes into %v", len(data), e))
+	}
+	off := 0
+	for _, base := range n.pagesOf(e) {
+		pg, ok := n.space.Lookup(base)
+		if !ok {
+			pg = n.space.Map(base, make([]byte, n.sys.cfg.PageSize), prot)
+		} else {
+			pg.Prot = prot
+		}
+		start := 0
+		if base < e.Start {
+			start = int(e.Start - base)
+		}
+		end := n.sys.cfg.PageSize
+		if base+vm.Addr(n.sys.cfg.PageSize) > e.End() {
+			end = int(e.End() - base)
+		}
+		off += copy(pg.Data[start:end], data[off:])
+		advance(p, n.sys.cost.PageMapOp)
+	}
+	e.Valid = true
+	e.Writable = prot == vm.ProtReadWrite
+}
+
+// protectObject changes the protection of every page backing the entry.
+func (n *Node) protectObject(p *sim.Proc, e *directory.Entry, prot vm.Prot) {
+	for _, base := range n.pagesOf(e) {
+		if _, ok := n.space.Lookup(base); ok {
+			n.space.Protect(base, prot)
+			p.Advance(n.sys.cost.PageMapOp)
+		}
+	}
+	e.Writable = prot == vm.ProtReadWrite
+}
+
+// dropObject unmaps the entry's pages and invalidates the local copy.
+func (n *Node) dropObject(p *sim.Proc, e *directory.Entry) {
+	for _, base := range n.pagesOf(e) {
+		if _, ok := n.space.Lookup(base); ok {
+			n.space.Unmap(base)
+			p.Advance(n.sys.cost.PageMapOp)
+		}
+	}
+	e.Valid = false
+	e.Writable = false
+	e.Modified = false
+	duq.DropTwin(e)
+	n.duq.Remove(e)
+	if n.puq != nil {
+		// An unmap supersedes any queued updates: the next use refetches
+		// current data.
+		n.puq.drop(e.Start)
+	}
+}
+
+// currentData returns the entry's current contents for serving a request:
+// the live local copy if valid, else the home backing if still fresh.
+// Returns nil if this node cannot supply data.
+func (n *Node) currentData(e *directory.Entry) []byte {
+	if e.Valid {
+		return n.readObject(e)
+	}
+	if e.Home == n.id && e.Backing != nil && !e.BackingStale {
+		return append([]byte(nil), e.Backing...)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"munin/internal/protocol"
+	"munin/internal/vm"
+)
+
+func TestPUQMultiWriterRounds(t *testing.T) {
+	procs, rounds := 6, 4
+	decl := Decl{Name: "x", Start: page(0), Size: 8192, Annot: protocol.WriteShared, Synchq: -1}
+	bar := BarrierDecl{ID: 1000, Home: 0, Expected: procs}
+	sys := NewSystem(Config{Processors: procs, PendingUpdates: true}, []Decl{decl}, nil, []BarrierDecl{bar})
+	err := sys.Run(func(root *Thread) {
+		for w := 0; w < procs; w++ {
+			w := w
+			root.Spawn(w, fmt.Sprintf("w%d", w), func(tt *Thread) {
+				_ = tt.ReadWord(page(0)) // replicate
+				tt.WaitAtBarrier(1000)
+				for r := 0; r < rounds; r++ {
+					tt.WriteWord(page(0)+vm.Addr(4*w), uint32(100*r+w+1))
+					tt.WaitAtBarrier(1000)
+					for o := 0; o < procs; o++ {
+						got := tt.ReadWord(page(0) + vm.Addr(4*o))
+						if got != uint32(100*r+o+1) {
+							t.Errorf("round %d: worker %d sees slot %d = %d, want %d",
+								r, w, o, got, 100*r+o+1)
+						}
+					}
+					tt.WaitAtBarrier(1000)
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPUQDrainRaceRegression reproduces the drain race: two threads on
+// one node depart the same barrier; the first drainer yields mid-apply
+// and the second must not observe data that is neither queued nor
+// applied. (Before the puqSem fix the second thread's read returned the
+// pre-update value.)
+func TestPUQDrainRaceRegression(t *testing.T) {
+	procs := 3
+	decl := Decl{Name: "x", Start: page(0), Size: 8192, Annot: protocol.WriteShared, Synchq: -1}
+	bar := BarrierDecl{ID: 1000, Home: 0, Expected: procs + 1} // 2 threads on node 0
+	sys := NewSystem(Config{Processors: procs, PendingUpdates: true}, []Decl{decl}, nil, []BarrierDecl{bar})
+	err := sys.Run(func(root *Thread) {
+		// A second thread on node 0 that reads right after the barrier.
+		root.Spawn(0, "peer", func(tt *Thread) {
+			_ = tt.ReadWord(page(0))
+			tt.WaitAtBarrier(1000)
+			tt.WaitAtBarrier(1000)
+			for o := 1; o < procs; o++ {
+				if got := tt.ReadWord(page(0) + vm.Addr(4*o)); got != uint32(o+1) {
+					t.Errorf("peer sees slot %d = %d, want %d", o, got, o+1)
+				}
+			}
+		})
+		for w := 1; w < procs; w++ {
+			w := w
+			root.Spawn(w, fmt.Sprintf("w%d", w), func(tt *Thread) {
+				_ = tt.ReadWord(page(0))
+				tt.WaitAtBarrier(1000)
+				tt.WriteWord(page(0)+vm.Addr(4*w), uint32(w+1))
+				tt.WaitAtBarrier(1000)
+			})
+		}
+		_ = root.ReadWord(page(0))
+		root.WaitAtBarrier(1000)
+		root.WaitAtBarrier(1000)
+		// Root drains too; both node-0 threads must see the updates.
+		for o := 1; o < procs; o++ {
+			if got := root.ReadWord(page(0) + vm.Addr(4*o)); got != uint32(o+1) {
+				t.Errorf("root sees slot %d = %d, want %d", o, got, o+1)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPUQStatsPopulated: queue and coalesce counters reflect activity.
+func TestPUQStatsPopulated(t *testing.T) {
+	decl := Decl{Name: "x", Start: page(0), Size: 8192, Annot: protocol.WriteShared, Synchq: -1}
+	bar := BarrierDecl{ID: 1000, Home: 0, Expected: 2}
+	sys := NewSystem(Config{Processors: 2, PendingUpdates: true}, []Decl{decl}, nil, []BarrierDecl{bar})
+	err := sys.Run(func(root *Thread) {
+		root.Spawn(1, "writer", func(w *Thread) {
+			_ = w.ReadWord(page(0))
+			w.WaitAtBarrier(1000)
+			w.WriteWord(page(0), 5)
+			w.WaitAtBarrier(1000)
+		})
+		_ = root.ReadWord(page(0))
+		root.WaitAtBarrier(1000)
+		root.WaitAtBarrier(1000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Node(0).PendingQueued == 0 {
+		t.Error("no updates queued at node 0")
+	}
+}

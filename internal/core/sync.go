@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"munin/internal/directory"
+	"munin/internal/protocol"
+	"munin/internal/sim"
+	"munin/internal/vm"
+	"munin/internal/wire"
+)
+
+// acquireLock implements AcquireLock (§3.4): take the lock immediately if
+// it is local and free, otherwise request ownership from the probable
+// owner and block, enqueueing on the distributed queue if the lock is held.
+func (n *Node) acquireLock(t *Thread, id int) {
+	p := t.proc
+	p.Advance(n.sys.cost.LockHandlerCPU)
+	se := n.mustSynch(id, directory.SynchLock)
+	if se.Owned && !se.Held {
+		se.Held = true
+		n.drainPendingAll(p)
+		return
+	}
+	if se.Owned || n.lockPend[id] {
+		// Ownership is here but a local thread holds the lock, or a
+		// remote acquire is already in flight: wait locally; the
+		// releasing/acquiring thread hands over directly.
+		f := n.sys.sim.NewFuture(fmt.Sprintf("lockwait[n%d l%d]", n.id, id))
+		n.lockWait[id] = append(n.lockWait[id], f)
+		f.Wait(p)
+		n.drainPendingAll(p)
+		return
+	}
+	n.lockPend[id] = true
+	grant := n.rpc(t, se.ProbOwner, pendKey{pendLock, uint64(id)},
+		wire.LockAcq{Lock: uint32(id), Requester: uint8(n.id)}).(wire.LockGrant)
+	n.lockPend[id] = false
+	se.Owned = true
+	se.Held = true
+	se.ProbOwner = n.id
+	// se.Succ is NOT reset: a LockSetSucc enqueueing our successor may
+	// already have arrived while the grant was in flight.
+	se.Tail = int(grant.Tail)
+	// Acquire semantics: queued incoming updates become visible now.
+	n.drainPendingAll(p)
+	// Apply piggybacked data for objects associated with this lock
+	// (AssociateDataAndSynch): the consistency information travels in the
+	// message that passes lock ownership (§2.5).
+	for _, u := range grant.Updates {
+		e := n.entry(t, u.Addr)
+		n.applyUpdate(p, e, u, se.ProbOwner)
+		if e.Annot == protocol.Migratory {
+			e.Owned = true
+			e.ProbOwner = n.id
+			n.protectObject(p, e, vm.ProtReadWrite)
+		}
+	}
+}
+
+// releaseLock implements ReleaseLock: flush the DUQ (release consistency),
+// then hand the lock to a local waiter or the distributed queue's head.
+func (n *Node) releaseLock(t *Thread, id int) {
+	p := t.proc
+	n.releaseFlush(t)
+	p.Advance(n.sys.cost.LockHandlerCPU)
+	se := n.mustSynch(id, directory.SynchLock)
+	if !se.Held || !se.Owned {
+		fail(n.id, 0, "release lock", fmt.Sprintf("lock %d is not held by this node", id))
+	}
+	if ws := n.lockWait[id]; len(ws) > 0 {
+		// Hand directly to a local waiter; ownership and Held stay.
+		n.lockWait[id] = ws[1:]
+		ws[0].Complete(nil)
+		return
+	}
+	if se.Succ >= 0 {
+		succ := se.Succ
+		se.Succ = -1
+		se.Held = false
+		se.Owned = false
+		se.ProbOwner = succ
+		tail := se.Tail
+		if tail == n.id {
+			tail = succ
+		}
+		n.sys.net.Send(p, n.id, succ, wire.LockGrant{
+			Lock: uint32(id), Tail: uint8(tail), Updates: n.lockPiggyback(p, se),
+		})
+		return
+	}
+	se.Held = false
+}
+
+// serveLockAcq handles a remote acquire at this node: grant if we own a
+// free lock, enqueue at the distributed queue's tail if it is busy, or
+// forward along the probable-owner chain.
+func (n *Node) serveLockAcq(p *sim.Proc, m wire.LockAcq) {
+	id := int(m.Lock)
+	req := int(m.Requester)
+	p.Advance(n.sys.cost.LockHandlerCPU)
+	se := n.mustSynch(id, directory.SynchLock)
+	if !se.Owned {
+		dst := se.ProbOwner
+		if dst == n.id || dst == req {
+			fail(n.id, 0, "lock forward", fmt.Sprintf("probable-owner chain for lock %d dead-ends", id))
+		}
+		n.sys.net.Send(p, n.id, dst, m)
+		return
+	}
+	if !se.Held && len(n.lockWait[id]) == 0 && se.Succ < 0 {
+		// Free: transfer ownership directly to the requester.
+		se.Owned = false
+		se.ProbOwner = req
+		n.sys.net.Send(p, n.id, req, wire.LockGrant{
+			Lock: uint32(id), Tail: uint8(req), Updates: n.lockPiggyback(p, se),
+		})
+		return
+	}
+	// Busy: append the requester to the distributed queue. The owner
+	// forwards the request to the queue's tail, which records its
+	// successor; each enqueued node knows only who follows it (§3.4).
+	// The queue state must be fully updated before any message is sent:
+	// net.Send advances virtual time and yields, and the holder's
+	// release (a different simulated process) may run during the yield —
+	// a grant sent then must carry the new tail, not the stale one.
+	prevTail := se.Tail
+	se.Tail = req
+	if prevTail == n.id {
+		if se.Succ >= 0 {
+			fail(n.id, 0, "lock enqueue", fmt.Sprintf("lock %d successor already set (succ=%d, enqueuing %d)", id, se.Succ, req))
+		}
+		se.Succ = req
+	} else {
+		n.sys.net.Send(p, n.id, prevTail, wire.LockSetSucc{Lock: uint32(id), Succ: uint8(req)})
+	}
+}
+
+// serveLockSetSucc records the successor of this node in a lock's
+// distributed queue.
+func (n *Node) serveLockSetSucc(m wire.LockSetSucc) {
+	se := n.mustSynch(int(m.Lock), directory.SynchLock)
+	if se.Succ >= 0 {
+		fail(n.id, 0, "lock enqueue", fmt.Sprintf("lock %d successor already set (succ=%d, SetSucc %d)", m.Lock, se.Succ, m.Succ))
+	}
+	se.Succ = int(m.Succ)
+}
+
+// serveLockGrant routes an arriving grant to the waiting acquirer.
+func (n *Node) serveLockGrant(p *sim.Proc, m wire.LockGrant) {
+	n.complete(pendKey{pendLock, uint64(m.Lock)}, m)
+}
+
+// lockPiggyback gathers current data for the objects associated with the
+// lock so the grant message carries it (avoiding access misses at the new
+// holder, §2.5). Migratory associated objects move with the lock: the
+// local copy is dropped.
+func (n *Node) lockPiggyback(p *sim.Proc, se *directory.SynchEntry) []wire.UpdateEntry {
+	var out []wire.UpdateEntry
+	for _, addr := range se.Assoc {
+		e, ok := n.dir.Lookup(addr)
+		if !ok {
+			continue
+		}
+		n.drainPendingObject(p, e.Start)
+		data := n.currentData(e)
+		if data == nil {
+			continue
+		}
+		p.Advance(n.sys.cost.CopyCost(e.Size))
+		out = append(out, wire.UpdateEntry{Addr: e.Start, Size: uint32(e.Size), Full: data})
+		if e.Annot == protocol.Migratory {
+			n.dropObject(p, e)
+			e.Owned = false
+			if e.Home == n.id {
+				e.BackingStale = true
+			}
+		}
+	}
+	return out
+}
+
+// waitAtBarrier implements WaitAtBarrier: flush the DUQ, then report
+// arrival to the barrier's owner node and block until released (§3.4).
+func (n *Node) waitAtBarrier(t *Thread, id int) {
+	p := t.proc
+	n.releaseFlush(t)
+	p.Advance(n.sys.cost.BarrierHandlerCPU)
+	se := n.mustSynch(id, directory.SynchBarrier)
+	f := n.sys.sim.NewFuture(fmt.Sprintf("barrier[n%d b%d]", n.id, id))
+	n.barrierWait[id] = append(n.barrierWait[id], f)
+	if se.Home == n.id {
+		se.Arrived++
+		n.checkBarrier(p, id, se)
+	} else {
+		n.sys.net.Send(p, n.id, se.Home, wire.BarrierArrive{Barrier: uint32(id), From: uint8(n.id)})
+	}
+	f.Wait(p)
+	// Departing the barrier is an acquire: queued updates apply now.
+	n.drainPendingAll(p)
+}
+
+// serveBarrierArrive counts a remote arrival at the barrier's owner node.
+func (n *Node) serveBarrierArrive(p *sim.Proc, m wire.BarrierArrive) {
+	id := int(m.Barrier)
+	p.Advance(n.sys.cost.BarrierHandlerCPU)
+	se := n.mustSynch(id, directory.SynchBarrier)
+	if se.Home != n.id {
+		fail(n.id, 0, "barrier", fmt.Sprintf("arrival for barrier %d at non-owner node", id))
+	}
+	se.Arrived++
+	n.barrierFrom[id] = append(n.barrierFrom[id], int(m.From))
+	n.checkBarrier(p, id, se)
+}
+
+// checkBarrier releases everyone once the expected number of threads have
+// arrived: one reply per remote arrival, plus completing local waiters.
+func (n *Node) checkBarrier(p *sim.Proc, id int, se *directory.SynchEntry) {
+	if se.Arrived < se.Expected {
+		return
+	}
+	if se.Arrived > se.Expected {
+		fail(n.id, 0, "barrier", fmt.Sprintf("barrier %d overshot: %d arrivals for %d expected",
+			id, se.Arrived, se.Expected))
+	}
+	se.Arrived = 0
+	from := n.barrierFrom[id]
+	n.barrierFrom[id] = nil
+	local := n.barrierWait[id]
+	n.barrierWait[id] = nil
+	if n.sys.cfg.BarrierTree {
+		// One release per node, fanned out down a tree: the owner
+		// releases its immediate children, each of which wakes its own
+		// waiters and forwards to its share of the subtree (§3.4's
+		// scalable scheme). The release path costs O(log N) serial sends
+		// at every node instead of O(N) at the owner.
+		n.treeRelease(p, id, dedupeNodes(from))
+	} else {
+		for _, src := range from {
+			p.Advance(n.sys.cost.BarrierHandlerCPU)
+			n.sys.net.Send(p, n.id, src, wire.BarrierRelease{Barrier: uint32(id)})
+		}
+	}
+	for _, f := range local {
+		f.Complete(nil)
+	}
+}
+
+// serveBarrierRelease wakes threads blocked at the barrier: one per
+// message under the centralized scheme, every local waiter (plus subtree
+// forwarding) under the tree scheme.
+func (n *Node) serveBarrierRelease(p *sim.Proc, m wire.BarrierRelease) {
+	id := int(m.Barrier)
+	ws := n.barrierWait[id]
+	if m.Tree {
+		if len(m.Subtree) > 0 {
+			nodes := make([]int, len(m.Subtree))
+			for i, b := range m.Subtree {
+				nodes[i] = int(b)
+			}
+			n.treeRelease(p, id, nodes)
+		}
+		n.barrierWait[id] = nil
+		for _, f := range ws {
+			f.Complete(nil)
+		}
+		return
+	}
+	if len(ws) == 0 {
+		fail(n.id, 0, "barrier", fmt.Sprintf("release for barrier %d with no local waiters", id))
+	}
+	n.barrierWait[id] = ws[1:]
+	ws[0].Complete(nil)
+}
+
+// treeRelease forwards a tree-scheme barrier release to up to fanout
+// children, handing each its slice of the remaining nodes.
+func (n *Node) treeRelease(p *sim.Proc, id int, nodes []int) {
+	fanout := n.sys.cfg.BarrierFanout
+	if fanout <= 1 {
+		fanout = 4
+	}
+	if len(nodes) == 0 {
+		return
+	}
+	k := fanout
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	rest := nodes[k:]
+	for i := 0; i < k; i++ {
+		child := nodes[i]
+		// Split the remaining nodes round-robin so subtrees balance.
+		var sub []uint8
+		for j := i; j < len(rest); j += k {
+			sub = append(sub, uint8(rest[j]))
+		}
+		p.Advance(n.sys.cost.BarrierHandlerCPU)
+		n.sys.net.Send(p, n.id, child, wire.BarrierRelease{Barrier: uint32(id), Tree: true, Subtree: sub})
+	}
+}
+
+// dedupeNodes returns the distinct node ids in arrival order.
+func dedupeNodes(from []int) []int {
+	seen := make(map[int]bool, len(from))
+	var out []int
+	for _, f := range from {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// mustSynch looks up a synchronization object, failing on misuse.
+func (n *Node) mustSynch(id int, kind directory.SynchKind) *directory.SynchEntry {
+	se, ok := n.synch.Lookup(id)
+	if !ok {
+		fail(n.id, 0, "synchronization", fmt.Sprintf("unknown synchronization object %d", id))
+	}
+	if se.Kind != kind {
+		fail(n.id, 0, "synchronization", fmt.Sprintf("object %d is a %v, not a %v", id, se.Kind, kind))
+	}
+	return se
+}

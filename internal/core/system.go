@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"munin/internal/directory"
+	"munin/internal/model"
+	"munin/internal/network"
+	"munin/internal/protocol"
+	"munin/internal/sim"
+	"munin/internal/vm"
+)
+
+// Config describes the simulated machine and runtime options.
+type Config struct {
+	// Processors is the number of nodes (1–16 in the prototype).
+	Processors int
+	// PageSize overrides the 8 KB default (tests only).
+	PageSize int
+	// Model is the cost model; zero value means model.Default().
+	Model model.CostModel
+	// Override, if non-nil, forces every data object to the given
+	// annotation regardless of its declaration — the paper's Table 6
+	// compares multi-protocol Munin against "only conventional" and
+	// "only write-shared" configurations this way.
+	Override *protocol.Annotation
+	// ExactCopyset selects the improved copyset-determination algorithm
+	// of §3.3 — "an improved algorithm that uses the owner node to
+	// collect Copyset information" which the prototype devised but never
+	// implemented: a release asks each modified object's home for its
+	// tracked copyset instead of broadcasting to every node (ablation A4).
+	ExactCopyset bool
+	// PendingUpdates enables the pending update queue of §6's future
+	// work: incoming updates are buffered at the receiver and applied at
+	// its next synchronization point (or on first touch), moving decode
+	// work off the dispatcher and coalescing repeated full-object
+	// updates. Release consistency is preserved: acquires drain the
+	// queue before returning.
+	PendingUpdates bool
+	// BarrierTree releases barriers down a fan-out tree instead of the
+	// owner unicasting one release per arrival — the "barrier trees and
+	// other more scalable schemes" §3.4 envisions for larger systems
+	// (ablation A5). BarrierFanout sets the tree arity (default 4).
+	BarrierTree   bool
+	BarrierFanout int
+	// AwaitUpdateAcks makes a release block until every update it sent is
+	// acknowledged (decoded and merged remotely). The prototype does not
+	// block: it propagates updates at the release and relies on the
+	// Ethernet's in-order delivery — any processor that later observes
+	// the release (a barrier departure or a lock grant) necessarily
+	// receives the earlier updates first, which is exactly the guarantee
+	// release consistency requires. The simulated bus is globally FIFO,
+	// so the same reasoning holds here. Acked flushes remain available
+	// for the Table 2 microbenchmark (whose Reply row times the
+	// acknowledgement) and for stress tests.
+	AwaitUpdateAcks bool
+	// Trace, if non-nil, observes every delivered network message.
+	Trace func(network.Envelope)
+}
+
+// Decl is one entry of the shared data description table: a shared object
+// the preprocessor/linker would have emitted (§3.1). Objects are created by
+// the layout logic in the public munin package; Size is bytes (word
+// multiple), Start is page-aligned for the first object of a variable.
+type Decl struct {
+	Name  string
+	Start vm.Addr
+	Size  int
+	Annot protocol.Annotation
+	Home  int
+	// Init is the object's initial contents (nil means zeros).
+	Init []byte
+	// Synchq associates the object with a lock (AssociateDataAndSynch);
+	// -1 if none.
+	Synchq int
+}
+
+// LockDecl declares a distributed lock.
+type LockDecl struct {
+	ID   int
+	Home int
+}
+
+// BarrierDecl declares a barrier with its release threshold.
+type BarrierDecl struct {
+	ID       int
+	Home     int
+	Expected int
+}
+
+// System is one simulated Munin machine: the nodes, the network, and the
+// shared-segment description.
+type System struct {
+	cfg      Config
+	cost     model.CostModel
+	sim      *sim.Sim
+	net      *network.Network
+	nodes    []*Node
+	decls    []Decl
+	locks    []LockDecl
+	barriers []BarrierDecl
+
+	threadSeq int
+	liveUser  int // running user threads; Run stops when the root returns
+}
+
+// NewSystem builds a machine from declarations. The root node (0) holds
+// every object's backing store; other nodes start with empty directories
+// and fault entries in from the home node on demand, as in the prototype.
+func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDecl) *System {
+	if cfg.Processors <= 0 || cfg.Processors > 16 {
+		panic(fmt.Sprintf("core: %d processors outside the prototype's 1–16", cfg.Processors))
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = vm.DefaultPageSize
+	}
+	zero := model.CostModel{}
+	if cfg.Model == zero {
+		cfg.Model = model.Default()
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{
+		cfg:      cfg,
+		cost:     cfg.Model,
+		sim:      sim.New(),
+		decls:    decls,
+		locks:    locks,
+		barriers: barriers,
+	}
+	s.net = network.New(s.sim, cfg.Model, cfg.Processors)
+	s.net.Trace = cfg.Trace
+	for i := 0; i < cfg.Processors; i++ {
+		s.nodes = append(s.nodes, newNode(s, i))
+	}
+	// The root node's data object directory is initialized from the
+	// shared data description table (§3.2); the home holds the backing.
+	for _, d := range decls {
+		annot := d.Annot
+		if cfg.Override != nil {
+			annot = *cfg.Override
+		}
+		if d.Size <= 0 || d.Size%vm.WordSize != 0 {
+			panic(fmt.Sprintf("core: object %q size %d not a positive word multiple", d.Name, d.Size))
+		}
+		backing := make([]byte, d.Size)
+		copy(backing, d.Init)
+		e := &directory.Entry{
+			Start:     d.Start,
+			Size:      d.Size,
+			Annot:     annot,
+			Params:    annot.Params(),
+			Home:      d.Home,
+			ProbOwner: d.Home,
+			Owned:     true,
+			Backing:   backing,
+			Synchq:    d.Synchq,
+			Sem:       s.sim.NewSemaphore(fmt.Sprintf("entry[%#x]", d.Start), 1),
+		}
+		s.nodes[d.Home].dir.Insert(e)
+	}
+	// Synchronization object directories are populated everywhere: the
+	// prototype distributes lock/barrier identity at creation time.
+	for _, n := range s.nodes {
+		for _, l := range locks {
+			n.synch.Insert(&directory.SynchEntry{
+				ID: l.ID, Kind: directory.SynchLock, Home: l.Home,
+				ProbOwner: l.Home, Owned: n.id == l.Home, Succ: -1, Tail: l.Home,
+			})
+		}
+		for _, b := range barriers {
+			n.synch.Insert(&directory.SynchEntry{
+				ID: b.ID, Kind: directory.SynchBarrier, Home: b.Home,
+				Expected: b.Expected, Succ: -1,
+			})
+		}
+	}
+	return s
+}
+
+// Sim exposes the simulation (tests and the bench harness use it).
+func (s *System) Sim() *sim.Sim { return s.sim }
+
+// Net exposes the network for statistics.
+func (s *System) Net() *network.Network { return s.net }
+
+// Node returns node i.
+func (s *System) Node(i int) *Node { return s.nodes[i] }
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return len(s.nodes) }
+
+// AssociateDataAndSynch records that the objects starting at addrs are
+// protected by the given lock, so lock grants carry their data (§2.5).
+// Call before Run.
+func (s *System) AssociateDataAndSynch(lock int, addrs ...vm.Addr) {
+	for _, n := range s.nodes {
+		se, ok := n.synch.Lookup(lock)
+		if !ok {
+			panic(fmt.Sprintf("core: AssociateDataAndSynch on unknown lock %d", lock))
+		}
+		se.Assoc = append(se.Assoc, addrs...)
+	}
+}
+
+// Run starts the dispatchers and the user root thread on node 0, then
+// drives the simulation until the root thread function returns. It returns
+// a *RuntimeError if the runtime detected annotation misuse, or any
+// deadlock error from the kernel.
+func (s *System) Run(root func(t *Thread)) error {
+	for _, n := range s.nodes {
+		n.startDispatcher()
+	}
+	rootThread := s.newThread(s.nodes[0], "user-root")
+	s.liveUser++
+	s.sim.Spawn(rootThread.name, func(p *sim.Proc) {
+		rootThread.proc = p
+		defer func() {
+			s.liveUser--
+			if s.liveUser == 0 {
+				s.sim.Stop()
+			}
+		}()
+		root(rootThread)
+	})
+	return s.sim.Run()
+}
+
+// newThread allocates a thread bound to a node.
+func (s *System) newThread(n *Node, name string) *Thread {
+	s.threadSeq++
+	t := &Thread{sys: s, node: n, id: s.threadSeq, name: fmt.Sprintf("%s@n%d", name, n.id)}
+	return t
+}
+
+// Elapsed returns the virtual time consumed so far (total execution time
+// after Run).
+func (s *System) Elapsed() sim.Time { return s.sim.Now() }
+
+// ObjectData returns the current contents of the object at addr as seen
+// from node i (live copy, or fresh backing at the home), or nil if the
+// node holds no data. Intended for post-run verification.
+func (s *System) ObjectData(i int, addr vm.Addr) []byte {
+	n := s.nodes[i]
+	e, ok := n.dir.Lookup(addr)
+	if !ok {
+		return nil
+	}
+	// Updates still queued in the pending update queue belong in the
+	// observed state (no virtual time to charge after the run).
+	n.drainPendingObject(nil, e.Start)
+	return n.currentData(e)
+}
+
+// NodeUserTime sums user-mode virtual time over node i's threads — the
+// "User" column of Tables 3–5 for the root node.
+func (s *System) NodeUserTime(i int) sim.Time {
+	var total sim.Time
+	for _, p := range s.nodes[i].procs {
+		total += p.UserTime()
+	}
+	return total
+}
+
+// NodeSystemTime sums Munin-runtime virtual time over node i's threads and
+// dispatcher — the "System" column of Tables 3–5 for the root node.
+func (s *System) NodeSystemTime(i int) sim.Time {
+	var total sim.Time
+	for _, p := range s.nodes[i].procs {
+		total += p.SystemTime()
+	}
+	return total
+}

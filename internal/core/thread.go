@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"munin/internal/protocol"
+	"munin/internal/sim"
+	"munin/internal/vm"
+	"munin/internal/wire"
+)
+
+// Thread is a Munin user thread. It runs on a fixed node (the prototype
+// performs no thread migration, §2.1) and accesses shared memory through
+// that node's address space; protection faults invoke the runtime.
+type Thread struct {
+	sys  *System
+	node *Node
+	proc *sim.Proc
+	id   int
+	name string
+}
+
+// ID returns the thread's unique identifier.
+func (t *Thread) ID() int { return t.id }
+
+// NodeID returns the node the thread runs on.
+func (t *Thread) NodeID() int { return t.node.id }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() sim.Time { return t.proc.Now() }
+
+// Spawn creates a user thread running fn on the given node, as
+// CreateThread does in a Munin program. It returns immediately; the new
+// thread runs concurrently.
+func (t *Thread) Spawn(node int, name string, fn func(*Thread)) {
+	if node < 0 || node >= t.sys.Nodes() {
+		panic(fmt.Sprintf("core: spawn on invalid node %d", node))
+	}
+	nt := t.sys.newThread(t.sys.nodes[node], name)
+	t.sys.liveUser++
+	t.sys.sim.Spawn(nt.name, func(p *sim.Proc) {
+		nt.proc = p
+		nt.node.procs = append(nt.node.procs, p)
+		defer func() {
+			t.sys.liveUser--
+			if t.sys.liveUser == 0 {
+				t.sys.sim.Stop()
+			}
+		}()
+		fn(nt)
+	})
+}
+
+// Compute charges d of application compute time (the kernels' arithmetic
+// runs natively; its cost is modeled explicitly so Munin and
+// message-passing versions are charged identically).
+func (t *Thread) Compute(d sim.Time) { t.proc.Advance(d) }
+
+// Read copies shared memory at addr into buf, faulting as needed.
+func (t *Thread) Read(addr vm.Addr, buf []byte) { t.node.space.Read(t, addr, buf) }
+
+// Write stores buf to shared memory at addr, faulting as needed.
+func (t *Thread) Write(addr vm.Addr, buf []byte) { t.node.space.Write(t, addr, buf) }
+
+// ReadWord loads one 32-bit shared word.
+func (t *Thread) ReadWord(addr vm.Addr) uint32 { return t.node.space.ReadWord(t, addr) }
+
+// WriteWord stores one 32-bit shared word.
+func (t *Thread) WriteWord(addr vm.Addr, v uint32) { t.node.space.WriteWord(t, addr, v) }
+
+// Slice returns direct page-backed views of [addr, addr+n), faulting each
+// page for the requested access. This is the bulk path for kernels.
+func (t *Thread) Slice(addr vm.Addr, n int, write bool) [][]byte {
+	return t.node.space.Slice(t, addr, n, write)
+}
+
+// AcquireLock blocks until the thread holds the lock (§2.1). Runtime work
+// is charged as system time.
+func (t *Thread) AcquireLock(id int) {
+	defer t.system()()
+	t.node.acquireLock(t, id)
+}
+
+// ReleaseLock releases the lock, first flushing the delayed update queue
+// (release consistency).
+func (t *Thread) ReleaseLock(id int) {
+	defer t.system()()
+	t.node.releaseLock(t, id)
+}
+
+// WaitAtBarrier flushes the DUQ and blocks until the barrier's expected
+// number of threads have arrived.
+func (t *Thread) WaitAtBarrier(id int) {
+	defer t.system()()
+	t.node.waitAtBarrier(t, id)
+}
+
+// FetchAndOp performs a Fetch-and-Φ on word off of a reduction object,
+// returning the previous value.
+func (t *Thread) FetchAndOp(addr vm.Addr, off int, op wire.ReduceOp, operand uint32) uint32 {
+	defer t.system()()
+	return t.node.fetchAndOp(t, addr, off, op, operand)
+}
+
+// FetchAndAdd is FetchAndOp with addition.
+func (t *Thread) FetchAndAdd(addr vm.Addr, off int, delta uint32) uint32 {
+	return t.FetchAndOp(addr, off, wire.ReduceAdd, delta)
+}
+
+// FetchAndMin is FetchAndOp with signed minimum.
+func (t *Thread) FetchAndMin(addr vm.Addr, off int, v uint32) uint32 {
+	return t.FetchAndOp(addr, off, wire.ReduceMin, v)
+}
+
+// Flush propagates an object's buffered writes immediately (§2.5).
+func (t *Thread) Flush(addr vm.Addr) {
+	defer t.system()()
+	t.node.flushObject(t, addr)
+}
+
+// Invalidate deletes the local copy of an object, migrating or updating
+// remote state as needed (§2.5).
+func (t *Thread) Invalidate(addr vm.Addr) {
+	defer t.system()()
+	t.node.invalidateObject(t, addr)
+}
+
+// PreAcquire fetches a read copy of an object in anticipation of use
+// (§2.5).
+func (t *Thread) PreAcquire(addr vm.Addr) {
+	defer t.system()()
+	t.node.preAcquire(t, addr)
+}
+
+// PhaseChange purges the object's accumulated sharing relationships
+// (§2.5), for adaptive programs whose stable patterns shift between
+// phases.
+func (t *Thread) PhaseChange(addr vm.Addr) {
+	defer t.system()()
+	t.node.phaseChange(t, addr)
+}
+
+// ChangeAnnotation switches the object's sharing annotation and protocol
+// (§2.5).
+func (t *Thread) ChangeAnnotation(addr vm.Addr, annot protocol.Annotation) {
+	defer t.system()()
+	t.node.changeAnnotation(t, addr, annot)
+}
+
+// system switches the thread into system-time accounting and returns the
+// restore function.
+func (t *Thread) system() func() {
+	prev := t.proc.SetKind(sim.KindSystem)
+	return func() { t.proc.SetKind(prev) }
+}

@@ -1,0 +1,120 @@
+// Package diffenc implements Munin's twin/diff encoding (§3.3).
+//
+// When a thread first writes to an object that allows multiple writers, the
+// runtime makes a copy (the "twin"). At flush time the object is compared
+// word-by-word with its twin and the result is run-length encoded: each run
+// records a count of identical words, the number of differing words that
+// follow, and the data of those differing words. The encoded diff is sent
+// to nodes holding copies, where it is decoded and the changed words merged
+// into the original object — so concurrent writers of disjoint words of the
+// same page (false sharing) never ping-pong the page.
+package diffenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// WordSize is the granularity of comparison (32-bit words, as on the SUN-3).
+const WordSize = 4
+
+// Stats describes the work a diff operation performed; the cost model
+// charges virtual time proportional to these (Table 2's Encode/Decode rows).
+type Stats struct {
+	// Words is the number of words scanned (object size / WordSize).
+	Words int
+	// Changed is the number of differing words carried by the diff.
+	Changed int
+	// Runs is the number of (identical-count, diff-count, data) runs.
+	Runs int
+}
+
+// ErrCorrupt is returned when a diff does not parse or exceeds the object.
+var ErrCorrupt = errors.New("diffenc: corrupt diff")
+
+// Encode compares cur against twin and returns the run-length-encoded
+// changes, along with encoding statistics. twin and cur must have equal
+// word-multiple lengths. A nil return means the object is unchanged.
+//
+// Wire layout per run: skip uint32 (identical words), n uint32 (differing
+// words), then n little-endian 32-bit words of data.
+func Encode(twin, cur []byte) ([]byte, Stats) {
+	if len(twin) != len(cur) {
+		panic(fmt.Sprintf("diffenc: twin %d bytes vs current %d bytes", len(twin), len(cur)))
+	}
+	if len(cur)%WordSize != 0 {
+		panic(fmt.Sprintf("diffenc: object size %d not word multiple", len(cur)))
+	}
+	words := len(cur) / WordSize
+	st := Stats{Words: words}
+	var out []byte
+	i := 0
+	for i < words {
+		runStart := i
+		for i < words && wordEq(twin, cur, i) {
+			i++
+		}
+		skip := i - runStart
+		if i == words {
+			break // trailing identical words need no run
+		}
+		diffStart := i
+		for i < words && !wordEq(twin, cur, i) {
+			i++
+		}
+		n := i - diffStart
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(skip))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(n))
+		out = append(out, hdr[:]...)
+		out = append(out, cur[diffStart*WordSize:(diffStart+n)*WordSize]...)
+		st.Changed += n
+		st.Runs++
+	}
+	return out, st
+}
+
+// Decode merges a diff produced by Encode into dst, returning statistics.
+// dst plays the role of the remote copy: only words the diff carries are
+// overwritten, so updates from concurrent writers of disjoint words compose.
+func Decode(dst []byte, diff []byte) (Stats, error) {
+	if len(dst)%WordSize != 0 {
+		panic(fmt.Sprintf("diffenc: object size %d not word multiple", len(dst)))
+	}
+	words := len(dst) / WordSize
+	st := Stats{Words: words}
+	pos := 0
+	for off := 0; off < len(diff); {
+		if len(diff)-off < 8 {
+			return st, fmt.Errorf("%w: truncated run header", ErrCorrupt)
+		}
+		skip := int(binary.LittleEndian.Uint32(diff[off:]))
+		n := int(binary.LittleEndian.Uint32(diff[off+4:]))
+		off += 8
+		if n == 0 {
+			return st, fmt.Errorf("%w: empty run", ErrCorrupt)
+		}
+		pos += skip
+		if pos+n > words {
+			return st, fmt.Errorf("%w: run beyond object (%d+%d > %d words)", ErrCorrupt, pos, n, words)
+		}
+		if len(diff)-off < n*WordSize {
+			return st, fmt.Errorf("%w: truncated run data", ErrCorrupt)
+		}
+		copy(dst[pos*WordSize:], diff[off:off+n*WordSize])
+		off += n * WordSize
+		pos += n
+		st.Changed += n
+		st.Runs++
+	}
+	return st, nil
+}
+
+// Empty reports whether an encoded diff carries no changes.
+func Empty(diff []byte) bool { return len(diff) == 0 }
+
+func wordEq(a, b []byte, w int) bool {
+	o := w * WordSize
+	return a[o] == b[o] && a[o+1] == b[o+1] && a[o+2] == b[o+2] && a[o+3] == b[o+3]
+}

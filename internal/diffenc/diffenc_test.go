@@ -1,0 +1,253 @@
+package diffenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func words(vals ...uint32) []byte {
+	out := make([]byte, len(vals)*WordSize)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*WordSize:], v)
+	}
+	return out
+}
+
+func TestEncodeNoChanges(t *testing.T) {
+	twin := words(1, 2, 3, 4)
+	cur := words(1, 2, 3, 4)
+	diff, st := Encode(twin, cur)
+	if !Empty(diff) {
+		t.Errorf("diff not empty: % x", diff)
+	}
+	if st.Changed != 0 || st.Runs != 0 || st.Words != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEncodeSingleWordChange(t *testing.T) {
+	twin := words(1, 2, 3, 4)
+	cur := words(1, 2, 99, 4)
+	diff, st := Encode(twin, cur)
+	if st.Runs != 1 || st.Changed != 1 {
+		t.Errorf("stats = %+v, want 1 run, 1 changed", st)
+	}
+	// Run: skip=2, n=1, data=99.
+	if len(diff) != 8+4 {
+		t.Fatalf("diff length = %d, want 12", len(diff))
+	}
+	if binary.LittleEndian.Uint32(diff[0:]) != 2 || binary.LittleEndian.Uint32(diff[4:]) != 1 {
+		t.Errorf("run header = % x", diff[:8])
+	}
+
+	got := words(1, 2, 3, 4)
+	if _, err := Decode(got, diff); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Error("decode did not reproduce current")
+	}
+}
+
+func TestEncodeAllWordsChanged(t *testing.T) {
+	twin := words(0, 0, 0, 0)
+	cur := words(5, 6, 7, 8)
+	diff, st := Encode(twin, cur)
+	if st.Runs != 1 || st.Changed != 4 {
+		t.Errorf("stats = %+v, want 1 run, 4 changed", st)
+	}
+	if len(diff) != 8+16 {
+		t.Errorf("diff length = %d, want 24", len(diff))
+	}
+}
+
+func TestEncodeAlternateWordsWorstCase(t *testing.T) {
+	// Every other word changed: maximum number of minimum-length runs
+	// (the paper's worst case for the RLE scheme).
+	const n = 64
+	twin := make([]byte, n*WordSize)
+	cur := make([]byte, n*WordSize)
+	for i := 0; i < n; i += 2 {
+		binary.LittleEndian.PutUint32(cur[i*WordSize:], uint32(i+1))
+	}
+	diff, st := Encode(twin, cur)
+	if st.Runs != n/2 || st.Changed != n/2 {
+		t.Errorf("stats = %+v, want %d runs and changed", st, n/2)
+	}
+	// Alternate-word diffs are larger than the all-words diff for the
+	// same amount of data (run headers dominate).
+	allTwin := make([]byte, n*WordSize)
+	allCur := make([]byte, n*WordSize)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(allCur[i*WordSize:], uint32(i+1))
+	}
+	allDiff, _ := Encode(allTwin, allCur)
+	perChangedAlt := float64(len(diff)) / float64(st.Changed)
+	perChangedAll := float64(len(allDiff)) / float64(n)
+	if perChangedAlt <= perChangedAll {
+		t.Errorf("alternate words should cost more per changed word: %.1f vs %.1f", perChangedAlt, perChangedAll)
+	}
+
+	got := make([]byte, n*WordSize)
+	if _, err := Decode(got, diff); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Error("decode mismatch")
+	}
+}
+
+func TestTrailingIdenticalWordsNotEncoded(t *testing.T) {
+	twin := words(0, 0, 0, 0, 0, 0)
+	cur := words(9, 0, 0, 0, 0, 0)
+	diff, st := Encode(twin, cur)
+	if st.Runs != 1 {
+		t.Errorf("runs = %d, want 1", st.Runs)
+	}
+	if len(diff) != 12 {
+		t.Errorf("diff length = %d, want 12 (no trailing run)", len(diff))
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	Encode(make([]byte, 8), make([]byte, 12))
+}
+
+func TestNonWordMultiplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-word-multiple did not panic")
+		}
+	}()
+	Encode(make([]byte, 6), make([]byte, 6))
+}
+
+func TestDecodeCorruptTruncatedHeader(t *testing.T) {
+	dst := make([]byte, 16)
+	if _, err := Decode(dst, []byte{1, 2, 3}); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestDecodeCorruptTruncatedData(t *testing.T) {
+	dst := make([]byte, 16)
+	var diff [8]byte
+	binary.LittleEndian.PutUint32(diff[0:], 0)
+	binary.LittleEndian.PutUint32(diff[4:], 2) // claims 2 words, provides none
+	if _, err := Decode(dst, diff[:]); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestDecodeCorruptBeyondObject(t *testing.T) {
+	dst := make([]byte, 8) // 2 words
+	var diff [12]byte
+	binary.LittleEndian.PutUint32(diff[0:], 5) // skip beyond object
+	binary.LittleEndian.PutUint32(diff[4:], 1)
+	if _, err := Decode(dst, diff[:]); err == nil {
+		t.Error("out-of-range run accepted")
+	}
+}
+
+func TestDecodeCorruptEmptyRun(t *testing.T) {
+	dst := make([]byte, 8)
+	var diff [8]byte // skip=0, n=0
+	if _, err := Decode(dst, diff[:]); err == nil {
+		t.Error("empty run accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nWords uint8) bool {
+		n := int(nWords)%256 + 1
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, n*WordSize)
+		rng.Read(twin)
+		cur := append([]byte(nil), twin...)
+		// Mutate a random subset of words.
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				binary.LittleEndian.PutUint32(cur[i*WordSize:], rng.Uint32())
+			}
+		}
+		diff, est := Encode(twin, cur)
+		got := append([]byte(nil), twin...)
+		dst, err := Decode(got, diff)
+		if err != nil {
+			return false
+		}
+		// Decode sees exactly the runs/changed words Encode emitted.
+		if dst.Runs != est.Runs || dst.Changed != est.Changed {
+			return false
+		}
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjointWritersMergeProperty(t *testing.T) {
+	// Two writers modify disjoint words of the same object starting from
+	// the same twin; applying both diffs to the base must produce the
+	// union of their changes (the false-sharing resolution the DUQ
+	// provides).
+	f := func(seed int64) bool {
+		const n = 128
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, n*WordSize)
+		rng.Read(base)
+
+		curA := append([]byte(nil), base...)
+		curB := append([]byte(nil), base...)
+		want := append([]byte(nil), base...)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0: // A writes even-assigned word
+				v := rng.Uint32()
+				binary.LittleEndian.PutUint32(curA[i*WordSize:], v)
+				binary.LittleEndian.PutUint32(want[i*WordSize:], v)
+			case 1: // B writes
+				v := rng.Uint32()
+				binary.LittleEndian.PutUint32(curB[i*WordSize:], v)
+				binary.LittleEndian.PutUint32(want[i*WordSize:], v)
+			}
+		}
+		diffA, _ := Encode(base, curA)
+		diffB, _ := Encode(base, curB)
+		got := append([]byte(nil), base...)
+		if _, err := Decode(got, diffA); err != nil {
+			return false
+		}
+		if _, err := Decode(got, diffB); err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeIntoDirtyCopyPreservesLocalChanges(t *testing.T) {
+	// A node with a dirty copy receiving an update for different words
+	// incorporates the changes immediately without losing its own (§3.3).
+	base := words(0, 0, 0, 0)
+	remote := words(7, 0, 0, 0) // remote changed word 0
+	local := words(0, 0, 0, 9)  // we changed word 3
+	diff, _ := Encode(base, remote)
+	if _, err := Decode(local, diff); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, words(7, 0, 0, 9)) {
+		t.Errorf("merge result = % x", local)
+	}
+}

@@ -1,0 +1,304 @@
+// Package directory implements Munin's object directories (§3.2).
+//
+// Each node keeps a data object directory: a hash table mapping shared
+// addresses to the entry describing the object at that address. Entries
+// carry the protocol parameter bits, dynamic state bits, the copyset, the
+// probable owner, the home node, an optional link to the synchronization
+// object protecting the data, and an access-control semaphore. The root
+// node's directory is initialized from the shared data description table
+// that the "linker" (our Runtime setup) produces; other nodes fault
+// entries in from the object's home node on demand.
+//
+// A parallel synchronization object directory describes locks and
+// barriers.
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"munin/internal/protocol"
+	"munin/internal/sim"
+	"munin/internal/vm"
+)
+
+// Copyset is a bitmap of the nodes holding copies of an object. The paper
+// notes a bitmap suffices for a prototype-sized system (16 nodes) and
+// reserves a special value meaning "all nodes".
+type Copyset uint64
+
+// AllNodes is the special copyset meaning every node holds a copy.
+const AllNodes Copyset = ^Copyset(0)
+
+// Has reports whether node n is in the set.
+func (c Copyset) Has(n int) bool { return c&(1<<uint(n)) != 0 }
+
+// Add returns the set with node n added.
+func (c Copyset) Add(n int) Copyset { return c | 1<<uint(n) }
+
+// Remove returns the set with node n removed.
+func (c Copyset) Remove(n int) Copyset { return c &^ (1 << uint(n)) }
+
+// Empty reports whether the set has no members.
+func (c Copyset) Empty() bool { return c == 0 }
+
+// Count returns the number of members (meaningless for AllNodes).
+func (c Copyset) Count() int {
+	n := 0
+	for ; c != 0; c &= c - 1 {
+		n++
+	}
+	return n
+}
+
+// Nodes lists the members in ascending order. limit bounds the scan (pass
+// the system's node count).
+func (c Copyset) Nodes(limit int) []int {
+	var out []int
+	for i := 0; i < limit; i++ {
+		if c.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Entry is one data object directory entry. The static fields (Start, Size,
+// Annot, Params, Home) travel between nodes in DirReply messages; the
+// dynamic fields describe this node's local copy.
+type Entry struct {
+	// Start and Size are the key for looking up the entry given an
+	// address within the object.
+	Start vm.Addr
+	Size  int
+
+	// Annot is the sharing annotation; Params the derived parameter bits.
+	Annot  protocol.Annotation
+	Params protocol.Params
+
+	// Home is the node at which the object was created (the root node for
+	// statically allocated objects).
+	Home int
+
+	// ProbOwner is the best guess at the current owner, used to reduce
+	// the cost of locating the owner under ownership-based protocols.
+	ProbOwner int
+
+	// Owned reports whether this node currently owns the object.
+	Owned bool
+
+	// Valid reports whether the local copy holds current data.
+	Valid bool
+
+	// Writable reports whether the local copy is mapped read-write.
+	Writable bool
+
+	// Modified reports whether the local copy changed since the last
+	// flush.
+	Modified bool
+
+	// Twin is the pristine copy made on the first delayed write; nil when
+	// no twin exists.
+	Twin []byte
+
+	// Enqueued reports whether the entry sits on the delayed update queue.
+	Enqueued bool
+
+	// Copyset names remote nodes whose copies must be updated or
+	// invalidated.
+	Copyset Copyset
+
+	// CopysetKnown records that the sharing relationship has been
+	// determined (only consulted for stable-sharing objects).
+	CopysetKnown bool
+
+	// Backing, on the home node, holds the object's initial contents from
+	// the shared data description table. The home serves demand reads
+	// from it without materializing a live replica, so untouched objects
+	// never drag the home into their copysets. Nil on non-home nodes.
+	Backing []byte
+
+	// BackingStale records, on the home node, that remote writers have
+	// modified the object since initialization, so Backing can no longer
+	// serve reads; requests forward along ProbOwner instead.
+	BackingStale bool
+
+	// Synchq optionally links the object to the synchronization object
+	// that protects it (AssociateDataAndSynch). -1 when unset.
+	Synchq int
+
+	// Sem serializes protocol operations on the entry across block
+	// points.
+	Sem *sim.Semaphore
+}
+
+// Contains reports whether addr falls within the object.
+func (e *Entry) Contains(addr vm.Addr) bool {
+	return addr >= e.Start && addr < e.Start+vm.Addr(e.Size)
+}
+
+// End returns the first address past the object.
+func (e *Entry) End() vm.Addr { return e.Start + vm.Addr(e.Size) }
+
+// String summarizes the entry for traces.
+func (e *Entry) String() string {
+	return fmt.Sprintf("[%#x+%d %v home=%d owner=%v valid=%v rw=%v mod=%v]",
+		e.Start, e.Size, e.Annot, e.Home, e.Owned, e.Valid, e.Writable, e.Modified)
+}
+
+// Table is one node's data object directory.
+type Table struct {
+	pageSize int
+	byPage   map[vm.Addr]*Entry
+	entries  []*Entry
+}
+
+// NewTable returns an empty directory for the given page size.
+func NewTable(pageSize int) *Table {
+	if pageSize <= 0 {
+		panic("directory: page size must be positive")
+	}
+	return &Table{pageSize: pageSize, byPage: make(map[vm.Addr]*Entry)}
+}
+
+// pageBase rounds addr down to its page base.
+func (t *Table) pageBase(addr vm.Addr) vm.Addr {
+	return addr - vm.Addr(uint32(addr)%uint32(t.pageSize))
+}
+
+// Insert registers an entry, indexing every page it covers. Overlapping an
+// existing object is a setup bug and panics.
+func (t *Table) Insert(e *Entry) {
+	if e.Size <= 0 {
+		panic(fmt.Sprintf("directory: entry %#x has size %d", e.Start, e.Size))
+	}
+	for b := t.pageBase(e.Start); b < e.End(); b += vm.Addr(t.pageSize) {
+		if old, ok := t.byPage[b]; ok && old != e {
+			panic(fmt.Sprintf("directory: page %#x already described by %v", b, old))
+		}
+		t.byPage[b] = e
+	}
+	t.entries = append(t.entries, e)
+}
+
+// Remove forgets an entry (used when ChangeAnnotation re-registers an
+// object with different granularity).
+func (t *Table) Remove(e *Entry) {
+	for b := t.pageBase(e.Start); b < e.End(); b += vm.Addr(t.pageSize) {
+		if t.byPage[b] == e {
+			delete(t.byPage, b)
+		}
+	}
+	for i, o := range t.entries {
+		if o == e {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			break
+		}
+	}
+}
+
+// Lookup returns the entry describing the object at addr, if known locally.
+func (t *Table) Lookup(addr vm.Addr) (*Entry, bool) {
+	e, ok := t.byPage[t.pageBase(addr)]
+	if !ok || !e.Contains(addr) {
+		return nil, false
+	}
+	return e, true
+}
+
+// Entries returns all entries ordered by start address.
+func (t *Table) Entries() []*Entry {
+	out := append([]*Entry(nil), t.entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// SynchKind distinguishes synchronization object types.
+type SynchKind int
+
+// Synchronization object kinds.
+const (
+	SynchLock SynchKind = iota
+	SynchBarrier
+)
+
+// String names the kind.
+func (k SynchKind) String() string {
+	switch k {
+	case SynchLock:
+		return "lock"
+	case SynchBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("SynchKind(%d)", int(k))
+	}
+}
+
+// SynchEntry is one synchronization object directory entry. Each node holds
+// its own view; the distributed-queue lock state (Owned, Held, Succ) is
+// meaningful per node.
+type SynchEntry struct {
+	ID   int
+	Kind SynchKind
+
+	// Home is the creating node: barrier arrivals collect there, and it
+	// is the fallback for lock location.
+	Home int
+
+	// ProbOwner is this node's best guess at the lock's owner node.
+	ProbOwner int
+
+	// Owned reports whether this node holds lock ownership.
+	Owned bool
+
+	// Held reports whether a local thread currently holds the lock.
+	Held bool
+
+	// Succ is the next node in the distributed queue (-1 none): each
+	// enqueued node knows only the identity of its successor (§3.4).
+	Succ int
+
+	// Tail is the last node of the distributed queue, tracked by the
+	// owner so new requests can be forwarded to the end of the queue.
+	Tail int
+
+	// Expected is the barrier's release threshold.
+	Expected int
+
+	// Arrived counts barrier arrivals at the home node.
+	Arrived int
+
+	// Assoc lists the shared objects associated with this lock
+	// (AssociateDataAndSynch).
+	Assoc []vm.Addr
+}
+
+// SynchTable is one node's synchronization object directory.
+type SynchTable struct {
+	byID map[int]*SynchEntry
+}
+
+// NewSynchTable returns an empty synchronization directory.
+func NewSynchTable() *SynchTable {
+	return &SynchTable{byID: make(map[int]*SynchEntry)}
+}
+
+// Insert registers a synchronization entry; duplicate IDs panic.
+func (t *SynchTable) Insert(e *SynchEntry) {
+	if _, ok := t.byID[e.ID]; ok {
+		panic(fmt.Sprintf("directory: synch object %d already present", e.ID))
+	}
+	t.byID[e.ID] = e
+}
+
+// Lookup returns the entry for the synchronization object id.
+func (t *SynchTable) Lookup(id int) (*SynchEntry, bool) {
+	e, ok := t.byID[id]
+	return e, ok
+}
+
+// Len returns the number of entries.
+func (t *SynchTable) Len() int { return len(t.byID) }

@@ -1,0 +1,102 @@
+// Package duq implements the delayed update queue (§3.3), the buffer of
+// pending outgoing writes at the heart of Munin's software release
+// consistency.
+//
+// A write to an object whose protocol allows delayed operations puts the
+// object's directory entry on the queue (and, if multiple writers are
+// allowed, makes a twin). The queue is flushed whenever a local thread
+// releases a lock or arrives at a barrier; the runtime then diffs each
+// enqueued object against its twin and propagates updates or
+// invalidations. This package provides the queue structure and twin
+// lifecycle; the runtime in internal/core drives propagation and charges
+// the cost model.
+package duq
+
+import (
+	"fmt"
+
+	"munin/internal/directory"
+	"munin/internal/vm"
+)
+
+// Queue is one node's delayed update queue. Entries appear at most once
+// (the directory entry's Enqueued bit guards insertion).
+type Queue struct {
+	entries []*directory.Entry
+}
+
+// New returns an empty queue.
+func New() *Queue { return &Queue{} }
+
+// Enqueue puts a directory entry on the queue, setting its Enqueued bit.
+// Enqueueing an entry twice is a runtime bug and panics.
+func (q *Queue) Enqueue(e *directory.Entry) {
+	if e.Enqueued {
+		panic(fmt.Sprintf("duq: entry %v already enqueued", e))
+	}
+	e.Enqueued = true
+	q.entries = append(q.entries, e)
+}
+
+// Remove takes a specific entry off the queue (used by the Flush and
+// Invalidate library routines, which force early propagation of a single
+// object). It is a no-op if the entry is not queued.
+func (q *Queue) Remove(e *directory.Entry) {
+	if !e.Enqueued {
+		return
+	}
+	for i, o := range q.entries {
+		if o == e {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			break
+		}
+	}
+	e.Enqueued = false
+}
+
+// Drain removes and returns every queued entry in enqueue order, clearing
+// the Enqueued bits. The caller propagates the changes.
+func (q *Queue) Drain() []*directory.Entry {
+	out := q.entries
+	q.entries = nil
+	for _, e := range out {
+		e.Enqueued = false
+	}
+	return out
+}
+
+// Entries returns the queued entries without removing them.
+func (q *Queue) Entries() []*directory.Entry {
+	return append([]*directory.Entry(nil), q.entries...)
+}
+
+// Len reports the number of queued entries.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// MakeTwin installs a pristine copy of data as e's twin. The runtime makes
+// a twin when the first delayed write hits an object that allows multiple
+// writers, so a later flush can diff out exactly the changed words.
+func MakeTwin(e *directory.Entry, data []byte) {
+	if e.Twin != nil {
+		panic(fmt.Sprintf("duq: entry %v already has a twin", e))
+	}
+	if len(data) != e.Size {
+		panic(fmt.Sprintf("duq: twin of %d bytes for object of %d", len(data), e.Size))
+	}
+	e.Twin = append([]byte(nil), data...)
+}
+
+// DropTwin discards e's twin (after a flush, or when the object becomes
+// private and needs no further diffing).
+func DropTwin(e *directory.Entry) { e.Twin = nil }
+
+// CollectAddrs returns the start addresses of the queued entries, the form
+// the copyset-determination query carries (§3.3: "a message indicating
+// which objects have been modified locally is sent to all other nodes").
+func (q *Queue) CollectAddrs() []vm.Addr {
+	out := make([]vm.Addr, 0, len(q.entries))
+	for _, e := range q.entries {
+		out = append(out, e.Start)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package model
+
+import (
+	"testing"
+
+	"munin/internal/sim"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	m := Default()
+	m.FaultTrap = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative FaultTrap accepted")
+	}
+}
+
+func TestValidateRejectsZeroPerByte(t *testing.T) {
+	m := Default()
+	m.PerByte = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero PerByte accepted")
+	}
+}
+
+func TestValidateRejectsZeroAppOps(t *testing.T) {
+	m := Default()
+	m.MatMulOp = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero MatMulOp accepted")
+	}
+}
+
+func TestMsgTimeIs10Mbps(t *testing.T) {
+	m := Default()
+	// 10 Mbps = 1.25 MB/s → 8192 bytes ≈ 6.55 ms. With 0.8 µs/byte we
+	// expect exactly 8192 * 800 ns.
+	got := m.MsgTime(8192)
+	want := sim.Time(8192) * 800 * sim.Nanosecond
+	if got != want {
+		t.Errorf("MsgTime(8192) = %v, want %v", got, want)
+	}
+}
+
+func TestCopyCostScalesLinearly(t *testing.T) {
+	m := Default()
+	if m.CopyCost(2000) != 2*m.CopyCost(1000) {
+		t.Error("CopyCost not linear")
+	}
+	if m.CopyCost(0) != 0 {
+		t.Error("CopyCost(0) != 0")
+	}
+}
+
+func TestTwinCopyIsMillisecondScale(t *testing.T) {
+	// Table 2's "Copy object" for an 8 KB object is on the order of a
+	// millisecond; the calibration should stay in that regime.
+	m := Default()
+	c := m.CopyCost(8192)
+	if c < 500*sim.Microsecond || c > 5*sim.Millisecond {
+		t.Errorf("8 KB twin copy = %v, outside millisecond scale", c)
+	}
+}
+
+func TestSmallMessageCostIsMillisecondScale(t *testing.T) {
+	// A V-kernel style small-message exchange cost ~1–3 ms one way.
+	m := Default()
+	oneWay := m.MsgSendCPU + m.WireLatency + m.MsgTime(64) + m.MsgRecvCPU
+	if oneWay < 500*sim.Microsecond || oneWay > 5*sim.Millisecond {
+		t.Errorf("small message one-way = %v, outside expected regime", oneWay)
+	}
+}

@@ -1,0 +1,115 @@
+package mp
+
+import (
+	"testing"
+
+	"munin/internal/apps"
+)
+
+func TestMatMulMatchesReference(t *testing.T) {
+	const n = 96
+	ref := apps.MatMulReference(n)
+	for _, procs := range []int{1, 2, 3, 5, 8, 16} {
+		r, err := MatMul(apps.MatMulConfig{Procs: procs, N: n})
+		if err != nil {
+			t.Fatalf("p=%d: %v", procs, err)
+		}
+		if r.Check != ref {
+			t.Errorf("p=%d: checksum %08x, want %08x", procs, r.Check, ref)
+		}
+	}
+}
+
+func TestMatMulMessagePattern(t *testing.T) {
+	// The hand-coded program's whole conversation: the root sends each
+	// remote worker its input slice plus the full second matrix, and
+	// each worker returns one result message (§4.1).
+	const n = 64
+	for _, procs := range []int{2, 4, 8} {
+		r, err := MatMul(apps.MatMulConfig{Procs: procs, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3 * (procs - 1)
+		if r.Messages != want {
+			t.Errorf("p=%d: %d messages, want %d", procs, r.Messages, want)
+		}
+	}
+}
+
+func TestMatMulSingleProcessorNoMessages(t *testing.T) {
+	r, err := MatMul(apps.MatMulConfig{Procs: 1, N: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Messages != 0 {
+		t.Errorf("%d messages on one processor", r.Messages)
+	}
+	if r.RootSystem != 0 {
+		t.Errorf("message-passing run accounted %v system time", r.RootSystem)
+	}
+}
+
+func TestSORMatchesReference(t *testing.T) {
+	for _, cfg := range []apps.SORConfig{
+		{Procs: 1, Rows: 16, Cols: 256, Iters: 4},
+		{Procs: 2, Rows: 16, Cols: 256, Iters: 4},
+		{Procs: 4, Rows: 24, Cols: 512, Iters: 5},
+		{Procs: 3, Rows: 20, Cols: 512, Iters: 5},
+		{Procs: 8, Rows: 64, Cols: 128, Iters: 6},
+		{Procs: 16, Rows: 48, Cols: 256, Iters: 3},
+	} {
+		ref := apps.SORReference(cfg.Rows, cfg.Cols, cfg.Iters)
+		r, err := SOR(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if r.Check != ref {
+			t.Errorf("p=%d %dx%d: checksum %08x, want %08x", cfg.Procs, cfg.Rows, cfg.Cols, r.Check, ref)
+		}
+	}
+}
+
+func TestSORMessagePattern(t *testing.T) {
+	// Distribution: each remote worker receives its section (plus ghost
+	// rows). Per iteration: one edge exchange per adjacent pair in each
+	// direction. Collection: one result message per remote worker.
+	const rows, cols = 32, 256
+	for _, procs := range []int{2, 4} {
+		for _, iters := range []int{2, 6} {
+			r, err := SOR(apps.SORConfig{Procs: procs, Rows: rows, Cols: cols, Iters: iters})
+			if err != nil {
+				t.Fatal(err)
+			}
+			perIter := 2 * (procs - 1)
+			fixed := 2 * (procs - 1) // distribute + collect
+			want := fixed + iters*perIter
+			if r.Messages != want {
+				t.Errorf("p=%d iters=%d: %d messages, want %d", procs, iters, r.Messages, want)
+			}
+		}
+	}
+}
+
+func TestSORScalesDown(t *testing.T) {
+	slow, err := SOR(apps.SORConfig{Procs: 1, Rows: 64, Cols: 512, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := SOR(apps.SORConfig{Procs: 8, Rows: 64, Cols: 512, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Elapsed*4 > slow.Elapsed {
+		t.Errorf("8 procs (%v) not at least 4x faster than 1 (%v)", fast.Elapsed, slow.Elapsed)
+	}
+}
+
+func TestBadConfigsRejected(t *testing.T) {
+	if _, err := MatMul(apps.MatMulConfig{Procs: 0, N: 8}); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := SOR(apps.SORConfig{Procs: 2, Rows: 0, Cols: 8, Iters: 1}); err == nil {
+		t.Error("zero rows accepted")
+	}
+}

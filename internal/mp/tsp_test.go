@@ -1,0 +1,36 @@
+package mp
+
+import (
+	"testing"
+
+	"munin/internal/apps"
+)
+
+func TestTSPMatchesReference(t *testing.T) {
+	ref := apps.TSPReference(10)
+	for _, procs := range []int{1, 2, 4, 8} {
+		r, err := TSP(apps.TSPConfig{Procs: procs, Cities: 10})
+		if err != nil {
+			t.Fatalf("p=%d: %v", procs, err)
+		}
+		if int64(int32(r.Check)) != ref {
+			t.Errorf("p=%d: found %d, want %d", procs, int32(r.Check), ref)
+		}
+	}
+}
+
+func TestTSPSoloHasNoMessages(t *testing.T) {
+	r, err := TSP(apps.TSPConfig{Procs: 1, Cities: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Messages != 0 {
+		t.Errorf("%d messages on one processor", r.Messages)
+	}
+}
+
+func TestTSPBadConfigRejected(t *testing.T) {
+	if _, err := TSP(apps.TSPConfig{Procs: 2, Cities: 2}); err == nil {
+		t.Error("degenerate instance accepted")
+	}
+}

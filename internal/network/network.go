@@ -1,0 +1,168 @@
+// Package network simulates the dedicated 10 Mbps Ethernet connecting the
+// prototype's sixteen workstations.
+//
+// Each message pays sender CPU (the V-kernel send path), waits for the
+// shared bus if it is busy, occupies the wire for size·PerByte, and is
+// delivered into the destination node's inbox after the wire latency. The
+// receiver pays its CPU cost when it picks the message up with Recv. The
+// network keeps per-kind message and byte counts — the paper's analysis
+// argues in exactly these terms (number of messages, data motion).
+package network
+
+import (
+	"fmt"
+
+	"munin/internal/model"
+	"munin/internal/sim"
+	"munin/internal/wire"
+)
+
+// HeaderBytes is the per-message framing overhead added to every payload
+// (Ethernet framing plus V-kernel style message header).
+const HeaderBytes = 34
+
+// Envelope is a message in flight or delivered.
+type Envelope struct {
+	Src, Dst    int
+	Msg         wire.Message
+	Bytes       int // payload + HeaderBytes
+	SentAt      sim.Time
+	DeliveredAt sim.Time
+}
+
+// Stats aggregates traffic counts.
+type Stats struct {
+	Messages map[wire.Kind]int
+	Bytes    map[wire.Kind]int
+}
+
+// TotalMessages returns the total message count.
+func (s *Stats) TotalMessages() int {
+	n := 0
+	for _, v := range s.Messages {
+		n += v
+	}
+	return n
+}
+
+// TotalBytes returns the total byte count (including headers).
+func (s *Stats) TotalBytes() int {
+	n := 0
+	for _, v := range s.Bytes {
+		n += v
+	}
+	return n
+}
+
+// Network is the shared segment. It is created for a fixed node count.
+type Network struct {
+	sim     *sim.Sim
+	cost    model.CostModel
+	inboxes []*sim.Mailbox
+
+	busFreeAt sim.Time
+	stats     Stats
+
+	// Trace, if set, observes every delivered envelope.
+	Trace func(Envelope)
+}
+
+// New creates a network of n nodes over the given simulation and cost
+// model.
+func New(s *sim.Sim, cost model.CostModel, n int) *Network {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("network: invalid node count %d", n))
+	}
+	nw := &Network{
+		sim:  s,
+		cost: cost,
+		stats: Stats{
+			Messages: make(map[wire.Kind]int),
+			Bytes:    make(map[wire.Kind]int),
+		},
+	}
+	for i := 0; i < n; i++ {
+		nw.inboxes = append(nw.inboxes, s.NewMailbox(fmt.Sprintf("inbox[%d]", i)))
+	}
+	return nw
+}
+
+// Nodes returns the number of nodes.
+func (nw *Network) Nodes() int { return len(nw.inboxes) }
+
+// Stats returns the accumulated traffic statistics.
+func (nw *Network) Stats() *Stats { return &nw.stats }
+
+// Send transmits msg from p's node to dst. It charges p the send-path CPU
+// (against p's current time kind), models bus contention and wire time,
+// and delivers into dst's inbox. The encoded form is round-tripped through
+// wire.Unmarshal so that codec and simulation can never drift apart.
+func (nw *Network) Send(p *sim.Proc, src, dst int, msg wire.Message) {
+	if dst < 0 || dst >= len(nw.inboxes) {
+		panic(fmt.Sprintf("network: send to invalid node %d", dst))
+	}
+	if src == dst {
+		panic(fmt.Sprintf("network: node %d sending %v to itself", src, msg.Kind()))
+	}
+	encoded := wire.Marshal(msg)
+	decoded, err := wire.Unmarshal(encoded)
+	if err != nil {
+		panic(fmt.Sprintf("network: message %v does not round-trip: %v", msg.Kind(), err))
+	}
+	size := len(encoded) + HeaderBytes
+
+	nw.stats.Messages[msg.Kind()]++
+	nw.stats.Bytes[msg.Kind()] += size
+
+	p.Advance(nw.cost.MsgSendCPU)
+
+	now := nw.sim.Now()
+	start := now
+	if nw.cost.BusSerialized && nw.busFreeAt > start {
+		start = nw.busFreeAt
+	}
+	wireDone := start + nw.cost.MsgTime(size)
+	if nw.cost.BusSerialized {
+		nw.busFreeAt = wireDone
+	}
+	deliver := wireDone + nw.cost.WireLatency
+
+	env := Envelope{Src: src, Dst: dst, Msg: decoded, Bytes: size, SentAt: now, DeliveredAt: deliver}
+	nw.sim.At(deliver, func() {
+		if nw.Trace != nil {
+			nw.Trace(env)
+		}
+		nw.inboxes[dst].Put(env)
+	})
+}
+
+// Broadcast sends msg from src to every other node as separate messages
+// (the prototype's dynamic copyset determination does exactly this, §3.3).
+func (nw *Network) Broadcast(p *sim.Proc, src int, msg wire.Message) {
+	for dst := range nw.inboxes {
+		if dst != src {
+			nw.Send(p, src, dst, msg)
+		}
+	}
+}
+
+// Recv blocks p until a message arrives for node and charges the
+// receive-path CPU.
+func (nw *Network) Recv(p *sim.Proc, node int) Envelope {
+	env := nw.inboxes[node].Get(p).(Envelope)
+	p.Advance(nw.cost.MsgRecvCPU)
+	return env
+}
+
+// TryRecv returns a pending message for node without blocking or charging
+// CPU; used by dispatchers to drain before idling.
+func (nw *Network) TryRecv(node int) (Envelope, bool) {
+	v, ok := nw.inboxes[node].TryGet()
+	if !ok {
+		return Envelope{}, false
+	}
+	return v.(Envelope), true
+}
+
+// Pending reports the number of undelivered messages queued for node.
+func (nw *Network) Pending(node int) int { return nw.inboxes[node].Len() }

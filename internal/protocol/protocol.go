@@ -1,0 +1,237 @@
+// Package protocol defines Munin's consistency-protocol parameters and the
+// sharing annotations that select them.
+//
+// Munin derives each object's consistency protocol from eight low-level
+// parameter bits (§2.3.1). Programmers do not set bits directly; they
+// annotate shared variable declarations with a high-level sharing pattern
+// (§2.3.2), and Table 1 of the paper fixes the bit settings for each
+// annotation. This package reproduces that table exactly and provides the
+// validity rules the runtime enforces.
+package protocol
+
+import "fmt"
+
+// Params are the eight protocol parameter bits of §2.3.1.
+type Params struct {
+	// Invalidate (I): propagate changes by invalidating remote copies
+	// rather than updating them.
+	Invalidate bool
+	// Replicas (R): more than one copy of the object may exist.
+	Replicas bool
+	// Delayed (D): updates/invalidations may be delayed in the DUQ.
+	Delayed bool
+	// FixedOwner (FO): ownership does not propagate; writes are sent to
+	// the owner.
+	FixedOwner bool
+	// MultipleWriters (M): several threads may modify the object
+	// concurrently without intervening synchronization.
+	MultipleWriters bool
+	// StableSharing (S): the same threads access the object the same way
+	// for the whole execution; updates always go to the same nodes, and a
+	// new accessor is a runtime error.
+	StableSharing bool
+	// FlushToOwner (Fl): changes are sent only to the owner and the local
+	// copy is invalidated on flush.
+	FlushToOwner bool
+	// Writable (W): the object may be modified at all; a write to a
+	// non-writable object is a runtime error.
+	Writable bool
+}
+
+// Validate reports combinations that can never describe a coherent
+// protocol. (Annotations from Table 1 always validate.)
+func (p Params) Validate() error {
+	switch {
+	case p.MultipleWriters && !p.Replicas:
+		return fmt.Errorf("protocol: multiple writers require replicas")
+	case p.MultipleWriters && !p.Delayed:
+		return fmt.Errorf("protocol: multiple writers require delayed operations (a twin/diff flush)")
+	case p.StableSharing && !p.Replicas:
+		return fmt.Errorf("protocol: stable sharing is only meaningful with replicas")
+	case p.FlushToOwner && !p.FixedOwner:
+		return fmt.Errorf("protocol: flush-to-owner requires a fixed owner")
+	case p.FlushToOwner && !p.Delayed:
+		return fmt.Errorf("protocol: flush-to-owner requires delayed operations")
+	case !p.Writable && p.MultipleWriters:
+		return fmt.Errorf("protocol: non-writable object cannot have multiple writers")
+	case !p.Writable && p.Invalidate:
+		return fmt.Errorf("protocol: non-writable object never invalidates")
+	}
+	return nil
+}
+
+// Annotation is a high-level sharing pattern attached to a shared variable
+// declaration (§2.3.2).
+type Annotation int
+
+const (
+	// Conventional: replicate on demand, single writer, write-invalidate
+	// ownership (the default when no annotation is given; Ivy-like).
+	Conventional Annotation = iota
+	// ReadOnly: initialized once, then only read; replication on demand,
+	// writes are runtime errors.
+	ReadOnly
+	// Migratory: accessed by one thread at a time (typically inside a
+	// critical section); migrate with read+write access and invalidate
+	// the original copy.
+	Migratory
+	// WriteShared: concurrently written by multiple threads at disjoint
+	// words; twin on first write, diff at release, update remote copies.
+	WriteShared
+	// ProducerConsumer: written by one thread, read by others; like
+	// write-shared but with a stable copyset so updates are pushed to
+	// consumers without re-determining the sharing relationship.
+	ProducerConsumer
+	// Reduction: accessed via Fetch-and-Φ; implemented with a fixed owner
+	// to which operations are forwarded.
+	Reduction
+	// Result: written in parallel by many threads, then read exclusively
+	// by one; changes flush only to the owner and local copies die.
+	Result
+
+	// InvalidateShared is an extension beyond Table 1: the
+	// invalidation-based protocol with delayed invalidations and multiple
+	// writers — "essentially invalidation-based write-shared objects" —
+	// that §2.3.2 says the authors considered but chose not to implement
+	// "until we encounter a need for it". It exists here to quantify
+	// update-versus-invalidate propagation for fine-grained sharing
+	// (ablation A1 in DESIGN.md).
+	InvalidateShared
+
+	numAnnotations
+)
+
+// Annotations lists every supported annotation in Table 1 order.
+func Annotations() []Annotation {
+	return []Annotation{ReadOnly, Migratory, WriteShared, ProducerConsumer, Reduction, Result, Conventional}
+}
+
+// Extensions lists the annotations implemented beyond Table 1.
+func Extensions() []Annotation {
+	return []Annotation{InvalidateShared}
+}
+
+// All lists every annotation: Table 1 plus extensions.
+func All() []Annotation {
+	return append(Annotations(), Extensions()...)
+}
+
+// String returns the annotation keyword as written in a Munin program.
+func (a Annotation) String() string {
+	switch a {
+	case ReadOnly:
+		return "read_only"
+	case Migratory:
+		return "migratory"
+	case WriteShared:
+		return "write_shared"
+	case ProducerConsumer:
+		return "producer_consumer"
+	case Reduction:
+		return "reduction"
+	case Result:
+		return "result"
+	case Conventional:
+		return "conventional"
+	case InvalidateShared:
+		return "invalidate_shared"
+	default:
+		return fmt.Sprintf("Annotation(%d)", int(a))
+	}
+}
+
+// Parse maps an annotation keyword (as the preprocessor would read it from
+// a shared variable declaration) back to an Annotation.
+func Parse(s string) (Annotation, error) {
+	for _, a := range All() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("protocol: unknown sharing annotation %q", s)
+}
+
+// Params returns the protocol parameter settings for the annotation —
+// Table 1 of the paper. Don't-care entries are resolved to the value the
+// prototype's behaviour implies (all false).
+func (a Annotation) Params() Params {
+	switch a {
+	case ReadOnly:
+		return Params{Replicas: true}
+	case Migratory:
+		return Params{Invalidate: true, Writable: true}
+	case WriteShared:
+		return Params{Replicas: true, Delayed: true, MultipleWriters: true, Writable: true}
+	case ProducerConsumer:
+		return Params{Replicas: true, Delayed: true, MultipleWriters: true, StableSharing: true, Writable: true}
+	case Reduction:
+		return Params{Replicas: true, FixedOwner: true, Writable: true}
+	case Result:
+		return Params{Replicas: true, Delayed: true, FixedOwner: true, MultipleWriters: true, FlushToOwner: true, Writable: true}
+	case Conventional:
+		return Params{Invalidate: true, Replicas: true, Writable: true}
+	case InvalidateShared:
+		return Params{Invalidate: true, Replicas: true, Delayed: true, MultipleWriters: true, Writable: true}
+	default:
+		panic(fmt.Sprintf("protocol: no parameters for %v", a))
+	}
+}
+
+// care returns which parameter columns Table 1 specifies (true) versus
+// leaves as don't-care (false) for the annotation. Used only for printing
+// the table exactly as published.
+func (a Annotation) care() [8]bool {
+	// Column order: I R D FO M S Fl W.
+	switch a {
+	case ReadOnly:
+		return [8]bool{true, true, false, false, false, false, false, true}
+	case Migratory:
+		return [8]bool{true, true, false, true, true, false, true, true}
+	case WriteShared:
+		return [8]bool{true, true, true, true, true, true, true, true}
+	case ProducerConsumer:
+		return [8]bool{true, true, true, true, true, true, true, true}
+	case Reduction:
+		return [8]bool{true, true, true, true, true, false, true, true}
+	case Result:
+		return [8]bool{true, true, true, true, true, false, true, true}
+	case Conventional:
+		return [8]bool{true, true, true, true, true, false, true, true}
+	case InvalidateShared:
+		// Not a Table 1 row; every column is meaningful.
+		return [8]bool{true, true, true, true, true, true, true, true}
+	default:
+		panic(fmt.Sprintf("protocol: no care mask for %v", a))
+	}
+}
+
+// columns returns the annotation's Table 1 row values in column order
+// I R D FO M S Fl W.
+func (p Params) columns() [8]bool {
+	return [8]bool{p.Invalidate, p.Replicas, p.Delayed, p.FixedOwner,
+		p.MultipleWriters, p.StableSharing, p.FlushToOwner, p.Writable}
+}
+
+// Table1Row renders the annotation's row of Table 1, using Y/N and "-" for
+// don't-care entries, in column order I R D FO M S Fl W.
+func (a Annotation) Table1Row() [8]string {
+	vals := a.Params().columns()
+	care := a.care()
+	var row [8]string
+	for i := range row {
+		switch {
+		case !care[i]:
+			row[i] = "-"
+		case vals[i]:
+			row[i] = "Y"
+		default:
+			row[i] = "N"
+		}
+	}
+	return row
+}
+
+// Table1Header returns the parameter column names in table order.
+func Table1Header() [8]string {
+	return [8]string{"I", "R", "D", "FO", "M", "S", "Fl", "W"}
+}

@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Exact(t *testing.T) {
+	// Table 1 of the paper, column order I R D FO M S Fl W.
+	want := map[Annotation]string{
+		ReadOnly:         "N Y - - - - - N",
+		Migratory:        "Y N - N N - N Y",
+		WriteShared:      "N Y Y N Y N N Y",
+		ProducerConsumer: "N Y Y N Y Y N Y",
+		Reduction:        "N Y N Y N - N Y",
+		Result:           "N Y Y Y Y - Y Y",
+		Conventional:     "Y Y N N N - N Y",
+	}
+	for a, row := range want {
+		got := a.Table1Row()
+		if s := strings.Join(got[:], " "); s != row {
+			t.Errorf("%v row = %q, want %q", a, s, row)
+		}
+	}
+}
+
+func TestAnnotationsCoverTable(t *testing.T) {
+	as := All()
+	if len(as) != int(numAnnotations) {
+		t.Fatalf("All() has %d entries, want %d", len(as), numAnnotations)
+	}
+	seen := map[Annotation]bool{}
+	for _, a := range as {
+		if seen[a] {
+			t.Errorf("duplicate annotation %v", a)
+		}
+		seen[a] = true
+	}
+	if len(Annotations()) != 7 {
+		t.Errorf("Annotations() has %d entries, want the paper's 7", len(Annotations()))
+	}
+}
+
+func TestExtensionsBeyondTable1(t *testing.T) {
+	table1 := map[Annotation]bool{}
+	for _, a := range Annotations() {
+		table1[a] = true
+	}
+	for _, a := range Extensions() {
+		if table1[a] {
+			t.Errorf("extension %v duplicates a Table 1 annotation", a)
+		}
+	}
+	// The delayed-invalidation extension pairs the I bit with D and M —
+	// the combination §2.3.2 describes as "invalidation-based
+	// write-shared".
+	p := InvalidateShared.Params()
+	if !p.Invalidate || !p.Delayed || !p.MultipleWriters || !p.Replicas || !p.Writable {
+		t.Errorf("InvalidateShared params = %+v", p)
+	}
+	if p.StableSharing || p.FixedOwner || p.FlushToOwner {
+		t.Errorf("InvalidateShared sets unexpected bits: %+v", p)
+	}
+}
+
+func TestAllAnnotationParamsValidate(t *testing.T) {
+	for _, a := range All() {
+		if err := a.Params().Validate(); err != nil {
+			t.Errorf("%v params invalid: %v", a, err)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, a := range All() {
+		got, err := Parse(a.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", a.String(), err)
+			continue
+		}
+		if got != a {
+			t.Errorf("Parse(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	if _, err := Parse("chaotic"); err == nil {
+		t.Error("Parse accepted unknown annotation")
+	}
+}
+
+func TestValidateRules(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"multiple writers without replicas", Params{MultipleWriters: true, Delayed: true, Writable: true}, false},
+		{"multiple writers without delay", Params{MultipleWriters: true, Replicas: true, Writable: true}, false},
+		{"stable sharing without replicas", Params{StableSharing: true, Writable: true}, false},
+		{"flush-to-owner without fixed owner", Params{FlushToOwner: true, Delayed: true, Writable: true}, false},
+		{"flush-to-owner without delay", Params{FlushToOwner: true, FixedOwner: true, Writable: true}, false},
+		{"non-writable invalidator", Params{Invalidate: true, Replicas: true}, false},
+		{"plain read-only", Params{Replicas: true}, true},
+		{"migratory-like", Params{Invalidate: true, Writable: true}, true},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid params accepted", c.name)
+		}
+	}
+}
+
+func TestAnnotationSemantics(t *testing.T) {
+	// Spot-check the semantics the runtime depends on.
+	if ReadOnly.Params().Writable {
+		t.Error("read-only must not be writable")
+	}
+	if !Migratory.Params().Invalidate || Migratory.Params().Replicas {
+		t.Error("migratory must invalidate and not replicate")
+	}
+	if !WriteShared.Params().MultipleWriters {
+		t.Error("write-shared must allow multiple writers")
+	}
+	if !ProducerConsumer.Params().StableSharing {
+		t.Error("producer-consumer must be stable")
+	}
+	if !Reduction.Params().FixedOwner {
+		t.Error("reduction must have a fixed owner")
+	}
+	if !Result.Params().FlushToOwner || !Result.Params().FixedOwner {
+		t.Error("result must flush to a fixed owner")
+	}
+	if !Conventional.Params().Invalidate || Conventional.Params().Delayed {
+		t.Error("conventional must be eager write-invalidate")
+	}
+}
+
+func TestTable1Header(t *testing.T) {
+	h := Table1Header()
+	want := [8]string{"I", "R", "D", "FO", "M", "S", "Fl", "W"}
+	if h != want {
+		t.Errorf("header = %v, want %v", h, want)
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	if Conventional.String() != "conventional" || ProducerConsumer.String() != "producer_consumer" {
+		t.Error("annotation keywords changed")
+	}
+	if Annotation(99).String() == "" {
+		t.Error("unknown annotation has empty string")
+	}
+}

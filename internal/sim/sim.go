@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled callback. Events with equal times run in scheduling
+// order (seq), which makes the simulation fully deterministic.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Sim is a discrete-event simulation. The zero value is not usable; call New.
+//
+// Exactly one simulated process runs at any instant; the scheduler and the
+// process goroutines hand control back and forth over channels, so code
+// inside processes needs no locking and observes a consistent virtual clock.
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   []*Proc
+	current *Proc
+	failure any // first panic raised by a process
+	stopped bool
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn to run at virtual time t. fn runs in scheduler context and
+// must not block; it may schedule further events, complete futures, or post
+// to mailboxes. Scheduling in the past is an error.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. See At for the constraints on fn.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Spawn creates a new process named name executing fn and schedules it to
+// start at the current virtual time. The name appears in deadlock reports.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:   s,
+		name:  name,
+		wake:  make(chan struct{}),
+		state: procBlocked,
+	}
+	s.procs = append(s.procs, p)
+	go func() {
+		<-p.wake
+		p.state = procRunning
+		defer func() {
+			if r := recover(); r != nil {
+				if s.failure == nil {
+					s.failure = r
+				}
+			}
+			p.state = procDone
+			s.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	s.After(0, func() { s.resume(p) })
+	return p
+}
+
+// resume hands control to p and waits until p parks, finishes, or panics.
+// Must only be called from scheduler context.
+func (s *Sim) resume(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	prev := s.current
+	s.current = p
+	p.wake <- struct{}{}
+	<-s.yield
+	s.current = prev
+}
+
+// DeadlockError reports processes still blocked when the event queue drained.
+type DeadlockError struct {
+	// Blocked lists "name: reason" for every parked process.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d process(es) blocked: %s",
+		len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Run executes events until none remain, a process panics, or Stop is
+// called. It returns the value a process panicked with (wrapped if needed),
+// or a *DeadlockError if processes remain blocked with no pending events.
+// A clean completion returns nil.
+func (s *Sim) Run() error {
+	for s.events.Len() > 0 && s.failure == nil && !s.stopped {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.t
+		e.fn()
+	}
+	if s.failure != nil {
+		if err, ok := s.failure.(error); ok {
+			return err
+		}
+		return fmt.Errorf("sim: process panic: %v", s.failure)
+	}
+	if s.stopped {
+		return nil
+	}
+	var blocked []string
+	for _, p := range s.procs {
+		if p.state == procBlocked {
+			blocked = append(blocked, p.name+": "+p.blockReason)
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Blocked: blocked}
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Blocked
+// processes are abandoned (their goroutines exit with the test process).
+func (s *Sim) Stop() { s.stopped = true }

@@ -1,0 +1,54 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel substitutes for the paper's physical testbed (16 SUN-3/60
+// workstations on a dedicated 10 Mbps Ethernet): simulated processors and
+// threads are cooperative processes scheduled one at a time against a
+// virtual clock, so every run is exactly reproducible. All durations in the
+// Munin reproduction — network transfer times, page-fault handling costs,
+// application compute time — are charged against this clock.
+//
+// A simulation is built by spawning processes with (*Sim).Spawn and then
+// calling (*Sim).Run, which executes events in (time, sequence) order until
+// none remain. Processes communicate through Mailbox, Future and Cond, and
+// advance the clock with (*Proc).Advance.
+package sim
+
+import "fmt"
+
+// Time is a point on (or span of) the virtual clock, in nanoseconds.
+// It mirrors time.Duration but is a distinct type so real and simulated
+// time cannot be mixed accidentally.
+type Time int64
+
+// Virtual time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with an adaptive unit, e.g. "1.500ms" or "2.340s".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns the time as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }

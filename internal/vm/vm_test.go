@@ -1,0 +1,285 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSpace() *Space { return NewSpace(DefaultPageSize) }
+
+// mapZero maps a zeroed page at base with the given protection.
+func mapZero(s *Space, base Addr, prot Prot) *Page {
+	return s.Map(base, make([]byte, s.PageSize()), prot)
+}
+
+func TestPageBaseAndSpan(t *testing.T) {
+	s := newTestSpace()
+	if got := s.PageBase(SharedBase + 5000); got != SharedBase {
+		t.Errorf("PageBase = %#x, want %#x", got, SharedBase)
+	}
+	span := s.PageSpan(SharedBase+100, 2*DefaultPageSize)
+	if len(span) != 3 {
+		t.Fatalf("span covers %d pages, want 3", len(span))
+	}
+	for i, b := range span {
+		want := SharedBase + Addr(i*DefaultPageSize)
+		if b != want {
+			t.Errorf("span[%d] = %#x, want %#x", i, b, want)
+		}
+	}
+	if s.PageSpan(SharedBase, 0) != nil {
+		t.Error("empty span should be nil")
+	}
+}
+
+func TestMapAlignmentChecked(t *testing.T) {
+	s := newTestSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned Map did not panic")
+		}
+	}()
+	s.Map(SharedBase+4, make([]byte, DefaultPageSize), ProtRead)
+}
+
+func TestMapSizeChecked(t *testing.T) {
+	s := newTestSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("short Map did not panic")
+		}
+	}()
+	s.Map(SharedBase, make([]byte, 100), ProtRead)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := newTestSpace()
+	mapZero(s, SharedBase, ProtReadWrite)
+	mapZero(s, SharedBase+DefaultPageSize, ProtReadWrite)
+
+	// Cross-page write and read back.
+	src := make([]byte, 600)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	addr := SharedBase + DefaultPageSize - 300
+	s.Write(nil, addr, src)
+	got := make([]byte, 600)
+	s.Read(nil, addr, got)
+	if !bytes.Equal(got, src) {
+		t.Error("cross-page round trip mismatch")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	s := newTestSpace()
+	mapZero(s, SharedBase, ProtReadWrite)
+	s.WriteWord(nil, SharedBase+8, 0xdeadbeef)
+	if got := s.ReadWord(nil, SharedBase+8); got != 0xdeadbeef {
+		t.Errorf("ReadWord = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestUnalignedWordPanics(t *testing.T) {
+	s := newTestSpace()
+	mapZero(s, SharedBase, ProtReadWrite)
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned word did not panic")
+		}
+	}()
+	s.ReadWord(nil, SharedBase+2)
+}
+
+// recordingHandler maps/upgrades pages on fault and records the sequence.
+type recordingHandler struct {
+	s      *Space
+	faults []struct {
+		base  Addr
+		write bool
+	}
+}
+
+func (h *recordingHandler) HandleFault(ctx any, base Addr, write bool) {
+	h.faults = append(h.faults, struct {
+		base  Addr
+		write bool
+	}{base, write})
+	prot := ProtRead
+	if write {
+		prot = ProtReadWrite
+	}
+	if _, ok := h.s.Lookup(base); ok {
+		h.s.Protect(base, prot)
+	} else {
+		h.s.Map(base, make([]byte, h.s.PageSize()), prot)
+	}
+}
+
+func TestReadFaultInvokesHandler(t *testing.T) {
+	s := newTestSpace()
+	h := &recordingHandler{s: s}
+	s.SetHandler(h)
+	buf := make([]byte, 8)
+	s.Read("ctx", SharedBase+16, buf)
+	if len(h.faults) != 1 || h.faults[0].write {
+		t.Fatalf("faults = %+v, want one read fault", h.faults)
+	}
+	if s.ReadFaults != 1 || s.WriteFaults != 0 {
+		t.Errorf("counters = %d/%d, want 1/0", s.ReadFaults, s.WriteFaults)
+	}
+	// Second read: no further fault.
+	s.Read("ctx", SharedBase+16, buf)
+	if len(h.faults) != 1 {
+		t.Errorf("second read faulted again: %+v", h.faults)
+	}
+}
+
+func TestWriteFaultOnReadOnlyPage(t *testing.T) {
+	s := newTestSpace()
+	h := &recordingHandler{s: s}
+	s.SetHandler(h)
+	mapZero(s, SharedBase, ProtRead)
+	s.Write(nil, SharedBase+4, []byte{1, 2, 3, 4})
+	if len(h.faults) != 1 || !h.faults[0].write {
+		t.Fatalf("faults = %+v, want one write fault", h.faults)
+	}
+	if s.WriteFaults != 1 {
+		t.Errorf("WriteFaults = %d, want 1", s.WriteFaults)
+	}
+}
+
+func TestProtNonePageFaultsOnRead(t *testing.T) {
+	s := newTestSpace()
+	h := &recordingHandler{s: s}
+	s.SetHandler(h)
+	mapZero(s, SharedBase, ProtNone)
+	var b [4]byte
+	s.Read(nil, SharedBase, b[:])
+	if len(h.faults) != 1 {
+		t.Fatalf("faults = %+v, want 1", h.faults)
+	}
+}
+
+func TestFaultWithNoHandlerPanics(t *testing.T) {
+	s := newTestSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("unhandled fault did not panic")
+		}
+	}()
+	var b [4]byte
+	s.Read(nil, SharedBase, b[:])
+}
+
+// brokenHandler never establishes access.
+type brokenHandler struct{}
+
+func (brokenHandler) HandleFault(ctx any, base Addr, write bool) {}
+
+func TestBrokenHandlerDetected(t *testing.T) {
+	s := newTestSpace()
+	s.SetHandler(brokenHandler{})
+	defer func() {
+		if recover() == nil {
+			t.Error("broken handler did not panic")
+		}
+	}()
+	var b [4]byte
+	s.Read(nil, SharedBase, b[:])
+}
+
+func TestSliceAliasesPages(t *testing.T) {
+	s := newTestSpace()
+	mapZero(s, SharedBase, ProtReadWrite)
+	mapZero(s, SharedBase+DefaultPageSize, ProtReadWrite)
+
+	pieces := s.Slice(nil, SharedBase+DefaultPageSize-4, 8, true)
+	if len(pieces) != 2 || len(pieces[0]) != 4 || len(pieces[1]) != 4 {
+		t.Fatalf("pieces = %v", pieces)
+	}
+	pieces[0][0] = 0xaa
+	pieces[1][3] = 0xbb
+	var b [8]byte
+	s.Read(nil, SharedBase+DefaultPageSize-4, b[:])
+	if b[0] != 0xaa || b[7] != 0xbb {
+		t.Errorf("slice writes not visible: % x", b)
+	}
+}
+
+func TestSliceFaultsForWriteAccess(t *testing.T) {
+	s := newTestSpace()
+	h := &recordingHandler{s: s}
+	s.SetHandler(h)
+	mapZero(s, SharedBase, ProtRead)
+	s.Slice(nil, SharedBase, 16, true)
+	if len(h.faults) != 1 || !h.faults[0].write {
+		t.Fatalf("faults = %+v, want one write fault", h.faults)
+	}
+}
+
+func TestUnmapForgetsPage(t *testing.T) {
+	s := newTestSpace()
+	h := &recordingHandler{s: s}
+	s.SetHandler(h)
+	mapZero(s, SharedBase, ProtRead)
+	s.Unmap(SharedBase)
+	if s.Mapped(SharedBase) {
+		t.Error("page still mapped after Unmap")
+	}
+	var b [4]byte
+	s.Read(nil, SharedBase, b[:])
+	if len(h.faults) != 1 {
+		t.Error("access after unmap did not fault")
+	}
+}
+
+func TestProtectUnmappedPanics(t *testing.T) {
+	s := newTestSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("Protect on unmapped page did not panic")
+		}
+	}()
+	s.Protect(SharedBase, ProtRead)
+}
+
+func TestProtString(t *testing.T) {
+	if ProtNone.String() != "none" || ProtRead.String() != "r" || ProtReadWrite.String() != "rw" {
+		t.Error("Prot.String mismatch")
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	s := newTestSpace()
+	mapZero(s, SharedBase, ProtReadWrite)
+	f := func(off uint16, v uint32) bool {
+		addr := SharedBase + Addr(off%2048)*WordSize
+		s.WriteWord(nil, addr, v)
+		return s.ReadWord(nil, addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadWriteSpanProperty(t *testing.T) {
+	s := newTestSpace()
+	for i := 0; i < 4; i++ {
+		mapZero(s, SharedBase+Addr(i*DefaultPageSize), ProtReadWrite)
+	}
+	f := func(off uint16, data []byte) bool {
+		if len(data) > 2*DefaultPageSize {
+			data = data[:2*DefaultPageSize]
+		}
+		addr := SharedBase + Addr(off%DefaultPageSize)
+		s.Write(nil, addr, data)
+		got := make([]byte, len(data))
+		s.Read(nil, addr, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

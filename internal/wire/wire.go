@@ -1,0 +1,711 @@
+// Package wire defines the messages Munin nodes exchange and their binary
+// encoding.
+//
+// The prototype ran over V-kernel messages on a 10 Mbps Ethernet; the
+// network model charges wire time per encoded byte, so every message here
+// has an honest binary form (encoding/binary, little-endian). Marshal and
+// Unmarshal round-trip every message; the simulated network uses the
+// encoded size for timing and delivers the decoded form.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"munin/internal/vm"
+)
+
+// Kind identifies a message type on the wire.
+type Kind uint8
+
+// Message kinds. The data-consistency kinds implement the directory-based
+// protocol of §3; the lock/barrier kinds implement the distributed
+// queue-based synchronization of §3.4; MPData carries the hand-coded
+// message-passing baselines' payloads.
+const (
+	KindInvalid Kind = iota
+	KindReadReq
+	KindReadReply
+	KindOwnReq
+	KindOwnReply
+	KindInvalidate
+	KindInvalidateAck
+	KindMigrateReq
+	KindMigrateReply
+	KindUpdateBatch
+	KindUpdateAck
+	KindCopysetQuery
+	KindCopysetReply
+	KindReduceReq
+	KindReduceReply
+	KindLockAcq
+	KindLockSetSucc
+	KindLockGrant
+	KindBarrierArrive
+	KindBarrierRelease
+	KindDirReq
+	KindDirReply
+	KindPhaseChange
+	KindChangeAnnot
+	KindCopysetLookup
+	KindCopysetInfo
+	KindCopysetNotify
+	KindMPData
+	numKinds
+)
+
+var kindNames = [...]string{
+	KindInvalid:        "invalid",
+	KindReadReq:        "read-req",
+	KindReadReply:      "read-reply",
+	KindOwnReq:         "own-req",
+	KindOwnReply:       "own-reply",
+	KindInvalidate:     "invalidate",
+	KindInvalidateAck:  "invalidate-ack",
+	KindMigrateReq:     "migrate-req",
+	KindMigrateReply:   "migrate-reply",
+	KindUpdateBatch:    "update-batch",
+	KindUpdateAck:      "update-ack",
+	KindCopysetQuery:   "copyset-query",
+	KindCopysetReply:   "copyset-reply",
+	KindReduceReq:      "reduce-req",
+	KindReduceReply:    "reduce-reply",
+	KindLockAcq:        "lock-acq",
+	KindLockSetSucc:    "lock-set-succ",
+	KindLockGrant:      "lock-grant",
+	KindBarrierArrive:  "barrier-arrive",
+	KindBarrierRelease: "barrier-release",
+	KindDirReq:         "dir-req",
+	KindDirReply:       "dir-reply",
+	KindPhaseChange:    "phase-change",
+	KindChangeAnnot:    "change-annot",
+	KindCopysetLookup:  "copyset-lookup",
+	KindCopysetInfo:    "copyset-info",
+	KindCopysetNotify:  "copyset-notify",
+	KindMPData:         "mp-data",
+}
+
+// String returns the kind's trace name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Kinds returns every valid kind, for statistics tables.
+func Kinds() []Kind {
+	out := make([]Kind, 0, numKinds-1)
+	for k := KindReadReq; k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Message is any Munin protocol message.
+type Message interface {
+	Kind() Kind
+}
+
+// UpdateEntry is one object's pending changes inside an UpdateBatch or a
+// LockGrant piggyback. Exactly one of Diff or Full is set: Diff carries a
+// diffenc encoding (multiple-writer objects); Full carries the whole
+// object (no twin).
+type UpdateEntry struct {
+	Addr vm.Addr
+	Size uint32 // object size in bytes
+	Diff []byte
+	Full []byte
+}
+
+// ReduceOp identifies a Fetch-and-Φ operation on a reduction object.
+type ReduceOp uint8
+
+// Supported Fetch-and-Φ operations (§2.3.2's reduction annotation).
+const (
+	ReduceAdd ReduceOp = iota
+	ReduceMin
+	ReduceMax
+	ReduceOr
+	ReduceAnd
+)
+
+// String names the reduction operation.
+func (o ReduceOp) String() string {
+	switch o {
+	case ReduceAdd:
+		return "add"
+	case ReduceMin:
+		return "min"
+	case ReduceMax:
+		return "max"
+	case ReduceOr:
+		return "or"
+	case ReduceAnd:
+		return "and"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", uint8(o))
+	}
+}
+
+// --- Data consistency messages ---
+
+// ReadReq asks the object's owner for a read copy. Prefetch marks
+// PreAcquire traffic (same protocol, distinguishable in traces).
+type ReadReq struct {
+	Addr      vm.Addr
+	Requester uint8
+	Prefetch  bool
+}
+
+// ReadReply carries a read copy of the object and the identity of the
+// owner (to update the requester's probable-owner hint).
+type ReadReply struct {
+	Addr  vm.Addr
+	Owner uint8
+	Data  []byte
+}
+
+// OwnReq asks for ownership plus data (conventional write miss).
+type OwnReq struct {
+	Addr      vm.Addr
+	Requester uint8
+}
+
+// OwnReply grants ownership: object data plus the copyset the new owner
+// must invalidate.
+type OwnReply struct {
+	Addr    vm.Addr
+	Copyset uint64
+	Data    []byte
+}
+
+// Invalidate tells a node to drop its copy; NewOwner updates the
+// probable-owner hint.
+type Invalidate struct {
+	Addr     vm.Addr
+	NewOwner uint8
+}
+
+// InvalidateAck acknowledges an Invalidate (the write-miss thread blocks
+// until it holds the only copy, §2.3.2).
+type InvalidateAck struct {
+	Addr vm.Addr
+}
+
+// MigrateReq asks the current holder of a migratory object to move it.
+type MigrateReq struct {
+	Addr      vm.Addr
+	Requester uint8
+}
+
+// MigrateReply moves a migratory object with read+write access.
+type MigrateReply struct {
+	Addr vm.Addr
+	Data []byte
+}
+
+// UpdateBatch carries all DUQ entries destined for one node in a single
+// message (§4.2: "the update mechanism automatically combines the elements
+// destined for the same node into a single message"). NeedAck requests an
+// UpdateAck (used when the sender must know the flush has been applied,
+// e.g. before a result object's local copy is dropped).
+type UpdateBatch struct {
+	From    uint8
+	NeedAck bool
+	Entries []UpdateEntry
+}
+
+// UpdateAck acknowledges an UpdateBatch.
+type UpdateAck struct {
+	Count uint32
+}
+
+// CopysetQuery asks which of the listed objects the destination holds
+// copies of (the prototype's dynamic copyset determination, §3.3).
+type CopysetQuery struct {
+	From  uint8
+	Addrs []vm.Addr
+}
+
+// CopysetReply returns the subset of queried objects the sender holds.
+type CopysetReply struct {
+	Addrs []vm.Addr
+}
+
+// ReduceReq forwards a Fetch-and-Φ to the reduction object's fixed owner.
+type ReduceReq struct {
+	Addr      vm.Addr
+	Off       uint32 // word offset within the object
+	Op        ReduceOp
+	Operand   uint32
+	Requester uint8
+}
+
+// ReduceReply returns the pre-operation value (Fetch-and-Φ semantics).
+type ReduceReply struct {
+	Addr vm.Addr
+	Old  uint32
+}
+
+// --- Synchronization messages ---
+
+// LockAcq requests lock ownership; forwarded along probable-owner chains.
+type LockAcq struct {
+	Lock      uint32
+	Requester uint8
+}
+
+// LockSetSucc tells the distributed queue's current tail to record its
+// successor (each enqueued thread knows only who follows it, §3.4).
+type LockSetSucc struct {
+	Lock uint32
+	Succ uint8
+}
+
+// LockGrant transfers lock ownership, optionally piggybacking the updates
+// for data associated with the lock (AssociateDataAndSynch, §2.5). Tail is
+// the distributed queue's current last node, which the new owner must know
+// to keep enqueueing requesters.
+type LockGrant struct {
+	Lock    uint32
+	Tail    uint8
+	Updates []UpdateEntry
+}
+
+// BarrierArrive reports a thread's arrival at a barrier to its owner node.
+type BarrierArrive struct {
+	Barrier uint32
+	From    uint8
+}
+
+// BarrierRelease resumes threads blocked at a barrier. In the
+// prototype's centralized scheme the owner sends one release per remote
+// arrival and Tree is false. Under the barrier-tree scheme (§3.4 sketches
+// "barrier trees and other more scalable schemes" for larger systems) one
+// release per node fans out down a tree: the receiver wakes every local
+// waiter and forwards the release to its share of Subtree.
+type BarrierRelease struct {
+	Barrier uint32
+	// Tree marks a tree-scheme release (a leaf's Subtree is empty, so a
+	// flag distinguishes the schemes on the wire).
+	Tree bool
+	// Subtree lists the nodes this receiver must release in turn.
+	Subtree []uint8
+}
+
+// --- Directory metadata ---
+
+// DirReq fetches an object directory entry from the object's home node.
+type DirReq struct {
+	Addr vm.Addr
+}
+
+// DirReply returns the static part of a directory entry.
+type DirReply struct {
+	Found bool
+	Start vm.Addr
+	Size  uint32
+	Annot uint8
+	Home  uint8
+	Owner uint8
+}
+
+// PhaseChange purges the accumulated sharing-relationship information for
+// a stable-sharing object (§2.5), so adaptive programs can redistribute.
+type PhaseChange struct {
+	Addr vm.Addr
+}
+
+// ChangeAnnot switches an object's sharing annotation (and hence protocol)
+// on every node (§2.5's ChangeAnnotation).
+type ChangeAnnot struct {
+	Addr  vm.Addr
+	Annot uint8
+}
+
+// CopysetLookup asks an object's home node for the copysets it tracks —
+// the "improved algorithm that uses the owner node to collect Copyset
+// information" of §3.3, which the prototype devised but did not implement
+// (ablation A4). One message to the home replaces the broadcast of
+// CopysetQuery to every node.
+type CopysetLookup struct {
+	From  uint8
+	Addrs []vm.Addr
+}
+
+// CopysetInfo is the home's reply to a CopysetLookup: the tracked copyset
+// bitmap for each queried address, in the same order.
+type CopysetInfo struct {
+	Addrs []vm.Addr
+	Sets  []uint64
+}
+
+// CopysetNotify tells an object's home that Reader obtained a copy from a
+// node other than the home, keeping the home's tracked copyset complete
+// under the exact-copyset algorithm.
+type CopysetNotify struct {
+	Addr   vm.Addr
+	Reader uint8
+}
+
+// --- Message passing baseline ---
+
+// MPData is a raw tagged payload for the hand-coded message-passing
+// programs (the paper's "DM" versions).
+type MPData struct {
+	Tag     uint32
+	Payload []byte
+}
+
+func (ReadReq) Kind() Kind        { return KindReadReq }
+func (ReadReply) Kind() Kind      { return KindReadReply }
+func (OwnReq) Kind() Kind         { return KindOwnReq }
+func (OwnReply) Kind() Kind       { return KindOwnReply }
+func (Invalidate) Kind() Kind     { return KindInvalidate }
+func (InvalidateAck) Kind() Kind  { return KindInvalidateAck }
+func (MigrateReq) Kind() Kind     { return KindMigrateReq }
+func (MigrateReply) Kind() Kind   { return KindMigrateReply }
+func (UpdateBatch) Kind() Kind    { return KindUpdateBatch }
+func (UpdateAck) Kind() Kind      { return KindUpdateAck }
+func (CopysetQuery) Kind() Kind   { return KindCopysetQuery }
+func (CopysetReply) Kind() Kind   { return KindCopysetReply }
+func (ReduceReq) Kind() Kind      { return KindReduceReq }
+func (ReduceReply) Kind() Kind    { return KindReduceReply }
+func (LockAcq) Kind() Kind        { return KindLockAcq }
+func (LockSetSucc) Kind() Kind    { return KindLockSetSucc }
+func (LockGrant) Kind() Kind      { return KindLockGrant }
+func (BarrierArrive) Kind() Kind  { return KindBarrierArrive }
+func (BarrierRelease) Kind() Kind { return KindBarrierRelease }
+func (DirReq) Kind() Kind         { return KindDirReq }
+func (DirReply) Kind() Kind       { return KindDirReply }
+func (PhaseChange) Kind() Kind    { return KindPhaseChange }
+func (ChangeAnnot) Kind() Kind    { return KindChangeAnnot }
+func (CopysetLookup) Kind() Kind  { return KindCopysetLookup }
+func (CopysetInfo) Kind() Kind    { return KindCopysetInfo }
+func (CopysetNotify) Kind() Kind  { return KindCopysetNotify }
+func (MPData) Kind() Kind         { return KindMPData }
+
+// ErrCorrupt is returned by Unmarshal for undecodable input.
+var ErrCorrupt = errors.New("wire: corrupt message")
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *encoder) addrs(v []vm.Addr) {
+	e.u32(uint32(len(v)))
+	for _, a := range v {
+		e.u32(uint32(a))
+	}
+}
+func (e *encoder) updates(v []UpdateEntry) {
+	e.u32(uint32(len(v)))
+	for _, u := range v {
+		e.u32(uint32(u.Addr))
+		e.u32(u.Size)
+		e.boolean(u.Full != nil)
+		if u.Full != nil {
+			e.bytes(u.Full)
+		} else {
+			e.bytes(u.Diff)
+		}
+	}
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return nil
+	}
+	v := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return v
+}
+func (d *decoder) addrs() []vm.Addr {
+	n := int(d.u32())
+	if d.err != nil || len(d.b) < 4*n {
+		d.fail()
+		return nil
+	}
+	out := make([]vm.Addr, n)
+	for i := range out {
+		out[i] = vm.Addr(d.u32())
+	}
+	return out
+}
+func (d *decoder) bytes8() []uint8 {
+	n := int(d.u32())
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return nil
+	}
+	v := append([]uint8(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return v
+}
+func (d *decoder) sets() []uint64 {
+	n := int(d.u32())
+	if d.err != nil || len(d.b) < 8*n {
+		d.fail()
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.u64()
+	}
+	return out
+}
+func (d *decoder) updates() []UpdateEntry {
+	n := int(d.u32())
+	if d.err != nil || n > len(d.b) { // each entry is ≥ 13 bytes
+		d.fail()
+		return nil
+	}
+	out := make([]UpdateEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var u UpdateEntry
+		u.Addr = vm.Addr(d.u32())
+		u.Size = d.u32()
+		full := d.boolean()
+		payload := d.bytes()
+		if full {
+			u.Full = payload
+		} else {
+			u.Diff = payload
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// Marshal encodes msg to its wire form (kind byte plus payload).
+func Marshal(msg Message) []byte {
+	e := &encoder{}
+	e.u8(uint8(msg.Kind()))
+	switch m := msg.(type) {
+	case ReadReq:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Requester)
+		e.boolean(m.Prefetch)
+	case ReadReply:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Owner)
+		e.bytes(m.Data)
+	case OwnReq:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Requester)
+	case OwnReply:
+		e.u32(uint32(m.Addr))
+		e.u64(m.Copyset)
+		e.bytes(m.Data)
+	case Invalidate:
+		e.u32(uint32(m.Addr))
+		e.u8(m.NewOwner)
+	case InvalidateAck:
+		e.u32(uint32(m.Addr))
+	case MigrateReq:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Requester)
+	case MigrateReply:
+		e.u32(uint32(m.Addr))
+		e.bytes(m.Data)
+	case UpdateBatch:
+		e.u8(m.From)
+		e.boolean(m.NeedAck)
+		e.updates(m.Entries)
+	case UpdateAck:
+		e.u32(m.Count)
+	case CopysetQuery:
+		e.u8(m.From)
+		e.addrs(m.Addrs)
+	case CopysetReply:
+		e.addrs(m.Addrs)
+	case ReduceReq:
+		e.u32(uint32(m.Addr))
+		e.u32(m.Off)
+		e.u8(uint8(m.Op))
+		e.u32(m.Operand)
+		e.u8(m.Requester)
+	case ReduceReply:
+		e.u32(uint32(m.Addr))
+		e.u32(m.Old)
+	case LockAcq:
+		e.u32(m.Lock)
+		e.u8(m.Requester)
+	case LockSetSucc:
+		e.u32(m.Lock)
+		e.u8(m.Succ)
+	case LockGrant:
+		e.u32(m.Lock)
+		e.u8(m.Tail)
+		e.updates(m.Updates)
+	case BarrierArrive:
+		e.u32(m.Barrier)
+		e.u8(m.From)
+	case BarrierRelease:
+		e.u32(m.Barrier)
+		e.boolean(m.Tree)
+		e.u32(uint32(len(m.Subtree)))
+		e.b = append(e.b, m.Subtree...)
+	case DirReq:
+		e.u32(uint32(m.Addr))
+	case DirReply:
+		e.boolean(m.Found)
+		e.u32(uint32(m.Start))
+		e.u32(m.Size)
+		e.u8(m.Annot)
+		e.u8(m.Home)
+		e.u8(m.Owner)
+	case PhaseChange:
+		e.u32(uint32(m.Addr))
+	case ChangeAnnot:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Annot)
+	case CopysetLookup:
+		e.u8(m.From)
+		e.addrs(m.Addrs)
+	case CopysetInfo:
+		e.addrs(m.Addrs)
+		e.u32(uint32(len(m.Sets)))
+		for _, s := range m.Sets {
+			e.u64(s)
+		}
+	case CopysetNotify:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Reader)
+	case MPData:
+		e.u32(m.Tag)
+		e.bytes(m.Payload)
+	default:
+		panic(fmt.Sprintf("wire: cannot marshal %T", msg))
+	}
+	return e.b
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	d := &decoder{b: b}
+	kind := Kind(d.u8())
+	var msg Message
+	switch kind {
+	case KindReadReq:
+		msg = ReadReq{Addr: vm.Addr(d.u32()), Requester: d.u8(), Prefetch: d.boolean()}
+	case KindReadReply:
+		msg = ReadReply{Addr: vm.Addr(d.u32()), Owner: d.u8(), Data: d.bytes()}
+	case KindOwnReq:
+		msg = OwnReq{Addr: vm.Addr(d.u32()), Requester: d.u8()}
+	case KindOwnReply:
+		msg = OwnReply{Addr: vm.Addr(d.u32()), Copyset: d.u64(), Data: d.bytes()}
+	case KindInvalidate:
+		msg = Invalidate{Addr: vm.Addr(d.u32()), NewOwner: d.u8()}
+	case KindInvalidateAck:
+		msg = InvalidateAck{Addr: vm.Addr(d.u32())}
+	case KindMigrateReq:
+		msg = MigrateReq{Addr: vm.Addr(d.u32()), Requester: d.u8()}
+	case KindMigrateReply:
+		msg = MigrateReply{Addr: vm.Addr(d.u32()), Data: d.bytes()}
+	case KindUpdateBatch:
+		msg = UpdateBatch{From: d.u8(), NeedAck: d.boolean(), Entries: d.updates()}
+	case KindUpdateAck:
+		msg = UpdateAck{Count: d.u32()}
+	case KindCopysetQuery:
+		msg = CopysetQuery{From: d.u8(), Addrs: d.addrs()}
+	case KindCopysetReply:
+		msg = CopysetReply{Addrs: d.addrs()}
+	case KindReduceReq:
+		msg = ReduceReq{Addr: vm.Addr(d.u32()), Off: d.u32(), Op: ReduceOp(d.u8()), Operand: d.u32(), Requester: d.u8()}
+	case KindReduceReply:
+		msg = ReduceReply{Addr: vm.Addr(d.u32()), Old: d.u32()}
+	case KindLockAcq:
+		msg = LockAcq{Lock: d.u32(), Requester: d.u8()}
+	case KindLockSetSucc:
+		msg = LockSetSucc{Lock: d.u32(), Succ: d.u8()}
+	case KindLockGrant:
+		msg = LockGrant{Lock: d.u32(), Tail: d.u8(), Updates: d.updates()}
+	case KindBarrierArrive:
+		msg = BarrierArrive{Barrier: d.u32(), From: d.u8()}
+	case KindBarrierRelease:
+		msg = BarrierRelease{Barrier: d.u32(), Tree: d.boolean(), Subtree: d.bytes8()}
+	case KindDirReq:
+		msg = DirReq{Addr: vm.Addr(d.u32())}
+	case KindDirReply:
+		msg = DirReply{Found: d.boolean(), Start: vm.Addr(d.u32()), Size: d.u32(), Annot: d.u8(), Home: d.u8(), Owner: d.u8()}
+	case KindPhaseChange:
+		msg = PhaseChange{Addr: vm.Addr(d.u32())}
+	case KindChangeAnnot:
+		msg = ChangeAnnot{Addr: vm.Addr(d.u32()), Annot: d.u8()}
+	case KindCopysetLookup:
+		msg = CopysetLookup{From: d.u8(), Addrs: d.addrs()}
+	case KindCopysetInfo:
+		msg = CopysetInfo{Addrs: d.addrs(), Sets: d.sets()}
+	case KindCopysetNotify:
+		msg = CopysetNotify{Addr: vm.Addr(d.u32()), Reader: d.u8()}
+	case KindMPData:
+		msg = MPData{Tag: d.u32(), Payload: d.bytes()}
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v payload", d.err, kind)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %v", ErrCorrupt, len(d.b), kind)
+	}
+	return msg, nil
+}
+
+// Size returns the encoded payload length of msg in bytes.
+func Size(msg Message) int { return len(Marshal(msg)) }

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"munin/internal/vm"
+)
+
+// sampleMessages returns one populated instance of every message kind.
+func sampleMessages() []Message {
+	return []Message{
+		ReadReq{Addr: 0x80001000, Requester: 3, Prefetch: true},
+		ReadReply{Addr: 0x80001000, Owner: 2, Data: []byte{1, 2, 3, 4}},
+		OwnReq{Addr: 0x80002000, Requester: 7},
+		OwnReply{Addr: 0x80002000, Copyset: 0b1011, Data: []byte{9, 8, 7, 6}},
+		Invalidate{Addr: 0x80003000, NewOwner: 5},
+		InvalidateAck{Addr: 0x80003000},
+		MigrateReq{Addr: 0x80004000, Requester: 1},
+		MigrateReply{Addr: 0x80004000, Data: []byte{0xff}},
+		UpdateBatch{From: 4, NeedAck: true, Entries: []UpdateEntry{
+			{Addr: 0x80005000, Size: 8192, Diff: []byte{1, 0, 0, 0, 1, 0, 0, 0, 42, 0, 0, 0}},
+			{Addr: 0x80007000, Size: 16, Full: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}},
+		}},
+		UpdateAck{Count: 2},
+		CopysetQuery{From: 0, Addrs: []vm.Addr{0x80001000, 0x80003000}},
+		CopysetReply{Addrs: []vm.Addr{0x80001000}},
+		ReduceReq{Addr: 0x80008000, Off: 4, Op: ReduceMin, Operand: 17, Requester: 6},
+		ReduceReply{Addr: 0x80008000, Old: 99},
+		LockAcq{Lock: 1, Requester: 9},
+		LockSetSucc{Lock: 1, Succ: 10},
+		LockGrant{Lock: 1, Tail: 3, Updates: []UpdateEntry{{Addr: 0x80009000, Size: 4, Full: []byte{1, 2, 3, 4}}}},
+		BarrierArrive{Barrier: 2, From: 11},
+		BarrierRelease{Barrier: 2},
+		BarrierRelease{Barrier: 2, Tree: true, Subtree: []uint8{3, 4, 5}},
+		DirReq{Addr: 0x8000a000},
+		DirReply{Found: true, Start: 0x8000a000, Size: 8192, Annot: 3, Home: 0, Owner: 2},
+		PhaseChange{Addr: 0x8000b000},
+		ChangeAnnot{Addr: 0x8000b000, Annot: 2},
+		CopysetLookup{From: 5, Addrs: []vm.Addr{0x8000c000, 0x8000e000}},
+		CopysetInfo{Addrs: []vm.Addr{0x8000c000, 0x8000e000}, Sets: []uint64{0b101, 0b11000}},
+		CopysetNotify{Addr: 0x8000c000, Reader: 12},
+		MPData{Tag: 77, Payload: []byte("hello")},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, msg := range sampleMessages() {
+		seen[msg.Kind()] = true
+		b := Marshal(msg)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Errorf("%v: Unmarshal: %v", msg.Kind(), err)
+			continue
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(msg)) {
+			t.Errorf("%v round trip:\n got %#v\nwant %#v", msg.Kind(), got, msg)
+		}
+	}
+	for _, k := range Kinds() {
+		if !seen[k] {
+			t.Errorf("sampleMessages missing kind %v — add coverage", k)
+		}
+	}
+}
+
+// normalize maps empty and nil slices together for comparison.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case ReadReply:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	case MPData:
+		if len(v.Payload) == 0 {
+			v.Payload = nil
+		}
+		return v
+	default:
+		return m
+	}
+}
+
+func TestUnmarshalRejectsUnknownKind(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xee, 0, 0}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		b := Marshal(msg)
+		for cut := 1; cut < len(b); cut += 1 + len(b)/7 {
+			if _, err := Unmarshal(b[:cut]); err == nil {
+				t.Errorf("%v: truncation to %d bytes accepted", msg.Kind(), cut)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	b := Marshal(BarrierRelease{Barrier: 3})
+	b = append(b, 0xaa)
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestSizeMatchesMarshalledLength(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		if Size(msg) != len(Marshal(msg)) {
+			t.Errorf("%v: Size mismatch", msg.Kind())
+		}
+	}
+}
+
+func TestUpdateEntryFullVsDiffDistinguished(t *testing.T) {
+	in := UpdateBatch{Entries: []UpdateEntry{
+		{Addr: 1 << 31, Size: 8, Diff: []byte{1, 2, 3, 4}},
+		{Addr: 1 << 31, Size: 8, Full: []byte{5, 6, 7, 8}},
+	}}
+	out, err := Unmarshal(Marshal(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(UpdateBatch)
+	if got.Entries[0].Full != nil || got.Entries[0].Diff == nil {
+		t.Error("diff entry decoded as full")
+	}
+	if got.Entries[1].Diff != nil || got.Entries[1].Full == nil {
+		t.Error("full entry decoded as diff")
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		s := k.String()
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestReduceOpStrings(t *testing.T) {
+	ops := []ReduceOp{ReduceAdd, ReduceMin, ReduceMax, ReduceOr, ReduceAnd}
+	seen := map[string]bool{}
+	for _, o := range ops {
+		if seen[o.String()] {
+			t.Errorf("duplicate op name %q", o)
+		}
+		seen[o.String()] = true
+	}
+}
+
+func TestFuzzUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Unmarshal(% x) panicked: %v", b, r)
+				}
+			}()
+			Unmarshal(b) //nolint:errcheck // only looking for panics
+		}()
+	}
+}
+
+func TestMPDataRoundTripProperty(t *testing.T) {
+	f := func(tag uint32, payload []byte) bool {
+		out, err := Unmarshal(Marshal(MPData{Tag: tag, Payload: payload}))
+		if err != nil {
+			return false
+		}
+		got := out.(MPData)
+		if got.Tag != tag {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got.Payload) == 0
+		}
+		return reflect.DeepEqual(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopysetQueryRoundTripProperty(t *testing.T) {
+	f := func(from uint8, raw []uint32) bool {
+		addrs := make([]vm.Addr, len(raw))
+		for i, v := range raw {
+			addrs[i] = vm.Addr(v)
+		}
+		out, err := Unmarshal(Marshal(CopysetQuery{From: from, Addrs: addrs}))
+		if err != nil {
+			return false
+		}
+		got := out.(CopysetQuery)
+		if got.From != from || len(got.Addrs) != len(addrs) {
+			return false
+		}
+		for i := range addrs {
+			if got.Addrs[i] != addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

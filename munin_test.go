@@ -1,0 +1,347 @@
+package munin
+
+import (
+	"testing"
+
+	"munin/internal/wire"
+)
+
+// matmulProgram runs a small Munin matrix multiply on procs nodes and
+// returns the output matrix read back at the root.
+func matmulProgram(t *testing.T, procs, n int, opts ...DeclOption) []int32 {
+	t.Helper()
+	rt := New(Config{Processors: procs})
+	a := rt.DeclareInt32Matrix("input1", n, n, ReadOnly, opts...)
+	b := rt.DeclareInt32Matrix("input2", n, n, ReadOnly, opts...)
+	c := rt.DeclareInt32Matrix("output", n, n, Result)
+	a.Init(func(i, j int) int32 { return int32(i + j) })
+	b.Init(func(i, j int) int32 { return int32(i - j) })
+	done := rt.CreateBarrier(procs + 1)
+
+	err := rt.Run(func(root *Thread) {
+		for w := 0; w < procs; w++ {
+			w := w
+			lo, hi := w*n/procs, (w+1)*n/procs
+			root.Spawn(w, "worker", func(th *Thread) {
+				arow := make([]int32, n)
+				brow := make([]int32, n)
+				crow := make([]int32, n)
+				for i := lo; i < hi; i++ {
+					a.ReadRow(th, i, arow)
+					for k := range crow {
+						crow[k] = 0
+					}
+					for k := 0; k < n; k++ {
+						b.ReadRow(th, k, brow)
+						aik := arow[k]
+						for j := 0; j < n; j++ {
+							crow[j] += aik * brow[j]
+						}
+					}
+					c.WriteRow(th, i, crow)
+				}
+				done.Wait(th)
+			})
+		}
+		done.Wait(root)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out, err := c.Snapshot(0)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return out
+}
+
+// matmulReference computes the same product sequentially in plain Go.
+func matmulReference(n int) []int32 {
+	a := make([]int32, n*n)
+	b := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = int32(i + j)
+			b[i*n+j] = int32(i - j)
+		}
+	}
+	c := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func TestMatrixMultiplyMatchesSequential(t *testing.T) {
+	const n = 48
+	want := matmulReference(n)
+	for _, procs := range []int{1, 2, 4} {
+		got := matmulProgram(t, procs, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("procs=%d: element %d = %d, want %d", procs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatrixMultiplySingleObjectFewerMessages(t *testing.T) {
+	const n = 64 // 16 KB per matrix: 2 pages each
+	count := func(opts ...DeclOption) int {
+		rt := New(Config{Processors: 2})
+		a := rt.DeclareInt32Matrix("input1", n, n, ReadOnly, opts...)
+		b := rt.DeclareInt32Matrix("input2", n, n, ReadOnly, opts...)
+		c := rt.DeclareInt32Matrix("output", n, n, Result)
+		a.Init(func(i, j int) int32 { return 1 })
+		b.Init(func(i, j int) int32 { return 1 })
+		done := rt.CreateBarrier(3)
+		err := rt.Run(func(root *Thread) {
+			for w := 0; w < 2; w++ {
+				w := w
+				root.Spawn(w, "worker", func(th *Thread) {
+					row := make([]int32, n)
+					out := make([]int32, n)
+					for i := w * n / 2; i < (w+1)*n/2; i++ {
+						a.ReadRow(th, i, row)
+						for k := 0; k < n; k++ {
+							b.ReadRow(th, k, out)
+						}
+						c.WriteRow(th, i, out)
+					}
+					done.Wait(th)
+				})
+			}
+			done.Wait(root)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats().PerKind[wire.KindReadReq]
+	}
+	paged := count()
+	single := count(WithSingleObject())
+	if single >= paged {
+		t.Errorf("single-object read requests = %d, paged = %d; want fewer", single, paged)
+	}
+}
+
+func TestSORConvergesLikeSequential(t *testing.T) {
+	const (
+		rows, cols = 16, 32
+		iters      = 4
+		procs      = 4
+	)
+	// Sequential reference: Jacobi-style sweep with a scratch array.
+	ref := make([][]float32, rows)
+	for i := range ref {
+		ref[i] = make([]float32, cols)
+		for j := range ref[i] {
+			if i == 0 {
+				ref[i][j] = 100
+			}
+		}
+	}
+	for it := 0; it < iters; it++ {
+		next := make([][]float32, rows)
+		for i := range next {
+			next[i] = append([]float32(nil), ref[i]...)
+		}
+		for i := 1; i < rows-1; i++ {
+			for j := 1; j < cols-1; j++ {
+				next[i][j] = (ref[i-1][j] + ref[i+1][j] + ref[i][j-1] + ref[i][j+1]) / 4
+			}
+		}
+		ref = next
+	}
+
+	rt := New(Config{Processors: procs})
+	grid := rt.DeclareFloat32Matrix("matrix", rows, cols, ProducerConsumer)
+	grid.Init(func(i, j int) float32 {
+		if i == 0 {
+			return 100
+		}
+		return 0
+	})
+	bar := rt.CreateBarrier(procs + 1)
+	err := rt.Run(func(root *Thread) {
+		for w := 0; w < procs; w++ {
+			w := w
+			lo, hi := w*rows/procs, (w+1)*rows/procs
+			root.Spawn(w, "worker", func(th *Thread) {
+				up := make([]float32, cols)
+				mid := make([]float32, cols)
+				down := make([]float32, cols)
+				scratch := make([][]float32, hi-lo)
+				for i := range scratch {
+					scratch[i] = make([]float32, cols)
+				}
+				for it := 0; it < iters; it++ {
+					for i := lo; i < hi; i++ {
+						grid.ReadRow(th, i, mid)
+						copy(scratch[i-lo], mid)
+						if i == 0 || i == rows-1 {
+							continue
+						}
+						grid.ReadRow(th, i-1, up)
+						grid.ReadRow(th, i+1, down)
+						for j := 1; j < cols-1; j++ {
+							scratch[i-lo][j] = (up[j] + down[j] + mid[j-1] + mid[j+1]) / 4
+						}
+					}
+					bar.Wait(th) // everyone done reading
+					for i := lo; i < hi; i++ {
+						grid.WriteRow(th, i, scratch[i-lo])
+					}
+					bar.Wait(th) // copy phase flushed
+				}
+				bar.Wait(th)
+			})
+		}
+		for it := 0; it < iters; it++ {
+			bar.Wait(root)
+			bar.Wait(root)
+		}
+		bar.Wait(root)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Every worker's final view must match the sequential sweep. Check
+	// from node 0's perspective via snapshot of its own section plus the
+	// boundary pages it holds; simplest correct check: each worker's rows
+	// at their owning node.
+	for w := 0; w < procs; w++ {
+		lo, hi := w*rows/procs, (w+1)*rows/procs
+		snap, err := grid.Snapshot(w)
+		if err != nil {
+			t.Fatalf("snapshot node %d: %v", w, err)
+		}
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				got := snap[i*cols+j]
+				want := ref[i][j]
+				if diff := got - want; diff > 1e-4 || diff < -1e-4 {
+					t.Fatalf("node %d grid[%d][%d] = %g, want %g", w, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestReductionGlobalMinimum(t *testing.T) {
+	const procs = 4
+	rt := New(Config{Processors: procs})
+	min := rt.DeclareWords("globalmin", 1, Reduction)
+	min.Init(1 << 30)
+	done := rt.CreateBarrier(procs + 1)
+	var final uint32
+	err := rt.Run(func(root *Thread) {
+		vals := []uint32{900, 250, 600, 400}
+		for w := 0; w < procs; w++ {
+			w := w
+			root.Spawn(w, "worker", func(th *Thread) {
+				min.FetchAndMin(th, 0, vals[w])
+				done.Wait(th)
+			})
+		}
+		done.Wait(root)
+		final = min.Load(root, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 250 {
+		t.Errorf("global min = %d, want 250", final)
+	}
+}
+
+func TestLockProtectedCounter(t *testing.T) {
+	const procs = 4
+	rt := New(Config{Processors: procs})
+	lk := rt.CreateLock()
+	counter := rt.DeclareWords("counter", 1, Migratory, WithLock(lk))
+	done := rt.CreateBarrier(procs + 1)
+	err := rt.Run(func(root *Thread) {
+		for w := 0; w < procs; w++ {
+			root.Spawn(w, "worker", func(th *Thread) {
+				for i := 0; i < 3; i++ {
+					lk.Acquire(th)
+					counter.Store(th, 0, counter.Load(th, 0)+1)
+					lk.Release(th)
+				}
+				done.Wait(th)
+			})
+		}
+		done.Wait(root)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the final holder's value.
+	for node := 0; node < procs; node++ {
+		if data := rt.System().ObjectData(node, counter.Base()); data != nil {
+			got := uint32(data[0]) | uint32(data[1])<<8
+			if got != 3*procs {
+				t.Errorf("counter = %d, want %d", got, 3*procs)
+			}
+			return
+		}
+	}
+	t.Fatal("counter has no holder")
+}
+
+func TestStatsPopulated(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	x := rt.DeclareWords("x", 1, ReadOnly)
+	x.Init(7)
+	err := rt.Run(func(root *Thread) {
+		root.Spawn(1, "r", func(th *Thread) {
+			th.Compute(500)
+			_ = x.Load(th, 0)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Elapsed <= 0 {
+		t.Error("Elapsed not positive")
+	}
+	if st.Messages == 0 || st.Bytes == 0 {
+		t.Error("no traffic recorded")
+	}
+	if st.PerKind[wire.KindReadReq] != 1 {
+		t.Errorf("read requests = %d, want 1", st.PerKind[wire.KindReadReq])
+	}
+	if st.RootSystem == 0 {
+		t.Error("root system time is zero (it served the read)")
+	}
+}
+
+func TestOverrideConfig(t *testing.T) {
+	conv := Conventional
+	rt := New(Config{Processors: 2, Override: &conv})
+	x := rt.DeclareWords("x", 4, WriteShared)
+	var v uint32
+	err := rt.Run(func(root *Thread) {
+		root.Spawn(1, "w", func(th *Thread) {
+			x.Store(th, 0, 5)
+			v = x.Load(th, 0)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Errorf("v = %d, want 5", v)
+	}
+	// Conventional writes invalidate eagerly: no update batches.
+	if rt.Stats().PerKind[wire.KindUpdateBatch] != 0 {
+		t.Error("override to conventional still produced update batches")
+	}
+}

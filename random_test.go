@@ -1,0 +1,225 @@
+package munin_test
+
+// Randomized whole-system tests: generated programs run on the simulated
+// machine and against a plain sequential mirror; the shared memory must
+// agree at every barrier. The simulator is deterministic, so failures
+// reproduce exactly from the printed seed.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"munin"
+)
+
+// randProgram is one generated workload: procs workers write disjoint
+// word slots of a set of shared pages for rounds barrier-separated
+// rounds, with a reduction accumulator and a lock-protected migratory
+// counter mixed in.
+type randProgram struct {
+	seed    int64
+	procs   int
+	objects int
+	rounds  int
+	annot   munin.Annotation
+	exact   bool
+	acks    bool
+	tree    bool
+	puq     bool
+}
+
+func (p randProgram) String() string {
+	return fmt.Sprintf("seed=%d procs=%d objects=%d rounds=%d annot=%v exact=%v acks=%v tree=%v puq=%v",
+		p.seed, p.procs, p.objects, p.rounds, p.annot, p.exact, p.acks, p.tree, p.puq)
+}
+
+// slotWriter decides, deterministically from the seed, which slots worker
+// w writes in round r and with what values. Slot s of an object belongs
+// to worker s mod procs, so concurrent writes never conflict.
+func (p randProgram) writes(w, r int) map[[2]int]uint32 {
+	rng := rand.New(rand.NewSource(p.seed ^ int64(w*1000003) ^ int64(r*7919)))
+	out := make(map[[2]int]uint32)
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		obj := rng.Intn(p.objects)
+		slot := rng.Intn(64/p.procs)*p.procs + w // worker-owned slot
+		out[[2]int{obj, slot}] = rng.Uint32()
+	}
+	return out
+}
+
+// run executes the program on the simulated machine and cross-checks
+// every barrier's view against the sequential mirror.
+func (p randProgram) run(t *testing.T) {
+	t.Helper()
+	const slots = 64 // words checked per object
+
+	rt := munin.New(munin.Config{
+		Processors:      p.procs,
+		ExactCopyset:    p.exact,
+		AwaitUpdateAcks: p.acks,
+		BarrierTree:     p.tree,
+		PendingUpdates:  p.puq,
+	})
+	objs := make([]*munin.Words, p.objects)
+	for i := range objs {
+		objs[i] = rt.DeclareWords(fmt.Sprintf("obj%d", i), 2048, p.annot)
+	}
+	acc := rt.DeclareWords("acc", 1, munin.Reduction)
+	l := rt.CreateLock()
+	ctr := rt.DeclareWords("ctr", 1, munin.Migratory, munin.WithLock(l))
+	bar := rt.CreateBarrier(p.procs + 1)
+
+	var accWant uint32
+
+	err := rt.Run(func(root *munin.Thread) {
+		for w := 0; w < p.procs; w++ {
+			w := w
+			root.Spawn(w, fmt.Sprintf("worker%d", w), func(tt *munin.Thread) {
+				// Establish the sharing relationships before the first
+				// flush (required for stable-sharing annotations).
+				for _, o := range objs {
+					tt.PreAcquire(o.Base())
+				}
+				bar.Wait(tt)
+				rng := rand.New(rand.NewSource(p.seed ^ int64(w*31)))
+				for r := 0; r < p.rounds; r++ {
+					for key, val := range p.writes(w, r) {
+						objs[key[0]].Store(tt, key[1], val)
+					}
+					acc.FetchAndAdd(tt, 0, uint32(w+r))
+					l.Acquire(tt)
+					ctr.Store(tt, 0, ctr.Load(tt, 0)+1)
+					l.Release(tt)
+					bar.Wait(tt)
+					// Check a few random slots against the mirror-after-
+					// round value. The main goroutine updated the mirror
+					// for this round already (it runs the same schedule).
+					for i := 0; i < 8; i++ {
+						obj := rng.Intn(p.objects)
+						slot := rng.Intn(slots)
+						got := objs[obj].Load(tt, slot)
+						want := mirrorAt(p, obj, slot, r)
+						if got != want {
+							t.Errorf("%v: worker %d round %d obj %d slot %d = %#x, want %#x",
+								p, w, r, obj, slot, got, want)
+						}
+					}
+					bar.Wait(tt)
+				}
+			})
+		}
+		bar.Wait(root) // workers' prefetch barrier
+		for r := 0; r < p.rounds; r++ {
+			for w := 0; w < p.procs; w++ {
+				accWant += uint32(w + r)
+			}
+			bar.Wait(root)
+			bar.Wait(root)
+		}
+
+		// Final global checks.
+		if got := acc.Load(root, 0); got != accWant {
+			t.Errorf("%v: accumulator = %d, want %d", p, got, accWant)
+		}
+		l.Acquire(root)
+		if got := ctr.Load(root, 0); got != uint32(p.procs*p.rounds) {
+			t.Errorf("%v: counter = %d, want %d", p, got, p.procs*p.rounds)
+		}
+		l.Release(root)
+	})
+	if err != nil {
+		t.Fatalf("%v: %v", p, err)
+	}
+}
+
+// mirrorAt recomputes the mirror value of (obj, slot) after round r —
+// derived straight from the deterministic write schedule so worker
+// goroutines need no shared access to the mirror slices.
+func mirrorAt(p randProgram, obj, slot, r int) uint32 {
+	var v uint32
+	for rr := 0; rr <= r; rr++ {
+		for w := 0; w < p.procs; w++ {
+			if val, ok := p.writes(w, rr)[[2]int{obj, slot}]; ok {
+				v = val
+			}
+		}
+	}
+	return v
+}
+
+func TestRandomProgramsWriteShared(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p := randProgram{
+			seed: seed, procs: 2 + int(seed)%3*3, objects: 3, rounds: 5,
+			annot: munin.WriteShared,
+		}
+		p.run(t)
+	}
+}
+
+func TestRandomProgramsProducerConsumer(t *testing.T) {
+	// Stable sharing: every worker prefetches every object up front, so
+	// the copysets determined at the first flush cover all readers.
+	for seed := int64(10); seed <= 13; seed++ {
+		p := randProgram{
+			seed: seed, procs: 4, objects: 2, rounds: 4,
+			annot: munin.ProducerConsumer,
+		}
+		p.run(t)
+	}
+}
+
+func TestRandomProgramsExactCopyset(t *testing.T) {
+	for seed := int64(20); seed <= 23; seed++ {
+		p := randProgram{
+			seed: seed, procs: 5, objects: 3, rounds: 4,
+			annot: munin.WriteShared, exact: true,
+		}
+		p.run(t)
+	}
+}
+
+func TestRandomProgramsAckedFlush(t *testing.T) {
+	for seed := int64(30); seed <= 32; seed++ {
+		p := randProgram{
+			seed: seed, procs: 4, objects: 2, rounds: 4,
+			annot: munin.WriteShared, acks: true,
+		}
+		p.run(t)
+	}
+}
+
+func TestRandomProgramsSixteenProcs(t *testing.T) {
+	p := randProgram{
+		seed: 99, procs: 16, objects: 4, rounds: 3,
+		annot: munin.WriteShared,
+	}
+	p.run(t)
+}
+
+func TestRandomProgramsPendingUpdates(t *testing.T) {
+	for seed := int64(50); seed <= 53; seed++ {
+		p := randProgram{
+			seed: seed, procs: 6, objects: 3, rounds: 4,
+			annot: munin.WriteShared, puq: true,
+		}
+		p.run(t)
+	}
+	// Pending updates compose with the other machine options.
+	randProgram{seed: 54, procs: 8, objects: 2, rounds: 3,
+		annot: munin.ProducerConsumer, puq: true, tree: true}.run(t)
+	randProgram{seed: 55, procs: 5, objects: 2, rounds: 3,
+		annot: munin.WriteShared, puq: true, exact: true}.run(t)
+}
+
+func TestRandomProgramsTreeBarrier(t *testing.T) {
+	for seed := int64(40); seed <= 42; seed++ {
+		p := randProgram{
+			seed: seed, procs: 8, objects: 3, rounds: 4,
+			annot: munin.WriteShared, tree: true,
+		}
+		p.run(t)
+	}
+}

@@ -1,0 +1,399 @@
+package munin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"munin/internal/vm"
+)
+
+// Int32Matrix is a shared two-dimensional int32 array, row-major. The
+// paper's Matrix Multiply declares its inputs and output this way.
+type Int32Matrix struct {
+	rt         *Runtime
+	name       string
+	base       vm.Addr
+	rows, cols int
+	objects    []vm.Addr
+}
+
+// DeclareInt32Matrix declares a rows×cols shared int32 matrix with the
+// given sharing annotation.
+func (rt *Runtime) DeclareInt32Matrix(name string, rows, cols int, annot Annotation, opts ...DeclOption) *Int32Matrix {
+	base := rt.declare(name, rows*cols*4, annot, opts...)
+	return &Int32Matrix{
+		rt: rt, name: name, base: base, rows: rows, cols: cols,
+		objects: rt.objectStarts(base, rows*cols*4),
+	}
+}
+
+// Base returns the matrix's shared address.
+func (m *Int32Matrix) Base() vm.Addr { return m.base }
+
+// Rows returns the row count.
+func (m *Int32Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Int32Matrix) Cols() int { return m.cols }
+
+// Objects returns the start addresses of the matrix's runtime objects.
+func (m *Int32Matrix) Objects() []vm.Addr { return m.objects }
+
+// RowAddr returns the shared address of row i.
+func (m *Int32Matrix) RowAddr(i int) vm.Addr {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("munin: %s row %d out of range", m.name, i))
+	}
+	return m.base + vm.Addr(i*m.cols*4)
+}
+
+// Init fills the matrix's initial contents (the work of the sequential
+// user_init routine, performed before the program runs).
+func (m *Int32Matrix) Init(f func(i, j int) int32) {
+	data := make([]byte, m.rows*m.cols*4)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			binary.LittleEndian.PutUint32(data[(i*m.cols+j)*4:], uint32(f(i, j)))
+		}
+	}
+	m.rt.setInit(m.base, data)
+}
+
+// ReadRow copies row i into buf (len ≥ cols), faulting pages as needed.
+func (m *Int32Matrix) ReadRow(t *Thread, i int, buf []int32) {
+	pieces := t.Slice(m.RowAddr(i), m.cols*4, false)
+	k := 0
+	for _, p := range pieces {
+		for o := 0; o+4 <= len(p); o += 4 {
+			buf[k] = int32(binary.LittleEndian.Uint32(p[o:]))
+			k++
+		}
+	}
+}
+
+// WriteRow stores vals (len ≥ cols) into row i, faulting pages for write.
+func (m *Int32Matrix) WriteRow(t *Thread, i int, vals []int32) {
+	pieces := t.Slice(m.RowAddr(i), m.cols*4, true)
+	k := 0
+	for _, p := range pieces {
+		for o := 0; o+4 <= len(p); o += 4 {
+			binary.LittleEndian.PutUint32(p[o:], uint32(vals[k]))
+			k++
+		}
+	}
+}
+
+// Get loads one element.
+func (m *Int32Matrix) Get(t *Thread, i, j int) int32 {
+	return int32(t.ReadWord(m.RowAddr(i) + vm.Addr(j*4)))
+}
+
+// Set stores one element.
+func (m *Int32Matrix) Set(t *Thread, i, j int, v int32) {
+	t.WriteWord(m.RowAddr(i)+vm.Addr(j*4), uint32(v))
+}
+
+// Snapshot reads the whole matrix as seen from node's current copies
+// (home backing included). It fails if some object has no data at that
+// node — typically meaning the caller wanted a node that never saw it.
+func (m *Int32Matrix) Snapshot(node int) ([]int32, error) {
+	raw, err := m.rt.snapshot(node, m.base, m.objects, m.rows*m.cols*4)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.name, err)
+	}
+	out := make([]int32, m.rows*m.cols)
+	for k := range out {
+		out[k] = int32(binary.LittleEndian.Uint32(raw[k*4:]))
+	}
+	return out, nil
+}
+
+// SnapshotAny reads the whole matrix, taking each object's bytes from
+// whichever node currently holds valid data. After a fully synchronized
+// program finishes, every valid copy is consistent, so any holder serves;
+// this is what post-run verification needs when the final copies live at
+// the workers (e.g. write-shared output under a Table 6 override).
+func (m *Int32Matrix) SnapshotAny() ([]int32, error) {
+	raw, err := m.rt.snapshotAny(m.objects, m.rows*m.cols*4)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.name, err)
+	}
+	out := make([]int32, m.rows*m.cols)
+	for k := range out {
+		out[k] = int32(binary.LittleEndian.Uint32(raw[k*4:]))
+	}
+	return out, nil
+}
+
+// Float32Matrix is a shared two-dimensional float32 array, row-major. SOR
+// declares its grid this way (producer_consumer).
+type Float32Matrix struct {
+	rt         *Runtime
+	name       string
+	base       vm.Addr
+	rows, cols int
+	objects    []vm.Addr
+}
+
+// DeclareFloat32Matrix declares a rows×cols shared float32 matrix.
+func (rt *Runtime) DeclareFloat32Matrix(name string, rows, cols int, annot Annotation, opts ...DeclOption) *Float32Matrix {
+	base := rt.declare(name, rows*cols*4, annot, opts...)
+	return &Float32Matrix{
+		rt: rt, name: name, base: base, rows: rows, cols: cols,
+		objects: rt.objectStarts(base, rows*cols*4),
+	}
+}
+
+// Base returns the matrix's shared address.
+func (m *Float32Matrix) Base() vm.Addr { return m.base }
+
+// Rows returns the row count.
+func (m *Float32Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Float32Matrix) Cols() int { return m.cols }
+
+// Objects returns the start addresses of the matrix's runtime objects.
+func (m *Float32Matrix) Objects() []vm.Addr { return m.objects }
+
+// RowAddr returns the shared address of row i.
+func (m *Float32Matrix) RowAddr(i int) vm.Addr {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("munin: %s row %d out of range", m.name, i))
+	}
+	return m.base + vm.Addr(i*m.cols*4)
+}
+
+// Init fills the matrix's initial contents.
+func (m *Float32Matrix) Init(f func(i, j int) float32) {
+	data := make([]byte, m.rows*m.cols*4)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			binary.LittleEndian.PutUint32(data[(i*m.cols+j)*4:], math.Float32bits(f(i, j)))
+		}
+	}
+	m.rt.setInit(m.base, data)
+}
+
+// ReadRow copies row i into buf (len ≥ cols).
+func (m *Float32Matrix) ReadRow(t *Thread, i int, buf []float32) {
+	pieces := t.Slice(m.RowAddr(i), m.cols*4, false)
+	k := 0
+	for _, p := range pieces {
+		for o := 0; o+4 <= len(p); o += 4 {
+			buf[k] = math.Float32frombits(binary.LittleEndian.Uint32(p[o:]))
+			k++
+		}
+	}
+}
+
+// WriteRow stores vals into row i.
+func (m *Float32Matrix) WriteRow(t *Thread, i int, vals []float32) {
+	pieces := t.Slice(m.RowAddr(i), m.cols*4, true)
+	k := 0
+	for _, p := range pieces {
+		for o := 0; o+4 <= len(p); o += 4 {
+			binary.LittleEndian.PutUint32(p[o:], math.Float32bits(vals[k]))
+			k++
+		}
+	}
+}
+
+// Get loads one element.
+func (m *Float32Matrix) Get(t *Thread, i, j int) float32 {
+	return math.Float32frombits(t.ReadWord(m.RowAddr(i) + vm.Addr(j*4)))
+}
+
+// Set stores one element.
+func (m *Float32Matrix) Set(t *Thread, i, j int, v float32) {
+	t.WriteWord(m.RowAddr(i)+vm.Addr(j*4), math.Float32bits(v))
+}
+
+// Snapshot reads the whole matrix from node's current copies.
+func (m *Float32Matrix) Snapshot(node int) ([]float32, error) {
+	raw, err := m.rt.snapshot(node, m.base, m.objects, m.rows*m.cols*4)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.name, err)
+	}
+	out := make([]float32, m.rows*m.cols)
+	for k := range out {
+		out[k] = math.Float32frombits(binary.LittleEndian.Uint32(raw[k*4:]))
+	}
+	return out, nil
+}
+
+// SnapshotAny reads the whole matrix, taking each object's bytes from
+// whichever node currently holds valid data (see Int32Matrix.SnapshotAny).
+func (m *Float32Matrix) SnapshotAny() ([]float32, error) {
+	raw, err := m.rt.snapshotAny(m.objects, m.rows*m.cols*4)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.name, err)
+	}
+	out := make([]float32, m.rows*m.cols)
+	for k := range out {
+		out[k] = math.Float32frombits(binary.LittleEndian.Uint32(raw[k*4:]))
+	}
+	return out, nil
+}
+
+// SnapshotRows reads rows [lo, hi) from node's current copies. The node
+// must hold every object overlapping that row range (a worker holds the
+// pages covering its own section).
+func (m *Float32Matrix) SnapshotRows(node, lo, hi int) ([]float32, error) {
+	raw, err := m.rt.snapshotRange(node, m.objects, int(m.RowAddr(lo)-m.base), (hi-lo)*m.cols*4)
+	if err != nil {
+		return nil, fmt.Errorf("%s rows [%d,%d): %w", m.name, lo, hi, err)
+	}
+	out := make([]float32, (hi-lo)*m.cols)
+	for k := range out {
+		out[k] = math.Float32frombits(binary.LittleEndian.Uint32(raw[k*4:]))
+	}
+	return out, nil
+}
+
+// Words is a shared vector of 32-bit words; reduction variables (a global
+// minimum, counters) and small flags declare it.
+type Words struct {
+	rt   *Runtime
+	name string
+	base vm.Addr
+	n    int
+}
+
+// DeclareWords declares n shared 32-bit words under one annotation. With
+// Reduction, access them via FetchAndAdd/FetchAndMin/FetchAndOp.
+func (rt *Runtime) DeclareWords(name string, n int, annot Annotation, opts ...DeclOption) *Words {
+	base := rt.declare(name, n*4, annot, opts...)
+	return &Words{rt: rt, name: name, base: base, n: n}
+}
+
+// Base returns the variable's shared address.
+func (w *Words) Base() vm.Addr { return w.base }
+
+// Len returns the word count.
+func (w *Words) Len() int { return w.n }
+
+// Init sets the initial word values.
+func (w *Words) Init(vals ...uint32) {
+	data := make([]byte, w.n*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(data[i*4:], v)
+	}
+	w.rt.setInit(w.base, data)
+}
+
+// Load reads word i (replicating on demand).
+func (w *Words) Load(t *Thread, i int) uint32 {
+	return t.ReadWord(w.base + vm.Addr(i*4))
+}
+
+// Store writes word i under the variable's protocol.
+func (w *Words) Store(t *Thread, i int, v uint32) {
+	t.WriteWord(w.base+vm.Addr(i*4), v)
+}
+
+// FetchAndAdd atomically adds delta to word i, returning the old value
+// (reduction objects only).
+func (w *Words) FetchAndAdd(t *Thread, i int, delta uint32) uint32 {
+	return t.FetchAndAdd(w.base, i, delta)
+}
+
+// FetchAndMin atomically lowers word i to v if smaller (signed), returning
+// the old value (reduction objects only).
+func (w *Words) FetchAndMin(t *Thread, i int, v uint32) uint32 {
+	return t.FetchAndMin(w.base, i, v)
+}
+
+// snapshotRange assembles the bytes at [off, off+n) of a variable whose
+// objects start at the given addresses (relative to the first object).
+func (rt *Runtime) snapshotRange(node int, objects []vm.Addr, off, n int) ([]byte, error) {
+	if rt.sys == nil {
+		return nil, fmt.Errorf("munin: snapshot before Run")
+	}
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("munin: variable has no objects")
+	}
+	base := objects[0]
+	lo := base + vm.Addr(off)
+	hi := lo + vm.Addr(n)
+	out := make([]byte, n)
+	for _, start := range objects {
+		// Object extent from the declaration, not the data, so missing
+		// objects inside the range are detected.
+		objEnd := start + vm.Addr(objectSize(rt, start))
+		if objEnd <= lo || start >= hi {
+			continue
+		}
+		data := rt.sys.ObjectData(node, start)
+		if data == nil {
+			return nil, fmt.Errorf("object %#x has no data at node %d", start, node)
+		}
+		// Overlap of [start, objEnd) with [lo, hi).
+		from := lo
+		if start > from {
+			from = start
+		}
+		to := hi
+		if objEnd < to {
+			to = objEnd
+		}
+		copy(out[from-lo:to-lo], data[from-start:to-start])
+	}
+	return out, nil
+}
+
+// objectSize finds the declared size of the object starting at start.
+func objectSize(rt *Runtime, start vm.Addr) int {
+	for _, d := range rt.decls {
+		if d.Start == start {
+			return d.Size
+		}
+	}
+	return 0
+}
+
+// snapshotAny assembles a variable's bytes object by object from any node
+// holding valid data for that object.
+func (rt *Runtime) snapshotAny(objects []vm.Addr, size int) ([]byte, error) {
+	if rt.sys == nil {
+		return nil, fmt.Errorf("munin: snapshot before Run")
+	}
+	out := make([]byte, 0, size)
+	for _, start := range objects {
+		var data []byte
+		for node := 0; node < rt.cfg.Processors; node++ {
+			if d := rt.sys.ObjectData(node, start); d != nil {
+				data = d
+				break
+			}
+		}
+		if data == nil {
+			return nil, fmt.Errorf("object %#x has no data at any node", start)
+		}
+		out = append(out, data...)
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("assembled %d bytes, want %d", len(out), size)
+	}
+	return out, nil
+}
+
+// snapshot assembles a variable's bytes from a node's current object data.
+func (rt *Runtime) snapshot(node int, base vm.Addr, objects []vm.Addr, size int) ([]byte, error) {
+	if rt.sys == nil {
+		return nil, fmt.Errorf("munin: snapshot before Run")
+	}
+	out := make([]byte, 0, size)
+	for _, start := range objects {
+		data := rt.sys.ObjectData(node, start)
+		if data == nil {
+			return nil, fmt.Errorf("object %#x has no data at node %d", start, node)
+		}
+		out = append(out, data...)
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("assembled %d bytes, want %d", len(out), size)
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package munin
+
+// Tests for the typed shared-variable views: element accessors, initial
+// contents, snapshots and their error paths.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFloat32MatrixElementAccess(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	m := rt.DeclareFloat32Matrix("grid", 8, 8, WriteShared)
+	m.Init(func(i, j int) float32 { return float32(i) + float32(j)/10 })
+	if m.Rows() != 8 || m.Cols() != 8 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	bar := rt.CreateBarrier(2)
+	err := rt.Run(func(root *Thread) {
+		root.Spawn(1, "worker", func(tt *Thread) {
+			if got := m.Get(tt, 3, 4); got != 3.4 {
+				t.Errorf("Get(3,4) = %v, want 3.4", got)
+			}
+			m.Set(tt, 3, 4, 99.5)
+			if got := m.Get(tt, 3, 4); got != 99.5 {
+				t.Errorf("Get after Set = %v", got)
+			}
+			row := make([]float32, 8)
+			m.ReadRow(tt, 0, row)
+			if row[7] != 0.7 {
+				t.Errorf("row0[7] = %v, want 0.7", row[7])
+			}
+			m.WriteRow(tt, 7, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+			bar.Wait(tt)
+		})
+		bar.Wait(root)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.SnapshotAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap[3*8+4] != 99.5 || snap[7*8+0] != 1 {
+		t.Errorf("snapshot disagrees: %v %v", snap[3*8+4], snap[7*8])
+	}
+}
+
+func TestInt32MatrixRowAddrBounds(t *testing.T) {
+	rt := New(Config{Processors: 1})
+	m := rt.DeclareInt32Matrix("m", 4, 4, Conventional)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "out of range") {
+			t.Errorf("panic = %v, want out-of-range", r)
+		}
+	}()
+	m.RowAddr(4)
+}
+
+func TestFloat32MatrixRowAddrBounds(t *testing.T) {
+	rt := New(Config{Processors: 1})
+	m := rt.DeclareFloat32Matrix("m", 4, 4, Conventional)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "out of range") {
+			t.Errorf("panic = %v, want out-of-range", r)
+		}
+	}()
+	m.RowAddr(-1)
+}
+
+func TestSnapshotBeforeRunFails(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	m := rt.DeclareInt32Matrix("m", 4, 4, Conventional)
+	f := rt.DeclareFloat32Matrix("f", 4, 4, Conventional)
+	if _, err := m.Snapshot(0); err == nil {
+		t.Error("Int32 Snapshot before Run succeeded")
+	}
+	if _, err := m.SnapshotAny(); err == nil {
+		t.Error("Int32 SnapshotAny before Run succeeded")
+	}
+	if _, err := f.Snapshot(0); err == nil {
+		t.Error("Float32 Snapshot before Run succeeded")
+	}
+	if _, err := f.SnapshotRows(0, 0, 2); err == nil {
+		t.Error("SnapshotRows before Run succeeded")
+	}
+}
+
+func TestWordsInitAndAccess(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	w := rt.DeclareWords("w", 8, Conventional)
+	w.Init(10, 20, 30)
+	if w.Len() != 8 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	err := rt.Run(func(root *Thread) {
+		if v := w.Load(root, 1); v != 20 {
+			t.Errorf("Load(1) = %d, want 20", v)
+		}
+		if v := w.Load(root, 5); v != 0 {
+			t.Errorf("Load(5) = %d, want zero fill", v)
+		}
+		w.Store(root, 5, 55)
+		if v := w.Load(root, 5); v != 55 {
+			t.Errorf("Load after Store = %d", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectsAndBases(t *testing.T) {
+	rt := New(Config{Processors: 1})
+	// A 4-page variable splits into 4 page-sized objects unless declared
+	// SingleObject.
+	split := rt.DeclareInt32Matrix("split", 64, 128, WriteShared) // 32 KB
+	single := rt.DeclareFloat32Matrix("single", 64, 128, ReadOnly, WithSingleObject())
+	if len(split.Objects()) != 4 {
+		t.Errorf("split into %d objects, want 4", len(split.Objects()))
+	}
+	if len(single.Objects()) != 1 {
+		t.Errorf("single-object variable has %d objects", len(single.Objects()))
+	}
+	if split.Base() == single.Base() {
+		t.Error("variables share a base address")
+	}
+	if split.Objects()[1]-split.Objects()[0] != 8192 {
+		t.Errorf("object stride %d, want page size", split.Objects()[1]-split.Objects()[0])
+	}
+}
+
+func TestFetchAndMinMaxSemantics(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	w := rt.DeclareWords("red", 4, Reduction)
+	w.Init(100)
+	err := rt.Run(func(root *Thread) {
+		if old := w.FetchAndMin(root, 0, 150); old != 100 {
+			t.Errorf("FetchAndMin returned %d, want 100", old)
+		}
+		if v := w.Load(root, 0); v != 100 {
+			t.Errorf("min(100,150) stored %d", v)
+		}
+		if old := w.FetchAndMin(root, 0, 40); old != 100 {
+			t.Errorf("FetchAndMin returned %d, want 100", old)
+		}
+		if v := w.Load(root, 0); v != 40 {
+			t.Errorf("min(100,40) stored %d", v)
+		}
+		if old := w.FetchAndAdd(root, 1, 7); old != 0 {
+			t.Errorf("FetchAndAdd returned %d, want 0", old)
+		}
+		if v := w.Load(root, 1); v != 7 {
+			t.Errorf("add stored %d", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPageVariableRoundTrips(t *testing.T) {
+	// Rows that straddle page boundaries read and write correctly.
+	const rows, cols = 5, 1000 // 4000 B rows: pages split mid-row
+	rt := New(Config{Processors: 2})
+	m := rt.DeclareInt32Matrix("m", rows, cols, WriteShared)
+	m.Init(func(i, j int) int32 { return int32(i*cols + j) })
+	err := rt.Run(func(root *Thread) {
+		row := make([]int32, cols)
+		for i := 0; i < rows; i++ {
+			m.ReadRow(root, i, row)
+			for j := 0; j < cols; j += 97 {
+				if row[j] != int32(i*cols+j) {
+					t.Fatalf("row %d col %d = %d, want %d", i, j, row[j], i*cols+j)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
