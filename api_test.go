@@ -290,3 +290,73 @@ func TestAnnotationErrorsAreDescriptive(t *testing.T) {
 		t.Errorf("err %v does not explain the reduction constraint", err)
 	}
 }
+
+// TestAdaptiveAnnotationRequiresEngine: declaring munin.Adaptive without
+// Config.Adaptive is a programming error caught at Run.
+func TestAdaptiveAnnotationRequiresEngine(t *testing.T) {
+	rt := New(Config{Processors: 2})
+	rt.DeclareWords("x", 4, Adaptive)
+	defer func() {
+		if recover() == nil {
+			t.Error("Run accepted an adaptive declaration without Config.Adaptive")
+		}
+	}()
+	_ = rt.Run(func(root *Thread) {})
+}
+
+// TestAdaptiveEndToEnd: an un-annotated (munin.Adaptive) producer-consumer
+// exchange converges to the producer_consumer protocol, reports the
+// switch in Stats, and computes the right values.
+func TestAdaptiveEndToEnd(t *testing.T) {
+	const procs, phases = 4, 8
+	rt := New(Config{Processors: procs, Adaptive: true})
+	data := rt.DeclareWords("data", 512, Adaptive)
+	bar := rt.CreateBarrier(procs + 1)
+	var sum uint32
+	err := rt.Run(func(root *Thread) {
+		for w := 0; w < procs; w++ {
+			w := w
+			root.Spawn(w, "worker", func(th *Thread) {
+				for ph := 0; ph < phases; ph++ {
+					if w == 0 {
+						for i := 0; i < 8; i++ {
+							data.Store(th, i, uint32(ph*100+i))
+						}
+					}
+					bar.Wait(th)
+					if w == 1 {
+						for i := 0; i < 8; i++ {
+							sum += data.Load(th, i)
+						}
+					}
+					bar.Wait(th)
+				}
+			})
+		}
+		for ph := 0; ph < 2*phases; ph++ {
+			bar.Wait(root)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint32
+	for ph := 0; ph < phases; ph++ {
+		for i := 0; i < 8; i++ {
+			want += uint32(ph*100 + i)
+		}
+	}
+	if sum != want {
+		t.Errorf("consumer sum = %d, want %d", sum, want)
+	}
+	st := rt.Stats()
+	if st.AdaptSwitches == 0 {
+		t.Error("no adaptive switches committed for an un-annotated producer-consumer object")
+	}
+	if a := rt.FinalAnnotations()[data.Base()]; a != ProducerConsumer {
+		t.Errorf("converged to %v, want producer_consumer", a)
+	}
+	if st.PerKind[wire.KindAdaptCommit] == 0 {
+		t.Error("no adapt-commit traffic recorded")
+	}
+}

@@ -8,9 +8,12 @@
 //	munin-bench -table 3                   # Matrix Multiply vs message passing
 //	munin-bench -table 6b                  # Table 6 in the false-sharing regime
 //	munin-bench -table tsp                 # the extra branch-and-bound workload
+//	munin-bench -table adaptive            # adaptive engine vs static annotations
 //	munin-bench -ablation all              # A1–A6
 //	munin-bench -table 5 -procs 1,4,16     # custom processor sweep
 //	munin-bench -table 3 -n 200            # smaller matrix
+//	munin-bench -table all -json out.json  # machine-readable results
+//	munin-bench -table 3 -adaptive         # run the apps with the adaptive engine on
 //
 // Times are virtual seconds from the calibrated cost model (a 1991-era
 // SUN-3/60 cluster on 10 Mbps Ethernet); see EXPERIMENTS.md for how each
@@ -18,8 +21,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,15 +33,24 @@ import (
 	"munin/internal/model"
 )
 
+// results collects every table run this invocation for -json output.
+var results = map[string]any{}
+
+// tableOut receives the formatted tables: stdout normally, stderr when
+// the JSON goes to stdout (so `-json -` stays machine-parseable).
+var tableOut io.Writer = os.Stdout
+
 func main() {
 	var (
-		table    = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp or all")
+		table    = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive or all")
 		ablation = flag.String("ablation", "", "ablation to run: A1-A6 or all")
 		procs    = flag.String("procs", "", "comma-separated processor counts for tables 3-5 (default 1,2,4,8,16)")
 		n        = flag.Int("n", 0, "matrix dimension for tables 3/4/6 (default 400)")
 		rows     = flag.Int("rows", 0, "SOR grid rows (default 512)")
 		cols     = flag.Int("cols", 0, "SOR grid columns (default 2048)")
 		iters    = flag.Int("iters", 0, "SOR iterations (default 100)")
+		adaptive = flag.Bool("adaptive", false, "run the application tables with the adaptive protocol engine enabled")
+		jsonOut  = flag.String("json", "", "also write the collected results as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if *table == "" && *ablation == "" {
@@ -44,7 +58,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := bench.AppOpts{N: *n, Rows: *rows, Cols: *cols, Iters: *iters}
+	if *jsonOut == "-" {
+		tableOut = os.Stderr
+	}
+	opts := bench.AppOpts{N: *n, Rows: *rows, Cols: *cols, Iters: *iters, Adaptive: *adaptive}
 	if *procs != "" {
 		ps, err := parseProcs(*procs)
 		if err != nil {
@@ -54,16 +71,36 @@ func main() {
 	}
 
 	if *table != "" {
-		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp"}) {
+		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp", "adaptive"}) {
 			runTable(t, opts)
-			fmt.Println()
+			fmt.Fprintln(tableOut)
 		}
 	}
 	if *ablation != "" {
 		for _, a := range splitList(*ablation, []string{"A1", "A2", "A3", "A4", "A5", "A6"}) {
 			runAblation(a)
-			fmt.Println()
+			fmt.Fprintln(tableOut)
 		}
+	}
+	if *jsonOut != "" {
+		writeJSON(*jsonOut)
+	}
+}
+
+// writeJSON emits every collected result keyed by table/ablation name, so
+// the perf trajectory can be tracked across commits (BENCH_*.json).
+func writeJSON(path string) {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatal(err)
 	}
 }
 
@@ -105,49 +142,72 @@ func parseProcs(s string) ([]int, error) {
 func runTable(t string, opts bench.AppOpts) {
 	switch t {
 	case "1":
-		bench.RunTable1().Format(os.Stdout)
+		r := bench.RunTable1()
+		r.Format(tableOut)
+		results["table1"] = r
 	case "2":
 		r, err := bench.RunTable2(model.Default())
 		if err != nil {
 			fatal(err)
 		}
-		r.Format(os.Stdout)
+		r.Format(tableOut)
+		results["table2"] = r
 	case "3":
 		r, err := bench.RunTable3(opts)
 		if err != nil {
 			fatal(err)
 		}
-		r.Format(os.Stdout)
+		r.Format(tableOut)
+		results["table3"] = r
 	case "4":
 		r, err := bench.RunTable4(opts)
 		if err != nil {
 			fatal(err)
 		}
-		r.Format(os.Stdout)
+		r.Format(tableOut)
+		results["table4"] = r
 	case "5":
 		r, err := bench.RunTable5(opts)
 		if err != nil {
 			fatal(err)
 		}
-		r.Format(os.Stdout)
+		r.Format(tableOut)
+		results["table5"] = r
 	case "6":
 		r, err := bench.RunTable6(bench.Table6Opts{AppOpts: opts})
 		if err != nil {
 			fatal(err)
 		}
-		r.Format(os.Stdout)
+		r.Format(tableOut)
+		results["table6"] = r
 	case "6b":
 		r, err := bench.RunTable6FalseSharing(bench.Table6Opts{})
 		if err != nil {
 			fatal(err)
 		}
-		r.Format(os.Stdout)
+		r.Format(tableOut)
+		results["table6b"] = r
 	case "tsp":
 		r, err := bench.RunTSP(opts)
 		if err != nil {
 			fatal(err)
 		}
-		r.Format(os.Stdout)
+		r.Format(tableOut)
+		results["tsp"] = r
+	case "adaptive":
+		ao := bench.AdaptiveOpts{N: opts.N, Rows: opts.Rows, Cols: opts.Cols, Iters: opts.Iters}
+		if len(opts.Procs) > 0 {
+			ao.Procs = opts.Procs[len(opts.Procs)-1]
+			if len(opts.Procs) > 1 {
+				fmt.Fprintf(tableOut, "(adaptive table runs at one processor count; using %d)\n", ao.Procs)
+			}
+		}
+		r, err := bench.RunAdaptive(ao)
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(tableOut)
+		results["adaptive"] = r
 	}
 }
 
@@ -173,7 +233,8 @@ func runAblation(a string) {
 	if err != nil {
 		fatal(err)
 	}
-	r.Format(os.Stdout)
+	r.Format(tableOut)
+	results[a] = r
 }
 
 func fatal(err error) {

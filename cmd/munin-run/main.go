@@ -9,6 +9,8 @@
 //	munin-run -app sor -procs 16 -rows 256 -iters 20
 //	munin-run -app matmul -procs 8 -annotation conventional
 //	munin-run -app sor -procs 4 -exact            # improved copyset algorithm
+//	munin-run -app tsp -procs 8 -annotation conventional -adaptive
+//	                                              # mis-annotated + adaptive recovery
 package main
 
 import (
@@ -24,15 +26,17 @@ import (
 
 func main() {
 	var (
-		app    = flag.String("app", "matmul", "application: matmul or sor")
-		procs  = flag.Int("procs", 8, "processor count (1-16)")
-		n      = flag.Int("n", 400, "matrix dimension (matmul)")
-		rows   = flag.Int("rows", 512, "grid rows (sor)")
-		cols   = flag.Int("cols", 2048, "grid columns (sor)")
-		iters  = flag.Int("iters", 100, "iterations (sor)")
-		single = flag.Bool("single", false, "apply the SingleObject optimization (matmul)")
-		annot  = flag.String("annotation", "", "force one annotation on all shared data (conventional, write_shared, ...)")
-		exact  = flag.Bool("exact", false, "use the improved home-directed copyset determination")
+		app      = flag.String("app", "matmul", "application: matmul, sor or tsp")
+		procs    = flag.Int("procs", 8, "processor count (1-16)")
+		n        = flag.Int("n", 400, "matrix dimension (matmul)")
+		rows     = flag.Int("rows", 512, "grid rows (sor)")
+		cols     = flag.Int("cols", 2048, "grid columns (sor)")
+		iters    = flag.Int("iters", 100, "iterations (sor)")
+		single   = flag.Bool("single", false, "apply the SingleObject optimization (matmul)")
+		annot    = flag.String("annotation", "", "force one annotation on all shared data (conventional, write_shared, ...)")
+		exact    = flag.Bool("exact", false, "use the improved home-directed copyset determination")
+		cities   = flag.Int("cities", 10, "tour length (tsp)")
+		adaptive = flag.Bool("adaptive", false, "enable the adaptive protocol engine (profiles access patterns and switches protocols online)")
 	)
 	flag.Parse()
 
@@ -52,15 +56,19 @@ func main() {
 	)
 	switch *app {
 	case "matmul":
-		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact}
+		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact, Adaptive: *adaptive}
 		r, err = apps.MuninMatMul(cfg)
 		ref = apps.MatMulReference(*n)
 	case "sor":
-		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact}
+		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact, Adaptive: *adaptive}
 		r, err = apps.MuninSOR(cfg)
 		ref = apps.SORReference(*rows, *cols, *iters)
+	case "tsp":
+		cfg := apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive}
+		r, err = apps.MuninTSP(cfg)
+		ref = uint32(apps.TSPReference(*cities))
 	default:
-		fatal(fmt.Errorf("unknown app %q (want matmul or sor)", *app))
+		fatal(fmt.Errorf("unknown app %q (want matmul, sor or tsp)", *app))
 	}
 	if err != nil {
 		fatal(err)
@@ -73,6 +81,9 @@ func main() {
 	fmt.Fprintf(tw, "root system time\t%.3f s\t\n", r.RootSystem.Seconds())
 	fmt.Fprintf(tw, "messages\t%d\t\n", r.Messages)
 	fmt.Fprintf(tw, "bytes\t%d\t\n", r.Bytes)
+	if *adaptive {
+		fmt.Fprintf(tw, "adaptive switches\t%d\t\n", r.AdaptSwitches)
+	}
 	match := "MATCH"
 	if r.Check != ref {
 		match = fmt.Sprintf("MISMATCH (got %08x, sequential reference %08x)", r.Check, ref)

@@ -12,20 +12,23 @@
 //	munin-trace -workload migratory -procs 4
 //	munin-trace -workload reduction -procs 4
 //	munin-trace -workload matmul -procs 2
+//	munin-trace -workload adaptive -procs 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"munin"
 	"munin/internal/network"
+	"munin/internal/vm"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "lock", "workload: lock, migratory, producer-consumer, reduction or matmul")
+		workload = flag.String("workload", "lock", "workload: lock, migratory, producer-consumer, reduction, matmul or adaptive")
 		procs    = flag.Int("procs", 4, "processor count (2-16)")
 	)
 	flag.Parse()
@@ -50,6 +53,8 @@ func main() {
 		err = traceReduction(*procs, trace)
 	case "matmul":
 		err = traceMatMul(*procs, trace)
+	case "adaptive":
+		err = traceAdaptive(*procs, trace)
 	default:
 		err = fmt.Errorf("unknown workload %q", *workload)
 	}
@@ -196,6 +201,55 @@ func traceMatMul(procs int, trace func(network.Envelope)) error {
 		}
 		done.Wait(root)
 	})
+}
+
+// traceAdaptive runs a mis-annotated producer-consumer exchange under the
+// adaptive protocol engine: a buffer declared with no hint at all
+// (munin.Adaptive) starts conventional, the engine observes the
+// invalidate/refetch ping-pong, and the adapt-propose/adapt-commit
+// exchange switching it to producer_consumer appears in the trace.
+func traceAdaptive(procs int, trace func(network.Envelope)) error {
+	rt := munin.New(munin.Config{Processors: procs, Trace: trace, Adaptive: true})
+	data := rt.DeclareWords("data", 512, munin.Adaptive)
+	bar := rt.CreateBarrier(procs + 1)
+	const phases = 8
+	err := rt.Run(func(root *munin.Thread) {
+		for w := 0; w < procs; w++ {
+			w := w
+			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
+				for ph := 0; ph < phases; ph++ {
+					if w == 0 {
+						for i := 0; i < 8; i++ {
+							data.Store(t, i, uint32(ph*100+i))
+						}
+					}
+					bar.Wait(t)
+					if w != 0 {
+						_ = data.Load(t, 0)
+					}
+					bar.Wait(t)
+				}
+			})
+		}
+		for ph := 0; ph < 2*phases; ph++ {
+			bar.Wait(root)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	st := rt.Stats()
+	fmt.Printf("-- %d adaptive switches committed\n", st.AdaptSwitches)
+	final := rt.FinalAnnotations()
+	bases := make([]vm.Addr, 0, len(final))
+	for base := range final {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, base := range bases {
+		fmt.Printf("-- final annotation of %#x: %v\n", base, final[base])
+	}
+	return nil
 }
 
 func fatal(err error) {

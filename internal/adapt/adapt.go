@@ -1,0 +1,434 @@
+// Package adapt is the adaptive protocol engine: runtime access-pattern
+// profiling and online annotation switching.
+//
+// The paper's whole argument (§4.3, Table 6) is that matching each shared
+// object's consistency protocol to its access pattern is what makes
+// software DSM competitive — and that a single wrong static choice is
+// expensive. The prototype relies on programmer-supplied annotations and
+// §6 leaves "detecting the access pattern at runtime" as future work.
+// This package supplies that subsystem for the reproduction: every node
+// profiles the access events it observes locally (its own faults, the
+// remote requests it serves, its flush history — counters kept on the
+// directory entries, see directory.Access), classifies the profile
+// against the Table 1 taxonomy, and proposes a protocol switch to the
+// object's home node. The home serializes proposals per object group,
+// commits at most one switch per epoch, and broadcasts the change; nodes
+// with delayed writes still buffered apply it at their next release,
+// where release consistency makes the transition safe.
+//
+// Profiles and switches operate at the granularity of the declared
+// variable (a "group" of page-sized objects), exactly the granularity the
+// paper's annotations use: evidence observed on the first pages of a
+// matrix retargets the whole matrix, including pages not yet touched.
+//
+// The classifier is deliberately conservative: it proposes nothing until
+// a minimum evidence mass accumulates, never re-proposes the same advice
+// for the same epoch, and switches that later prove wrong are themselves
+// new profiling signals (a write fault on a read-only object, a stable
+// sharing violation) that the runtime recovers from instead of aborting.
+package adapt
+
+import (
+	"fmt"
+
+	"munin/internal/directory"
+	"munin/internal/protocol"
+	"munin/internal/vm"
+)
+
+// Config tunes the engine's hysteresis.
+type Config struct {
+	// Self is this node's id; Nodes the machine size.
+	Self  int
+	Nodes int
+	// MinEvents is the evidence mass (total profiled events on a group)
+	// required before the classifier runs at all.
+	MinEvents int
+	// MinChurn is the repeat count that turns an access pattern from
+	// "happened" into "keeps happening" (ping-pong, read-invalidate
+	// cycles, lock-coupled faults).
+	MinChurn int
+	// StableFlushes is the number of consecutive flushes with an
+	// unchanged copyset after which sharing is declared stable.
+	StableFlushes int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MinEvents == 0 {
+		c.MinEvents = 6
+	}
+	if c.MinChurn == 0 {
+		c.MinChurn = 4
+	}
+	if c.StableFlushes == 0 {
+		c.StableFlushes = 2
+	}
+	return c
+}
+
+// Group is the engine's per-variable profile: the aggregate of the
+// directory.Access counters of every object in the group, plus proposal
+// bookkeeping.
+type Group struct {
+	// Base is the group key (the variable's first object address).
+	Base vm.Addr
+	// Acc aggregates access events across the group's objects.
+	Acc directory.Access
+	// MaxFlushStable is the highest consecutive-stable-copyset flush
+	// count any single object of the group has reached (copysets differ
+	// per object — a boundary page updates its neighbours — so stability
+	// is an object-level property even though the switch is group-level).
+	MaxFlushStable int
+
+	// entry is a representative directory entry (the most recently
+	// profiled one) supplying the group's current annotation and epoch.
+	entry *directory.Entry
+
+	onDirty       bool
+	sinceEval     int
+	proposed      bool
+	proposedEpoch uint32
+	proposedAnnot protocol.Annotation
+}
+
+// Entry returns the group's representative directory entry.
+func (g *Group) Entry() *directory.Entry { return g.entry }
+
+// Engine is one node's profiler and decision maker.
+type Engine struct {
+	cfg    Config
+	groups map[vm.Addr]*Group
+	order  []vm.Addr // deterministic iteration
+	dirty  []*Group  // groups touched since the last release-point sweep
+
+	// Proposals counts switch proposals sent (or locally committed) by
+	// this node; Commits counts switches committed at this node as home.
+	Proposals int
+	Commits   int
+}
+
+// New returns an engine for one node.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), groups: make(map[vm.Addr]*Group)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// group returns the profile for the entry's group, creating it on first
+// touch, and marks it dirty for the next release-point sweep.
+func (e *Engine) group(ent *directory.Entry) *Group {
+	base := ent.Group
+	if base == 0 {
+		base = ent.Start
+	}
+	g, ok := e.groups[base]
+	if !ok {
+		g = &Group{Base: base}
+		e.groups[base] = g
+		e.order = append(e.order, base)
+	}
+	g.entry = ent
+	if !g.onDirty {
+		g.onDirty = true
+		e.dirty = append(e.dirty, g)
+	}
+	g.sinceEval++
+	return g
+}
+
+// Lookup returns the existing profile for the entry's group without
+// recording an event.
+func (e *Engine) Lookup(ent *directory.Entry) (*Group, bool) {
+	base := ent.Group
+	if base == 0 {
+		base = ent.Start
+	}
+	g, ok := e.groups[base]
+	return g, ok
+}
+
+// MarkEvaluated restarts the group's opportunistic-evaluation throttle
+// after a fault-time classification attempt.
+func (e *Engine) MarkEvaluated(g *Group) { g.sinceEval = 0 }
+
+// Groups returns every profiled group in first-touch order.
+func (e *Engine) Groups() []*Group {
+	out := make([]*Group, 0, len(e.order))
+	for _, b := range e.order {
+		out = append(out, e.groups[b])
+	}
+	return out
+}
+
+// TakeDirty returns the groups profiled since the last call and clears
+// the dirty list (the release-point sweep).
+func (e *Engine) TakeDirty() []*Group {
+	out := e.dirty
+	e.dirty = nil
+	for _, g := range out {
+		g.onDirty = false
+		g.sinceEval = 0
+	}
+	return out
+}
+
+// --- profiling events ---
+// Each Note* updates both the entry's own counters and the group
+// aggregate. The bool result reports whether enough new evidence arrived
+// that an opportunistic (fault-time) classification is worth attempting.
+
+func (e *Engine) evalDue(g *Group) bool {
+	return g.Acc.Events() >= e.cfg.MinEvents && g.sinceEval >= e.cfg.MinEvents
+}
+
+// NoteReadMiss records a local read fault by this node.
+func (e *Engine) NoteReadMiss(ent *directory.Entry, lockHeld bool) bool {
+	g := e.group(ent)
+	ent.Acc.ReadFaults++
+	g.Acc.ReadFaults++
+	ent.Acc.Readers = ent.Acc.Readers.Add(e.cfg.Self)
+	g.Acc.Readers = g.Acc.Readers.Add(e.cfg.Self)
+	if lockHeld {
+		ent.Acc.LockCoupled++
+		g.Acc.LockCoupled++
+	}
+	return e.evalDue(g)
+}
+
+// NoteWriteMiss records a local write fault by this node.
+func (e *Engine) NoteWriteMiss(ent *directory.Entry, lockHeld bool) bool {
+	g := e.group(ent)
+	ent.Acc.WriteFaults++
+	g.Acc.WriteFaults++
+	ent.Acc.Writers = ent.Acc.Writers.Add(e.cfg.Self)
+	g.Acc.Writers = g.Acc.Writers.Add(e.cfg.Self)
+	if lockHeld {
+		ent.Acc.LockCoupled++
+		g.Acc.LockCoupled++
+	}
+	return e.evalDue(g)
+}
+
+// NoteServedRead records a read copy served to reader.
+func (e *Engine) NoteServedRead(ent *directory.Entry, reader int) bool {
+	g := e.group(ent)
+	ent.Acc.ServedReads++
+	g.Acc.ServedReads++
+	ent.Acc.Readers = ent.Acc.Readers.Add(reader)
+	g.Acc.Readers = g.Acc.Readers.Add(reader)
+	return e.evalDue(g)
+}
+
+// NoteOwnTransfer records ownership handed to writer.
+func (e *Engine) NoteOwnTransfer(ent *directory.Entry, writer int) bool {
+	g := e.group(ent)
+	ent.Acc.OwnTransfers++
+	g.Acc.OwnTransfers++
+	ent.Acc.Writers = ent.Acc.Writers.Add(writer)
+	g.Acc.Writers = g.Acc.Writers.Add(writer)
+	return e.evalDue(g)
+}
+
+// NoteMigration records a migratory hand-off served from here.
+func (e *Engine) NoteMigration(ent *directory.Entry) bool {
+	g := e.group(ent)
+	ent.Acc.Migrations++
+	g.Acc.Migrations++
+	return e.evalDue(g)
+}
+
+// NoteInvalidate records the local copy being invalidated by writer.
+func (e *Engine) NoteInvalidate(ent *directory.Entry, writer int) bool {
+	g := e.group(ent)
+	ent.Acc.InvalidatesTaken++
+	g.Acc.InvalidatesTaken++
+	ent.Acc.Writers = ent.Acc.Writers.Add(writer)
+	g.Acc.Writers = g.Acc.Writers.Add(writer)
+	return e.evalDue(g)
+}
+
+// NoteReduce records a Fetch-and-Φ applied or requested here.
+func (e *Engine) NoteReduce(ent *directory.Entry) bool {
+	g := e.group(ent)
+	ent.Acc.Reduces++
+	g.Acc.Reduces++
+	return e.evalDue(g)
+}
+
+// NoteFlush records a DUQ flush of ent whose determined remote copyset
+// was cs, tracking per-object copyset stability.
+func (e *Engine) NoteFlush(ent *directory.Entry, cs directory.Copyset) bool {
+	g := e.group(ent)
+	ent.Acc.Flushes++
+	g.Acc.Flushes++
+	if ent.Acc.Flushes > 1 && cs == ent.Acc.FlushCopyset {
+		ent.Acc.FlushStable++
+	} else {
+		ent.Acc.FlushStable = 0
+	}
+	ent.Acc.FlushCopyset = cs
+	if ent.Acc.FlushStable > g.MaxFlushStable {
+		g.MaxFlushStable = ent.Acc.FlushStable
+	}
+	return e.evalDue(g)
+}
+
+// NoteStableDrift records a stable-sharing violation the adaptive runtime
+// degraded gracefully (purged the locked copyset and served the access)
+// instead of aborting on.
+func (e *Engine) NoteStableDrift(ent *directory.Entry) bool {
+	g := e.group(ent)
+	ent.Acc.StableDrift++
+	g.Acc.StableDrift++
+	g.MaxFlushStable = 0
+	return e.evalDue(g)
+}
+
+// ResetGroup clears the group profile after a committed switch: fresh
+// evidence must accumulate under the new protocol before more advice.
+func (e *Engine) ResetGroup(base vm.Addr) {
+	if g, ok := e.groups[base]; ok {
+		g.Acc.Reset()
+		g.MaxFlushStable = 0
+		g.proposed = false
+	}
+}
+
+// Decision is the classifier's verdict for one group.
+type Decision struct {
+	Target protocol.Annotation
+	Reason string
+}
+
+// Decide classifies the group and applies proposal hysteresis: the same
+// advice is never issued twice for the same epoch. The caller sends the
+// proposal (or commits directly if it is the home).
+func (e *Engine) Decide(g *Group) (Decision, bool) {
+	ent := g.entry
+	if ent == nil || ent.Annot == protocol.Reduction && g.Acc.Reduces > 0 {
+		return Decision{}, false
+	}
+	d, ok := Classify(&g.Acc, g.MaxFlushStable, ent.Annot, e.cfg)
+	if !ok {
+		return Decision{}, false
+	}
+	if g.proposed && g.proposedEpoch == ent.Epoch && g.proposedAnnot == d.Target {
+		return Decision{}, false
+	}
+	g.proposed = true
+	g.proposedEpoch = ent.Epoch
+	g.proposedAnnot = d.Target
+	e.Proposals++
+	return d, true
+}
+
+// Classify maps an observed access profile to the Table 1 annotation it
+// matches, or reports false when the evidence is insufficient or the
+// current protocol already fits. The rules, in priority order, mirror the
+// taxonomy of §2.3.2:
+//
+//   - Fetch-and-Φ traffic        → reduction
+//   - lock-coupled faults        → migratory (critical-section data)
+//   - read-only under migration  → read_only (stop the ping-pong)
+//   - aimless migration          → conventional (then re-profile)
+//   - stable flush copysets      → producer_consumer
+//   - drifting stable copysets   → write_shared (back off)
+//   - writer/writer or writer/reader ping-pong → producer_consumer
+//     (update, don't invalidate; the first flush determines the copyset
+//     and privatizes pages nobody else holds)
+func Classify(acc *directory.Access, maxFlushStable int, cur protocol.Annotation, cfg Config) (Decision, bool) {
+	cfg = cfg.withDefaults()
+	target := func(t protocol.Annotation, reason string) (Decision, bool) {
+		if t == cur {
+			return Decision{}, false
+		}
+		return Decision{Target: t, Reason: reason}, true
+	}
+
+	// Fetch-and-Φ operations only work on reduction objects; any such
+	// traffic identifies the pattern outright.
+	if acc.Reduces > 0 {
+		return target(protocol.Reduction, "fetch-and-op traffic")
+	}
+	if acc.Events() < cfg.MinEvents {
+		return Decision{}, false
+	}
+
+	writers := acc.Writers
+	readers := acc.Readers
+	remoteReaders := false
+	for i := 0; i < cfg.Nodes; i++ {
+		if readers.Has(i) && !writers.Has(i) {
+			remoteReaders = true
+		}
+	}
+
+	// Faults taken while holding a lock mark critical-section data: one
+	// thread at a time, read-then-write — the migratory pattern.
+	if acc.LockCoupled >= cfg.MinChurn && 2*acc.LockCoupled >= acc.ReadFaults+acc.WriteFaults {
+		return target(protocol.Migratory, "lock-coupled critical-section access")
+	}
+
+	// No writes anywhere: reads are only pathological when every one of
+	// them drags the single migratory copy across the network.
+	if writers.Empty() {
+		if cur == protocol.Migratory && acc.ReadFaults+acc.Migrations >= cfg.MinChurn {
+			return target(protocol.ReadOnly, "read-only data bouncing under migration")
+		}
+		return Decision{}, false
+	}
+
+	// Written, migrating constantly, but never inside a critical section:
+	// migration is the wrong tool; fall back to ownership and re-profile.
+	if cur == protocol.Migratory && acc.Migrations >= cfg.MinChurn && acc.LockCoupled == 0 {
+		return target(protocol.Conventional, "un-locked data bouncing under migration")
+	}
+
+	// A delayed protocol whose flush copysets stopped changing: the
+	// sharing relationship is stable, so stop re-determining it.
+	if cur.Params().Delayed && !cur.Params().StableSharing &&
+		maxFlushStable >= cfg.StableFlushes && acc.StableDrift == 0 {
+		return target(protocol.ProducerConsumer, "stable flush copysets")
+	}
+
+	// A stable protocol whose locked copysets keep being violated: the
+	// relationship is not stable after all.
+	if cur.Params().StableSharing && acc.StableDrift >= 2 {
+		return target(protocol.WriteShared, "stable sharing keeps drifting")
+	}
+
+	// Invalidation-based churn (ownership transfers, invalidations,
+	// repeated write faults on the same data) under a single-writer
+	// protocol: the writers (and any readers) are exchanging data, so
+	// update instead of invalidate and let the first flush determine the
+	// copyset. Producer-consumer rather than plain write-shared because
+	// the copyset lock-in also privatizes unshared pages; if the locked
+	// sets later prove wrong, drift recovery backs off to write-shared.
+	churn := acc.OwnTransfers + acc.InvalidatesTaken + acc.WriteFaults + acc.ServedReads
+	if !cur.Params().Delayed && cur.Params().Writable && churn >= cfg.MinChurn {
+		if writers.Count() >= 2 && acc.OwnTransfers+acc.InvalidatesTaken >= cfg.MinChurn {
+			return target(protocol.ProducerConsumer, "concurrent writers ping-ponging ownership")
+		}
+		if writers.Count() == 1 && remoteReaders &&
+			acc.WriteFaults+acc.OwnTransfers+acc.InvalidatesTaken >= 2 {
+			return target(protocol.ProducerConsumer, "single writer, repeat readers")
+		}
+	}
+	return Decision{}, false
+}
+
+// SwitchValid reports whether an adaptive transition to target is
+// admissible: the target's parameter bits must validate, and only
+// patterns the engine understands are ever targets.
+func SwitchValid(target protocol.Annotation) error {
+	switch target {
+	case protocol.ReadOnly, protocol.Migratory, protocol.WriteShared,
+		protocol.ProducerConsumer, protocol.Reduction, protocol.Result,
+		protocol.Conventional:
+	default:
+		return fmt.Errorf("adapt: %v is not a switchable protocol", target)
+	}
+	return target.Params().Validate()
+}

@@ -1,0 +1,214 @@
+package adapt
+
+import (
+	"testing"
+
+	"munin/internal/directory"
+	"munin/internal/protocol"
+)
+
+func cfg() Config { return Config{Self: 0, Nodes: 8}.withDefaults() }
+
+func classify(t *testing.T, acc directory.Access, stable int, cur protocol.Annotation) (protocol.Annotation, bool) {
+	t.Helper()
+	d, ok := Classify(&acc, stable, cur, cfg())
+	return d.Target, ok
+}
+
+func TestClassifyReduction(t *testing.T) {
+	got, ok := classify(t, directory.Access{Reduces: 1}, 0, protocol.Conventional)
+	if !ok || got != protocol.Reduction {
+		t.Errorf("fetch-and-op traffic -> (%v, %v), want reduction", got, ok)
+	}
+	// Already a reduction object: no advice.
+	if _, ok := classify(t, directory.Access{Reduces: 5}, 0, protocol.Reduction); ok {
+		t.Error("reduction object with reduce traffic should not switch")
+	}
+}
+
+func TestClassifyInsufficientEvidence(t *testing.T) {
+	acc := directory.Access{ReadFaults: 2, Writers: 0, Readers: 1}
+	if _, ok := classify(t, acc, 0, protocol.Migratory); ok {
+		t.Error("classified below the evidence threshold")
+	}
+}
+
+func TestClassifyReadOnlyUnderMigration(t *testing.T) {
+	acc := directory.Access{ReadFaults: 8, Migrations: 4, Readers: 0b1111}
+	got, ok := classify(t, acc, 0, protocol.Migratory)
+	if !ok || got != protocol.ReadOnly {
+		t.Errorf("read-only bouncing under migration -> (%v, %v), want read_only", got, ok)
+	}
+	// The same profile under conventional is already cheap: no advice.
+	if _, ok := classify(t, acc, 0, protocol.Conventional); ok {
+		t.Error("pure read sharing under conventional needs no switch")
+	}
+}
+
+func TestClassifyLockCoupledMigratory(t *testing.T) {
+	acc := directory.Access{
+		ReadFaults: 4, WriteFaults: 4, LockCoupled: 8,
+		Writers: 0b111, Readers: 0b111,
+	}
+	got, ok := classify(t, acc, 0, protocol.Conventional)
+	if !ok || got != protocol.Migratory {
+		t.Errorf("lock-coupled access -> (%v, %v), want migratory", got, ok)
+	}
+}
+
+func TestClassifyUnlockedMigrationChurn(t *testing.T) {
+	acc := directory.Access{WriteFaults: 3, Migrations: 6, Writers: 0b11, Readers: 0b11}
+	got, ok := classify(t, acc, 0, protocol.Migratory)
+	if !ok || got != protocol.Conventional {
+		t.Errorf("un-locked migration churn -> (%v, %v), want conventional", got, ok)
+	}
+}
+
+func TestClassifyStableFlushes(t *testing.T) {
+	acc := directory.Access{Flushes: 4, WriteFaults: 4, Writers: 0b1}
+	got, ok := Classify(&acc, 3, protocol.WriteShared, cfg())
+	if !ok || got.Target != protocol.ProducerConsumer {
+		t.Errorf("stable flush copysets -> (%v, %v), want producer_consumer", got.Target, ok)
+	}
+	// Drifting stable sets go the other way.
+	acc = directory.Access{Flushes: 4, WriteFaults: 4, Writers: 0b1, StableDrift: 2}
+	got, ok = Classify(&acc, 3, protocol.ProducerConsumer, cfg())
+	if !ok || got.Target != protocol.WriteShared {
+		t.Errorf("drifting stable sharing -> (%v, %v), want write_shared", got.Target, ok)
+	}
+}
+
+func TestClassifyOwnershipPingPong(t *testing.T) {
+	acc := directory.Access{
+		WriteFaults: 4, OwnTransfers: 3, InvalidatesTaken: 2,
+		Writers: 0b11, Readers: 0b11,
+	}
+	got, ok := classify(t, acc, 0, protocol.Conventional)
+	if !ok || got != protocol.ProducerConsumer {
+		t.Errorf("writer ping-pong -> (%v, %v), want producer_consumer", got, ok)
+	}
+}
+
+func TestClassifySingleWriterRepeatReaders(t *testing.T) {
+	acc := directory.Access{
+		WriteFaults: 3, ServedReads: 5,
+		Writers: 0b1, Readers: 0b110,
+	}
+	got, ok := classify(t, acc, 0, protocol.Conventional)
+	if !ok || got != protocol.ProducerConsumer {
+		t.Errorf("single writer repeat readers -> (%v, %v), want producer_consumer", got, ok)
+	}
+}
+
+func TestClassifyDelayedProtocolsLeftAlone(t *testing.T) {
+	// A healthy write-shared object (churn counters but Delayed current
+	// protocol) gets no invalidation-churn advice.
+	acc := directory.Access{WriteFaults: 6, ServedReads: 6, Writers: 0b11, Readers: 0b11}
+	if _, ok := classify(t, acc, 0, protocol.WriteShared); ok {
+		t.Error("healthy write-shared object should not switch on fault churn")
+	}
+}
+
+func TestEngineProposalHysteresis(t *testing.T) {
+	eng := New(Config{Self: 0, Nodes: 4})
+	e := &directory.Entry{Start: 0x80000000, Size: 8192, Annot: protocol.Conventional,
+		Params: protocol.Conventional.Params()}
+	for i := 0; i < 10; i++ {
+		eng.NoteWriteMiss(e, false)
+		eng.NoteOwnTransfer(e, 1)
+	}
+	g, ok := eng.Lookup(e)
+	if !ok {
+		t.Fatal("group not tracked")
+	}
+	if _, ok := eng.Decide(g); !ok {
+		t.Fatal("no decision despite heavy ping-pong")
+	}
+	// Same epoch, same advice: silence.
+	if d, ok := eng.Decide(g); ok {
+		t.Errorf("re-proposed %v for the same epoch", d.Target)
+	}
+	// A new epoch (the switch committed) re-arms the engine.
+	e.Epoch++
+	eng.ResetGroup(e.Start)
+	if _, ok := eng.Decide(g); ok {
+		t.Error("proposed with a freshly reset profile")
+	}
+	for i := 0; i < 10; i++ {
+		eng.NoteWriteMiss(e, false)
+		eng.NoteOwnTransfer(e, 2)
+	}
+	if _, ok := eng.Decide(g); !ok {
+		t.Error("no proposal after fresh evidence under the new epoch")
+	}
+}
+
+func TestEngineGroupAggregation(t *testing.T) {
+	eng := New(Config{Self: 0, Nodes: 4})
+	// Two entries of the same declared variable share one profile.
+	e1 := &directory.Entry{Start: 0x80000000, Size: 8192, Group: 0x80000000,
+		Annot: protocol.Conventional, Params: protocol.Conventional.Params()}
+	e2 := &directory.Entry{Start: 0x80002000, Size: 8192, Group: 0x80000000,
+		Annot: protocol.Conventional, Params: protocol.Conventional.Params()}
+	eng.NoteWriteMiss(e1, false)
+	eng.NoteWriteMiss(e2, false)
+	g, ok := eng.Lookup(e1)
+	if !ok || g.Acc.WriteFaults != 2 {
+		t.Fatalf("group aggregate write faults = %d, want 2", g.Acc.WriteFaults)
+	}
+	if g2, _ := eng.Lookup(e2); g2 != g {
+		t.Error("entries of one variable map to different groups")
+	}
+	if e1.Acc.WriteFaults != 1 || e2.Acc.WriteFaults != 1 {
+		t.Error("per-entry counters not maintained alongside the group aggregate")
+	}
+}
+
+func TestEngineDirtySweep(t *testing.T) {
+	eng := New(Config{Self: 0, Nodes: 4})
+	e := &directory.Entry{Start: 0x80000000, Size: 8192,
+		Annot: protocol.Conventional, Params: protocol.Conventional.Params()}
+	eng.NoteReadMiss(e, false)
+	if got := len(eng.TakeDirty()); got != 1 {
+		t.Fatalf("dirty sweep returned %d groups, want 1", got)
+	}
+	if got := len(eng.TakeDirty()); got != 0 {
+		t.Fatalf("second sweep returned %d groups, want 0", got)
+	}
+	eng.NoteReadMiss(e, false)
+	if got := len(eng.TakeDirty()); got != 1 {
+		t.Fatalf("sweep after new event returned %d groups, want 1", got)
+	}
+}
+
+func TestEngineFlushStability(t *testing.T) {
+	eng := New(Config{Self: 0, Nodes: 4})
+	e := &directory.Entry{Start: 0x80000000, Size: 8192,
+		Annot: protocol.WriteShared, Params: protocol.WriteShared.Params()}
+	cs := directory.Copyset(0b10)
+	eng.NoteFlush(e, cs)
+	eng.NoteFlush(e, cs)
+	eng.NoteFlush(e, cs)
+	g, _ := eng.Lookup(e)
+	if g.MaxFlushStable != 2 {
+		t.Errorf("stable flushes = %d, want 2", g.MaxFlushStable)
+	}
+	eng.NoteFlush(e, directory.Copyset(0b100)) // set changed
+	if e.Acc.FlushStable != 0 {
+		t.Errorf("flush stability not reset on copyset change")
+	}
+}
+
+func TestSwitchValid(t *testing.T) {
+	for _, a := range protocol.Annotations() {
+		if err := SwitchValid(a); err != nil {
+			t.Errorf("SwitchValid(%v) = %v", a, err)
+		}
+	}
+	if err := SwitchValid(protocol.Adaptive); err == nil {
+		t.Error("SwitchValid accepted the adaptive pseudo-annotation as a target")
+	}
+	if err := SwitchValid(protocol.Annotation(99)); err == nil {
+		t.Error("SwitchValid accepted an unknown annotation")
+	}
+}

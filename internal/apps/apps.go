@@ -34,6 +34,9 @@ type MatMulConfig struct {
 	// Exact selects the improved home-directed copyset determination
 	// (ablation A4).
 	Exact bool
+	// Adaptive enables the adaptive protocol engine, which profiles the
+	// (possibly mis-annotated) shared data and switches protocols online.
+	Adaptive bool
 }
 
 // SORConfig parameterizes an SOR run (Tables 5, 6).
@@ -53,6 +56,9 @@ type SORConfig struct {
 	// Exact selects the improved home-directed copyset determination
 	// (ablation A4).
 	Exact bool
+	// Adaptive enables the adaptive protocol engine, which profiles the
+	// (possibly mis-annotated) shared data and switches protocols online.
+	Adaptive bool
 }
 
 // RunResult reports one run's measurements in the paper's terms.
@@ -73,6 +79,9 @@ type RunResult struct {
 	// Check fingerprints the computed output so Munin, message-passing
 	// and sequential reference runs can be compared exactly.
 	Check uint32
+	// AdaptSwitches counts annotation switches the adaptive engine
+	// committed during the run (zero when not adaptive).
+	AdaptSwitches int
 }
 
 // MACRow is the matrix-multiply inner loop: dst[j] += aik * brow[j].

@@ -24,7 +24,8 @@ func MuninMatMul(c MatMulConfig) (RunResult, error) {
 	if c.Model == (model.CostModel{}) {
 		c.Model = model.Default()
 	}
-	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Override: c.Override, ExactCopyset: c.Exact})
+	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Override: c.Override,
+		ExactCopyset: c.Exact, Adaptive: c.Adaptive})
 
 	var inputOpts []munin.DeclOption
 	if c.Single {
@@ -89,12 +90,13 @@ func MuninMatMul(c MatMulConfig) (RunResult, error) {
 	}
 	st := rt.Stats()
 	return RunResult{
-		Elapsed:    st.Elapsed,
-		RootUser:   st.RootUser,
-		RootSystem: st.RootSystem,
-		Messages:   st.Messages,
-		Bytes:      st.Bytes,
-		PerKind:    st.PerKind,
-		Check:      ChecksumInt32(out),
+		Elapsed:       st.Elapsed,
+		RootUser:      st.RootUser,
+		RootSystem:    st.RootSystem,
+		Messages:      st.Messages,
+		Bytes:         st.Bytes,
+		PerKind:       st.PerKind,
+		Check:         ChecksumInt32(out),
+		AdaptSwitches: st.AdaptSwitches,
 	}, nil
 }

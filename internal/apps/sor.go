@@ -30,7 +30,8 @@ func MuninSOR(c SORConfig) (RunResult, error) {
 	if c.Model == (model.CostModel{}) {
 		c.Model = model.Default()
 	}
-	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Override: c.Override, ExactCopyset: c.Exact})
+	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Override: c.Override,
+		ExactCopyset: c.Exact, Adaptive: c.Adaptive})
 
 	grid := rt.DeclareFloat32Matrix("matrix", c.Rows, c.Cols, munin.ProducerConsumer)
 	grid.Init(SORInit)
@@ -108,12 +109,13 @@ func MuninSOR(c SORConfig) (RunResult, error) {
 	}
 	st := rt.Stats()
 	return RunResult{
-		Elapsed:    st.Elapsed,
-		RootUser:   st.RootUser,
-		RootSystem: st.RootSystem,
-		Messages:   st.Messages,
-		Bytes:      st.Bytes,
-		PerKind:    st.PerKind,
-		Check:      ChecksumFloat32Sum(flat),
+		Elapsed:       st.Elapsed,
+		RootUser:      st.RootUser,
+		RootSystem:    st.RootSystem,
+		Messages:      st.Messages,
+		Bytes:         st.Bytes,
+		PerKind:       st.PerKind,
+		Check:         ChecksumFloat32Sum(flat),
+		AdaptSwitches: st.AdaptSwitches,
 	}, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"munin"
 	"munin/internal/model"
+	"munin/internal/protocol"
 	"munin/internal/sim"
 )
 
@@ -26,6 +27,12 @@ type TSPConfig struct {
 	Cities int
 	// Model is the cost model (zero = default).
 	Model model.CostModel
+	// Override forces one annotation on all shared data. Note the static
+	// runtime aborts a mis-annotated TSP (Fetch-and-Φ on a non-reduction
+	// bound object is a runtime error); pair Override with Adaptive.
+	Override *protocol.Annotation
+	// Adaptive enables the adaptive protocol engine.
+	Adaptive bool
 }
 
 // TSPDist gives the deterministic distance matrix all versions share.
@@ -96,7 +103,8 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 	if c.Model == (model.CostModel{}) {
 		c.Model = model.Default()
 	}
-	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model})
+	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model,
+		Override: c.Override, Adaptive: c.Adaptive})
 
 	cities := c.Cities
 	dist := rt.DeclareInt32Matrix("dist", cities, cities, munin.ReadOnly)
@@ -164,12 +172,13 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 	best := uint32(final[0]) | uint32(final[1])<<8 | uint32(final[2])<<16 | uint32(final[3])<<24
 	st := rt.Stats()
 	return RunResult{
-		Elapsed:    st.Elapsed,
-		RootUser:   st.RootUser,
-		RootSystem: st.RootSystem,
-		Messages:   st.Messages,
-		Bytes:      st.Bytes,
-		PerKind:    st.PerKind,
-		Check:      best,
+		Elapsed:       st.Elapsed,
+		RootUser:      st.RootUser,
+		RootSystem:    st.RootSystem,
+		Messages:      st.Messages,
+		Bytes:         st.Bytes,
+		PerKind:       st.PerKind,
+		Check:         best,
+		AdaptSwitches: st.AdaptSwitches,
 	}, nil
 }

@@ -36,6 +36,9 @@ type AppOpts struct {
 	Rows, Cols, Iters int
 	// Model overrides the calibrated cost model (zero value = default).
 	Model model.CostModel
+	// Adaptive runs the Munin versions with the adaptive protocol engine
+	// enabled (profiling plus online annotation switching).
+	Adaptive bool
 }
 
 func (o AppOpts) withDefaults() AppOpts {

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"munin/internal/model"
+	"munin/internal/protocol"
 	"munin/internal/sim"
 )
 
@@ -46,8 +47,8 @@ func TestTable1MatchesPaper(t *testing.T) {
 			t.Errorf("missing Table 1 row %s", name)
 		}
 	}
-	if len(tbl.Rows) != len(want)+1 {
-		t.Errorf("table has %d rows, want %d published + 1 extension", len(tbl.Rows), len(want))
+	if ext := len(protocol.Extensions()); len(tbl.Rows) != len(want)+ext {
+		t.Errorf("table has %d rows, want %d published + %d extensions", len(tbl.Rows), len(want), ext)
 	}
 }
 

@@ -33,6 +33,9 @@ func (n *Node) handleFault(t *Thread, base vm.Addr, write bool) {
 	e := n.entry(t, base)
 	e.Sem.Acquire(p)
 	defer e.Sem.Release()
+	// Updates stashed during this fault but not consumed by an install
+	// die with it (see Node.fetchStash).
+	defer delete(n.fetchStash, e.Start)
 	// Queued incoming updates must merge before the protocol inspects or
 	// twins the local copy.
 	n.drainPendingObject(p, e.Start)
@@ -51,6 +54,9 @@ func (n *Node) handleFault(t *Thread, base vm.Addr, write bool) {
 
 // readMiss obtains a readable copy of the object.
 func (n *Node) readMiss(t *Thread, e *directory.Entry) {
+	if n.adaptEng != nil && n.adaptEng.NoteReadMiss(e, n.locksHeld > 0) {
+		n.adaptEvaluate(t.proc, e)
+	}
 	switch {
 	case e.Annot == protocol.Migratory:
 		// Migrate with read AND write access even if the first access
@@ -63,6 +69,25 @@ func (n *Node) readMiss(t *Thread, e *directory.Entry) {
 
 // writeMiss obtains a writable copy, dispatching on the annotation.
 func (n *Node) writeMiss(t *Thread, e *directory.Entry) {
+	if n.adaptEng != nil {
+		due := n.adaptEng.NoteWriteMiss(e, n.locksHeld > 0)
+		if !e.Params.Writable || e.Annot == protocol.Reduction {
+			// The static runtime aborts here; the adaptive runtime treats
+			// the mis-annotation as a signal and switches the object to a
+			// writable ownership protocol before retrying.
+			n.adaptRecover(t, e, protocol.Conventional, "write fault", func() bool {
+				return e.Params.Writable && e.Annot != protocol.Reduction
+			})
+		} else if due {
+			n.adaptEvaluate(t.proc, e)
+		}
+		if e.Valid && e.Writable {
+			// The switch resolved the fault (the new protocol grants the
+			// local copy write access).
+			e.Modified = true
+			return
+		}
+	}
 	if !e.Params.Writable {
 		fail(n.id, e.Start, "write fault", fmt.Sprintf("object is %v and not writable", e.Annot))
 	}
@@ -72,7 +97,13 @@ func (n *Node) writeMiss(t *Thread, e *directory.Entry) {
 			"reduction objects must be accessed via Fetch-and-Φ operations")
 	case e.Annot == protocol.Migratory:
 		n.migrate(t, e)
-		e.Modified = true
+		if e.Params.Delayed {
+			// Switched mid-migration (see migrate): write via the new
+			// protocol.
+			n.delayedWrite(t, e)
+		} else {
+			e.Modified = true
+		}
 	case e.Params.Delayed:
 		n.delayedWrite(t, e)
 	default:
@@ -101,6 +132,16 @@ func (n *Node) fetchReadCopy(t *Thread, e *directory.Entry, prefetch bool) {
 		wire.ReadReq{Addr: e.Start, Requester: uint8(n.id), Prefetch: prefetch}).(wire.ReadReply)
 	e.ProbOwner = int(reply.Owner)
 	n.installObject(t.proc, e, reply.Data, vm.ProtRead)
+	// Apply any updates that raced the fetch (writers whose flush saw the
+	// fault in progress and addressed this copy). Word diffs carry
+	// absolute values, so re-applying one the served data already
+	// contained is harmless.
+	if stash := n.fetchStash[e.Start]; len(stash) > 0 {
+		delete(n.fetchStash, e.Start)
+		for _, u := range stash {
+			n.applyUpdate(t.proc, e, u, -1)
+		}
+	}
 }
 
 // serveRead answers a ReadReq if this node can supply current data,
@@ -114,16 +155,42 @@ func (n *Node) serveRead(p *sim.Proc, m wire.ReadReq) {
 	n.drainPendingObject(p, e.Start) // serve current data, not queued-stale
 	data := n.currentData(e)
 	if data == nil {
+		// A full image parked in the fetch stash (a repatriation that
+		// arrived while a local fault holds the entry) is current data:
+		// serve from it. Without this, a chase can orbit forever while
+		// the only copy of the object sits in the stash, waiting for the
+		// very fault that is itself waiting on the chase.
+		data = n.stashedImage(e.Start)
+	}
+	if data == nil {
 		n.forward(p, e, m, int(m.Requester))
+		return
+	}
+	if !e.AwaitFrom.Empty() {
+		// A flushing writer's copyset query counted this copy and its
+		// update is still in flight: serving now would hand out data
+		// that predates that release. Defer until the update arrives.
+		n.deferredReads[e.Start] = append(n.deferredReads[e.Start], m)
 		return
 	}
 	// A stable-sharing object may not acquire new sharers after the
 	// relationship has been determined (§2.3.2: "If the sharing pattern
-	// changes unexpectedly a runtime error is generated").
+	// changes unexpectedly a runtime error is generated"). The adaptive
+	// runtime reads the violation as pattern drift instead: purge the
+	// locked copyset so the next flush re-determines it, and serve.
 	req := int(m.Requester)
 	if e.Params.StableSharing && e.CopysetKnown && !e.Copyset.Has(req) {
-		fail(n.id, e.Start, "read serve",
-			fmt.Sprintf("node %d violates the determined stable sharing pattern", req))
+		if n.adaptEng == nil {
+			fail(n.id, e.Start, "read serve",
+				fmt.Sprintf("node %d violates the determined stable sharing pattern", req))
+		}
+		e.CopysetKnown = false
+		if n.adaptEng.NoteStableDrift(e) {
+			n.adaptEvaluate(p, e)
+		}
+	}
+	if n.adaptEng != nil && n.adaptEng.NoteServedRead(e, req) {
+		n.adaptEvaluate(p, e)
 	}
 	e.Copyset = e.Copyset.Add(req)
 	// A single-writer object now has replicas: the local copy must be
@@ -133,8 +200,26 @@ func (n *Node) serveRead(p *sim.Proc, m wire.ReadReq) {
 	if !e.Params.MultipleWriters && e.Writable {
 		n.protectObject(p, e, vm.ProtRead)
 	}
+	// The reply's owner hint must chase the real owner, not this node: a
+	// mere replica claiming itself would let two replicas end up pointing
+	// at each other, and an ownership request could then orbit them
+	// forever.
+	owner := n.id
+	if !e.Owned {
+		owner = e.ProbOwner
+		if owner == n.id {
+			owner = e.Home
+		}
+	}
 	p.Advance(n.sys.cost.CopyCost(e.Size))
-	n.sys.net.Send(p, n.id, req, wire.ReadReply{Addr: e.Start, Owner: uint8(n.id), Data: data})
+	if req == n.id {
+		// Our own chase came back to us (possible once it re-routes via
+		// the home) and this node can now supply the data: complete the
+		// waiting fault directly.
+		n.complete(pendKey{pendRead, uint64(e.Start)}, wire.ReadReply{Addr: e.Start, Owner: uint8(owner), Data: data})
+		return
+	}
+	n.sys.net.Send(p, n.id, req, wire.ReadReply{Addr: e.Start, Owner: uint8(owner), Data: data})
 	if n.sys.cfg.ExactCopyset && e.Home != n.id {
 		// Keep the home's tracked copyset complete: it is the node the
 		// improved determination algorithm will ask (§3.3).
@@ -145,6 +230,12 @@ func (n *Node) serveRead(p *sim.Proc, m wire.ReadReq) {
 // migrate moves a migratory object here with read+write access,
 // invalidating the previous copy (§2.3.2).
 func (n *Node) migrate(t *Thread, e *directory.Entry) {
+	if e.Valid && e.Owned {
+		// The single copy is already here but lost write access (an
+		// annotation switch or sharing purge re-protected it): restore.
+		n.protectObject(t.proc, e, vm.ProtReadWrite)
+		return
+	}
 	n.ReadMisses++
 	dst := e.ProbOwner
 	if dst == n.id {
@@ -165,6 +256,22 @@ func (n *Node) migrate(t *Thread, e *directory.Entry) {
 	n.installObject(t.proc, e, reply.Data, vm.ProtReadWrite)
 	e.Owned = true
 	e.ProbOwner = n.id
+	if e.Params.Delayed {
+		// The object switched to a delayed protocol while the migration
+		// was in flight: this copy may hold writes the home never saw.
+		// Restore the common base and fall back to read access; a write
+		// retries through the new protocol's fault path.
+		if e.Valid {
+			data := n.readObject(e)
+			n.protectObject(t.proc, e, vm.ProtRead)
+			e.Modified = false
+			if e.Home != n.id {
+				n.sendBase(t.proc, e, data)
+			}
+		}
+		e.Owned = false
+		e.ProbOwner = e.Home
+	}
 }
 
 // serveMigrate hands a migratory object over, invalidating the local copy.
@@ -180,15 +287,23 @@ func (n *Node) serveMigrate(p *sim.Proc, m wire.MigrateReq) {
 		n.forward(p, e, m, int(m.Requester))
 		return
 	}
+	if n.adaptEng != nil && n.adaptEng.NoteMigration(e) {
+		n.adaptEvaluate(p, e)
+	}
 	req := int(m.Requester)
 	n.dropObject(p, e)
 	e.Owned = false
 	e.ProbOwner = req
 	if e.Home == n.id {
 		e.BackingStale = true
+		n.redispatchChase(p, e)
 	}
 	p.Advance(n.sys.cost.CopyCost(e.Size))
 	n.sys.net.Send(p, n.id, req, wire.MigrateReply{Addr: e.Start, Data: data})
+	if e.Home != n.id {
+		// Anchor the home's hint to the transfer history (see forward).
+		n.sys.net.Send(p, n.id, e.Home, wire.OwnNotify{Addr: e.Start, Owner: uint8(req)})
+	}
 }
 
 // delayedWrite implements the DUQ write path (§3.3): fetch current data if
@@ -203,21 +318,42 @@ func (n *Node) delayedWrite(t *Thread, e *directory.Entry) {
 		e.Modified = true
 		return
 	}
-	if !e.Valid {
-		// The write needs the object's current contents to diff
-		// against: page it in first (the matmul output pages come from
-		// the root exactly this way, §4.1).
-		n.WriteMisses++
-		n.fetchReadCopy(t, e, false)
-	}
-	if e.Params.MultipleWriters {
+	// The write needs the object's current contents to diff against:
+	// page it in first (the matmul output pages come from the root
+	// exactly this way, §4.1). In an adaptive run the fresh copy can be
+	// snatched whenever virtual time passes (an in-flight conventional
+	// ownership request from before a protocol switch drops it), so
+	// re-check validity after every yield and retry a bounded number of
+	// times.
+	for tries := 0; ; tries++ {
+		if tries == 8 {
+			fail(n.id, e.Start, "write fault", "local copy repeatedly invalidated while paging in")
+		}
+		if !e.Valid {
+			n.WriteMisses++
+			n.fetchReadCopy(t, e, false)
+			continue
+		}
+		if !e.Params.MultipleWriters {
+			break
+		}
+		// Snapshot before charging the copy cost: the charge yields, and
+		// the twin must match the content the diff will later be taken
+		// against.
+		data := n.readObject(e)
 		t.proc.Advance(n.sys.cost.CopyCost(e.Size))
-		duq.MakeTwin(e, n.readObject(e))
+		if !e.Valid {
+			continue // snatched during the charge (twin died with the copy)
+		}
+		duq.MakeTwin(e, data)
 		n.Twins++
+		break
 	}
 	n.duq.Enqueue(e)
 	n.protectObject(t.proc, e, vm.ProtReadWrite)
-	e.Modified = true
+	if e.Valid {
+		e.Modified = true
+	}
 }
 
 // conventionalWrite implements the ownership-based write-invalidate
@@ -253,6 +389,13 @@ func (n *Node) conventionalWrite(t *Thread, e *directory.Entry) {
 		e.Owned = true
 		e.ProbOwner = n.id
 		e.Copyset = cs
+		if e.Params.Delayed {
+			// The object switched to a delayed protocol while the
+			// ownership request was in flight: re-route through the new
+			// protocol's write path from a common base.
+			n.adaptConvResume(t, e)
+			return
+		}
 	} else if e.Valid {
 		n.protectObject(t.proc, e, vm.ProtReadWrite)
 	} else if e.Home == n.id && !e.BackingStale && e.Backing != nil {
@@ -293,14 +436,23 @@ func (n *Node) serveOwn(p *sim.Proc, m wire.OwnReq) {
 	}
 	n.drainPendingObject(p, e.Start)
 	if !e.Owned {
-		n.forward(p, e, m, int(m.Requester))
-		return
+		// An in-flight conventional request can arrive after the object
+		// switched to a delayed protocol, where ownership no longer
+		// moves. The home's repatriated copy is the current base: serve
+		// it rather than chasing a probable-owner chain that may loop.
+		if !(n.adaptEng != nil && e.Home == n.id && e.Valid && e.Params.Delayed) {
+			n.forward(p, e, m, int(m.Requester))
+			return
+		}
 	}
 	data := n.currentData(e)
 	if data == nil {
 		fail(n.id, e.Start, "ownership serve", "owner holds no valid data")
 	}
 	req := int(m.Requester)
+	if n.adaptEng != nil && n.adaptEng.NoteOwnTransfer(e, req) {
+		n.adaptEvaluate(p, e)
+	}
 	cs := e.Copyset.Remove(req)
 	n.dropObject(p, e)
 	e.Owned = false
@@ -308,9 +460,14 @@ func (n *Node) serveOwn(p *sim.Proc, m wire.OwnReq) {
 	e.Copyset = 0
 	if e.Home == n.id {
 		e.BackingStale = true
+		n.redispatchChase(p, e)
 	}
 	p.Advance(n.sys.cost.CopyCost(e.Size))
 	n.sys.net.Send(p, n.id, req, wire.OwnReply{Addr: e.Start, Copyset: uint64(cs), Data: data})
+	if e.Home != n.id {
+		// Anchor the home's hint to the transfer history (see forward).
+		n.sys.net.Send(p, n.id, e.Home, wire.OwnNotify{Addr: e.Start, Owner: uint8(req)})
+	}
 }
 
 // serveInvalidate drops the local copy. A dirty copy under a
@@ -318,6 +475,30 @@ func (n *Node) serveOwn(p *sim.Proc, m wire.OwnReq) {
 // owner; a dirty copy otherwise is a runtime error (§3.3).
 func (n *Node) serveInvalidate(p *sim.Proc, src int, m wire.Invalidate) {
 	if e, ok := n.dir.Lookup(m.Addr); ok {
+		// An invalidation from a promised updater supersedes the update —
+		// clear the promise on every path, including the stale-owner
+		// early return below, or reads deferred behind it wait forever.
+		e.AwaitFrom = e.AwaitFrom.Remove(src)
+		if e.AwaitFrom.Empty() {
+			n.redispatchReads(p, e.Start)
+		}
+		if e.Owned && !e.Params.MultipleWriters {
+			// A stale single-writer invalidation: it targets the replica
+			// this node had before it became the owner (the invalidator's
+			// copyset was snapshotted then, and ownership has since moved
+			// here, possibly granted by that very invalidator). The owned
+			// copy is the current truth — dropping it would make
+			// ownership vanish from the machine and leave every later
+			// request orbiting stale hints. Acknowledge and keep.
+			// (Multiple-writer delayed invalidations are different: they
+			// are flush propagation, and the home legitimately holds
+			// Owned; those proceed.)
+			n.sys.net.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
+			return
+		}
+		if n.adaptEng != nil && n.adaptEng.NoteInvalidate(e, int(m.NewOwner)) {
+			n.adaptEvaluate(p, e)
+		}
 		if n.puq != nil {
 			// The invalidation supersedes any queued updates for the
 			// dying copy.
@@ -347,14 +528,28 @@ func (n *Node) serveInvalidate(p *sim.Proc, src int, m wire.Invalidate) {
 	n.sys.net.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
 }
 
-// forward relays a request along the probable-owner chain; requester is
-// used for path compression on the hint.
+// forward relays a request along the probable-owner chain. A hint
+// pointing back at the request's own requester is stale (replica-served
+// hints and late invalidations can even form cycles among replicas), so
+// such chases re-route through the object's home: ownership transfers
+// notify the home (OwnNotify), making it the one node whose hint tracks
+// the true transfer history. If even the home's hint points at the
+// requester, the transfer that took ownership away from the requester is
+// still in flight — its notification will arrive, so the request parks
+// until then (deferredChase).
 func (n *Node) forward(p *sim.Proc, e *directory.Entry, m wire.Message, requester int) {
 	dst := e.ProbOwner
 	if dst == n.id {
 		dst = e.Home
 	}
-	if dst == n.id || dst == requester {
+	if dst == requester {
+		if e.Home == n.id {
+			n.deferredChase[e.Start] = append(n.deferredChase[e.Start], m)
+			return
+		}
+		dst = e.Home
+	}
+	if dst == n.id {
 		fail(n.id, e.Start, "forward", fmt.Sprintf("probable-owner chain for %v dead-ends here", m.Kind()))
 	}
 	n.sys.net.Send(p, n.id, dst, m)

@@ -37,6 +37,7 @@ func (n *Node) flushEntries(t *Thread, entries []*directory.Entry) {
 	// Result objects skip this (changes go only to the owner/home);
 	// stable objects reuse the copyset determined the first time.
 	var query []*directory.Entry
+	queried := make(map[*directory.Entry]bool)
 	for _, e := range entries {
 		if e.Params.FlushToOwner {
 			continue
@@ -45,6 +46,7 @@ func (n *Node) flushEntries(t *Thread, entries []*directory.Entry) {
 			continue
 		}
 		query = append(query, e)
+		queried[e] = true
 	}
 	if len(query) > 0 && n.sys.Nodes() > 1 {
 		n.determineCopysets(t, query)
@@ -66,6 +68,13 @@ func (n *Node) flushEntries(t *Thread, entries []*directory.Entry) {
 		default:
 			dests = e.Copyset.Remove(n.id).Nodes(n.sys.Nodes())
 		}
+		if n.adaptEng != nil {
+			var cs directory.Copyset
+			for _, d := range dests {
+				cs = cs.Add(d)
+			}
+			n.adaptEng.NoteFlush(e, cs) // classification happens at the release sweep
+		}
 		if len(dests) == 0 {
 			// No remote copies. A stable object becomes private: keep
 			// it writable with no twin and no further faults (§4.2).
@@ -86,6 +95,14 @@ func (n *Node) flushEntries(t *Thread, entries []*directory.Entry) {
 			continue
 		}
 		entry, changed := n.encodeEntry(p, e)
+		if !changed && queried[e] && !n.sys.cfg.ExactCopyset {
+			// Every node that answered this flush's broadcast query
+			// "held" is expecting an update (it defers read serves until
+			// it arrives — Entry.AwaitFrom). Deliver the promise even
+			// when the diff came out empty.
+			entry = &wire.UpdateEntry{Addr: e.Start, Size: uint32(e.Size)}
+			changed = true
+		}
 		if changed {
 			for _, d := range dests {
 				batches[d] = append(batches[d], *entry)
@@ -138,6 +155,16 @@ func (n *Node) flushEntries(t *Thread, entries []*directory.Entry) {
 		duq.DropTwin(e)
 		e.Modified = false
 		n.protectObject(p, e, vm.ProtRead)
+	}
+
+	// Annotation switches that arrived while these entries had buffered
+	// writes apply now: the writes above propagated under the protocol
+	// they were made under, and this is a release point, so the
+	// transition is safe (release consistency).
+	for _, e := range entries {
+		if e.PendingAnnot != nil {
+			n.applyAnnotationSwitch(p, e, *e.PendingAnnot)
+		}
 	}
 }
 
@@ -245,17 +272,29 @@ func (n *Node) serveCopysetNotify(m wire.CopysetNotify) {
 }
 
 // serveCopysetQuery reports which of the queried objects this node holds a
-// valid copy of. A home node holding only stale-able backing marks it
-// stale (a writer exists now) and remembers the writer as probable owner.
+// valid copy of. A fault in progress on the object (its entry semaphore
+// held) counts as holding: the faulting thread is about to install a
+// copy, and release consistency requires the querying writer's updates
+// to reach that copy — they buffer in the fetch stash until the install
+// completes. A home node holding only stale-able backing marks it stale
+// (a writer exists now) and remembers the writer as probable owner.
 func (n *Node) serveCopysetQuery(p *sim.Proc, m wire.CopysetQuery) {
 	var held []vm.Addr
 	for _, a := range m.Addrs {
 		e, ok := n.dir.Lookup(a)
 		if !ok {
+			if _, fetching := n.dirFetch[n.space.PageBase(a)]; fetching {
+				// A local fault is mid-flight before the directory entry
+				// even exists: a copy is coming, and it must observe the
+				// querying writer's flush. Count it (the update buffers
+				// in the fetch stash until the install completes).
+				held = append(held, a)
+			}
 			continue
 		}
-		if e.Valid {
+		if e.Valid || e.Sem.Busy() {
 			held = append(held, a)
+			e.AwaitFrom = e.AwaitFrom.Add(int(m.From))
 			continue
 		}
 		if e.Home == n.id {
@@ -263,6 +302,7 @@ func (n *Node) serveCopysetQuery(p *sim.Proc, m wire.CopysetQuery) {
 			// querying node is writing the object.
 			e.BackingStale = true
 			e.ProbOwner = int(m.From)
+			n.redispatchChase(p, e)
 		}
 	}
 	n.sys.net.Send(p, n.id, int(m.From), wire.CopysetReply{Addrs: held})
@@ -294,6 +334,13 @@ func (n *Node) serveUpdateBatch(p *sim.Proc, src int, m wire.UpdateBatch) {
 	for _, u := range m.Entries {
 		e, ok := n.dir.Lookup(u.Addr)
 		if !ok {
+			if _, fetching := n.dirFetch[n.space.PageBase(u.Addr)]; fetching {
+				// The entry itself is still being fetched (the flushing
+				// writer's query counted the fault in progress): buffer
+				// until the copy installs.
+				n.fetchStash[u.Addr] = append(n.fetchStash[u.Addr], u)
+				continue
+			}
 			fail(n.id, u.Addr, "update apply", "update for an object this node has never seen")
 		}
 		if n.puq != nil {
@@ -302,7 +349,27 @@ func (n *Node) serveUpdateBatch(p *sim.Proc, src int, m wire.UpdateBatch) {
 			n.queuePendingUpdate(u)
 			continue
 		}
-		n.applyUpdate(p, e, u, src)
+		e.AwaitFrom = e.AwaitFrom.Remove(src)
+		if !e.Valid && e.Sem.Busy() {
+			// A local fault on the object is mid-flight: the copy being
+			// fetched must observe this update (the sender's copyset
+			// query counted the fault as a holder). Buffer until the
+			// install completes (Node.fetchStash).
+			n.fetchStash[e.Start] = append(n.fetchStash[e.Start], u)
+		} else if u.Full == nil && diffenc.Empty(u.Diff) {
+			// An empty promise-keeping update (the queried flush turned
+			// out to carry no changes for us): nothing to merge.
+		} else {
+			n.applyUpdate(p, e, u, src)
+		}
+		if e.AwaitFrom.Empty() {
+			n.redispatchReads(p, e.Start)
+		}
+		if e.Home == n.id && e.Valid {
+			// A repatriation or flush made the home's copy current: any
+			// parked chases can be answered from it now.
+			n.redispatchChase(p, e)
+		}
 	}
 	if m.NeedAck {
 		n.sys.net.Send(p, n.id, src, wire.UpdateAck{Count: uint32(len(m.Entries))})

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"munin/internal/adapt"
+	"munin/internal/diffenc"
 	"munin/internal/directory"
 	"munin/internal/duq"
 	"munin/internal/network"
@@ -99,28 +101,142 @@ type Node struct {
 	// puqSem serializes drains against the node's other threads.
 	puq    *pendingUpdates
 	puqSem *sim.Semaphore
+
+	// adaptEng is the adaptive protocol engine; nil unless
+	// Config.Adaptive. annotWait holds threads blocked on an urgent
+	// annotation switch, keyed by group base; locksHeld counts locks
+	// currently held by this node's threads (the lock-coupled-access
+	// profiling signal).
+	adaptEng  *adapt.Engine
+	annotWait map[vm.Addr]*sim.Future
+	locksHeld int
+	// AdaptApplied counts annotation switches applied at this node.
+	AdaptApplied int
+
+	// fetchStash buffers updates that arrive for an object while a local
+	// fault on it is mid-flight (the entry is not yet valid but its
+	// semaphore is held). They apply — in arrival order, idempotently —
+	// the moment the fetched copy installs, so a copy acquired
+	// concurrently with a remote release still observes that release's
+	// writes. Leftovers die with the fault that stashed them.
+	fetchStash map[vm.Addr][]wire.UpdateEntry
+
+	// deferredReads holds read requests parked behind in-flight flush
+	// updates (directory.Entry.AwaitFrom); they re-dispatch when the
+	// promised updates arrive or the copy drops.
+	deferredReads map[vm.Addr][]wire.ReadReq
+
+	// deferredChase holds request chases that dead-ended at this node as
+	// the object's home (the hint pointed back at the requester, meaning
+	// the transfer that displaced the requester is still in flight); they
+	// re-dispatch when the home's ownership knowledge refreshes.
+	deferredChase map[vm.Addr][]wire.Message
+}
+
+// stashedImage reconstructs the object's current content from the fetch
+// stash, if a full image is parked there: the latest full, with any
+// later diffs applied on top. Returns nil when the stash holds no full
+// base. The stash itself is left intact — the local fault that owns it
+// still drains it after its install (idempotently).
+func (n *Node) stashedImage(addr vm.Addr) []byte {
+	st := n.fetchStash[addr]
+	last := -1
+	for i, u := range st {
+		if u.Full != nil {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	data := append([]byte(nil), st[last].Full...)
+	for _, u := range st[last+1:] {
+		if _, err := diffenc.Decode(data, u.Diff); err != nil {
+			fail(n.id, addr, "stash serve", err.Error())
+		}
+	}
+	return data
+}
+
+// redispatchReads re-serves read requests that were deferred behind
+// in-flight updates for addr, once nothing is awaited anymore.
+func (n *Node) redispatchReads(p *sim.Proc, addr vm.Addr) {
+	rs := n.deferredReads[addr]
+	if len(rs) == 0 {
+		return
+	}
+	delete(n.deferredReads, addr)
+	for _, m := range rs {
+		n.serveRead(p, m)
+	}
+}
+
+// redispatchChase re-dispatches request chases that parked at this home
+// node awaiting fresher ownership knowledge.
+func (n *Node) redispatchChase(p *sim.Proc, e *directory.Entry) {
+	ms := n.deferredChase[e.Start]
+	if len(ms) == 0 {
+		return
+	}
+	delete(n.deferredChase, e.Start)
+	for _, m := range ms {
+		switch mm := m.(type) {
+		case wire.ReadReq:
+			n.serveRead(p, mm)
+		case wire.OwnReq:
+			n.serveOwn(p, mm)
+		case wire.MigrateReq:
+			n.serveMigrate(p, mm)
+		default:
+			panic(fmt.Sprintf("core: node %d cannot re-dispatch deferred %T", n.id, m))
+		}
+	}
+}
+
+// serveOwnNotify records an ownership transfer at the object's home.
+func (n *Node) serveOwnNotify(p *sim.Proc, m wire.OwnNotify) {
+	e, ok := n.dir.Lookup(m.Addr)
+	if !ok {
+		return
+	}
+	if !e.Owned {
+		e.ProbOwner = int(m.Owner)
+	}
+	n.redispatchChase(p, e)
 }
 
 func newNode(s *System, id int) *Node {
 	n := &Node{
-		sys:         s,
-		id:          id,
-		space:       vm.NewSpace(s.cfg.PageSize),
-		dir:         directory.NewTable(s.cfg.PageSize),
-		synch:       directory.NewSynchTable(),
-		duq:         duq.New(),
-		pending:     make(map[pendKey]*sim.Future),
-		collectors:  make(map[pendKey]*collector),
-		dirFetch:    make(map[vm.Addr]*sim.Future),
-		flushSem:    s.sim.NewSemaphore(fmt.Sprintf("flush[%d]", id), 1),
-		barrierWait: make(map[int][]*sim.Future),
-		barrierFrom: make(map[int][]int),
-		lockWait:    make(map[int][]*sim.Future),
-		lockPend:    make(map[int]bool),
+		sys:           s,
+		id:            id,
+		space:         vm.NewSpace(s.cfg.PageSize),
+		dir:           directory.NewTable(s.cfg.PageSize),
+		synch:         directory.NewSynchTable(),
+		duq:           duq.New(),
+		pending:       make(map[pendKey]*sim.Future),
+		collectors:    make(map[pendKey]*collector),
+		dirFetch:      make(map[vm.Addr]*sim.Future),
+		flushSem:      s.sim.NewSemaphore(fmt.Sprintf("flush[%d]", id), 1),
+		barrierWait:   make(map[int][]*sim.Future),
+		barrierFrom:   make(map[int][]int),
+		lockWait:      make(map[int][]*sim.Future),
+		lockPend:      make(map[int]bool),
+		fetchStash:    make(map[vm.Addr][]wire.UpdateEntry),
+		deferredReads: make(map[vm.Addr][]wire.ReadReq),
+		deferredChase: make(map[vm.Addr][]wire.Message),
 	}
 	if s.cfg.PendingUpdates {
 		n.puq = newPendingUpdates()
 		n.puqSem = s.sim.NewSemaphore(fmt.Sprintf("puq[%d]", id), 1)
+	}
+	if s.cfg.Adaptive {
+		n.adaptEng = adapt.New(adapt.Config{
+			Self: id, Nodes: s.cfg.Processors,
+			MinEvents:     s.cfg.AdaptMinEvents,
+			MinChurn:      s.cfg.AdaptMinChurn,
+			StableFlushes: s.cfg.AdaptStableFlushes,
+		})
+		n.annotWait = make(map[vm.Addr]*sim.Future)
 	}
 	n.space.SetHandler(vm.FaultHandlerFunc(func(ctx any, base vm.Addr, write bool) {
 		t, ok := ctx.(*Thread)
@@ -183,6 +299,12 @@ func (n *Node) dispatch(p *sim.Proc, env network.Envelope) {
 		n.serveCopysetLookup(p, m)
 	case wire.CopysetNotify:
 		n.serveCopysetNotify(m)
+	case wire.OwnNotify:
+		n.serveOwnNotify(p, m)
+	case wire.AdaptPropose:
+		n.serveAdaptPropose(p, m)
+	case wire.AdaptCommit:
+		n.serveAdaptCommit(p, m)
 	case wire.LockAcq:
 		n.serveLockAcq(p, m)
 	case wire.LockSetSucc:
@@ -346,6 +468,8 @@ func (n *Node) serveDirReq(p *sim.Proc, src int, m wire.DirReq) {
 		Annot: uint8(e.Annot),
 		Home:  uint8(e.Home),
 		Owner: uint8(e.ProbOwner),
+		Group: groupOf(e),
+		Epoch: e.Epoch,
 	})
 }
 
@@ -362,6 +486,8 @@ func (n *Node) completeDirFetch(m wire.DirReply) {
 			Annot:     annot,
 			Params:    annot.Params(),
 			Home:      int(m.Home),
+			Group:     m.Group,
+			Epoch:     m.Epoch,
 			ProbOwner: int(m.Owner),
 			Synchq:    -1,
 			Sem:       n.sys.sim.NewSemaphore(fmt.Sprintf("entry[n%d %#x]", n.id, m.Start), 1),
@@ -462,6 +588,17 @@ func (n *Node) dropObject(p *sim.Proc, e *directory.Entry) {
 		// An unmap supersedes any queued updates: the next use refetches
 		// current data.
 		n.puq.drop(e.Start)
+	}
+	delete(n.fetchStash, e.Start)
+	// Reads deferred behind in-flight updates cannot be served from a
+	// dropped copy: route them onward instead.
+	e.AwaitFrom = 0
+	n.redispatchReads(p, e.Start)
+	if e.PendingAnnot != nil {
+		// A deferred annotation switch was waiting for this entry's next
+		// flush, which will never come now that the copy is gone: apply
+		// it to the (empty) entry immediately.
+		n.applyAnnotationSwitch(p, e, *e.PendingAnnot)
 	}
 }
 

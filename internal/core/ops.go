@@ -42,6 +42,16 @@ func applyReduce(old uint32, op wire.ReduceOp, operand uint32) uint32 {
 func (n *Node) fetchAndOp(t *Thread, addr vm.Addr, off int, op wire.ReduceOp, operand uint32) uint32 {
 	p := t.proc
 	e := n.entry(t, addr)
+	if n.adaptEng != nil {
+		n.adaptEng.NoteReduce(e)
+		if e.Annot != protocol.Reduction {
+			// Fetch-and-Φ traffic identifies the reduction pattern
+			// outright: switch instead of aborting.
+			n.adaptRecover(t, e, protocol.Reduction, "fetch-and-op", func() bool {
+				return e.Annot == protocol.Reduction
+			})
+		}
+	}
 	if e.Annot != protocol.Reduction {
 		fail(n.id, addr, "fetch-and-op",
 			fmt.Sprintf("object is %v; Fetch-and-Φ requires a reduction object", e.Annot))
@@ -100,6 +110,19 @@ func (n *Node) serveReduce(p *sim.Proc, m wire.ReduceReq) {
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok || e.Home != n.id {
 		fail(n.id, m.Addr, "reduce serve", "fetch-and-op arrived at a node that is not the fixed owner")
+	}
+	if n.adaptEng != nil {
+		n.adaptEng.NoteReduce(e)
+		if e.Annot != protocol.Reduction {
+			// The requester's switch proposal may still be in flight, or
+			// the group was retargeted meanwhile; as the home we can
+			// commit the recovery directly.
+			n.commitSwitch(p, e, protocol.Reduction)
+		}
+	}
+	if e.Annot != protocol.Reduction {
+		fail(n.id, m.Addr, "reduce serve",
+			fmt.Sprintf("object is %v; Fetch-and-Φ requires a reduction object", e.Annot))
 	}
 	old := n.reduceAtHome(p, e, int(m.Off)/vm.WordSize, m.Op, m.Operand)
 	n.sys.net.Send(p, n.id, int(m.Requester), wire.ReduceReply{Addr: e.Start, Old: old})

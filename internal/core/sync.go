@@ -19,6 +19,7 @@ func (n *Node) acquireLock(t *Thread, id int) {
 	se := n.mustSynch(id, directory.SynchLock)
 	if se.Owned && !se.Held {
 		se.Held = true
+		n.locksHeld++
 		n.drainPendingAll(p)
 		return
 	}
@@ -29,6 +30,7 @@ func (n *Node) acquireLock(t *Thread, id int) {
 		f := n.sys.sim.NewFuture(fmt.Sprintf("lockwait[n%d l%d]", n.id, id))
 		n.lockWait[id] = append(n.lockWait[id], f)
 		f.Wait(p)
+		n.locksHeld++
 		n.drainPendingAll(p)
 		return
 	}
@@ -38,6 +40,7 @@ func (n *Node) acquireLock(t *Thread, id int) {
 	n.lockPend[id] = false
 	se.Owned = true
 	se.Held = true
+	n.locksHeld++
 	se.ProbOwner = n.id
 	// se.Succ is NOT reset: a LockSetSucc enqueueing our successor may
 	// already have arrived while the grant was in flight.
@@ -63,11 +66,13 @@ func (n *Node) acquireLock(t *Thread, id int) {
 func (n *Node) releaseLock(t *Thread, id int) {
 	p := t.proc
 	n.releaseFlush(t)
+	n.adaptAtRelease(t)
 	p.Advance(n.sys.cost.LockHandlerCPU)
 	se := n.mustSynch(id, directory.SynchLock)
 	if !se.Held || !se.Owned {
 		fail(n.id, 0, "release lock", fmt.Sprintf("lock %d is not held by this node", id))
 	}
+	n.locksHeld--
 	if ws := n.lockWait[id]; len(ws) > 0 {
 		// Hand directly to a local waiter; ownership and Held stay.
 		n.lockWait[id] = ws[1:]
@@ -185,6 +190,7 @@ func (n *Node) lockPiggyback(p *sim.Proc, se *directory.SynchEntry) []wire.Updat
 func (n *Node) waitAtBarrier(t *Thread, id int) {
 	p := t.proc
 	n.releaseFlush(t)
+	n.adaptAtRelease(t)
 	p.Advance(n.sys.cost.BarrierHandlerCPU)
 	se := n.mustSynch(id, directory.SynchBarrier)
 	f := n.sys.sim.NewFuture(fmt.Sprintf("barrier[n%d b%d]", n.id, id))

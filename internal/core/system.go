@@ -43,6 +43,20 @@ type Config struct {
 	// (ablation A5). BarrierFanout sets the tree arity (default 4).
 	BarrierTree   bool
 	BarrierFanout int
+	// Adaptive enables the adaptive protocol engine (internal/adapt):
+	// every node profiles the access pattern of every shared object and
+	// switches objects' annotations online when the observed pattern
+	// contradicts the declared one — §6's "detecting the access pattern
+	// at runtime" future work. Mis-annotations that would otherwise be
+	// runtime errors (writing read-only data, Fetch-and-Φ on a
+	// non-reduction object, stable-sharing violations) become recovery
+	// signals instead of aborts.
+	Adaptive bool
+	// AdaptMinEvents, AdaptMinChurn and AdaptStableFlushes tune the
+	// engine's hysteresis (zero = adapt package defaults).
+	AdaptMinEvents     int
+	AdaptMinChurn      int
+	AdaptStableFlushes int
 	// AwaitUpdateAcks makes a release block until every update it sent is
 	// acknowledged (decoded and merged remotely). The prototype does not
 	// block: it propagates updates at the release and relies on the
@@ -68,6 +82,11 @@ type Decl struct {
 	Size  int
 	Annot protocol.Annotation
 	Home  int
+	// Group is the declared variable's base address — the objects a
+	// page-split matrix was broken into share it, and the adaptive
+	// engine profiles and switches protocols at this granularity. Zero
+	// means the object is its own group.
+	Group vm.Addr
 	// Init is the object's initial contents (nil means zeros).
 	Init []byte
 	// Synchq associates the object with a lock (AssociateDataAndSynch);
@@ -141,6 +160,14 @@ func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDec
 		if cfg.Override != nil {
 			annot = *cfg.Override
 		}
+		if annot == protocol.Adaptive {
+			// Adaptive is "no hint": start under the conventional
+			// protocol and let the engine take it from there.
+			if !cfg.Adaptive {
+				panic(fmt.Sprintf("core: object %q declared adaptive but Config.Adaptive is off", d.Name))
+			}
+			annot = protocol.Conventional
+		}
 		if d.Size <= 0 || d.Size%vm.WordSize != 0 {
 			panic(fmt.Sprintf("core: object %q size %d not a positive word multiple", d.Name, d.Size))
 		}
@@ -152,6 +179,7 @@ func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDec
 			Annot:     annot,
 			Params:    annot.Params(),
 			Home:      d.Home,
+			Group:     d.Group,
 			ProbOwner: d.Home,
 			Owned:     true,
 			Backing:   backing,
@@ -251,6 +279,52 @@ func (s *System) ObjectData(i int, addr vm.Addr) []byte {
 	// observed state (no virtual time to charge after the run).
 	n.drainPendingObject(nil, e.Start)
 	return n.currentData(e)
+}
+
+// AdaptStats summarizes the adaptive engine's activity after a run.
+type AdaptStats struct {
+	// Proposals counts switch proposals issued (including home-local
+	// decisions); Commits counts switches committed (each counted once,
+	// at the object's home); Applied counts per-node entry rewrites.
+	Proposals int
+	Commits   int
+	Applied   int
+}
+
+// AdaptStats aggregates the adaptive engine's counters across nodes.
+// Zero-valued when the system is not adaptive.
+func (s *System) AdaptStats() AdaptStats {
+	var st AdaptStats
+	for _, n := range s.nodes {
+		st.Applied += n.AdaptApplied
+		if n.adaptEng != nil {
+			st.Proposals += n.adaptEng.Proposals
+			st.Commits += n.adaptEng.Commits
+		}
+	}
+	return st
+}
+
+// FinalAnnotations reports each object's annotation after the run, keyed
+// by group base address, as seen from its home node (the node that
+// serializes its switches) — what the adaptive engine converged to.
+func (s *System) FinalAnnotations() map[vm.Addr]protocol.Annotation {
+	out := make(map[vm.Addr]protocol.Annotation)
+	for _, n := range s.nodes {
+		for _, e := range n.dir.Entries() {
+			if e.Home != n.id {
+				continue
+			}
+			base := e.Group
+			if base == 0 {
+				base = e.Start
+			}
+			if _, ok := out[base]; !ok {
+				out[base] = e.Annot
+			}
+		}
+	}
+	return out
 }
 
 // NodeUserTime sums user-mode virtual time over node i's threads — the

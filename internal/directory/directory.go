@@ -63,6 +63,58 @@ func (c Copyset) Nodes(limit int) []int {
 	return out
 }
 
+// Access accumulates the per-entry access events the adaptive profiler
+// (internal/adapt) consumes. Every count is what THIS node observed since
+// the last annotation switch: its own faults, the remote requests it
+// served, its flush history. The counters are plain integers updated on
+// paths that already charge virtual time, so profiling itself costs
+// nothing extra until a release-point classification is attempted.
+type Access struct {
+	// ReadFaults and WriteFaults count local access misses.
+	ReadFaults  int
+	WriteFaults int
+	// LockCoupled counts local faults taken while this node held a lock —
+	// the signature of migratory, critical-section data.
+	LockCoupled int
+	// ServedReads counts read copies served to remote nodes from here.
+	ServedReads int
+	// OwnTransfers counts ownership handed away (write-invalidate
+	// ping-pong when it keeps coming back).
+	OwnTransfers int
+	// Migrations counts migrate requests served from here.
+	Migrations int
+	// InvalidatesTaken counts invalidations of the local copy received
+	// from remote writers.
+	InvalidatesTaken int
+	// Reduces counts Fetch-and-Φ operations applied or requested here.
+	Reduces int
+	// Flushes counts DUQ flushes of local modifications; FlushStable
+	// counts consecutive flushes whose determined copyset equalled the
+	// previous one (the stable-sharing signal), and FlushCopyset is that
+	// last determined set.
+	Flushes      int
+	FlushStable  int
+	FlushCopyset Copyset
+	// StableDrift counts stable-sharing violations the adaptive runtime
+	// degraded gracefully (a locked copyset proved wrong).
+	StableDrift int
+	// Writers and Readers are the nodes observed writing/reading the
+	// object, from local faults and served requests combined.
+	Writers Copyset
+	Readers Copyset
+}
+
+// Events returns the total number of profiled events — the evidence mass
+// hysteresis thresholds are compared against.
+func (a *Access) Events() int {
+	return a.ReadFaults + a.WriteFaults + a.ServedReads + a.OwnTransfers +
+		a.Migrations + a.InvalidatesTaken + a.Reduces + a.Flushes
+}
+
+// Reset clears the profile (applied when an annotation switch commits, so
+// fresh evidence must accumulate before the next proposal).
+func (a *Access) Reset() { *a = Access{} }
+
 // Entry is one data object directory entry. The static fields (Start, Size,
 // Annot, Params, Home) travel between nodes in DirReply messages; the
 // dynamic fields describe this node's local copy.
@@ -79,6 +131,14 @@ type Entry struct {
 	// Home is the node at which the object was created (the root node for
 	// statically allocated objects).
 	Home int
+
+	// Group is the start address of the declared variable this object
+	// belongs to (page-sized objects of one matrix share a group; a
+	// single-object variable is its own group). The adaptive engine
+	// profiles and switches protocols at group granularity — the
+	// granularity the paper's annotations use. Zero means ungrouped
+	// (treated as Start).
+	Group vm.Addr
 
 	// ProbOwner is the best guess at the current owner, used to reduce
 	// the cost of locating the owner under ownership-based protocols.
@@ -108,6 +168,13 @@ type Entry struct {
 	// invalidated.
 	Copyset Copyset
 
+	// AwaitFrom names nodes whose copyset-determination query this node
+	// answered "held" and whose flush update has not yet arrived. While
+	// nonempty, read requests for the object are deferred: serving the
+	// local copy now could hand out data that predates a release the
+	// requester will synchronize past.
+	AwaitFrom Copyset
+
 	// CopysetKnown records that the sharing relationship has been
 	// determined (only consulted for stable-sharing objects).
 	CopysetKnown bool
@@ -126,6 +193,22 @@ type Entry struct {
 	// Synchq optionally links the object to the synchronization object
 	// that protects it (AssociateDataAndSynch). -1 when unset.
 	Synchq int
+
+	// Epoch counts the adaptive annotation switches applied to this
+	// entry. Proposals and commits carry the proposer's epoch so that
+	// stale advice (formed before an earlier switch) is discarded, and
+	// the object's home node serializes the epoch sequence.
+	Epoch uint32
+
+	// PendingAnnot holds an adaptive switch that arrived while local
+	// delayed writes were still enqueued (or mid-flush); it is applied at
+	// this node's next release flush, after those writes have propagated
+	// under the protocol they were buffered under.
+	PendingAnnot *protocol.Annotation
+
+	// Acc is the adaptive profiler's event record for this entry (zero
+	// and unused unless the runtime is configured adaptive).
+	Acc Access
 
 	// Sem serializes protocol operations on the entry across block
 	// points.
@@ -215,6 +298,23 @@ func (t *Table) Entries() []*Entry {
 
 // Len returns the number of entries.
 func (t *Table) Len() int { return len(t.entries) }
+
+// GroupEntries returns the locally known entries of the group based at
+// base, ordered by start address (an adaptive switch applies to all of
+// them).
+func (t *Table) GroupEntries(base vm.Addr) []*Entry {
+	var out []*Entry
+	for _, e := range t.Entries() {
+		g := e.Group
+		if g == 0 {
+			g = e.Start
+		}
+		if g == base {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
 // SynchKind distinguishes synchronization object types.
 type SynchKind int

@@ -74,6 +74,15 @@ type CostModel struct {
 	// protocol request on the Munin root thread.
 	RequestHandlerCPU sim.Time
 
+	// --- Adaptive protocol engine (internal/adapt) ---
+
+	// AdaptClassifyCPU is the cost of classifying one object's access
+	// profile against the Table 1 taxonomy at a release point.
+	AdaptClassifyCPU sim.Time
+	// AdaptSwitchCPU is the cost of rewriting one directory entry's
+	// protocol selection when an annotation switch commits or applies.
+	AdaptSwitchCPU sim.Time
+
 	// --- Application compute (both Munin and message-passing versions
 	// charge these identically, as the paper requires the computational
 	// components to be identical) ---
@@ -114,6 +123,12 @@ func Default() CostModel {
 		BarrierHandlerCPU: 200 * sim.Microsecond,
 		RequestHandlerCPU: 150 * sim.Microsecond,
 
+		// A classification is a handful of counter comparisons; a switch
+		// rewrites one directory entry and re-protects its pages (the
+		// page-table work is charged separately via PageMapOp).
+		AdaptClassifyCPU: 20 * sim.Microsecond,
+		AdaptSwitchCPU:   60 * sim.Microsecond,
+
 		MatMulOp: 3 * sim.Microsecond,
 		// A SUN-3/60's 68881 coprocessor delivers floating point at a
 		// few microseconds per operation once compiler-generated loads,
@@ -148,6 +163,8 @@ func (m CostModel) Validate() error {
 		{"LockHandlerCPU", m.LockHandlerCPU},
 		{"BarrierHandlerCPU", m.BarrierHandlerCPU},
 		{"RequestHandlerCPU", m.RequestHandlerCPU},
+		{"AdaptClassifyCPU", m.AdaptClassifyCPU},
+		{"AdaptSwitchCPU", m.AdaptSwitchCPU},
 		{"MatMulOp", m.MatMulOp},
 		{"SORPoint", m.SORPoint},
 		{"MemTouchPerByte", m.MemTouchPerByte},

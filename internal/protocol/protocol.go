@@ -98,6 +98,15 @@ const (
 	// (ablation A1 in DESIGN.md).
 	InvalidateShared
 
+	// Adaptive is the second extension: no hint at all. The object starts
+	// under the conventional protocol (the paper's default for
+	// un-annotated variables) and the adaptive runtime (internal/adapt)
+	// profiles its access pattern and switches it to the Table 1 protocol
+	// the observed pattern matches — the dynamic access-pattern detection
+	// §6 leaves as future work. Meaningful only with Config.Adaptive; the
+	// runtime rejects it otherwise.
+	Adaptive
+
 	numAnnotations
 )
 
@@ -108,7 +117,7 @@ func Annotations() []Annotation {
 
 // Extensions lists the annotations implemented beyond Table 1.
 func Extensions() []Annotation {
-	return []Annotation{InvalidateShared}
+	return []Annotation{InvalidateShared, Adaptive}
 }
 
 // All lists every annotation: Table 1 plus extensions.
@@ -135,6 +144,8 @@ func (a Annotation) String() string {
 		return "conventional"
 	case InvalidateShared:
 		return "invalidate_shared"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("Annotation(%d)", int(a))
 	}
@@ -172,6 +183,11 @@ func (a Annotation) Params() Params {
 		return Params{Invalidate: true, Replicas: true, Writable: true}
 	case InvalidateShared:
 		return Params{Invalidate: true, Replicas: true, Delayed: true, MultipleWriters: true, Writable: true}
+	case Adaptive:
+		// The starting protocol before any profile exists: conventional,
+		// exactly as the paper treats variables declared without an
+		// annotation.
+		return Conventional.Params()
 	default:
 		panic(fmt.Sprintf("protocol: no parameters for %v", a))
 	}
@@ -197,8 +213,8 @@ func (a Annotation) care() [8]bool {
 		return [8]bool{true, true, true, true, true, false, true, true}
 	case Conventional:
 		return [8]bool{true, true, true, true, true, false, true, true}
-	case InvalidateShared:
-		// Not a Table 1 row; every column is meaningful.
+	case InvalidateShared, Adaptive:
+		// Not Table 1 rows; every column is meaningful.
 		return [8]bool{true, true, true, true, true, true, true, true}
 	default:
 		panic(fmt.Sprintf("protocol: no care mask for %v", a))

@@ -144,6 +144,10 @@ func (sem *Semaphore) Acquire(p *Proc) {
 	sem.n--
 }
 
+// Busy reports whether all permits are taken (some process holds the
+// semaphore or is mid-operation under it).
+func (sem *Semaphore) Busy() bool { return sem.n == 0 }
+
 // TryAcquire takes a permit if one is available without blocking.
 func (sem *Semaphore) TryAcquire() bool {
 	if sem.n == 0 {

@@ -231,11 +231,34 @@ func (s *Space) Slice(ctx any, addr Addr, n int, write bool) [][]byte {
 	if n <= 0 {
 		return nil
 	}
+	bases := s.PageSpan(addr, n)
+	// Fault every page in, then verify the whole span is still accessible
+	// before building any slice: resolving a later page's fault can yield
+	// to the runtime, which may serve an earlier page away — a slice
+	// built then would point into an orphaned buffer and writes through
+	// it would be silently lost. Retry until one pass stays intact.
+	for tries := 0; ; tries++ {
+		if tries == 16 {
+			panic(fmt.Sprintf("vm: span at %#x+%d repeatedly lost pages while faulting in", addr, n))
+		}
+		for _, base := range bases {
+			s.fault(ctx, base, write)
+		}
+		ok := true
+		for _, base := range bases {
+			if !s.accessible(base, write) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+	}
 	var out [][]byte
 	for done := 0; done < n; {
 		a := addr + Addr(done)
 		base := s.PageBase(a)
-		s.fault(ctx, base, write)
 		pg := s.pages[base]
 		off := int(a) - int(base)
 		take := s.pageSize - off

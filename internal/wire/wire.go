@@ -51,6 +51,9 @@ const (
 	KindCopysetLookup
 	KindCopysetInfo
 	KindCopysetNotify
+	KindOwnNotify
+	KindAdaptPropose
+	KindAdaptCommit
 	KindMPData
 	numKinds
 )
@@ -83,6 +86,9 @@ var kindNames = [...]string{
 	KindCopysetLookup:  "copyset-lookup",
 	KindCopysetInfo:    "copyset-info",
 	KindCopysetNotify:  "copyset-notify",
+	KindOwnNotify:      "own-notify",
+	KindAdaptPropose:   "adapt-propose",
+	KindAdaptCommit:    "adapt-commit",
 	KindMPData:         "mp-data",
 }
 
@@ -302,7 +308,10 @@ type DirReq struct {
 	Addr vm.Addr
 }
 
-// DirReply returns the static part of a directory entry.
+// DirReply returns the static part of a directory entry. Group and Epoch
+// carry the adaptive engine's variable-group identity and annotation
+// epoch, so a freshly fetched entry starts from the home's current
+// protocol generation.
 type DirReply struct {
 	Found bool
 	Start vm.Addr
@@ -310,6 +319,8 @@ type DirReply struct {
 	Annot uint8
 	Home  uint8
 	Owner uint8
+	Group vm.Addr
+	Epoch uint32
 }
 
 // PhaseChange purges the accumulated sharing-relationship information for
@@ -350,6 +361,48 @@ type CopysetNotify struct {
 	Reader uint8
 }
 
+// OwnNotify tells an object's home node that ownership moved to Owner.
+// It anchors the home's probable-owner hint to the true transfer history:
+// replica-to-replica hints can form cycles (each fetched its copy from
+// the other), so a request chase that would revisit its own requester
+// re-routes through the home, which either knows better or parks the
+// request until the in-flight transfer's notification lands.
+type OwnNotify struct {
+	Addr  vm.Addr
+	Owner uint8
+}
+
+// --- Adaptive protocol engine (internal/adapt) ---
+
+// AdaptPropose asks an object's home node to switch the object's sharing
+// annotation. Proposals are formed at release points from a node's local
+// access profile; the home serializes them (first fresh proposal per
+// epoch wins) so concurrent advice from different nodes cannot interleave
+// switches. Epoch is the proposer's view of the object's annotation
+// epoch — a proposal formed before an earlier switch is stale and
+// dropped. Events carries the proposer's evidence mass; Urgent marks a
+// correctness switch (a write faulted on a non-writable protocol, a
+// Fetch-and-Φ hit a non-reduction object) that the home must honour even
+// when the perf hysteresis would reject it.
+type AdaptPropose struct {
+	Addr   vm.Addr
+	Annot  uint8
+	Epoch  uint32
+	From   uint8
+	Events uint32
+	Urgent bool
+}
+
+// AdaptCommit broadcasts a committed annotation switch from the object's
+// home to every node. Receivers with delayed writes still enqueued defer
+// the switch to their next release flush (directory.Entry.PendingAnnot);
+// everyone else applies it immediately.
+type AdaptCommit struct {
+	Addr  vm.Addr
+	Annot uint8
+	Epoch uint32
+}
+
 // --- Message passing baseline ---
 
 // MPData is a raw tagged payload for the hand-coded message-passing
@@ -385,6 +438,9 @@ func (ChangeAnnot) Kind() Kind    { return KindChangeAnnot }
 func (CopysetLookup) Kind() Kind  { return KindCopysetLookup }
 func (CopysetInfo) Kind() Kind    { return KindCopysetInfo }
 func (CopysetNotify) Kind() Kind  { return KindCopysetNotify }
+func (OwnNotify) Kind() Kind      { return KindOwnNotify }
+func (AdaptPropose) Kind() Kind   { return KindAdaptPropose }
+func (AdaptCommit) Kind() Kind    { return KindAdaptCommit }
 func (MPData) Kind() Kind         { return KindMPData }
 
 // ErrCorrupt is returned by Unmarshal for undecodable input.
@@ -609,6 +665,8 @@ func Marshal(msg Message) []byte {
 		e.u8(m.Annot)
 		e.u8(m.Home)
 		e.u8(m.Owner)
+		e.u32(uint32(m.Group))
+		e.u32(m.Epoch)
 	case PhaseChange:
 		e.u32(uint32(m.Addr))
 	case ChangeAnnot:
@@ -626,6 +684,20 @@ func Marshal(msg Message) []byte {
 	case CopysetNotify:
 		e.u32(uint32(m.Addr))
 		e.u8(m.Reader)
+	case OwnNotify:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Owner)
+	case AdaptPropose:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Annot)
+		e.u32(m.Epoch)
+		e.u8(m.From)
+		e.u32(m.Events)
+		e.boolean(m.Urgent)
+	case AdaptCommit:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Annot)
+		e.u32(m.Epoch)
 	case MPData:
 		e.u32(m.Tag)
 		e.bytes(m.Payload)
@@ -682,7 +754,8 @@ func Unmarshal(b []byte) (Message, error) {
 	case KindDirReq:
 		msg = DirReq{Addr: vm.Addr(d.u32())}
 	case KindDirReply:
-		msg = DirReply{Found: d.boolean(), Start: vm.Addr(d.u32()), Size: d.u32(), Annot: d.u8(), Home: d.u8(), Owner: d.u8()}
+		msg = DirReply{Found: d.boolean(), Start: vm.Addr(d.u32()), Size: d.u32(), Annot: d.u8(),
+			Home: d.u8(), Owner: d.u8(), Group: vm.Addr(d.u32()), Epoch: d.u32()}
 	case KindPhaseChange:
 		msg = PhaseChange{Addr: vm.Addr(d.u32())}
 	case KindChangeAnnot:
@@ -693,6 +766,13 @@ func Unmarshal(b []byte) (Message, error) {
 		msg = CopysetInfo{Addrs: d.addrs(), Sets: d.sets()}
 	case KindCopysetNotify:
 		msg = CopysetNotify{Addr: vm.Addr(d.u32()), Reader: d.u8()}
+	case KindOwnNotify:
+		msg = OwnNotify{Addr: vm.Addr(d.u32()), Owner: d.u8()}
+	case KindAdaptPropose:
+		msg = AdaptPropose{Addr: vm.Addr(d.u32()), Annot: d.u8(), Epoch: d.u32(),
+			From: d.u8(), Events: d.u32(), Urgent: d.boolean()}
+	case KindAdaptCommit:
+		msg = AdaptCommit{Addr: vm.Addr(d.u32()), Annot: d.u8(), Epoch: d.u32()}
 	case KindMPData:
 		msg = MPData{Tag: d.u32(), Payload: d.bytes()}
 	default:

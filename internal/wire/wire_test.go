@@ -43,6 +43,9 @@ func sampleMessages() []Message {
 		CopysetLookup{From: 5, Addrs: []vm.Addr{0x8000c000, 0x8000e000}},
 		CopysetInfo{Addrs: []vm.Addr{0x8000c000, 0x8000e000}, Sets: []uint64{0b101, 0b11000}},
 		CopysetNotify{Addr: 0x8000c000, Reader: 12},
+		OwnNotify{Addr: 0x8000c000, Owner: 3},
+		AdaptPropose{Addr: 0x8000d000, Annot: 4, Epoch: 2, From: 6, Events: 31, Urgent: true},
+		AdaptCommit{Addr: 0x8000d000, Annot: 4, Epoch: 3},
 		MPData{Tag: 77, Payload: []byte("hello")},
 	}
 }

@@ -57,9 +57,11 @@ type Time = sim.Time
 // Annotation selects a shared variable's consistency protocol.
 type Annotation = protocol.Annotation
 
-// The sharing annotations of §2.3.2 (Table 1), plus the
-// delayed-invalidation extension the paper considered but left
-// unimplemented.
+// The sharing annotations of §2.3.2 (Table 1), plus two extensions: the
+// delayed-invalidation protocol the paper considered but left
+// unimplemented, and Adaptive — no hint at all; the runtime profiles the
+// access pattern and picks the protocol itself (requires
+// Config.Adaptive).
 const (
 	Conventional     = protocol.Conventional
 	ReadOnly         = protocol.ReadOnly
@@ -69,6 +71,7 @@ const (
 	Reduction        = protocol.Reduction
 	Result           = protocol.Result
 	InvalidateShared = protocol.InvalidateShared
+	Adaptive         = protocol.Adaptive
 )
 
 // Config configures the simulated machine.
@@ -80,6 +83,15 @@ type Config struct {
 	// Override forces every shared object to one annotation (Table 6's
 	// single-protocol configurations).
 	Override *Annotation
+	// Adaptive enables the adaptive protocol engine (internal/adapt):
+	// every node profiles each shared object's access pattern
+	// (read/write faults, served requests, flush copyset history) and
+	// the runtime switches objects online to the Table 1 protocol the
+	// observed pattern matches — the dynamic access-pattern detection §6
+	// of the paper leaves as future work. With Adaptive set,
+	// mis-annotated and un-annotated (munin.Adaptive) variables converge
+	// toward the right protocol instead of running slowly or aborting.
+	Adaptive bool
 	// ExactCopyset selects the improved home-directed copyset
 	// determination algorithm of §3.3 instead of the prototype's
 	// broadcast (ablation A4 in DESIGN.md).
@@ -168,7 +180,7 @@ func (rt *Runtime) declare(name string, size int, annot Annotation, opts ...Decl
 
 	if spec.single {
 		rt.decls = append(rt.decls, core.Decl{
-			Name: name, Start: start, Size: size, Annot: annot, Home: 0, Synchq: spec.lock,
+			Name: name, Start: start, Size: size, Annot: annot, Home: 0, Group: start, Synchq: spec.lock,
 		})
 	} else {
 		for off, idx := 0, 0; off < size; off, idx = off+pageSize, idx+1 {
@@ -178,7 +190,7 @@ func (rt *Runtime) declare(name string, size int, annot Annotation, opts ...Decl
 			}
 			rt.decls = append(rt.decls, core.Decl{
 				Name:  fmt.Sprintf("%s[%d]", name, idx),
-				Start: start + vm.Addr(off), Size: chunk, Annot: annot, Home: 0, Synchq: spec.lock,
+				Start: start + vm.Addr(off), Size: chunk, Annot: annot, Home: 0, Group: start, Synchq: spec.lock,
 			})
 		}
 	}
@@ -269,6 +281,7 @@ func (rt *Runtime) Run(root func(t *Thread)) error {
 		Processors:      rt.cfg.Processors,
 		Model:           rt.cfg.Model,
 		Override:        rt.cfg.Override,
+		Adaptive:        rt.cfg.Adaptive,
 		ExactCopyset:    rt.cfg.ExactCopyset,
 		AwaitUpdateAcks: rt.cfg.AwaitUpdateAcks,
 		BarrierTree:     rt.cfg.BarrierTree,
@@ -295,6 +308,11 @@ type Stats struct {
 	Bytes    int
 	// PerKind breaks messages down by protocol message type.
 	PerKind map[wire.Kind]int
+	// AdaptProposals and AdaptSwitches count the adaptive engine's
+	// activity (zero unless Config.Adaptive): proposals issued, and
+	// annotation switches committed.
+	AdaptProposals int
+	AdaptSwitches  int
 }
 
 // Stats returns the run's statistics. Valid after Run.
@@ -307,14 +325,26 @@ func (rt *Runtime) Stats() Stats {
 	for k, v := range st.Messages {
 		perKind[k] = v
 	}
+	ast := rt.sys.AdaptStats()
 	return Stats{
-		Elapsed:    rt.sys.Elapsed(),
-		RootUser:   rt.sys.NodeUserTime(0),
-		RootSystem: rt.sys.NodeSystemTime(0),
-		Messages:   st.TotalMessages(),
-		Bytes:      st.TotalBytes(),
-		PerKind:    perKind,
+		Elapsed:        rt.sys.Elapsed(),
+		RootUser:       rt.sys.NodeUserTime(0),
+		RootSystem:     rt.sys.NodeSystemTime(0),
+		Messages:       st.TotalMessages(),
+		Bytes:          st.TotalBytes(),
+		PerKind:        perKind,
+		AdaptProposals: ast.Proposals,
+		AdaptSwitches:  ast.Commits,
 	}
+}
+
+// FinalAnnotations reports, after an adaptive run, the annotation each
+// declared variable converged to (keyed by the variable's base address).
+func (rt *Runtime) FinalAnnotations() map[vm.Addr]Annotation {
+	if rt.sys == nil {
+		panic("munin: FinalAnnotations before Run")
+	}
+	return rt.sys.FinalAnnotations()
 }
 
 // System exposes the underlying core system (benchmarks and tests).
