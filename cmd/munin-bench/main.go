@@ -42,15 +42,16 @@ var tableOut io.Writer = os.Stdout
 
 func main() {
 	var (
-		table    = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive or all")
-		ablation = flag.String("ablation", "", "ablation to run: A1-A6 or all")
-		procs    = flag.String("procs", "", "comma-separated processor counts for tables 3-5 (default 1,2,4,8,16)")
-		n        = flag.Int("n", 0, "matrix dimension for tables 3/4/6 (default 400)")
-		rows     = flag.Int("rows", 0, "SOR grid rows (default 512)")
-		cols     = flag.Int("cols", 0, "SOR grid columns (default 2048)")
-		iters    = flag.Int("iters", 0, "SOR iterations (default 100)")
-		adaptive = flag.Bool("adaptive", false, "run the application tables with the adaptive protocol engine enabled")
-		jsonOut  = flag.String("json", "", "also write the collected results as JSON to this file (\"-\" for stdout)")
+		table     = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive or all")
+		ablation  = flag.String("ablation", "", "ablation to run: A1-A6 or all")
+		procs     = flag.String("procs", "", "comma-separated processor counts for tables 3-5 (default 1,2,4,8,16)")
+		n         = flag.Int("n", 0, "matrix dimension for tables 3/4/6 (default 400)")
+		rows      = flag.Int("rows", 0, "SOR grid rows (default 512)")
+		cols      = flag.Int("cols", 0, "SOR grid columns (default 2048)")
+		iters     = flag.Int("iters", 0, "SOR iterations (default 100)")
+		adaptive  = flag.Bool("adaptive", false, "run the application tables with the adaptive protocol engine enabled")
+		transport = flag.String("transport", "sim", "transport for the Munin runs: sim (virtual time), chan or tcp (real concurrency, wall clock)")
+		jsonOut   = flag.String("json", "", "also write the collected results as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if *table == "" && *ablation == "" {
@@ -61,7 +62,7 @@ func main() {
 	if *jsonOut == "-" {
 		tableOut = os.Stderr
 	}
-	opts := bench.AppOpts{N: *n, Rows: *rows, Cols: *cols, Iters: *iters, Adaptive: *adaptive}
+	opts := bench.AppOpts{N: *n, Rows: *rows, Cols: *cols, Iters: *iters, Adaptive: *adaptive, Transport: *transport}
 	if *procs != "" {
 		ps, err := parseProcs(*procs)
 		if err != nil {
@@ -195,7 +196,7 @@ func runTable(t string, opts bench.AppOpts) {
 		r.Format(tableOut)
 		results["tsp"] = r
 	case "adaptive":
-		ao := bench.AdaptiveOpts{N: opts.N, Rows: opts.Rows, Cols: opts.Cols, Iters: opts.Iters}
+		ao := bench.AdaptiveOpts{N: opts.N, Rows: opts.Rows, Cols: opts.Cols, Iters: opts.Iters, Transport: opts.Transport}
 		if len(opts.Procs) > 0 {
 			ao.Procs = opts.Procs[len(opts.Procs)-1]
 			if len(opts.Procs) > 1 {

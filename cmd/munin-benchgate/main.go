@@ -1,0 +1,139 @@
+// Command munin-benchgate guards the Table 6 performance shape in CI: it
+// compares a fresh `munin-bench -table 6 -json` run against the committed
+// BENCH_baseline.json and fails if any multi-protocol speedup — the
+// single-protocol time divided by the multi-protocol time, per
+// application — regressed by more than the allowed percentage.
+//
+// The gate runs on the deterministic sim transport, where times are
+// virtual and reproducible to the nanosecond; the live-transport runs are
+// uploaded as artifacts for inspection but not gated (wall-clock noise).
+//
+// Usage:
+//
+//	munin-bench -table 6 -n 128 -rows 64 -cols 512 -iters 10 -json out.json
+//	munin-benchgate -baseline BENCH_baseline.json -current out.json -max-regress 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// table6 mirrors the fields of bench.Table6 the gate needs.
+type table6 struct {
+	Rows []struct {
+		Name           string
+		MatMul, SOR    int64
+		MatMulMessages int
+		SORMessages    int
+	}
+}
+
+type results struct {
+	Table6 table6 `json:"table6"`
+}
+
+// speedup is single-protocol time over multi-protocol time for one
+// (configuration, application) pair; > 1 means multi-protocol wins.
+type speedup struct {
+	Config, App string
+	Value       float64
+}
+
+// speedups derives the gated ratios from a table 6 run.
+func speedups(t table6) ([]speedup, error) {
+	times := map[string][2]int64{}
+	for _, r := range t.Rows {
+		times[r.Name] = [2]int64{r.MatMul, r.SOR}
+	}
+	multi, ok := times["Multiple"]
+	if !ok {
+		return nil, fmt.Errorf("no Multiple row in table6 (rows: %d)", len(t.Rows))
+	}
+	apps := [2]string{"matmul", "sor"}
+	var out []speedup
+	for _, cfg := range []string{"Write-shared", "Conventional"} {
+		single, ok := times[cfg]
+		if !ok {
+			return nil, fmt.Errorf("no %s row in table6", cfg)
+		}
+		for i, app := range apps {
+			if multi[i] <= 0 || single[i] <= 0 {
+				return nil, fmt.Errorf("non-positive time in table6 %s/%s", cfg, app)
+			}
+			out = append(out, speedup{cfg, app, float64(single[i]) / float64(multi[i])})
+		}
+	}
+	return out, nil
+}
+
+func load(path string) (table6, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return table6{}, err
+	}
+	var r results
+	if err := json.Unmarshal(b, &r); err != nil {
+		return table6{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r.Table6, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+		currentPath  = flag.String("current", "", "fresh munin-bench -json output")
+		maxRegress   = flag.Float64("max-regress", 20, "maximum allowed speedup regression, percent")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "munin-benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	baseSp, err := speedups(base)
+	if err != nil {
+		fatal(fmt.Errorf("baseline: %w", err))
+	}
+	curSp, err := speedups(cur)
+	if err != nil {
+		fatal(fmt.Errorf("current: %w", err))
+	}
+	curBy := map[[2]string]float64{}
+	for _, s := range curSp {
+		curBy[[2]string{s.Config, s.App}] = s.Value
+	}
+	failed := false
+	for _, b := range baseSp {
+		c, ok := curBy[[2]string{b.Config, b.App}]
+		if !ok {
+			fatal(fmt.Errorf("current run lacks %s/%s", b.Config, b.App))
+		}
+		floor := b.Value * (1 - *maxRegress/100)
+		status := "ok"
+		if c < floor {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-14s %-8s baseline %6.3fx  current %6.3fx  floor %6.3fx  %s\n",
+			b.Config, b.App, b.Value, c, floor, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "munin-benchgate: Table 6 speedup regressed more than %.0f%% vs baseline\n", *maxRegress)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "munin-benchgate:", err)
+	os.Exit(1)
+}

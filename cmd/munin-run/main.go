@@ -26,17 +26,18 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "matmul", "application: matmul, sor or tsp")
-		procs    = flag.Int("procs", 8, "processor count (1-16)")
-		n        = flag.Int("n", 400, "matrix dimension (matmul)")
-		rows     = flag.Int("rows", 512, "grid rows (sor)")
-		cols     = flag.Int("cols", 2048, "grid columns (sor)")
-		iters    = flag.Int("iters", 100, "iterations (sor)")
-		single   = flag.Bool("single", false, "apply the SingleObject optimization (matmul)")
-		annot    = flag.String("annotation", "", "force one annotation on all shared data (conventional, write_shared, ...)")
-		exact    = flag.Bool("exact", false, "use the improved home-directed copyset determination")
-		cities   = flag.Int("cities", 10, "tour length (tsp)")
-		adaptive = flag.Bool("adaptive", false, "enable the adaptive protocol engine (profiles access patterns and switches protocols online)")
+		app       = flag.String("app", "matmul", "application: matmul, sor or tsp")
+		procs     = flag.Int("procs", 8, "processor count (1-16)")
+		n         = flag.Int("n", 400, "matrix dimension (matmul)")
+		rows      = flag.Int("rows", 512, "grid rows (sor)")
+		cols      = flag.Int("cols", 2048, "grid columns (sor)")
+		iters     = flag.Int("iters", 100, "iterations (sor)")
+		single    = flag.Bool("single", false, "apply the SingleObject optimization (matmul)")
+		annot     = flag.String("annotation", "", "force one annotation on all shared data (conventional, write_shared, ...)")
+		exact     = flag.Bool("exact", false, "use the improved home-directed copyset determination")
+		cities    = flag.Int("cities", 10, "tour length (tsp)")
+		adaptive  = flag.Bool("adaptive", false, "enable the adaptive protocol engine (profiles access patterns and switches protocols online)")
+		transport = flag.String("transport", "sim", "transport: sim (deterministic virtual time), chan (concurrent goroutine-per-node) or tcp (concurrent over loopback sockets)")
 	)
 	flag.Parse()
 
@@ -56,15 +57,15 @@ func main() {
 	)
 	switch *app {
 	case "matmul":
-		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact, Adaptive: *adaptive}
+		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact, Adaptive: *adaptive, Transport: *transport}
 		r, err = apps.MuninMatMul(cfg)
 		ref = apps.MatMulReference(*n)
 	case "sor":
-		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact, Adaptive: *adaptive}
+		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact, Adaptive: *adaptive, Transport: *transport}
 		r, err = apps.MuninSOR(cfg)
 		ref = apps.SORReference(*rows, *cols, *iters)
 	case "tsp":
-		cfg := apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive}
+		cfg := apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive, Transport: *transport}
 		r, err = apps.MuninTSP(cfg)
 		ref = uint32(apps.TSPReference(*cities))
 	default:
@@ -74,7 +75,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("app=%s procs=%d\n\n", *app, *procs)
+	fmt.Printf("app=%s procs=%d transport=%s\n\n", *app, *procs, *transport)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "total time\t%.3f s\t\n", r.Elapsed.Seconds())
 	fmt.Fprintf(tw, "root user time\t%.3f s\t\n", r.RootUser.Seconds())

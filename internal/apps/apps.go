@@ -12,9 +12,11 @@ package apps
 import (
 	"hash/fnv"
 
+	"munin"
 	"munin/internal/model"
 	"munin/internal/protocol"
 	"munin/internal/sim"
+	"munin/internal/vm"
 	"munin/internal/wire"
 )
 
@@ -37,6 +39,8 @@ type MatMulConfig struct {
 	// Adaptive enables the adaptive protocol engine, which profiles the
 	// (possibly mis-annotated) shared data and switches protocols online.
 	Adaptive bool
+	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
+	Transport string
 }
 
 // SORConfig parameterizes an SOR run (Tables 5, 6).
@@ -59,6 +63,17 @@ type SORConfig struct {
 	// Adaptive enables the adaptive protocol engine, which profiles the
 	// (possibly mis-annotated) shared data and switches protocols online.
 	Adaptive bool
+	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
+	Transport string
+	// PhaseBarrier inserts a second barrier between the compute and copy
+	// phases of every iteration, making the program data-race-free. The
+	// paper's single-barrier program relies on every worker's reads
+	// completing before any worker's release — deterministically true
+	// under the simulator's cost model, but mere chaotic relaxation under
+	// real concurrency, so MuninSOR forces this on for the "chan" and
+	// "tcp" transports. The cross-transport equivalence tests also set it
+	// on "sim" so the final grid is bit-identical on every transport.
+	PhaseBarrier bool
 }
 
 // RunResult reports one run's measurements in the paper's terms.
@@ -82,6 +97,20 @@ type RunResult struct {
 	// AdaptSwitches counts annotation switches the adaptive engine
 	// committed during the run (zero when not adaptive).
 	AdaptSwitches int
+
+	// run retains the finished Munin runtime for post-run inspection
+	// (nil for the message-passing versions).
+	run *munin.Runtime
+}
+
+// FinalImage returns the run's final shared-memory image, keyed by
+// object start address (nil for the message-passing versions). The
+// cross-transport equivalence tests compare these byte for byte.
+func (r RunResult) FinalImage() map[vm.Addr][]byte {
+	if r.run == nil {
+		return nil
+	}
+	return r.run.FinalImage()
 }
 
 // MACRow is the matrix-multiply inner loop: dst[j] += aik * brow[j].

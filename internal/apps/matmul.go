@@ -25,7 +25,7 @@ func MuninMatMul(c MatMulConfig) (RunResult, error) {
 		c.Model = model.Default()
 	}
 	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Override: c.Override,
-		ExactCopyset: c.Exact, Adaptive: c.Adaptive})
+		ExactCopyset: c.Exact, Adaptive: c.Adaptive, Transport: c.Transport})
 
 	var inputOpts []munin.DeclOption
 	if c.Single {
@@ -98,5 +98,6 @@ func MuninMatMul(c MatMulConfig) (RunResult, error) {
 		PerKind:       st.PerKind,
 		Check:         ChecksumInt32(out),
 		AdaptSwitches: st.AdaptSwitches,
+		run:           rt,
 	}, nil
 }

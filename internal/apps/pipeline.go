@@ -37,6 +37,8 @@ type PipelineConfig struct {
 	Override *protocol.Annotation
 	// Adaptive enables the adaptive protocol engine.
 	Adaptive bool
+	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
+	Transport string
 }
 
 // pipeline constants: the producer fills prodWords words per page in
@@ -111,7 +113,7 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 	if c.Override != nil {
 		annot = *c.Override
 	}
-	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Adaptive: c.Adaptive})
+	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Adaptive: c.Adaptive, Transport: c.Transport})
 
 	wordsPerPage := 8192 / 4
 	buf := rt.DeclareWords("buffer", c.Pages*wordsPerPage, annot)
@@ -210,5 +212,6 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 		PerKind:       st.PerKind,
 		Check:         got,
 		AdaptSwitches: st.AdaptSwitches,
+		run:           rt,
 	}, nil
 }

@@ -30,12 +30,25 @@ func MuninSOR(c SORConfig) (RunResult, error) {
 	if c.Model == (model.CostModel{}) {
 		c.Model = model.Default()
 	}
+	if c.Transport != "" && c.Transport != "sim" {
+		// Real concurrency voids the cost-model timing argument that
+		// makes the single-barrier program deterministic; without the
+		// phase barrier a live run is chaotic relaxation and its grid
+		// diverges from the sequential reference.
+		c.PhaseBarrier = true
+	}
 	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Override: c.Override,
-		ExactCopyset: c.Exact, Adaptive: c.Adaptive})
+		ExactCopyset: c.Exact, Adaptive: c.Adaptive, Transport: c.Transport})
 
 	grid := rt.DeclareFloat32Matrix("matrix", c.Rows, c.Cols, munin.ProducerConsumer)
 	grid.Init(SORInit)
 	bar := rt.CreateBarrier(c.Procs + 1)
+	// The optional compute→copy barrier (workers only) that makes the
+	// iteration data-race-free; see SORConfig.PhaseBarrier.
+	var phase munin.Barrier
+	if c.PhaseBarrier {
+		phase = rt.CreateBarrier(c.Procs)
+	}
 
 	rows, cols, iters := c.Rows, c.Cols, c.Iters
 	err := rt.Run(func(root *munin.Thread) {
@@ -67,6 +80,9 @@ func MuninSOR(c SORConfig) (RunResult, error) {
 						grid.ReadRow(t, i-1, up)
 						grid.ReadRow(t, i+1, down)
 						SORStencilRow(scratch[i-lo], up, mid, down)
+					}
+					if c.PhaseBarrier {
+						phase.Wait(t)
 					}
 
 					// Copy phase: newly computed values into the
@@ -117,5 +133,6 @@ func MuninSOR(c SORConfig) (RunResult, error) {
 		PerKind:       st.PerKind,
 		Check:         ChecksumFloat32Sum(flat),
 		AdaptSwitches: st.AdaptSwitches,
+		run:           rt,
 	}, nil
 }

@@ -33,6 +33,8 @@ type TSPConfig struct {
 	Override *protocol.Annotation
 	// Adaptive enables the adaptive protocol engine.
 	Adaptive bool
+	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
+	Transport string
 }
 
 // TSPDist gives the deterministic distance matrix all versions share.
@@ -104,7 +106,7 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 		c.Model = model.Default()
 	}
 	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model,
-		Override: c.Override, Adaptive: c.Adaptive})
+		Override: c.Override, Adaptive: c.Adaptive, Transport: c.Transport})
 
 	cities := c.Cities
 	dist := rt.DeclareInt32Matrix("dist", cities, cities, munin.ReadOnly)
@@ -180,5 +182,6 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 		PerKind:       st.PerKind,
 		Check:         best,
 		AdaptSwitches: st.AdaptSwitches,
+		run:           rt,
 	}, nil
 }

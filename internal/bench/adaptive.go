@@ -66,6 +66,8 @@ type AdaptiveOpts struct {
 	Rows, Cols, Iters int
 	Rounds            int
 	Model             model.CostModel
+	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
+	Transport string
 }
 
 func (o AdaptiveOpts) withDefaults() AdaptiveOpts {
@@ -152,6 +154,7 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 		func(ov *protocol.Annotation, adaptive bool) (apps.RunResult, error) {
 			return apps.MuninMatMul(apps.MatMulConfig{
 				Procs: o.Procs, N: o.N, Model: o.Model, Override: ov, Adaptive: adaptive,
+				Transport: o.Transport,
 			})
 		}))
 
@@ -161,6 +164,7 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 			return apps.MuninSOR(apps.SORConfig{
 				Procs: o.Procs, Rows: o.Rows, Cols: o.Cols, Iters: o.Iters,
 				Model: o.Model, Override: ov, Adaptive: adaptive,
+				Transport: o.Transport,
 			})
 		}))
 
@@ -178,6 +182,7 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 			return apps.MuninPipeline(apps.PipelineConfig{
 				Procs: pipeProcs, Rounds1: o.Rounds, Rounds2: o.Rounds,
 				Model: model.Default(), Override: ov, Adaptive: adaptive,
+				Transport: o.Transport,
 			})
 		}))
 
@@ -193,6 +198,7 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 		func(ov *protocol.Annotation, adaptive bool) (apps.RunResult, error) {
 			return apps.MuninTSP(apps.TSPConfig{
 				Procs: tspProcs, Cities: 9, Model: model.Default(), Override: ov, Adaptive: adaptive,
+				Transport: o.Transport,
 			})
 		}))
 

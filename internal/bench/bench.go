@@ -39,6 +39,12 @@ type AppOpts struct {
 	// Adaptive runs the Munin versions with the adaptive protocol engine
 	// enabled (profiling plus online annotation switching).
 	Adaptive bool
+	// Transport selects the substrate the Munin versions run on: "sim"
+	// (default, virtual time), "chan" or "tcp" (real concurrency, wall
+	// clock). The hand-coded message-passing comparisons always run on
+	// the simulator, so the DM column and DiffPct are only meaningful
+	// with the default.
+	Transport string
 }
 
 func (o AppOpts) withDefaults() AppOpts {

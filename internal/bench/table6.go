@@ -68,6 +68,7 @@ func runTable6(o Table6Opts) (Table6, error) {
 	for _, cfg := range configs {
 		mm, err := apps.MuninMatMul(apps.MatMulConfig{
 			Procs: o.Procs, N: a.N, Model: a.Model, Override: cfg.Override, Adaptive: a.Adaptive,
+			Transport: a.Transport,
 		})
 		if err != nil {
 			return Table6{}, fmt.Errorf("bench: table 6 matmul %s: %w", cfg.Name, err)
@@ -75,6 +76,7 @@ func runTable6(o Table6Opts) (Table6, error) {
 		sor, err := apps.MuninSOR(apps.SORConfig{
 			Procs: o.Procs, Rows: a.Rows, Cols: a.Cols, Iters: a.Iters,
 			Model: a.Model, Override: cfg.Override, Adaptive: a.Adaptive,
+			Transport: a.Transport,
 		})
 		if err != nil {
 			return Table6{}, fmt.Errorf("bench: table 6 sor %s: %w", cfg.Name, err)

@@ -36,7 +36,7 @@ import (
 	"munin/internal/adapt"
 	"munin/internal/directory"
 	"munin/internal/protocol"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
@@ -65,7 +65,7 @@ func (n *Node) adaptAtRelease(t *Thread) {
 // adaptEvaluate is the opportunistic (fault- or serve-time) counterpart:
 // classify one entry's group now. The engine's throttle ensures this runs
 // at most once per MinEvents new events per group.
-func (n *Node) adaptEvaluate(p *sim.Proc, e *directory.Entry) {
+func (n *Node) adaptEvaluate(p rt.Proc, e *directory.Entry) {
 	g, ok := n.adaptEng.Lookup(e)
 	if !ok {
 		return
@@ -77,7 +77,7 @@ func (n *Node) adaptEvaluate(p *sim.Proc, e *directory.Entry) {
 
 // adviseGroup turns a classification into a proposal message to the
 // group's home, or a direct commit when this node is the home.
-func (n *Node) adviseGroup(p *sim.Proc, g *adapt.Group) {
+func (n *Node) adviseGroup(p rt.Proc, g *adapt.Group) {
 	d, ok := n.adaptEng.Decide(g)
 	if !ok {
 		return
@@ -87,7 +87,7 @@ func (n *Node) adviseGroup(p *sim.Proc, g *adapt.Group) {
 		n.commitSwitch(p, e, d.Target)
 		return
 	}
-	n.sys.net.Send(p, n.id, e.Home, wire.AdaptPropose{
+	n.sys.tr.Send(p, n.id, e.Home, wire.AdaptPropose{
 		Addr: groupOf(e), Annot: uint8(d.Target), Epoch: e.Epoch,
 		From: uint8(n.id), Events: uint32(g.Acc.Events()),
 	})
@@ -96,7 +96,7 @@ func (n *Node) adviseGroup(p *sim.Proc, g *adapt.Group) {
 // commitSwitch, at the group's home node, serializes and applies an
 // annotation switch: advance the epoch, rewrite every local entry of the
 // group, broadcast the commit. Returns false if the switch is declined.
-func (n *Node) commitSwitch(p *sim.Proc, e *directory.Entry, annot protocol.Annotation) bool {
+func (n *Node) commitSwitch(p rt.Proc, e *directory.Entry, annot protocol.Annotation) bool {
 	if e.Home != n.id {
 		panic(fmt.Sprintf("core: node %d committing switch for object homed at %d", n.id, e.Home))
 	}
@@ -115,14 +115,14 @@ func (n *Node) commitSwitch(p *sim.Proc, e *directory.Entry, annot protocol.Anno
 		n.applySwitch(p, ge, annot, epoch)
 	}
 	n.adaptEng.Commits++
-	n.sys.net.Broadcast(p, n.id, wire.AdaptCommit{Addr: base, Annot: uint8(annot), Epoch: epoch})
+	n.sys.tr.Broadcast(p, n.id, wire.AdaptCommit{Addr: base, Annot: uint8(annot), Epoch: epoch})
 	n.adaptEng.ResetGroup(base)
 	n.wakeAnnotWaiters(base)
 	return true
 }
 
 // serveAdaptPropose handles a switch proposal at the object's home.
-func (n *Node) serveAdaptPropose(p *sim.Proc, m wire.AdaptPropose) {
+func (n *Node) serveAdaptPropose(p rt.Proc, m wire.AdaptPropose) {
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok || n.adaptEng == nil {
 		return
@@ -133,7 +133,7 @@ func (n *Node) serveAdaptPropose(p *sim.Proc, m wire.AdaptPropose) {
 		// including the proposer. Echo the current state to any urgent
 		// waiter in case its wait began after that commit passed it.
 		if m.Urgent {
-			n.sys.net.Send(p, n.id, int(m.From), wire.AdaptCommit{
+			n.sys.tr.Send(p, n.id, int(m.From), wire.AdaptCommit{
 				Addr: groupOf(e), Annot: uint8(e.Annot), Epoch: e.Epoch,
 			})
 		}
@@ -145,14 +145,14 @@ func (n *Node) serveAdaptPropose(p *sim.Proc, m wire.AdaptPropose) {
 	if !n.commitSwitch(p, e, annot) && m.Urgent {
 		// Declined, but the proposer is blocked: echo the current state
 		// so it can retry or abort instead of hanging.
-		n.sys.net.Send(p, n.id, int(m.From), wire.AdaptCommit{
+		n.sys.tr.Send(p, n.id, int(m.From), wire.AdaptCommit{
 			Addr: groupOf(e), Annot: uint8(e.Annot), Epoch: e.Epoch,
 		})
 	}
 }
 
 // serveAdaptCommit applies a broadcast switch at a non-home node.
-func (n *Node) serveAdaptCommit(p *sim.Proc, m wire.AdaptCommit) {
+func (n *Node) serveAdaptCommit(p rt.Proc, m wire.AdaptCommit) {
 	annot := protocol.Annotation(m.Annot)
 	for _, e := range n.dir.GroupEntries(m.Addr) {
 		if m.Epoch > e.Epoch {
@@ -178,7 +178,7 @@ func (n *Node) wakeAnnotWaiters(base vm.Addr) {
 // commit, deferring while delayed writes are buffered under the old
 // protocol: the switch then happens at this node's next release flush of
 // the entry, which is exactly a release point.
-func (n *Node) applySwitch(p *sim.Proc, e *directory.Entry, annot protocol.Annotation, epoch uint32) {
+func (n *Node) applySwitch(p rt.Proc, e *directory.Entry, annot protocol.Annotation, epoch uint32) {
 	e.Epoch = epoch
 	if e.Enqueued || e.Twin != nil || (e.Modified && e.Params.Delayed) {
 		a := annot
@@ -192,7 +192,7 @@ func (n *Node) applySwitch(p *sim.Proc, e *directory.Entry, annot protocol.Annot
 // preserves the copyset (the home's knowledge of holders stays valid
 // across protocols) and drops local read replicas that the new protocol
 // could silently let go stale.
-func (n *Node) applyAnnotationSwitch(p *sim.Proc, e *directory.Entry, annot protocol.Annotation) {
+func (n *Node) applyAnnotationSwitch(p rt.Proc, e *directory.Entry, annot protocol.Annotation) {
 	advance(p, n.sys.cost.AdaptSwitchCPU)
 	n.AdaptApplied++
 	e.PendingAnnot = nil
@@ -235,7 +235,7 @@ func (n *Node) applyAnnotationSwitch(p *sim.Proc, e *directory.Entry, annot prot
 // and a user store landing in a still-writable page during the yield
 // would be discarded with it (it re-faults instead and re-applies under
 // the new protocol).
-func (n *Node) evacuate(p *sim.Proc, e *directory.Entry) {
+func (n *Node) evacuate(p rt.Proc, e *directory.Entry) {
 	data := n.readObject(e)
 	n.dropObject(p, e)
 	e.Owned = false
@@ -248,10 +248,10 @@ func (n *Node) evacuate(p *sim.Proc, e *directory.Entry) {
 // the local copy inaccessible (drop or write-protect) BEFORE calling:
 // this charges virtual time, and a concurrent user store landing in a
 // still-writable page during the yield would be lost.
-func (n *Node) sendBase(p *sim.Proc, e *directory.Entry, data []byte) {
+func (n *Node) sendBase(p rt.Proc, e *directory.Entry, data []byte) {
 	advance(p, n.sys.cost.CopyCost(e.Size))
 	n.UpdatesSent++
-	n.sys.net.Send(p, n.id, e.Home, wire.UpdateBatch{
+	n.sys.tr.Send(p, n.id, e.Home, wire.UpdateBatch{
 		From:    uint8(n.id),
 		Entries: []wire.UpdateEntry{{Addr: e.Start, Size: uint32(e.Size), Full: data}},
 	})
@@ -292,10 +292,10 @@ func (n *Node) adaptRecover(t *Thread, e *directory.Entry, target protocol.Annot
 		}
 		f, waiting := n.annotWait[base]
 		if !waiting {
-			f = n.sys.sim.NewFuture(fmt.Sprintf("adapt[n%d %#x]", n.id, base))
+			f = n.sys.tr.NewFuture(n.id, fmt.Sprintf("adapt[n%d %#x]", n.id, base))
 			n.annotWait[base] = f
 		}
-		n.sys.net.Send(t.proc, n.id, e.Home, wire.AdaptPropose{
+		n.sys.tr.Send(t.proc, n.id, e.Home, wire.AdaptPropose{
 			Addr: base, Annot: uint8(target), Epoch: e.Epoch,
 			From: uint8(n.id), Urgent: true,
 		})

@@ -6,14 +6,14 @@ import (
 	"munin/internal/directory"
 	"munin/internal/duq"
 	"munin/internal/protocol"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
 
 // advance charges d to p when a process is running; post-run inspection
 // paths pass nil.
-func advance(p *sim.Proc, d sim.Time) {
+func advance(p rt.Proc, d rt.Time) {
 	if p != nil {
 		p.Advance(d)
 	}
@@ -26,7 +26,7 @@ func advance(p *sim.Proc, d sim.Time) {
 // retries.
 func (n *Node) handleFault(t *Thread, base vm.Addr, write bool) {
 	p := t.proc
-	prev := p.SetKind(sim.KindSystem)
+	prev := p.SetKind(rt.KindSystem)
 	defer p.SetKind(prev)
 	p.Advance(n.sys.cost.FaultTrap)
 
@@ -146,7 +146,7 @@ func (n *Node) fetchReadCopy(t *Thread, e *directory.Entry, prefetch bool) {
 
 // serveRead answers a ReadReq if this node can supply current data,
 // otherwise forwards it along the probable-owner chain.
-func (n *Node) serveRead(p *sim.Proc, m wire.ReadReq) {
+func (n *Node) serveRead(p rt.Proc, m wire.ReadReq) {
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok {
 		n.forwardOrFail(p, m.Addr, int(m.Requester), m, "read request")
@@ -219,11 +219,11 @@ func (n *Node) serveRead(p *sim.Proc, m wire.ReadReq) {
 		n.complete(pendKey{pendRead, uint64(e.Start)}, wire.ReadReply{Addr: e.Start, Owner: uint8(owner), Data: data})
 		return
 	}
-	n.sys.net.Send(p, n.id, req, wire.ReadReply{Addr: e.Start, Owner: uint8(owner), Data: data})
+	n.sys.tr.Send(p, n.id, req, wire.ReadReply{Addr: e.Start, Owner: uint8(owner), Data: data})
 	if n.sys.cfg.ExactCopyset && e.Home != n.id {
 		// Keep the home's tracked copyset complete: it is the node the
 		// improved determination algorithm will ask (§3.3).
-		n.sys.net.Send(p, n.id, e.Home, wire.CopysetNotify{Addr: e.Start, Reader: uint8(req)})
+		n.sys.tr.Send(p, n.id, e.Home, wire.CopysetNotify{Addr: e.Start, Reader: uint8(req)})
 	}
 }
 
@@ -275,7 +275,7 @@ func (n *Node) migrate(t *Thread, e *directory.Entry) {
 }
 
 // serveMigrate hands a migratory object over, invalidating the local copy.
-func (n *Node) serveMigrate(p *sim.Proc, m wire.MigrateReq) {
+func (n *Node) serveMigrate(p rt.Proc, m wire.MigrateReq) {
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok {
 		n.forwardOrFail(p, m.Addr, int(m.Requester), m, "migrate request")
@@ -299,10 +299,10 @@ func (n *Node) serveMigrate(p *sim.Proc, m wire.MigrateReq) {
 		n.redispatchChase(p, e)
 	}
 	p.Advance(n.sys.cost.CopyCost(e.Size))
-	n.sys.net.Send(p, n.id, req, wire.MigrateReply{Addr: e.Start, Data: data})
+	n.sys.tr.Send(p, n.id, req, wire.MigrateReply{Addr: e.Start, Data: data})
 	if e.Home != n.id {
 		// Anchor the home's hint to the transfer history (see forward).
-		n.sys.net.Send(p, n.id, e.Home, wire.OwnNotify{Addr: e.Start, Owner: uint8(req)})
+		n.sys.tr.Send(p, n.id, e.Home, wire.OwnNotify{Addr: e.Start, Owner: uint8(req)})
 	}
 }
 
@@ -420,7 +420,7 @@ func (n *Node) invalidateCopies(t *Thread, e *directory.Entry) {
 	c := n.newCollector(pendKey{pendOwn, uint64(e.Start)}, len(members), "invalidate-acks")
 	for _, d := range members {
 		n.Invalidations++
-		n.sys.net.Send(t.proc, n.id, d, wire.Invalidate{Addr: e.Start, NewOwner: uint8(n.id)})
+		n.sys.tr.Send(t.proc, n.id, d, wire.Invalidate{Addr: e.Start, NewOwner: uint8(n.id)})
 	}
 	c.fut.Wait(t.proc)
 	e.Copyset = 0
@@ -428,7 +428,7 @@ func (n *Node) invalidateCopies(t *Thread, e *directory.Entry) {
 
 // serveOwn transfers ownership: reply with data and the copyset, then drop
 // the local copy (the new owner invalidates the other replicas).
-func (n *Node) serveOwn(p *sim.Proc, m wire.OwnReq) {
+func (n *Node) serveOwn(p rt.Proc, m wire.OwnReq) {
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok {
 		n.forwardOrFail(p, m.Addr, int(m.Requester), m, "ownership request")
@@ -463,17 +463,17 @@ func (n *Node) serveOwn(p *sim.Proc, m wire.OwnReq) {
 		n.redispatchChase(p, e)
 	}
 	p.Advance(n.sys.cost.CopyCost(e.Size))
-	n.sys.net.Send(p, n.id, req, wire.OwnReply{Addr: e.Start, Copyset: uint64(cs), Data: data})
+	n.sys.tr.Send(p, n.id, req, wire.OwnReply{Addr: e.Start, Copyset: uint64(cs), Data: data})
 	if e.Home != n.id {
 		// Anchor the home's hint to the transfer history (see forward).
-		n.sys.net.Send(p, n.id, e.Home, wire.OwnNotify{Addr: e.Start, Owner: uint8(req)})
+		n.sys.tr.Send(p, n.id, e.Home, wire.OwnNotify{Addr: e.Start, Owner: uint8(req)})
 	}
 }
 
 // serveInvalidate drops the local copy. A dirty copy under a
 // multiple-writer protocol first propagates its pending updates to the new
 // owner; a dirty copy otherwise is a runtime error (§3.3).
-func (n *Node) serveInvalidate(p *sim.Proc, src int, m wire.Invalidate) {
+func (n *Node) serveInvalidate(p rt.Proc, src int, m wire.Invalidate) {
 	if e, ok := n.dir.Lookup(m.Addr); ok {
 		// An invalidation from a promised updater supersedes the update —
 		// clear the promise on every path, including the stale-owner
@@ -493,7 +493,7 @@ func (n *Node) serveInvalidate(p *sim.Proc, src int, m wire.Invalidate) {
 			// (Multiple-writer delayed invalidations are different: they
 			// are flush propagation, and the home legitimately holds
 			// Owned; those proceed.)
-			n.sys.net.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
+			n.sys.tr.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
 			return
 		}
 		if n.adaptEng != nil && n.adaptEng.NoteInvalidate(e, int(m.NewOwner)) {
@@ -509,7 +509,7 @@ func (n *Node) serveInvalidate(p *sim.Proc, src int, m wire.Invalidate) {
 				entry, _ := n.encodeEntry(p, e)
 				if entry != nil {
 					n.UpdatesSent++
-					n.sys.net.Send(p, n.id, src, wire.UpdateBatch{
+					n.sys.tr.Send(p, n.id, src, wire.UpdateBatch{
 						From: uint8(n.id), Entries: []wire.UpdateEntry{*entry},
 					})
 				}
@@ -525,7 +525,7 @@ func (n *Node) serveInvalidate(p *sim.Proc, src int, m wire.Invalidate) {
 			e.BackingStale = true
 		}
 	}
-	n.sys.net.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
+	n.sys.tr.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
 }
 
 // forward relays a request along the probable-owner chain. A hint
@@ -537,7 +537,7 @@ func (n *Node) serveInvalidate(p *sim.Proc, src int, m wire.Invalidate) {
 // requester, the transfer that took ownership away from the requester is
 // still in flight — its notification will arrive, so the request parks
 // until then (deferredChase).
-func (n *Node) forward(p *sim.Proc, e *directory.Entry, m wire.Message, requester int) {
+func (n *Node) forward(p rt.Proc, e *directory.Entry, m wire.Message, requester int) {
 	dst := e.ProbOwner
 	if dst == n.id {
 		dst = e.Home
@@ -552,15 +552,15 @@ func (n *Node) forward(p *sim.Proc, e *directory.Entry, m wire.Message, requeste
 	if dst == n.id {
 		fail(n.id, e.Start, "forward", fmt.Sprintf("probable-owner chain for %v dead-ends here", m.Kind()))
 	}
-	n.sys.net.Send(p, n.id, dst, m)
+	n.sys.tr.Send(p, n.id, dst, m)
 }
 
 // forwardOrFail handles a request for an object this node has never seen:
 // only the home can be asked blind, so relay there; the home failing to
 // know the object is a program error.
-func (n *Node) forwardOrFail(p *sim.Proc, addr vm.Addr, requester int, m wire.Message, op string) {
+func (n *Node) forwardOrFail(p rt.Proc, addr vm.Addr, requester int, m wire.Message, op string) {
 	if n.id == 0 {
 		fail(n.id, addr, op, "request for an address outside every declared shared object")
 	}
-	n.sys.net.Send(p, n.id, 0, m)
+	n.sys.tr.Send(p, n.id, 0, m)
 }

@@ -7,7 +7,7 @@ import (
 	"munin/internal/diffenc"
 	"munin/internal/directory"
 	"munin/internal/duq"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
@@ -139,7 +139,7 @@ func (n *Node) flushEntries(t *Thread, entries []*directory.Entry) {
 			c = n.newCollector(pendKey{pendRead, 0}, len(dests), "flush-acks")
 		}
 		for _, d := range dests {
-			n.sys.net.Send(p, n.id, d, wire.UpdateBatch{
+			n.sys.tr.Send(p, n.id, d, wire.UpdateBatch{
 				From: uint8(n.id), NeedAck: await, Entries: batches[d],
 			})
 		}
@@ -190,7 +190,7 @@ func (n *Node) determineCopysetsBroadcast(t *Thread, entries []*directory.Entry)
 		addrs = append(addrs, e.Start)
 	}
 	c := n.newCollector(pendKey{pendDir, 0}, n.sys.Nodes()-1, "copyset-determination")
-	n.sys.net.Broadcast(t.proc, n.id, wire.CopysetQuery{From: uint8(n.id), Addrs: addrs})
+	n.sys.tr.Broadcast(t.proc, n.id, wire.CopysetQuery{From: uint8(n.id), Addrs: addrs})
 	holders := c.fut.Wait(t.proc).(map[vm.Addr]directory.Copyset)
 	for _, e := range entries {
 		e.Copyset = holders[e.Start]
@@ -228,7 +228,7 @@ func (n *Node) determineCopysetsExact(t *Thread, entries []*directory.Entry) {
 		c := n.newCollector(pendKey{pendDir, 0}, len(homes), "copyset-lookup")
 		c.holders = holders
 		for _, h := range homes {
-			n.sys.net.Send(t.proc, n.id, h, wire.CopysetLookup{From: uint8(n.id), Addrs: byHome[h]})
+			n.sys.tr.Send(t.proc, n.id, h, wire.CopysetLookup{From: uint8(n.id), Addrs: byHome[h]})
 		}
 		holders = c.fut.Wait(t.proc).(map[vm.Addr]directory.Copyset)
 	}
@@ -243,7 +243,7 @@ func (n *Node) determineCopysetsExact(t *Thread, entries []*directory.Entry) {
 // serveCopysetLookup answers an exact-copyset request from the home's
 // tracked directory state. The home includes itself when it holds a live
 // copy, and marks its backing stale — the requester is writing.
-func (n *Node) serveCopysetLookup(p *sim.Proc, m wire.CopysetLookup) {
+func (n *Node) serveCopysetLookup(p rt.Proc, m wire.CopysetLookup) {
 	sets := make([]uint64, len(m.Addrs))
 	for i, a := range m.Addrs {
 		e, ok := n.dir.Lookup(a)
@@ -260,7 +260,7 @@ func (n *Node) serveCopysetLookup(p *sim.Proc, m wire.CopysetLookup) {
 			e.ProbOwner = int(m.From)
 		}
 	}
-	n.sys.net.Send(p, n.id, int(m.From), wire.CopysetInfo{Addrs: m.Addrs, Sets: sets})
+	n.sys.tr.Send(p, n.id, int(m.From), wire.CopysetInfo{Addrs: m.Addrs, Sets: sets})
 }
 
 // serveCopysetNotify records at the home that Reader obtained a copy from
@@ -278,7 +278,7 @@ func (n *Node) serveCopysetNotify(m wire.CopysetNotify) {
 // to reach that copy — they buffer in the fetch stash until the install
 // completes. A home node holding only stale-able backing marks it stale
 // (a writer exists now) and remembers the writer as probable owner.
-func (n *Node) serveCopysetQuery(p *sim.Proc, m wire.CopysetQuery) {
+func (n *Node) serveCopysetQuery(p rt.Proc, m wire.CopysetQuery) {
 	var held []vm.Addr
 	for _, a := range m.Addrs {
 		e, ok := n.dir.Lookup(a)
@@ -305,19 +305,19 @@ func (n *Node) serveCopysetQuery(p *sim.Proc, m wire.CopysetQuery) {
 			n.redispatchChase(p, e)
 		}
 	}
-	n.sys.net.Send(p, n.id, int(m.From), wire.CopysetReply{Addrs: held})
+	n.sys.tr.Send(p, n.id, int(m.From), wire.CopysetReply{Addrs: held})
 }
 
 // encodeEntry turns a modified entry into an UpdateEntry: a word diff
 // against the twin when one exists, or the full object otherwise. Returns
 // changed=false if the diff is empty.
-func (n *Node) encodeEntry(p *sim.Proc, e *directory.Entry) (*wire.UpdateEntry, bool) {
+func (n *Node) encodeEntry(p rt.Proc, e *directory.Entry) (*wire.UpdateEntry, bool) {
 	if e.Twin != nil {
 		cur := n.readObject(e)
 		diff, st := diffenc.Encode(e.Twin, cur)
-		p.Advance(n.sys.cost.DiffScanPerWord*sim.Time(st.Words) +
-			n.sys.cost.DiffEncodePerWord*sim.Time(st.Changed) +
-			n.sys.cost.DiffRunOverhead*sim.Time(st.Runs))
+		p.Advance(n.sys.cost.DiffScanPerWord*rt.Time(st.Words) +
+			n.sys.cost.DiffEncodePerWord*rt.Time(st.Changed) +
+			n.sys.cost.DiffRunOverhead*rt.Time(st.Runs))
 		if diffenc.Empty(diff) {
 			return nil, false
 		}
@@ -330,7 +330,7 @@ func (n *Node) encodeEntry(p *sim.Proc, e *directory.Entry) (*wire.UpdateEntry, 
 // serveUpdateBatch merges incoming updates into the local copies (§3.3: a
 // node with a dirty copy incorporates the changes immediately — including
 // into the twin, so its own later diff carries only its own writes).
-func (n *Node) serveUpdateBatch(p *sim.Proc, src int, m wire.UpdateBatch) {
+func (n *Node) serveUpdateBatch(p rt.Proc, src int, m wire.UpdateBatch) {
 	for _, u := range m.Entries {
 		e, ok := n.dir.Lookup(u.Addr)
 		if !ok {
@@ -372,12 +372,12 @@ func (n *Node) serveUpdateBatch(p *sim.Proc, src int, m wire.UpdateBatch) {
 		}
 	}
 	if m.NeedAck {
-		n.sys.net.Send(p, n.id, src, wire.UpdateAck{Count: uint32(len(m.Entries))})
+		n.sys.tr.Send(p, n.id, src, wire.UpdateAck{Count: uint32(len(m.Entries))})
 	}
 }
 
 // applyUpdate merges one UpdateEntry into the local copy.
-func (n *Node) applyUpdate(p *sim.Proc, e *directory.Entry, u wire.UpdateEntry, src int) {
+func (n *Node) applyUpdate(p rt.Proc, e *directory.Entry, u wire.UpdateEntry, src int) {
 	n.UpdatesApply++
 	if int(u.Size) != e.Size {
 		fail(n.id, e.Start, "update apply",
@@ -411,13 +411,30 @@ func (n *Node) applyUpdate(p *sim.Proc, e *directory.Entry, u wire.UpdateEntry, 
 			fail(n.id, e.Start, "update apply", "diff received for an invalid local copy")
 		}
 	}
-	cur := n.readObject(e)
-	st, err := diffenc.Decode(cur, u.Diff)
+	// Decode provisionally to validate the diff and learn its cost, then
+	// charge — a yield point — and only then apply to the live page,
+	// re-reading it first. A local thread may store into the (writable,
+	// multiple-writer) page during the yield; snapshotting before the
+	// yield and writing the whole page back after it would silently
+	// discard that store. Diff words carry absolute values, so decoding
+	// a second time against the fresh page is idempotent.
+	probe := n.readObject(e)
+	st, err := diffenc.Decode(probe, u.Diff)
 	if err != nil {
 		fail(n.id, e.Start, "update apply", err.Error())
 	}
-	advance(p, n.sys.cost.DiffDecodePerWord*sim.Time(st.Changed)+
-		n.sys.cost.DiffDecodePerRun*sim.Time(st.Runs))
+	advance(p, n.sys.cost.DiffDecodePerWord*rt.Time(st.Changed)+
+		n.sys.cost.DiffDecodePerRun*rt.Time(st.Runs))
+	if !e.Valid {
+		// The local copy was dropped while the decode cost was charged
+		// (an invalidation or annotation switch won the race): the
+		// update dies with it, like a queued update at an unmap.
+		return
+	}
+	cur := n.readObject(e)
+	if _, err := diffenc.Decode(cur, u.Diff); err != nil {
+		fail(n.id, e.Start, "update apply", err.Error())
+	}
 	n.writeObjectData(e, cur)
 	if e.Twin != nil {
 		if _, err := diffenc.Decode(e.Twin, u.Diff); err != nil {

@@ -9,7 +9,7 @@ import (
 	"munin/internal/duq"
 	"munin/internal/network"
 	"munin/internal/protocol"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
@@ -38,7 +38,7 @@ type pendKey struct {
 type collector struct {
 	need int
 	got  int
-	fut  *sim.Future
+	fut  rt.Future
 	// holders accumulates, per object address, the nodes that reported a
 	// copy (copyset determination).
 	holders map[vm.Addr]directory.Copyset
@@ -61,24 +61,28 @@ type Node struct {
 	synch *directory.SynchTable
 	duq   *duq.Queue
 
-	procs []*sim.Proc // every process hosted here, for time accounting
+	procs []rt.Proc // every process hosted here, for time accounting
 
-	pending    map[pendKey]*sim.Future
+	pending    map[pendKey]rt.Future
 	collectors map[pendKey]*collector
-	dirFetch   map[vm.Addr]*sim.Future
+	dirFetch   map[vm.Addr]rt.Future
 
 	// flushSem serializes DUQ flushes (one release in progress per node).
-	flushSem *sim.Semaphore
+	flushSem rt.Semaphore
 
 	// barrierWait holds local threads blocked at each barrier;
 	// barrierFrom tracks, at the barrier's owner, which nodes the
 	// remote arrivals came from.
-	barrierWait map[int][]*sim.Future
+	barrierWait map[int][]rt.Future
 	barrierFrom map[int][]int
 	// lockWait holds local threads queued behind a local holder, and
-	// lockPend marks an in-flight remote acquire.
-	lockWait map[int][]*sim.Future
-	lockPend map[int]bool
+	// lockPend marks an in-flight remote acquire. lockChase parks lock
+	// request chases that dead-ended here on a stale probable-owner hint
+	// (see serveLockAcq); they re-dispatch when ownership knowledge
+	// refreshes.
+	lockWait  map[int][]rt.Future
+	lockPend  map[int]bool
+	lockChase map[int][]wire.LockAcq
 
 	// Stats
 	ReadMisses    int
@@ -100,7 +104,7 @@ type Node struct {
 	// puq is the pending update queue; nil unless Config.PendingUpdates.
 	// puqSem serializes drains against the node's other threads.
 	puq    *pendingUpdates
-	puqSem *sim.Semaphore
+	puqSem rt.Semaphore
 
 	// adaptEng is the adaptive protocol engine; nil unless
 	// Config.Adaptive. annotWait holds threads blocked on an urgent
@@ -108,7 +112,7 @@ type Node struct {
 	// currently held by this node's threads (the lock-coupled-access
 	// profiling signal).
 	adaptEng  *adapt.Engine
-	annotWait map[vm.Addr]*sim.Future
+	annotWait map[vm.Addr]rt.Future
 	locksHeld int
 	// AdaptApplied counts annotation switches applied at this node.
 	AdaptApplied int
@@ -160,7 +164,7 @@ func (n *Node) stashedImage(addr vm.Addr) []byte {
 
 // redispatchReads re-serves read requests that were deferred behind
 // in-flight updates for addr, once nothing is awaited anymore.
-func (n *Node) redispatchReads(p *sim.Proc, addr vm.Addr) {
+func (n *Node) redispatchReads(p rt.Proc, addr vm.Addr) {
 	rs := n.deferredReads[addr]
 	if len(rs) == 0 {
 		return
@@ -173,7 +177,7 @@ func (n *Node) redispatchReads(p *sim.Proc, addr vm.Addr) {
 
 // redispatchChase re-dispatches request chases that parked at this home
 // node awaiting fresher ownership knowledge.
-func (n *Node) redispatchChase(p *sim.Proc, e *directory.Entry) {
+func (n *Node) redispatchChase(p rt.Proc, e *directory.Entry) {
 	ms := n.deferredChase[e.Start]
 	if len(ms) == 0 {
 		return
@@ -194,7 +198,7 @@ func (n *Node) redispatchChase(p *sim.Proc, e *directory.Entry) {
 }
 
 // serveOwnNotify records an ownership transfer at the object's home.
-func (n *Node) serveOwnNotify(p *sim.Proc, m wire.OwnNotify) {
+func (n *Node) serveOwnNotify(p rt.Proc, m wire.OwnNotify) {
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok {
 		return
@@ -213,21 +217,22 @@ func newNode(s *System, id int) *Node {
 		dir:           directory.NewTable(s.cfg.PageSize),
 		synch:         directory.NewSynchTable(),
 		duq:           duq.New(),
-		pending:       make(map[pendKey]*sim.Future),
+		pending:       make(map[pendKey]rt.Future),
 		collectors:    make(map[pendKey]*collector),
-		dirFetch:      make(map[vm.Addr]*sim.Future),
-		flushSem:      s.sim.NewSemaphore(fmt.Sprintf("flush[%d]", id), 1),
-		barrierWait:   make(map[int][]*sim.Future),
+		dirFetch:      make(map[vm.Addr]rt.Future),
+		flushSem:      s.tr.NewSemaphore(id, fmt.Sprintf("flush[%d]", id), 1),
+		barrierWait:   make(map[int][]rt.Future),
 		barrierFrom:   make(map[int][]int),
-		lockWait:      make(map[int][]*sim.Future),
+		lockWait:      make(map[int][]rt.Future),
 		lockPend:      make(map[int]bool),
+		lockChase:     make(map[int][]wire.LockAcq),
 		fetchStash:    make(map[vm.Addr][]wire.UpdateEntry),
 		deferredReads: make(map[vm.Addr][]wire.ReadReq),
 		deferredChase: make(map[vm.Addr][]wire.Message),
 	}
 	if s.cfg.PendingUpdates {
 		n.puq = newPendingUpdates()
-		n.puqSem = s.sim.NewSemaphore(fmt.Sprintf("puq[%d]", id), 1)
+		n.puqSem = s.tr.NewSemaphore(id, fmt.Sprintf("puq[%d]", id), 1)
 	}
 	if s.cfg.Adaptive {
 		n.adaptEng = adapt.New(adapt.Config{
@@ -236,7 +241,7 @@ func newNode(s *System, id int) *Node {
 			MinChurn:      s.cfg.AdaptMinChurn,
 			StableFlushes: s.cfg.AdaptStableFlushes,
 		})
-		n.annotWait = make(map[vm.Addr]*sim.Future)
+		n.annotWait = make(map[vm.Addr]rt.Future)
 	}
 	n.space.SetHandler(vm.FaultHandlerFunc(func(ctx any, base vm.Addr, write bool) {
 		t, ok := ctx.(*Thread)
@@ -261,11 +266,11 @@ func (n *Node) Dir() *directory.Table { return n.dir }
 // serves remote requests. It never blocks on remote state — requests it
 // cannot answer are forwarded — so request chains cannot deadlock.
 func (n *Node) startDispatcher() {
-	n.sys.sim.Spawn(fmt.Sprintf("munin-root@n%d", n.id), func(p *sim.Proc) {
+	n.sys.tr.Spawn(n.id, fmt.Sprintf("munin-root@n%d", n.id), func(p rt.Proc) {
 		n.procs = append(n.procs, p)
-		p.SetKind(sim.KindSystem)
+		p.SetKind(rt.KindSystem)
 		for {
-			env := n.sys.net.Recv(p, n.id)
+			env := n.sys.tr.Recv(p, n.id)
 			p.Advance(n.sys.cost.RequestHandlerCPU)
 			n.dispatch(p, env)
 		}
@@ -273,7 +278,7 @@ func (n *Node) startDispatcher() {
 }
 
 // dispatch handles one incoming message on the dispatcher.
-func (n *Node) dispatch(p *sim.Proc, env network.Envelope) {
+func (n *Node) dispatch(p rt.Proc, env network.Envelope) {
 	switch m := env.Msg.(type) {
 	case wire.DirReq:
 		n.serveDirReq(p, env.Src, m)
@@ -309,6 +314,8 @@ func (n *Node) dispatch(p *sim.Proc, env network.Envelope) {
 		n.serveLockAcq(p, m)
 	case wire.LockSetSucc:
 		n.serveLockSetSucc(m)
+	case wire.LockOwnNotify:
+		n.serveLockOwnNotify(p, m)
 	case wire.LockGrant:
 		n.serveLockGrant(p, m)
 	case wire.BarrierArrive:
@@ -345,9 +352,9 @@ func (n *Node) rpc(t *Thread, dst int, key pendKey, msg wire.Message) any {
 	if _, ok := n.pending[key]; ok {
 		panic(fmt.Sprintf("core: node %d duplicate outstanding request %v", n.id, key))
 	}
-	f := n.sys.sim.NewFuture(fmt.Sprintf("rpc[n%d %v]", n.id, msg.Kind()))
+	f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("rpc[n%d %v]", n.id, msg.Kind()))
 	n.pending[key] = f
-	n.sys.net.Send(t.proc, n.id, dst, msg)
+	n.sys.tr.Send(t.proc, n.id, dst, msg)
 	return f.Wait(t.proc)
 }
 
@@ -368,7 +375,7 @@ func (n *Node) newCollector(key pendKey, need int, name string) *collector {
 	}
 	c := &collector{
 		need:    need,
-		fut:     n.sys.sim.NewFuture(fmt.Sprintf("collect[n%d %s]", n.id, name)),
+		fut:     n.sys.tr.NewFuture(n.id, fmt.Sprintf("collect[n%d %s]", n.id, name)),
 		holders: make(map[vm.Addr]directory.Copyset),
 	}
 	n.collectors[key] = c
@@ -439,9 +446,9 @@ func (n *Node) entry(t *Thread, addr vm.Addr) *directory.Entry {
 	if f, ok := n.dirFetch[base]; ok {
 		f.Wait(t.proc)
 	} else {
-		f := n.sys.sim.NewFuture(fmt.Sprintf("dirfetch[n%d %#x]", n.id, base))
+		f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("dirfetch[n%d %#x]", n.id, base))
 		n.dirFetch[base] = f
-		n.sys.net.Send(t.proc, n.id, 0, wire.DirReq{Addr: addr})
+		n.sys.tr.Send(t.proc, n.id, 0, wire.DirReq{Addr: addr})
 		f.Wait(t.proc)
 		delete(n.dirFetch, base)
 	}
@@ -454,14 +461,14 @@ func (n *Node) entry(t *Thread, addr vm.Addr) *directory.Entry {
 
 // serveDirReq answers a directory fetch from the home node's table. Only
 // the root (home for all statically allocated objects) serves these.
-func (n *Node) serveDirReq(p *sim.Proc, src int, m wire.DirReq) {
+func (n *Node) serveDirReq(p rt.Proc, src int, m wire.DirReq) {
 	p.Advance(n.sys.cost.DirLookup)
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok {
-		n.sys.net.Send(p, n.id, src, wire.DirReply{Found: false})
+		n.sys.tr.Send(p, n.id, src, wire.DirReply{Found: false})
 		return
 	}
-	n.sys.net.Send(p, n.id, src, wire.DirReply{
+	n.sys.tr.Send(p, n.id, src, wire.DirReply{
 		Found: true,
 		Start: e.Start,
 		Size:  uint32(e.Size),
@@ -490,7 +497,7 @@ func (n *Node) completeDirFetch(m wire.DirReply) {
 			Epoch:     m.Epoch,
 			ProbOwner: int(m.Owner),
 			Synchq:    -1,
-			Sem:       n.sys.sim.NewSemaphore(fmt.Sprintf("entry[n%d %#x]", n.id, m.Start), 1),
+			Sem:       n.sys.tr.NewSemaphore(n.id, fmt.Sprintf("entry[n%d %#x]", n.id, m.Start), 1),
 		})
 	}
 	// Wake every fetch waiting on any page the object covers: the fault
@@ -533,7 +540,7 @@ func (n *Node) readObject(e *directory.Entry) []byte {
 
 // installObject maps data as the entry's local copy with the given
 // protection, allocating pages as needed.
-func (n *Node) installObject(p *sim.Proc, e *directory.Entry, data []byte, prot vm.Prot) {
+func (n *Node) installObject(p rt.Proc, e *directory.Entry, data []byte, prot vm.Prot) {
 	if len(data) != e.Size {
 		panic(fmt.Sprintf("core: installing %d bytes into %v", len(data), e))
 	}
@@ -561,7 +568,7 @@ func (n *Node) installObject(p *sim.Proc, e *directory.Entry, data []byte, prot 
 }
 
 // protectObject changes the protection of every page backing the entry.
-func (n *Node) protectObject(p *sim.Proc, e *directory.Entry, prot vm.Prot) {
+func (n *Node) protectObject(p rt.Proc, e *directory.Entry, prot vm.Prot) {
 	for _, base := range n.pagesOf(e) {
 		if _, ok := n.space.Lookup(base); ok {
 			n.space.Protect(base, prot)
@@ -572,7 +579,7 @@ func (n *Node) protectObject(p *sim.Proc, e *directory.Entry, prot vm.Prot) {
 }
 
 // dropObject unmaps the entry's pages and invalidates the local copy.
-func (n *Node) dropObject(p *sim.Proc, e *directory.Entry) {
+func (n *Node) dropObject(p rt.Proc, e *directory.Entry) {
 	for _, base := range n.pagesOf(e) {
 		if _, ok := n.space.Lookup(base); ok {
 			n.space.Unmap(base)

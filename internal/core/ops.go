@@ -7,7 +7,7 @@ import (
 	"munin/internal/directory"
 	"munin/internal/duq"
 	"munin/internal/protocol"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
@@ -73,7 +73,7 @@ func (n *Node) fetchAndOp(t *Thread, addr vm.Addr, off int, op wire.ReduceOp, op
 // reduceAtHome applies the operation at the fixed owner and eagerly
 // updates replicas (reduction objects use an update protocol with no
 // delay: I=N, D=N in Table 1).
-func (n *Node) reduceAtHome(p *sim.Proc, e *directory.Entry, off int, op wire.ReduceOp, operand uint32) uint32 {
+func (n *Node) reduceAtHome(p rt.Proc, e *directory.Entry, off int, op wire.ReduceOp, operand uint32) uint32 {
 	if e.Home != n.id {
 		panic("core: reduceAtHome on non-home node")
 	}
@@ -96,7 +96,7 @@ func (n *Node) reduceAtHome(p *sim.Proc, e *directory.Entry, off int, op wire.Re
 		data := append([]byte(nil), cur...)
 		for _, d := range members {
 			n.UpdatesSent++
-			n.sys.net.Send(p, n.id, d, wire.UpdateBatch{
+			n.sys.tr.Send(p, n.id, d, wire.UpdateBatch{
 				From:    uint8(n.id),
 				Entries: []wire.UpdateEntry{{Addr: e.Start, Size: uint32(e.Size), Full: data}},
 			})
@@ -106,7 +106,7 @@ func (n *Node) reduceAtHome(p *sim.Proc, e *directory.Entry, off int, op wire.Re
 }
 
 // serveReduce handles a forwarded Fetch-and-Φ at the fixed owner.
-func (n *Node) serveReduce(p *sim.Proc, m wire.ReduceReq) {
+func (n *Node) serveReduce(p rt.Proc, m wire.ReduceReq) {
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok || e.Home != n.id {
 		fail(n.id, m.Addr, "reduce serve", "fetch-and-op arrived at a node that is not the fixed owner")
@@ -125,7 +125,7 @@ func (n *Node) serveReduce(p *sim.Proc, m wire.ReduceReq) {
 			fmt.Sprintf("object is %v; Fetch-and-Φ requires a reduction object", e.Annot))
 	}
 	old := n.reduceAtHome(p, e, int(m.Off)/vm.WordSize, m.Op, m.Operand)
-	n.sys.net.Send(p, n.id, int(m.Requester), wire.ReduceReply{Addr: e.Start, Old: old})
+	n.sys.tr.Send(p, n.id, int(m.Requester), wire.ReduceReply{Addr: e.Start, Old: old})
 }
 
 // flushObject implements the Flush library routine (§2.5): propagate one
@@ -166,7 +166,7 @@ func (n *Node) invalidateObject(t *Thread, addr vm.Addr) {
 		// Sole copy: hand the data to the home before dropping.
 		p.Advance(n.sys.cost.CopyCost(e.Size))
 		data := n.readObject(e)
-		n.sys.net.Send(p, n.id, e.Home, wire.UpdateBatch{
+		n.sys.tr.Send(p, n.id, e.Home, wire.UpdateBatch{
 			From:    uint8(n.id),
 			Entries: []wire.UpdateEntry{{Addr: e.Start, Size: uint32(e.Size), Full: data}},
 		})
@@ -200,7 +200,7 @@ func (n *Node) preAcquire(t *Thread, addr vm.Addr) {
 func (n *Node) phaseChange(t *Thread, addr vm.Addr) {
 	e := n.entry(t, addr)
 	n.purgeSharing(t.proc, e)
-	n.sys.net.Broadcast(t.proc, n.id, wire.PhaseChange{Addr: e.Start})
+	n.sys.tr.Broadcast(t.proc, n.id, wire.PhaseChange{Addr: e.Start})
 }
 
 func (n *Node) servePhaseChange(m wire.PhaseChange) {
@@ -211,7 +211,7 @@ func (n *Node) servePhaseChange(m wire.PhaseChange) {
 
 // purgeSharing resets copyset knowledge; p may be nil in dispatcher
 // context where protection cost is charged to the dispatcher elsewhere.
-func (n *Node) purgeSharing(p *sim.Proc, e *directory.Entry) {
+func (n *Node) purgeSharing(p rt.Proc, e *directory.Entry) {
 	e.Copyset = 0
 	e.CopysetKnown = false
 	if e.Valid && e.Writable && !e.Enqueued {
@@ -242,7 +242,7 @@ func (n *Node) changeAnnotation(t *Thread, addr vm.Addr, annot protocol.Annotati
 		n.flushSem.Release()
 	}
 	n.applyAnnotation(e, annot)
-	n.sys.net.Broadcast(t.proc, n.id, wire.ChangeAnnot{Addr: e.Start, Annot: uint8(annot)})
+	n.sys.tr.Broadcast(t.proc, n.id, wire.ChangeAnnot{Addr: e.Start, Annot: uint8(annot)})
 }
 
 func (n *Node) serveChangeAnnot(m wire.ChangeAnnot) {

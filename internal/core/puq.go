@@ -18,7 +18,7 @@ package core
 // most.
 
 import (
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
@@ -95,7 +95,7 @@ func (n *Node) queuePendingUpdate(u wire.UpdateEntry) {
 
 // drainPendingObject applies the pending updates for one object. p may be
 // nil for post-run inspection (no virtual time to charge).
-func (n *Node) drainPendingObject(p *sim.Proc, addr vm.Addr) {
+func (n *Node) drainPendingObject(p rt.Proc, addr vm.Addr) {
 	if n.puq == nil {
 		return
 	}
@@ -114,7 +114,7 @@ func (n *Node) drainPendingObject(p *sim.Proc, addr vm.Addr) {
 
 // drainPendingAll applies every pending update — the acquire-side
 // synchronization drain.
-func (n *Node) drainPendingAll(p *sim.Proc) {
+func (n *Node) drainPendingAll(p rt.Proc) {
 	if n.puq == nil {
 		return
 	}
@@ -129,7 +129,7 @@ func (n *Node) drainPendingAll(p *sim.Proc) {
 
 // drainObjectLocked applies one object's pending updates; the caller
 // holds puqSem (or runs post-run).
-func (n *Node) drainObjectLocked(p *sim.Proc, addr vm.Addr) {
+func (n *Node) drainObjectLocked(p rt.Proc, addr vm.Addr) {
 	e, ok := n.dir.Lookup(addr)
 	if !ok {
 		fail(n.id, addr, "pending update", "queued update for an object this node has never seen")

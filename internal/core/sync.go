@@ -5,7 +5,7 @@ import (
 
 	"munin/internal/directory"
 	"munin/internal/protocol"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
@@ -27,7 +27,7 @@ func (n *Node) acquireLock(t *Thread, id int) {
 		// Ownership is here but a local thread holds the lock, or a
 		// remote acquire is already in flight: wait locally; the
 		// releasing/acquiring thread hands over directly.
-		f := n.sys.sim.NewFuture(fmt.Sprintf("lockwait[n%d l%d]", n.id, id))
+		f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("lockwait[n%d l%d]", n.id, id))
 		n.lockWait[id] = append(n.lockWait[id], f)
 		f.Wait(p)
 		n.locksHeld++
@@ -45,6 +45,9 @@ func (n *Node) acquireLock(t *Thread, id int) {
 	// se.Succ is NOT reset: a LockSetSucc enqueueing our successor may
 	// already have arrived while the grant was in flight.
 	se.Tail = int(grant.Tail)
+	// Ownership knowledge refreshed: chases parked here (the home) on a
+	// stale hint can make progress now.
+	n.redispatchLockChase(p, id)
 	// Acquire semantics: queued incoming updates become visible now.
 	n.drainPendingAll(p)
 	// Apply piggybacked data for objects associated with this lock
@@ -89,37 +92,87 @@ func (n *Node) releaseLock(t *Thread, id int) {
 		if tail == n.id {
 			tail = succ
 		}
-		n.sys.net.Send(p, n.id, succ, wire.LockGrant{
+		n.sys.tr.Send(p, n.id, succ, wire.LockGrant{
 			Lock: uint32(id), Tail: uint8(tail), Updates: n.lockPiggyback(p, se),
 		})
+		n.notifyLockHome(p, se, id, succ)
+		n.redispatchLockChase(p, id)
 		return
 	}
 	se.Held = false
 }
 
+// notifyLockHome anchors the lock home's hint to the transfer history
+// (the lock analogue of OwnNotify): after a remote-to-remote transfer
+// the home is the one node guaranteed to eventually learn the current
+// owner, so dead-ended request chases re-route through it.
+func (n *Node) notifyLockHome(p rt.Proc, se *directory.SynchEntry, id, owner int) {
+	if se.Home == n.id || se.Home == owner {
+		return
+	}
+	n.sys.tr.Send(p, n.id, se.Home, wire.LockOwnNotify{Lock: uint32(id), Owner: uint8(owner)})
+}
+
+// serveLockOwnNotify records a lock transfer at the lock's home.
+func (n *Node) serveLockOwnNotify(p rt.Proc, m wire.LockOwnNotify) {
+	se := n.mustSynch(int(m.Lock), directory.SynchLock)
+	if !se.Owned {
+		se.ProbOwner = int(m.Owner)
+	}
+	n.redispatchLockChase(p, int(m.Lock))
+}
+
+// redispatchLockChase re-serves lock requests that parked at this node
+// awaiting fresher ownership knowledge.
+func (n *Node) redispatchLockChase(p rt.Proc, id int) {
+	ms := n.lockChase[id]
+	if len(ms) == 0 {
+		return
+	}
+	delete(n.lockChase, id)
+	for _, m := range ms {
+		n.serveLockAcq(p, m)
+	}
+}
+
 // serveLockAcq handles a remote acquire at this node: grant if we own a
 // free lock, enqueue at the distributed queue's tail if it is busy, or
 // forward along the probable-owner chain.
-func (n *Node) serveLockAcq(p *sim.Proc, m wire.LockAcq) {
+func (n *Node) serveLockAcq(p rt.Proc, m wire.LockAcq) {
 	id := int(m.Lock)
 	req := int(m.Requester)
 	p.Advance(n.sys.cost.LockHandlerCPU)
 	se := n.mustSynch(id, directory.SynchLock)
 	if !se.Owned {
+		// Forward along the probable-owner chain. A hint pointing back
+		// at the requester is stale — the transfer that displaced the
+		// requester is still in flight — so such chases re-route through
+		// the lock's home (whose hint tracks transfer notifications),
+		// and park there until the notification lands. The simulator's
+		// cost model never produced this interleaving; the concurrent
+		// transports produce it routinely.
 		dst := se.ProbOwner
 		if dst == n.id || dst == req {
-			fail(n.id, 0, "lock forward", fmt.Sprintf("probable-owner chain for lock %d dead-ends", id))
+			dst = se.Home
 		}
-		n.sys.net.Send(p, n.id, dst, m)
+		if dst == n.id {
+			// This node is the home and its own hint is dead: park until
+			// the pending transfer's notification refreshes it.
+			n.lockChase[id] = append(n.lockChase[id], m)
+			return
+		}
+		n.sys.tr.Send(p, n.id, dst, m)
 		return
 	}
 	if !se.Held && len(n.lockWait[id]) == 0 && se.Succ < 0 {
 		// Free: transfer ownership directly to the requester.
 		se.Owned = false
 		se.ProbOwner = req
-		n.sys.net.Send(p, n.id, req, wire.LockGrant{
+		n.sys.tr.Send(p, n.id, req, wire.LockGrant{
 			Lock: uint32(id), Tail: uint8(req), Updates: n.lockPiggyback(p, se),
 		})
+		n.notifyLockHome(p, se, id, req)
+		n.redispatchLockChase(p, id)
 		return
 	}
 	// Busy: append the requester to the distributed queue. The owner
@@ -137,7 +190,7 @@ func (n *Node) serveLockAcq(p *sim.Proc, m wire.LockAcq) {
 		}
 		se.Succ = req
 	} else {
-		n.sys.net.Send(p, n.id, prevTail, wire.LockSetSucc{Lock: uint32(id), Succ: uint8(req)})
+		n.sys.tr.Send(p, n.id, prevTail, wire.LockSetSucc{Lock: uint32(id), Succ: uint8(req)})
 	}
 }
 
@@ -152,7 +205,7 @@ func (n *Node) serveLockSetSucc(m wire.LockSetSucc) {
 }
 
 // serveLockGrant routes an arriving grant to the waiting acquirer.
-func (n *Node) serveLockGrant(p *sim.Proc, m wire.LockGrant) {
+func (n *Node) serveLockGrant(p rt.Proc, m wire.LockGrant) {
 	n.complete(pendKey{pendLock, uint64(m.Lock)}, m)
 }
 
@@ -160,7 +213,7 @@ func (n *Node) serveLockGrant(p *sim.Proc, m wire.LockGrant) {
 // lock so the grant message carries it (avoiding access misses at the new
 // holder, §2.5). Migratory associated objects move with the lock: the
 // local copy is dropped.
-func (n *Node) lockPiggyback(p *sim.Proc, se *directory.SynchEntry) []wire.UpdateEntry {
+func (n *Node) lockPiggyback(p rt.Proc, se *directory.SynchEntry) []wire.UpdateEntry {
 	var out []wire.UpdateEntry
 	for _, addr := range se.Assoc {
 		e, ok := n.dir.Lookup(addr)
@@ -193,13 +246,13 @@ func (n *Node) waitAtBarrier(t *Thread, id int) {
 	n.adaptAtRelease(t)
 	p.Advance(n.sys.cost.BarrierHandlerCPU)
 	se := n.mustSynch(id, directory.SynchBarrier)
-	f := n.sys.sim.NewFuture(fmt.Sprintf("barrier[n%d b%d]", n.id, id))
+	f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("barrier[n%d b%d]", n.id, id))
 	n.barrierWait[id] = append(n.barrierWait[id], f)
 	if se.Home == n.id {
 		se.Arrived++
 		n.checkBarrier(p, id, se)
 	} else {
-		n.sys.net.Send(p, n.id, se.Home, wire.BarrierArrive{Barrier: uint32(id), From: uint8(n.id)})
+		n.sys.tr.Send(p, n.id, se.Home, wire.BarrierArrive{Barrier: uint32(id), From: uint8(n.id)})
 	}
 	f.Wait(p)
 	// Departing the barrier is an acquire: queued updates apply now.
@@ -207,7 +260,7 @@ func (n *Node) waitAtBarrier(t *Thread, id int) {
 }
 
 // serveBarrierArrive counts a remote arrival at the barrier's owner node.
-func (n *Node) serveBarrierArrive(p *sim.Proc, m wire.BarrierArrive) {
+func (n *Node) serveBarrierArrive(p rt.Proc, m wire.BarrierArrive) {
 	id := int(m.Barrier)
 	p.Advance(n.sys.cost.BarrierHandlerCPU)
 	se := n.mustSynch(id, directory.SynchBarrier)
@@ -221,7 +274,7 @@ func (n *Node) serveBarrierArrive(p *sim.Proc, m wire.BarrierArrive) {
 
 // checkBarrier releases everyone once the expected number of threads have
 // arrived: one reply per remote arrival, plus completing local waiters.
-func (n *Node) checkBarrier(p *sim.Proc, id int, se *directory.SynchEntry) {
+func (n *Node) checkBarrier(p rt.Proc, id int, se *directory.SynchEntry) {
 	if se.Arrived < se.Expected {
 		return
 	}
@@ -244,7 +297,7 @@ func (n *Node) checkBarrier(p *sim.Proc, id int, se *directory.SynchEntry) {
 	} else {
 		for _, src := range from {
 			p.Advance(n.sys.cost.BarrierHandlerCPU)
-			n.sys.net.Send(p, n.id, src, wire.BarrierRelease{Barrier: uint32(id)})
+			n.sys.tr.Send(p, n.id, src, wire.BarrierRelease{Barrier: uint32(id)})
 		}
 	}
 	for _, f := range local {
@@ -255,7 +308,7 @@ func (n *Node) checkBarrier(p *sim.Proc, id int, se *directory.SynchEntry) {
 // serveBarrierRelease wakes threads blocked at the barrier: one per
 // message under the centralized scheme, every local waiter (plus subtree
 // forwarding) under the tree scheme.
-func (n *Node) serveBarrierRelease(p *sim.Proc, m wire.BarrierRelease) {
+func (n *Node) serveBarrierRelease(p rt.Proc, m wire.BarrierRelease) {
 	id := int(m.Barrier)
 	ws := n.barrierWait[id]
 	if m.Tree {
@@ -281,7 +334,7 @@ func (n *Node) serveBarrierRelease(p *sim.Proc, m wire.BarrierRelease) {
 
 // treeRelease forwards a tree-scheme barrier release to up to fanout
 // children, handing each its slice of the remaining nodes.
-func (n *Node) treeRelease(p *sim.Proc, id int, nodes []int) {
+func (n *Node) treeRelease(p rt.Proc, id int, nodes []int) {
 	fanout := n.sys.cfg.BarrierFanout
 	if fanout <= 1 {
 		fanout = 4
@@ -302,7 +355,7 @@ func (n *Node) treeRelease(p *sim.Proc, id int, nodes []int) {
 			sub = append(sub, uint8(rest[j]))
 		}
 		p.Advance(n.sys.cost.BarrierHandlerCPU)
-		n.sys.net.Send(p, n.id, child, wire.BarrierRelease{Barrier: uint32(id), Tree: true, Subtree: sub})
+		n.sys.tr.Send(p, n.id, child, wire.BarrierRelease{Barrier: uint32(id), Tree: true, Subtree: sub})
 	}
 }
 

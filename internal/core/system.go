@@ -2,12 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"munin/internal/directory"
 	"munin/internal/model"
 	"munin/internal/network"
 	"munin/internal/protocol"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 )
 
@@ -70,6 +71,11 @@ type Config struct {
 	AwaitUpdateAcks bool
 	// Trace, if non-nil, observes every delivered network message.
 	Trace func(network.Envelope)
+	// Transport carries the machine's messages and hosts its procs. Nil
+	// means the deterministic simulator (rt.NewSim) — the transport the
+	// paper's tables are measured on. rt.NewChan and rt.NewTCP run the
+	// same protocol code under real concurrency.
+	Transport rt.Transport
 }
 
 // Decl is one entry of the shared data description table: a shared object
@@ -107,20 +113,22 @@ type BarrierDecl struct {
 	Expected int
 }
 
-// System is one simulated Munin machine: the nodes, the network, and the
-// shared-segment description.
+// System is one Munin machine: the nodes, the transport carrying their
+// messages, and the shared-segment description.
 type System struct {
 	cfg      Config
 	cost     model.CostModel
-	sim      *sim.Sim
-	net      *network.Network
+	tr       rt.Transport
 	nodes    []*Node
 	decls    []Decl
 	locks    []LockDecl
 	barriers []BarrierDecl
 
-	threadSeq int
-	liveUser  int // running user threads; Run stops when the root returns
+	// threadSeq numbers threads; liveUser counts running user threads
+	// (Run stops when the last one returns). Atomic: on the live
+	// transports threads spawn and finish concurrently.
+	threadSeq atomic.Int64
+	liveUser  atomic.Int64
 }
 
 // NewSystem builds a machine from declarations. The root node (0) holds
@@ -140,16 +148,32 @@ func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDec
 	if err := cfg.Model.Validate(); err != nil {
 		panic(err)
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = rt.NewSim(cfg.Model, cfg.Processors)
+	}
+	if cfg.Transport.Nodes() != cfg.Processors {
+		panic(fmt.Sprintf("core: transport has %d nodes for %d processors",
+			cfg.Transport.Nodes(), cfg.Processors))
+	}
+	if cfg.Transport.Name() == "tcp" {
+		// TCP guarantees only per-connection FIFO, not the cross-sender
+		// causal order the simulator's serialized bus and the chan
+		// transport's synchronous enqueue both give. Release consistency
+		// then needs flushes to block until their updates are
+		// acknowledged (see the AwaitUpdateAcks comment above).
+		cfg.AwaitUpdateAcks = true
+	}
 	s := &System{
 		cfg:      cfg,
 		cost:     cfg.Model,
-		sim:      sim.New(),
+		tr:       cfg.Transport,
 		decls:    decls,
 		locks:    locks,
 		barriers: barriers,
 	}
-	s.net = network.New(s.sim, cfg.Model, cfg.Processors)
-	s.net.Trace = cfg.Trace
+	if cfg.Trace != nil {
+		s.tr.SetTrace(cfg.Trace)
+	}
 	for i := 0; i < cfg.Processors; i++ {
 		s.nodes = append(s.nodes, newNode(s, i))
 	}
@@ -184,7 +208,7 @@ func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDec
 			Owned:     true,
 			Backing:   backing,
 			Synchq:    d.Synchq,
-			Sem:       s.sim.NewSemaphore(fmt.Sprintf("entry[%#x]", d.Start), 1),
+			Sem:       s.tr.NewSemaphore(d.Home, fmt.Sprintf("entry[%#x]", d.Start), 1),
 		}
 		s.nodes[d.Home].dir.Insert(e)
 	}
@@ -207,11 +231,12 @@ func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDec
 	return s
 }
 
-// Sim exposes the simulation (tests and the bench harness use it).
-func (s *System) Sim() *sim.Sim { return s.sim }
+// Transport exposes the transport carrying the machine's messages.
+func (s *System) Transport() rt.Transport { return s.tr }
 
-// Net exposes the network for statistics.
-func (s *System) Net() *network.Network { return s.net }
+// Net exposes the transport for statistics (historical name; protocol
+// tests read sys.Net().Stats()).
+func (s *System) Net() rt.Transport { return s.tr }
 
 // Node returns node i.
 func (s *System) Node(i int) *Node { return s.nodes[i] }
@@ -241,30 +266,29 @@ func (s *System) Run(root func(t *Thread)) error {
 		n.startDispatcher()
 	}
 	rootThread := s.newThread(s.nodes[0], "user-root")
-	s.liveUser++
-	s.sim.Spawn(rootThread.name, func(p *sim.Proc) {
+	s.liveUser.Add(1)
+	s.tr.Spawn(0, rootThread.name, func(p rt.Proc) {
 		rootThread.proc = p
 		defer func() {
-			s.liveUser--
-			if s.liveUser == 0 {
-				s.sim.Stop()
+			if s.liveUser.Add(-1) == 0 {
+				s.tr.Stop()
 			}
 		}()
 		root(rootThread)
 	})
-	return s.sim.Run()
+	return s.tr.Run()
 }
 
 // newThread allocates a thread bound to a node.
 func (s *System) newThread(n *Node, name string) *Thread {
-	s.threadSeq++
-	t := &Thread{sys: s, node: n, id: s.threadSeq, name: fmt.Sprintf("%s@n%d", name, n.id)}
+	id := int(s.threadSeq.Add(1))
+	t := &Thread{sys: s, node: n, id: id, name: fmt.Sprintf("%s@n%d", name, n.id)}
 	return t
 }
 
 // Elapsed returns the virtual time consumed so far (total execution time
 // after Run).
-func (s *System) Elapsed() sim.Time { return s.sim.Now() }
+func (s *System) Elapsed() rt.Time { return s.tr.Now() }
 
 // ObjectData returns the current contents of the object at addr as seen
 // from node i (live copy, or fresh backing at the home), or nil if the
@@ -279,6 +303,29 @@ func (s *System) ObjectData(i int, addr vm.Addr) []byte {
 	// observed state (no virtual time to charge after the run).
 	n.drainPendingObject(nil, e.Start)
 	return n.currentData(e)
+}
+
+// FinalImage assembles the machine's final shared memory, keyed by
+// object start address: each declared object's contents as seen from its
+// home node, or from the first node still holding a copy. After a
+// properly synchronized run every surviving copy is current (release
+// consistency), so the image is well defined — the cross-transport
+// equivalence tests compare it byte for byte.
+func (s *System) FinalImage() map[vm.Addr][]byte {
+	out := make(map[vm.Addr][]byte)
+	for _, d := range s.decls {
+		if data := s.ObjectData(d.Home, d.Start); data != nil {
+			out[d.Start] = data
+			continue
+		}
+		for i := range s.nodes {
+			if data := s.ObjectData(i, d.Start); data != nil {
+				out[d.Start] = data
+				break
+			}
+		}
+	}
+	return out
 }
 
 // AdaptStats summarizes the adaptive engine's activity after a run.
@@ -329,8 +376,8 @@ func (s *System) FinalAnnotations() map[vm.Addr]protocol.Annotation {
 
 // NodeUserTime sums user-mode virtual time over node i's threads — the
 // "User" column of Tables 3–5 for the root node.
-func (s *System) NodeUserTime(i int) sim.Time {
-	var total sim.Time
+func (s *System) NodeUserTime(i int) rt.Time {
+	var total rt.Time
 	for _, p := range s.nodes[i].procs {
 		total += p.UserTime()
 	}
@@ -339,8 +386,8 @@ func (s *System) NodeUserTime(i int) sim.Time {
 
 // NodeSystemTime sums Munin-runtime virtual time over node i's threads and
 // dispatcher — the "System" column of Tables 3–5 for the root node.
-func (s *System) NodeSystemTime(i int) sim.Time {
-	var total sim.Time
+func (s *System) NodeSystemTime(i int) rt.Time {
+	var total rt.Time
 	for _, p := range s.nodes[i].procs {
 		total += p.SystemTime()
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"munin/internal/protocol"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
@@ -15,7 +15,7 @@ import (
 type Thread struct {
 	sys  *System
 	node *Node
-	proc *sim.Proc
+	proc rt.Proc
 	id   int
 	name string
 }
@@ -27,7 +27,7 @@ func (t *Thread) ID() int { return t.id }
 func (t *Thread) NodeID() int { return t.node.id }
 
 // Now returns the current virtual time.
-func (t *Thread) Now() sim.Time { return t.proc.Now() }
+func (t *Thread) Now() rt.Time { return t.proc.Now() }
 
 // Spawn creates a user thread running fn on the given node, as
 // CreateThread does in a Munin program. It returns immediately; the new
@@ -37,14 +37,13 @@ func (t *Thread) Spawn(node int, name string, fn func(*Thread)) {
 		panic(fmt.Sprintf("core: spawn on invalid node %d", node))
 	}
 	nt := t.sys.newThread(t.sys.nodes[node], name)
-	t.sys.liveUser++
-	t.sys.sim.Spawn(nt.name, func(p *sim.Proc) {
+	t.sys.liveUser.Add(1)
+	t.sys.tr.Spawn(node, nt.name, func(p rt.Proc) {
 		nt.proc = p
 		nt.node.procs = append(nt.node.procs, p)
 		defer func() {
-			t.sys.liveUser--
-			if t.sys.liveUser == 0 {
-				t.sys.sim.Stop()
+			if t.sys.liveUser.Add(-1) == 0 {
+				t.sys.tr.Stop()
 			}
 		}()
 		fn(nt)
@@ -54,7 +53,7 @@ func (t *Thread) Spawn(node int, name string, fn func(*Thread)) {
 // Compute charges d of application compute time (the kernels' arithmetic
 // runs natively; its cost is modeled explicitly so Munin and
 // message-passing versions are charged identically).
-func (t *Thread) Compute(d sim.Time) { t.proc.Advance(d) }
+func (t *Thread) Compute(d rt.Time) { t.proc.Advance(d) }
 
 // Read copies shared memory at addr into buf, faulting as needed.
 func (t *Thread) Read(addr vm.Addr, buf []byte) { t.node.space.Read(t, addr, buf) }
@@ -150,6 +149,6 @@ func (t *Thread) ChangeAnnotation(addr vm.Addr, annot protocol.Annotation) {
 // system switches the thread into system-time accounting and returns the
 // restore function.
 func (t *Thread) system() func() {
-	prev := t.proc.SetKind(sim.KindSystem)
+	prev := t.proc.SetKind(rt.KindSystem)
 	return func() { t.proc.SetKind(prev) }
 }

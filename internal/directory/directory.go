@@ -18,7 +18,7 @@ import (
 	"sort"
 
 	"munin/internal/protocol"
-	"munin/internal/sim"
+	"munin/internal/rt"
 	"munin/internal/vm"
 )
 
@@ -212,7 +212,7 @@ type Entry struct {
 
 	// Sem serializes protocol operations on the entry across block
 	// points.
-	Sem *sim.Semaphore
+	Sem rt.Semaphore
 }
 
 // Contains reports whether addr falls within the object.

@@ -63,8 +63,15 @@ type Network struct {
 	busFreeAt sim.Time
 	stats     Stats
 
+	// pairLast tracks the last delivery time per (src,dst) so fault
+	//-injected reordering never violates per-pair FIFO order.
+	pairLast map[[2]int]sim.Time
+
 	// Trace, if set, observes every delivered envelope.
 	Trace func(Envelope)
+
+	// Faults, if set, injects drops, partitions and reordering.
+	Faults *Faults
 }
 
 // New creates a network of n nodes over the given simulation and cost
@@ -74,8 +81,9 @@ func New(s *sim.Sim, cost model.CostModel, n int) *Network {
 		panic(fmt.Sprintf("network: invalid node count %d", n))
 	}
 	nw := &Network{
-		sim:  s,
-		cost: cost,
+		sim:      s,
+		cost:     cost,
+		pairLast: make(map[[2]int]sim.Time),
 		stats: Stats{
 			Messages: make(map[wire.Kind]int),
 			Bytes:    make(map[wire.Kind]int),
@@ -111,10 +119,13 @@ func (nw *Network) Send(p *sim.Proc, src, dst int, msg wire.Message) {
 	}
 	size := len(encoded) + HeaderBytes
 
+	p.Advance(nw.cost.MsgSendCPU)
+	if nw.Faults.Cut(src, dst, decoded) {
+		return
+	}
+
 	nw.stats.Messages[msg.Kind()]++
 	nw.stats.Bytes[msg.Kind()] += size
-
-	p.Advance(nw.cost.MsgSendCPU)
 
 	now := nw.sim.Now()
 	start := now
@@ -126,6 +137,20 @@ func (nw *Network) Send(p *sim.Proc, src, dst int, msg wire.Message) {
 		nw.busFreeAt = wireDone
 	}
 	deliver := wireDone + nw.cost.WireLatency
+	if nw.Faults != nil && nw.Faults.ReorderSeed != 0 {
+		// Fault-injected reordering: jitter the delivery so messages
+		// from other senders can overtake, but never behind this pair's
+		// previous delivery (per-pair FIFO always holds).
+		if j := nw.Faults.Jitter(int64(nw.cost.WireLatency) * 8); j > 0 {
+			deliver += sim.Time(j)
+			nw.Faults.CountReorder()
+		}
+		pair := [2]int{src, dst}
+		if last := nw.pairLast[pair]; deliver < last {
+			deliver = last
+		}
+		nw.pairLast[pair] = deliver
+	}
 
 	env := Envelope{Src: src, Dst: dst, Msg: decoded, Bytes: size, SentAt: now, DeliveredAt: deliver}
 	nw.sim.At(deliver, func() {

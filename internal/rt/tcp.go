@@ -1,0 +1,169 @@
+package rt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"munin/internal/model"
+	"munin/internal/network"
+	"munin/internal/wire"
+)
+
+// TCP is the Live runtime with delivery over loopback TCP: every node
+// listens on 127.0.0.1 and keeps one outbound connection per peer, so
+// per-(src,dst) FIFO order is exactly what the sockets give. Unlike the
+// simulator's serialized bus and Chan's synchronous enqueue, TCP does
+// NOT order deliveries across different senders — which is why the
+// runtime awaits update acknowledgements on this transport (see
+// core.Config.AwaitUpdateAcks).
+//
+// Frame format, length-prefixed on the wire:
+//
+//	[4B payload length][1B src][8B sent-at nanos][payload = wire.Marshal]
+type TCP struct {
+	*Live
+	listeners []net.Listener
+	conns     [][]*tcpConn // [src][dst], nil on the diagonal
+	readers   sync.WaitGroup
+}
+
+// tcpConn serializes writers on one src→dst connection: two procs of the
+// same node can send concurrently (the monitor is released during
+// delivery).
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// tcpFrameHeader is the fixed-size frame prefix.
+const tcpFrameHeader = 4 + 1 + 8
+
+// NewTCP builds the loopback-TCP transport of n nodes: n listeners and
+// n·(n−1) connections, all within this process.
+func NewTCP(cost model.CostModel, n int) (*TCP, error) {
+	t := &TCP{Live: newLive("tcp", cost, n)}
+	t.conns = make([][]*tcpConn, n)
+	for i := range t.conns {
+		t.conns[i] = make([]*tcpConn, n)
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.closeAll()
+			return nil, fmt.Errorf("rt: tcp listen for node %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, ln)
+	}
+	for i := 0; i < n; i++ {
+		// The accept loop itself is counted in readers, so the nested
+		// readers.Add for each inbound connection always fires while the
+		// counter is positive — never concurrently with a Wait that has
+		// observed zero.
+		t.readers.Add(1)
+		go t.acceptLoop(i, t.listeners[i])
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			c, err := net.Dial("tcp", t.listeners[dst].Addr().String())
+			if err != nil {
+				t.closeAll()
+				return nil, fmt.Errorf("rt: tcp dial %d->%d: %w", src, dst, err)
+			}
+			t.conns[src][dst] = &tcpConn{c: c}
+		}
+	}
+	t.Live.deliver = t.deliverTCP
+	t.Live.shutdown = func() {
+		t.closeAll()
+		t.readers.Wait()
+	}
+	return t, nil
+}
+
+// acceptLoop accepts inbound connections for node and starts a reader
+// per connection; the frame header identifies the sender.
+func (t *TCP) acceptLoop(node int, ln net.Listener) {
+	defer t.readers.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed at shutdown
+		}
+		t.readers.Add(1)
+		go t.readLoop(node, c)
+	}
+}
+
+// readLoop decodes frames from one inbound connection and enqueues them
+// into node's inbox.
+func (t *TCP) readLoop(node int, c net.Conn) {
+	defer t.readers.Done()
+	var hdr [tcpFrameHeader]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return // connection closed at shutdown
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		src := int(hdr[4])
+		sentAt := Time(binary.LittleEndian.Uint64(hdr[5:13]))
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		msg, err := wire.Unmarshal(payload)
+		if err != nil {
+			t.fail(fmt.Errorf("rt: tcp frame from node %d does not decode: %w", src, err))
+			return
+		}
+		t.enqueue(Envelope{
+			Src: src, Dst: node, Msg: msg,
+			Bytes: len(payload) + network.HeaderBytes, SentAt: sentAt,
+		})
+		t.inflight.Add(-1)
+	}
+}
+
+// deliverTCP frames the encoded message onto the src→dst connection.
+// Runs without any node monitor held; the per-connection mutex keeps
+// concurrent senders of one node from interleaving frames.
+func (t *TCP) deliverTCP(env Envelope, encoded []byte) {
+	cc := t.conns[env.Src][env.Dst]
+	frame := make([]byte, tcpFrameHeader+len(encoded))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(encoded)))
+	frame[4] = byte(env.Src)
+	binary.LittleEndian.PutUint64(frame[5:13], uint64(env.SentAt))
+	copy(frame[tcpFrameHeader:], encoded)
+	t.inflight.Add(1)
+	t.activity.Add(1)
+	cc.mu.Lock()
+	_, err := cc.c.Write(frame)
+	cc.mu.Unlock()
+	if err != nil {
+		t.inflight.Add(-1)
+		if !t.stopped.Load() {
+			t.fail(fmt.Errorf("rt: tcp send %d->%d: %w", env.Src, env.Dst, err))
+		}
+	}
+}
+
+// closeAll tears down every connection and listener.
+func (t *TCP) closeAll() {
+	for _, ln := range t.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, row := range t.conns {
+		for _, cc := range row {
+			if cc != nil {
+				cc.c.Close()
+			}
+		}
+	}
+}

@@ -55,6 +55,7 @@ const (
 	KindAdaptPropose
 	KindAdaptCommit
 	KindMPData
+	KindLockOwnNotify
 	numKinds
 )
 
@@ -90,6 +91,7 @@ var kindNames = [...]string{
 	KindAdaptPropose:   "adapt-propose",
 	KindAdaptCommit:    "adapt-commit",
 	KindMPData:         "mp-data",
+	KindLockOwnNotify:  "lock-own-notify",
 }
 
 // String returns the kind's trace name.
@@ -280,6 +282,17 @@ type LockGrant struct {
 	Updates []UpdateEntry
 }
 
+// LockOwnNotify records a lock ownership transfer at the lock's home
+// node. Like OwnNotify for data objects, it anchors the home's probable-
+// owner hint to the true transfer history: request chases that dead-end
+// on a stale hint re-route through the home, and one whose hint points
+// back at the requester parks there until the in-flight transfer's
+// notification arrives.
+type LockOwnNotify struct {
+	Lock  uint32
+	Owner uint8
+}
+
 // BarrierArrive reports a thread's arrival at a barrier to its owner node.
 type BarrierArrive struct {
 	Barrier uint32
@@ -428,6 +441,7 @@ func (ReduceReq) Kind() Kind      { return KindReduceReq }
 func (ReduceReply) Kind() Kind    { return KindReduceReply }
 func (LockAcq) Kind() Kind        { return KindLockAcq }
 func (LockSetSucc) Kind() Kind    { return KindLockSetSucc }
+func (LockOwnNotify) Kind() Kind  { return KindLockOwnNotify }
 func (LockGrant) Kind() Kind      { return KindLockGrant }
 func (BarrierArrive) Kind() Kind  { return KindBarrierArrive }
 func (BarrierRelease) Kind() Kind { return KindBarrierRelease }
@@ -644,6 +658,9 @@ func Marshal(msg Message) []byte {
 	case LockSetSucc:
 		e.u32(m.Lock)
 		e.u8(m.Succ)
+	case LockOwnNotify:
+		e.u32(m.Lock)
+		e.u8(m.Owner)
 	case LockGrant:
 		e.u32(m.Lock)
 		e.u8(m.Tail)
@@ -745,6 +762,8 @@ func Unmarshal(b []byte) (Message, error) {
 		msg = LockAcq{Lock: d.u32(), Requester: d.u8()}
 	case KindLockSetSucc:
 		msg = LockSetSucc{Lock: d.u32(), Succ: d.u8()}
+	case KindLockOwnNotify:
+		msg = LockOwnNotify{Lock: d.u32(), Owner: d.u8()}
 	case KindLockGrant:
 		msg = LockGrant{Lock: d.u32(), Tail: d.u8(), Updates: d.updates()}
 	case KindBarrierArrive:

@@ -32,6 +32,7 @@ func sampleMessages() []Message {
 		ReduceReply{Addr: 0x80008000, Old: 99},
 		LockAcq{Lock: 1, Requester: 9},
 		LockSetSucc{Lock: 1, Succ: 10},
+		LockOwnNotify{Lock: 1, Owner: 6},
 		LockGrant{Lock: 1, Tail: 3, Updates: []UpdateEntry{{Addr: 0x80009000, Size: 4, Full: []byte{1, 2, 3, 4}}}},
 		BarrierArrive{Barrier: 2, From: 11},
 		BarrierRelease{Barrier: 2},

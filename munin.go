@@ -41,6 +41,7 @@ import (
 	"munin/internal/model"
 	"munin/internal/network"
 	"munin/internal/protocol"
+	xrt "munin/internal/rt"
 	"munin/internal/sim"
 	"munin/internal/vm"
 	"munin/internal/wire"
@@ -112,7 +113,34 @@ type Config struct {
 	PendingUpdates bool
 	// Trace observes every delivered protocol message.
 	Trace func(network.Envelope)
+	// Transport selects the substrate the machine runs on:
+	//
+	//	"sim" (or "")  the deterministic discrete-event simulator the
+	//	               paper's tables are measured on — virtual clock,
+	//	               modeled 10 Mbps Ethernet, exactly reproducible
+	//	"chan"         a real concurrent runtime: every node is a
+	//	               goroutine cluster (user threads + dispatcher)
+	//	               exchanging messages over in-process queues in
+	//	               real time
+	//	"tcp"          the concurrent runtime with delivery over
+	//	               loopback TCP sockets, one connection per node
+	//	               pair (update acknowledgements are enabled
+	//	               automatically; TCP gives only per-pair FIFO)
+	//
+	// The protocol code is identical on all three; on "chan" and "tcp"
+	// Stats times are wall-clock, not modeled.
+	Transport string
 }
+
+// Transport names accepted by Config.Transport.
+const (
+	TransportSim  = "sim"
+	TransportChan = "chan"
+	TransportTCP  = "tcp"
+)
+
+// Transports lists the valid Config.Transport values.
+func Transports() []string { return []string{TransportSim, TransportChan, TransportTCP} }
 
 // Runtime is a Munin program under construction and, after Run, its
 // results. Declare shared variables and synchronization objects first,
@@ -277,7 +305,12 @@ func (rt *Runtime) Run(root func(t *Thread)) error {
 		panic("munin: Run called twice")
 	}
 	rt.ran = true
+	tr, err := newTransport(rt.cfg)
+	if err != nil {
+		return err
+	}
 	rt.sys = core.NewSystem(core.Config{
+		Transport:       tr,
 		Processors:      rt.cfg.Processors,
 		Model:           rt.cfg.Model,
 		Override:        rt.cfg.Override,
@@ -293,6 +326,26 @@ func (rt *Runtime) Run(root func(t *Thread)) error {
 		rt.sys.AssociateDataAndSynch(lock, addrs...)
 	}
 	return rt.sys.Run(root)
+}
+
+// newTransport builds the transport Config.Transport names. The cost
+// model must be resolved the same way core.NewSystem resolves it, so the
+// simulated transport charges identical costs.
+func newTransport(cfg Config) (xrt.Transport, error) {
+	cost := cfg.Model
+	if cost == (model.CostModel{}) {
+		cost = model.Default()
+	}
+	switch cfg.Transport {
+	case "", TransportSim:
+		return nil, nil // core.NewSystem defaults to rt.NewSim
+	case TransportChan:
+		return xrt.NewChan(cost, cfg.Processors), nil
+	case TransportTCP:
+		return xrt.NewTCP(cost, cfg.Processors)
+	default:
+		return nil, fmt.Errorf("munin: unknown transport %q (want sim, chan or tcp)", cfg.Transport)
+	}
 }
 
 // Stats summarizes a finished run.
@@ -336,6 +389,15 @@ func (rt *Runtime) Stats() Stats {
 		AdaptProposals: ast.Proposals,
 		AdaptSwitches:  ast.Commits,
 	}
+}
+
+// FinalImage returns the final shared-memory contents, keyed by object
+// start address (see core.System.FinalImage). Valid after Run.
+func (rt *Runtime) FinalImage() map[vm.Addr][]byte {
+	if rt.sys == nil {
+		panic("munin: FinalImage before Run")
+	}
+	return rt.sys.FinalImage()
 }
 
 // FinalAnnotations reports, after an adaptive run, the annotation each
