@@ -1,9 +1,11 @@
 package munin
 
-// Contract tests for the public API: configuration validation, lifecycle
-// panics, the extension knobs, tracing, and failure reporting.
+// Contract tests for the public API: configuration validation (errors
+// from Run, never panics), program lifecycle, the extension knobs,
+// tracing, and failure reporting.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -27,38 +29,85 @@ func expectPanic(t *testing.T, substr string, f func()) {
 	f()
 }
 
-func TestNewRejectsBadProcessorCounts(t *testing.T) {
-	expectPanic(t, "processors", func() { New(Config{Processors: 0}) })
-	expectPanic(t, "processors", func() { New(Config{Processors: 17}) })
-	expectPanic(t, "processors", func() { New(Config{Processors: -3}) })
-	if rt := New(Config{Processors: 16}); rt.Processors() != 16 {
-		t.Error("16 processors rejected")
+// expectRunError asserts Run fails with an error mentioning substr.
+func expectRunError(t *testing.T, substr string, p *Program, opts ...RunOption) {
+	t.Helper()
+	res, err := p.Run(context.Background(), func(root *Thread) {}, opts...)
+	if err == nil {
+		t.Errorf("Run succeeded, want an error mentioning %q", substr)
+		return
 	}
+	if res != nil {
+		t.Error("failed Run returned a non-nil Result")
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Errorf("err %v does not mention %q", err, substr)
+	}
+}
+
+// TestConfigValidationErrors: every configuration problem is an error
+// surfaced from Run — processor counts outside 1–16, a barrier-tree
+// fanout below 2, an unknown transport — never a panic.
+func TestConfigValidationErrors(t *testing.T) {
+	t.Run("ZeroProcessors", func(t *testing.T) {
+		expectRunError(t, "processors", NewProgram(0))
+	})
+	t.Run("SeventeenProcessors", func(t *testing.T) {
+		expectRunError(t, "processors", NewProgram(17))
+	})
+	t.Run("NegativeProcessors", func(t *testing.T) {
+		expectRunError(t, "processors", NewProgram(-3))
+	})
+	t.Run("WithProcessorsOverride", func(t *testing.T) {
+		expectRunError(t, "processors", NewProgram(4), WithProcessors(99))
+	})
+	t.Run("BarrierFanoutBelowTwo", func(t *testing.T) {
+		expectRunError(t, "fanout", NewProgram(4), WithBarrierTree(1))
+	})
+	t.Run("UnknownTransport", func(t *testing.T) {
+		expectRunError(t, "transport", NewProgram(2), WithTransport("carrier-pigeon"))
+	})
+	t.Run("SixteenProcessorsOK", func(t *testing.T) {
+		if _, err := NewProgram(16).Run(context.Background(), func(root *Thread) {}); err != nil {
+			t.Errorf("16 processors rejected: %v", err)
+		}
+	})
+	t.Run("DefaultBarrierFanoutOK", func(t *testing.T) {
+		if _, err := NewProgram(4).Run(context.Background(), func(root *Thread) {}, WithBarrierTree(0)); err != nil {
+			t.Errorf("default barrier fanout rejected: %v", err)
+		}
+	})
 }
 
 func TestDeclarationAfterRunPanics(t *testing.T) {
-	rt := New(Config{Processors: 1})
-	rt.DeclareWords("x", 4, Conventional)
-	if err := rt.Run(func(root *Thread) {}); err != nil {
+	p := NewProgram(1)
+	Declare[uint32](p, "x", 4, Conventional)
+	if _, err := p.Run(context.Background(), func(root *Thread) {}); err != nil {
 		t.Fatal(err)
 	}
-	expectPanic(t, "declaration after Run", func() { rt.DeclareWords("y", 4, Conventional) })
-	expectPanic(t, "Run called twice", func() { _ = rt.Run(func(root *Thread) {}) })
-}
-
-func TestStatsBeforeRunPanics(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	expectPanic(t, "Stats before Run", func() { rt.Stats() })
+	expectPanic(t, "declaration after Run", func() { Declare[uint32](p, "y", 4, Conventional) })
+	expectPanic(t, "declaration after Run", func() { p.CreateLock() })
+	expectPanic(t, "declaration after Run", func() { p.CreateBarrier(2) })
 }
 
 func TestZeroSizeDeclarationPanics(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	expectPanic(t, "size", func() { rt.DeclareWords("x", 0, Conventional) })
+	p := NewProgram(2)
+	expectPanic(t, "size", func() { Declare[uint32](p, "x", 0, Conventional) })
+}
+
+// TestInitRejectsOversizedData: initial contents longer than the
+// declared variable are rejected instead of silently spilling into the
+// following declaration's pages.
+func TestInitRejectsOversizedData(t *testing.T) {
+	p := NewProgram(2)
+	x := Declare[uint32](p, "x", 4, Conventional)
+	Declare[uint32](p, "y", 4, Conventional) // the would-be spill victim
+	expectPanic(t, "initial values", func() { x.Init(1, 2, 3, 4, 5) })
 }
 
 func TestSpawnOnInvalidNodePanics(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	err := rt.Run(func(root *Thread) {
+	p := NewProgram(2)
+	_, err := p.Run(context.Background(), func(root *Thread) {
 		expectPanic(t, "invalid node", func() { root.Spawn(5, "bad", func(*Thread) {}) })
 	})
 	if err != nil {
@@ -67,9 +116,9 @@ func TestSpawnOnInvalidNodePanics(t *testing.T) {
 }
 
 func TestDeadlockReported(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	bar := rt.CreateBarrier(3) // only 2 threads will ever arrive
-	err := rt.Run(func(root *Thread) {
+	p := NewProgram(2)
+	bar := p.CreateBarrier(3) // only 2 threads will ever arrive
+	_, err := p.Run(context.Background(), func(root *Thread) {
 		root.Spawn(1, "stuck", func(tt *Thread) { bar.Wait(tt) })
 		bar.Wait(root)
 	})
@@ -79,16 +128,15 @@ func TestDeadlockReported(t *testing.T) {
 }
 
 func TestRuntimeErrorSurfacesFromRun(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	ro := rt.DeclareWords("ro", 4, ReadOnly)
-	err := rt.Run(func(root *Thread) {
-		ro.Store(root, 0, 1)
+	p := NewProgram(2)
+	ro := Declare[uint32](p, "ro", 4, ReadOnly)
+	_, err := p.Run(context.Background(), func(root *Thread) {
+		ro.Set(root, 0, 1)
 	})
 	if err == nil {
 		t.Fatal("write to read_only succeeded")
 	}
-	var re interface{ Error() string } = err
-	if !strings.Contains(re.Error(), "not writable") {
+	if !strings.Contains(err.Error(), "not writable") {
 		t.Errorf("err = %v, want the not-writable runtime error", err)
 	}
 }
@@ -96,26 +144,26 @@ func TestRuntimeErrorSurfacesFromRun(t *testing.T) {
 func TestTraceObservesEveryMessage(t *testing.T) {
 	var traced int
 	var kinds = map[wire.Kind]int{}
-	rt := New(Config{Processors: 2, Trace: func(env network.Envelope) {
+	p := NewProgram(2)
+	data := Declare[uint32](p, "d", 2048, WriteShared)
+	bar := p.CreateBarrier(2)
+	res, err := p.Run(context.Background(), func(root *Thread) {
+		root.Spawn(1, "reader", func(tt *Thread) {
+			_ = data.Get(tt, 0)
+			bar.Wait(tt)
+		})
+		bar.Wait(root)
+	}, WithTrace(func(env network.Envelope) {
 		traced++
 		kinds[env.Msg.Kind()]++
 		if env.Bytes <= 0 || env.DeliveredAt < env.SentAt {
 			t.Errorf("malformed envelope %+v", env)
 		}
-	}})
-	data := rt.DeclareWords("d", 2048, WriteShared)
-	bar := rt.CreateBarrier(2)
-	err := rt.Run(func(root *Thread) {
-		root.Spawn(1, "reader", func(tt *Thread) {
-			_ = data.Load(tt, 0)
-			bar.Wait(tt)
-		})
-		bar.Wait(root)
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := rt.Stats()
+	st := res.Stats()
 	if traced != st.Messages {
 		t.Errorf("traced %d messages, stats report %d", traced, st.Messages)
 	}
@@ -124,43 +172,18 @@ func TestTraceObservesEveryMessage(t *testing.T) {
 	}
 }
 
-// TestMachineOptionMatrix: the extension knobs compose; each combination
-// computes the same matmul product.
-func TestMachineOptionMatrix(t *testing.T) {
-	const n, procs = 32, 4
-	want := matmulReference(n)
-	for _, cfg := range []Config{
-		{Processors: procs},
-		{Processors: procs, ExactCopyset: true},
-		{Processors: procs, AwaitUpdateAcks: true},
-		{Processors: procs, BarrierTree: true},
-		{Processors: procs, BarrierTree: true, BarrierFanout: 2},
-		{Processors: procs, PendingUpdates: true},
-		{Processors: procs, PendingUpdates: true, BarrierTree: true, ExactCopyset: true},
-	} {
-		cfg := cfg
-		got := matmulProgramWith(t, cfg, n)
-		for i := range want {
-			if got[i] != want[i] {
-				t.Errorf("%+v: element %d = %d, want %d", cfg, i, got[i], want[i])
-				break
-			}
-		}
-	}
-}
-
-// matmulProgramWith is matmulProgram with an explicit machine config.
-func matmulProgramWith(t *testing.T, cfg Config, n int) []int32 {
-	t.Helper()
-	rt := New(cfg)
-	procs := cfg.Processors
-	a := rt.DeclareInt32Matrix("input1", n, n, ReadOnly)
-	b := rt.DeclareInt32Matrix("input2", n, n, ReadOnly)
-	c := rt.DeclareInt32Matrix("output", n, n, Result)
+// buildMatmulProgram declares a small matrix multiply and returns the
+// program, its root function and the output matrix — the canonical
+// reusable program the Program/Run tests execute repeatedly.
+func buildMatmulProgram(procs, n int, opts ...DeclOption) (*Program, func(*Thread), *Matrix[int32]) {
+	p := NewProgram(procs)
+	a := DeclareMatrix[int32](p, "input1", n, n, ReadOnly, opts...)
+	b := DeclareMatrix[int32](p, "input2", n, n, ReadOnly, opts...)
+	c := DeclareMatrix[int32](p, "output", n, n, ResultObject)
 	a.Init(func(i, j int) int32 { return int32(i + j) })
 	b.Init(func(i, j int) int32 { return int32(i - j) })
-	done := rt.CreateBarrier(procs + 1)
-	err := rt.Run(func(root *Thread) {
+	done := p.CreateBarrier(procs + 1)
+	root := func(root *Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			lo, hi := w*n/procs, (w+1)*n/procs
@@ -186,39 +209,68 @@ func matmulProgramWith(t *testing.T, cfg Config, n int) []int32 {
 			})
 		}
 		done.Wait(root)
-	})
-	if err != nil {
-		t.Fatalf("%+v: %v", cfg, err)
 	}
-	out, err := c.Snapshot(0)
-	if err != nil {
-		out, err = c.SnapshotAny()
+	return p, root, c
+}
+
+// TestMachineOptionMatrix: the extension knobs compose; each combination
+// computes the same matmul product — and every combination executes the
+// SAME Program value, once per option set.
+func TestMachineOptionMatrix(t *testing.T) {
+	const n, procs = 32, 4
+	want := matmulReference(n)
+	prog, root, c := buildMatmulProgram(procs, n)
+	for _, run := range []struct {
+		name string
+		opts []RunOption
+	}{
+		{"baseline", nil},
+		{"exact-copyset", []RunOption{WithExactCopyset()}},
+		{"acked-flush", []RunOption{WithAwaitUpdateAcks()}},
+		{"barrier-tree", []RunOption{WithBarrierTree(0)}},
+		{"barrier-tree-2", []RunOption{WithBarrierTree(2)}},
+		{"pending-updates", []RunOption{WithPendingUpdates()}},
+		{"all", []RunOption{WithPendingUpdates(), WithBarrierTree(0), WithExactCopyset()}},
+	} {
+		res, err := prog.Run(context.Background(), root, run.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		got, err := c.Snapshot(res, 0)
+		if err != nil {
+			got, err = c.SnapshotAny(res)
+		}
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", run.name, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: element %d = %d, want %d", run.name, i, got[i], want[i])
+				break
+			}
+		}
 	}
-	if err != nil {
-		t.Fatalf("%+v: snapshot: %v", cfg, err)
-	}
-	return out
 }
 
 // TestInvalidateSharedEndToEnd runs the extension protocol through the
 // public API: a producer's delayed invalidations force the consumer to
 // re-fault, and the values still flow correctly.
 func TestInvalidateSharedEndToEnd(t *testing.T) {
-	rt := New(Config{Processors: 3})
-	data := rt.DeclareWords("d", 2048, InvalidateShared)
-	bar := rt.CreateBarrier(3 + 1)
+	p := NewProgram(3)
+	data := Declare[uint32](p, "d", 2048, InvalidateShared)
+	bar := p.CreateBarrier(3 + 1)
 	var got [3]uint32
-	err := rt.Run(func(root *Thread) {
+	_, err := p.Run(context.Background(), func(root *Thread) {
 		for w := 0; w < 3; w++ {
 			w := w
 			root.Spawn(w, "node", func(tt *Thread) {
-				_ = data.Load(tt, 0)
+				_ = data.Get(tt, 0)
 				bar.Wait(tt)
 				if w == 0 {
-					data.Store(tt, 0, 42)
+					data.Set(tt, 0, 42)
 				}
 				bar.Wait(tt)
-				got[w] = data.Load(tt, 0)
+				got[w] = data.Get(tt, 0)
 				bar.Wait(tt)
 			})
 		}
@@ -240,10 +292,10 @@ func TestInvalidateSharedEndToEnd(t *testing.T) {
 // at the workers, SnapshotAny assembles the variable from any holders.
 func TestSnapshotAnyFindsWorkerCopies(t *testing.T) {
 	const n, procs = 16, 4
-	rt := New(Config{Processors: procs})
-	m := rt.DeclareInt32Matrix("m", n, n, WriteShared)
-	bar := rt.CreateBarrier(procs + 1)
-	err := rt.Run(func(root *Thread) {
+	p := NewProgram(procs)
+	m := DeclareMatrix[int32](p, "m", n, n, WriteShared)
+	bar := p.CreateBarrier(procs + 1)
+	res, err := p.Run(context.Background(), func(root *Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, "writer", func(tt *Thread) {
@@ -262,7 +314,7 @@ func TestSnapshotAnyFindsWorkerCopies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := m.SnapshotAny()
+	got, err := m.SnapshotAny(res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,10 +330,10 @@ func TestSnapshotAnyFindsWorkerCopies(t *testing.T) {
 // TestAnnotationErrorsAreDescriptive: every misuse error names the
 // operation and the address.
 func TestAnnotationErrorsAreDescriptive(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	red := rt.DeclareWords("red", 1, Reduction)
-	err := rt.Run(func(root *Thread) {
-		red.Store(root, 0, 1) // raw write to a reduction object
+	p := NewProgram(2)
+	red := Declare[uint32](p, "red", 1, Reduction)
+	_, err := p.Run(context.Background(), func(root *Thread) {
+		red.Set(root, 0, 1) // raw write to a reduction object
 	})
 	if err == nil {
 		t.Fatal("raw write to a reduction object succeeded")
@@ -292,41 +344,36 @@ func TestAnnotationErrorsAreDescriptive(t *testing.T) {
 }
 
 // TestAdaptiveAnnotationRequiresEngine: declaring munin.Adaptive without
-// Config.Adaptive is a programming error caught at Run.
+// WithAdaptive is a configuration error reported by Run.
 func TestAdaptiveAnnotationRequiresEngine(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	rt.DeclareWords("x", 4, Adaptive)
-	defer func() {
-		if recover() == nil {
-			t.Error("Run accepted an adaptive declaration without Config.Adaptive")
-		}
-	}()
-	_ = rt.Run(func(root *Thread) {})
+	p := NewProgram(2)
+	Declare[uint32](p, "x", 4, Adaptive)
+	expectRunError(t, "adaptive", p)
 }
 
 // TestAdaptiveEndToEnd: an un-annotated (munin.Adaptive) producer-consumer
 // exchange converges to the producer_consumer protocol, reports the
-// switch in Stats, and computes the right values.
+// switch in the Result, and computes the right values.
 func TestAdaptiveEndToEnd(t *testing.T) {
 	const procs, phases = 4, 8
-	rt := New(Config{Processors: procs, Adaptive: true})
-	data := rt.DeclareWords("data", 512, Adaptive)
-	bar := rt.CreateBarrier(procs + 1)
+	p := NewProgram(procs)
+	data := Declare[uint32](p, "data", 512, Adaptive)
+	bar := p.CreateBarrier(procs + 1)
 	var sum uint32
-	err := rt.Run(func(root *Thread) {
+	res, err := p.Run(context.Background(), func(root *Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, "worker", func(th *Thread) {
 				for ph := 0; ph < phases; ph++ {
 					if w == 0 {
 						for i := 0; i < 8; i++ {
-							data.Store(th, i, uint32(ph*100+i))
+							data.Set(th, i, uint32(ph*100+i))
 						}
 					}
 					bar.Wait(th)
 					if w == 1 {
 						for i := 0; i < 8; i++ {
-							sum += data.Load(th, i)
+							sum += data.Get(th, i)
 						}
 					}
 					bar.Wait(th)
@@ -336,7 +383,7 @@ func TestAdaptiveEndToEnd(t *testing.T) {
 		for ph := 0; ph < 2*phases; ph++ {
 			bar.Wait(root)
 		}
-	})
+	}, WithAdaptive())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,11 +396,11 @@ func TestAdaptiveEndToEnd(t *testing.T) {
 	if sum != want {
 		t.Errorf("consumer sum = %d, want %d", sum, want)
 	}
-	st := rt.Stats()
+	st := res.Stats()
 	if st.AdaptSwitches == 0 {
 		t.Error("no adaptive switches committed for an un-annotated producer-consumer object")
 	}
-	if a := rt.FinalAnnotations()[data.Base()]; a != ProducerConsumer {
+	if a := res.FinalAnnotations()[data.Base()]; a != ProducerConsumer {
 		t.Errorf("converged to %v, want producer_consumer", a)
 	}
 	if st.PerKind[wire.KindAdaptCommit] == 0 {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,33 +68,34 @@ func main() {
 // migratory counter associated with the lock, so the grant messages carry
 // the data (§2.5's AssociateDataAndSynch).
 func traceLock(procs int, trace func(network.Envelope)) error {
-	rt := munin.New(munin.Config{Processors: procs, Trace: trace})
-	l := rt.CreateLock()
-	ctr := rt.DeclareWords("counter", 1, munin.Migratory, munin.WithLock(l))
-	done := rt.CreateBarrier(procs + 1)
-	return rt.Run(func(root *munin.Thread) {
+	p := munin.NewProgram(procs)
+	l := p.CreateLock()
+	ctr := munin.DeclareVar[uint32](p, "counter", munin.Migratory, munin.WithLock(l))
+	done := p.CreateBarrier(procs + 1)
+	_, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
 				l.Acquire(t)
-				ctr.Store(t, 0, ctr.Load(t, 0)+1)
+				ctr.Set(t, ctr.Get(t)+1)
 				l.Release(t)
 				done.Wait(t)
 			})
 		}
 		done.Wait(root)
 		l.Acquire(root)
-		fmt.Printf("-- final counter: %d (want %d)\n", ctr.Load(root, 0), procs)
+		fmt.Printf("-- final counter: %d (want %d)\n", ctr.Get(root), procs)
 		l.Release(root)
-	})
+	}, munin.WithTrace(trace))
+	return err
 }
 
 // traceMigratory bounces a migratory object between nodes without a lock.
 func traceMigratory(procs int, trace func(network.Envelope)) error {
-	rt := munin.New(munin.Config{Processors: procs, Trace: trace})
-	obj := rt.DeclareWords("token", 16, munin.Migratory)
-	bar := rt.CreateBarrier(procs + 1)
-	return rt.Run(func(root *munin.Thread) {
+	p := munin.NewProgram(procs)
+	obj := munin.Declare[uint32](p, "token", 16, munin.Migratory)
+	bar := p.CreateBarrier(procs + 1)
+	_, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
@@ -101,7 +103,7 @@ func traceMigratory(procs int, trace func(network.Envelope)) error {
 				// exactly one node accesses it per phase).
 				for turn := 0; turn < procs; turn++ {
 					if turn == w {
-						obj.Store(t, 0, obj.Load(t, 0)+1)
+						obj.Set(t, 0, obj.Get(t, 0)+1)
 					}
 					bar.Wait(t)
 				}
@@ -110,30 +112,31 @@ func traceMigratory(procs int, trace func(network.Envelope)) error {
 		for turn := 0; turn < procs; turn++ {
 			bar.Wait(root)
 		}
-	})
+	}, munin.WithTrace(trace))
+	return err
 }
 
 // traceProducerConsumer has node 0 produce a page that the other nodes
 // consume each phase: after the first phase the copyset is stable and the
 // producer's flush updates exactly the consumers.
 func traceProducerConsumer(procs int, trace func(network.Envelope)) error {
-	rt := munin.New(munin.Config{Processors: procs, Trace: trace})
-	data := rt.DeclareWords("data", 512, munin.ProducerConsumer)
-	bar := rt.CreateBarrier(procs + 1)
+	p := munin.NewProgram(procs)
+	data := munin.Declare[uint32](p, "data", 512, munin.ProducerConsumer)
+	bar := p.CreateBarrier(procs + 1)
 	const phases = 3
-	return rt.Run(func(root *munin.Thread) {
+	_, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
 				for ph := 0; ph < phases; ph++ {
 					if w == 0 {
 						for i := 0; i < 8; i++ {
-							data.Store(t, i, uint32(ph*100+i))
+							data.Set(t, i, uint32(ph*100+i))
 						}
 					}
 					bar.Wait(t) // producer's flush pushes the diff to consumers
 					if w != 0 {
-						_ = data.Load(t, 0)
+						_ = data.Get(t, 0)
 					}
 					bar.Wait(t)
 				}
@@ -142,40 +145,42 @@ func traceProducerConsumer(procs int, trace func(network.Envelope)) error {
 		for ph := 0; ph < 2*phases; ph++ {
 			bar.Wait(root)
 		}
-	})
+	}, munin.WithTrace(trace))
+	return err
 }
 
 // traceReduction runs Fetch-and-min against a fixed-owner global minimum.
 func traceReduction(procs int, trace func(network.Envelope)) error {
-	rt := munin.New(munin.Config{Processors: procs, Trace: trace})
-	minv := rt.DeclareWords("globalmin", 1, munin.Reduction)
+	p := munin.NewProgram(procs)
+	minv := munin.DeclareVar[int32](p, "globalmin", munin.Reduction)
 	minv.Init(1 << 30)
-	done := rt.CreateBarrier(procs + 1)
-	return rt.Run(func(root *munin.Thread) {
+	done := p.CreateBarrier(procs + 1)
+	_, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
-				minv.FetchAndMin(t, 0, uint32(100-10*w))
+				minv.FetchAndMin(t, int32(100-10*w))
 				done.Wait(t)
 			})
 		}
 		done.Wait(root)
-		fmt.Printf("-- final minimum: %d (want %d)\n", minv.Load(root, 0), 100-10*(procs-1))
-	})
+		fmt.Printf("-- final minimum: %d (want %d)\n", minv.Get(root), 100-10*(procs-1))
+	}, munin.WithTrace(trace))
+	return err
 }
 
 // traceMatMul runs a tiny matrix multiply so the full read-only /
 // result protocol flow fits in a screenful.
 func traceMatMul(procs int, trace func(network.Envelope)) error {
 	const n = 64
-	rt := munin.New(munin.Config{Processors: procs, Trace: trace})
-	a := rt.DeclareInt32Matrix("a", n, n, munin.ReadOnly)
-	b := rt.DeclareInt32Matrix("b", n, n, munin.ReadOnly)
-	c := rt.DeclareInt32Matrix("c", n, n, munin.Result)
+	p := munin.NewProgram(procs)
+	a := munin.DeclareMatrix[int32](p, "a", n, n, munin.ReadOnly)
+	b := munin.DeclareMatrix[int32](p, "b", n, n, munin.ReadOnly)
+	c := munin.DeclareMatrix[int32](p, "c", n, n, munin.ResultObject)
 	a.Init(func(i, j int) int32 { return int32(i + j) })
 	b.Init(func(i, j int) int32 { return int32(i - j) })
-	done := rt.CreateBarrier(procs + 1)
-	return rt.Run(func(root *munin.Thread) {
+	done := p.CreateBarrier(procs + 1)
+	_, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			lo, hi := w*n/procs, (w+1)*n/procs
@@ -200,7 +205,8 @@ func traceMatMul(procs int, trace func(network.Envelope)) error {
 			})
 		}
 		done.Wait(root)
-	})
+	}, munin.WithTrace(trace))
+	return err
 }
 
 // traceAdaptive runs a mis-annotated producer-consumer exchange under the
@@ -209,23 +215,23 @@ func traceMatMul(procs int, trace func(network.Envelope)) error {
 // invalidate/refetch ping-pong, and the adapt-propose/adapt-commit
 // exchange switching it to producer_consumer appears in the trace.
 func traceAdaptive(procs int, trace func(network.Envelope)) error {
-	rt := munin.New(munin.Config{Processors: procs, Trace: trace, Adaptive: true})
-	data := rt.DeclareWords("data", 512, munin.Adaptive)
-	bar := rt.CreateBarrier(procs + 1)
+	p := munin.NewProgram(procs)
+	data := munin.Declare[uint32](p, "data", 512, munin.Adaptive)
+	bar := p.CreateBarrier(procs + 1)
 	const phases = 8
-	err := rt.Run(func(root *munin.Thread) {
+	res, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
 				for ph := 0; ph < phases; ph++ {
 					if w == 0 {
 						for i := 0; i < 8; i++ {
-							data.Store(t, i, uint32(ph*100+i))
+							data.Set(t, i, uint32(ph*100+i))
 						}
 					}
 					bar.Wait(t)
 					if w != 0 {
-						_ = data.Load(t, 0)
+						_ = data.Get(t, 0)
 					}
 					bar.Wait(t)
 				}
@@ -234,13 +240,13 @@ func traceAdaptive(procs int, trace func(network.Envelope)) error {
 		for ph := 0; ph < 2*phases; ph++ {
 			bar.Wait(root)
 		}
-	})
+	}, munin.WithTrace(trace), munin.WithAdaptive())
 	if err != nil {
 		return err
 	}
-	st := rt.Stats()
+	st := res.Stats()
 	fmt.Printf("-- %d adaptive switches committed\n", st.AdaptSwitches)
-	final := rt.FinalAnnotations()
+	final := res.FinalAnnotations()
 	bases := make([]vm.Addr, 0, len(final))
 	for base := range final {
 		bases = append(bases, base)

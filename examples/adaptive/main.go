@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"munin/internal/apps"
 	"munin/internal/protocol"
@@ -65,4 +66,7 @@ func main() {
 	fmt.Printf("messages: %d\n", r.Messages)
 	fmt.Printf("switches: %d\n", r.AdaptSwitches)
 	fmt.Printf("result:   %s\n", status)
+	if r.Check != want {
+		os.Exit(1)
+	}
 }

@@ -12,12 +12,18 @@
 // worker therefore sends a single batched result message, the same
 // communication pattern as a hand-coded message-passing program.
 //
+// The Program is built once and executed twice: under the paper's
+// multi-protocol annotations, and again (the same value, no rebuilding)
+// with everything forced to one protocol — the Table 6 comparison in
+// eight lines.
+//
 // Run with:
 //
 //	go run ./examples/matmul -n 200 -procs 8 [-single]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,27 +39,28 @@ func main() {
 	)
 	flag.Parse()
 
-	rt := munin.New(munin.Config{Processors: *procs})
+	p := munin.NewProgram(*procs)
 
 	var opts []munin.DeclOption
 	if *single {
 		opts = append(opts, munin.WithSingleObject())
 	}
-	input1 := rt.DeclareInt32Matrix("input1", *n, *n, munin.ReadOnly)
-	input2 := rt.DeclareInt32Matrix("input2", *n, *n, munin.ReadOnly, opts...)
-	output := rt.DeclareInt32Matrix("output", *n, *n, munin.Result)
+	input1 := munin.DeclareMatrix[int32](p, "input1", *n, *n, munin.ReadOnly)
+	input2 := munin.DeclareMatrix[int32](p, "input2", *n, *n, munin.ReadOnly, opts...)
+	output := munin.DeclareMatrix[int32](p, "output", *n, *n, munin.ResultObject)
 
 	// user_init: fill the inputs sequentially before the program runs.
 	input1.Init(func(i, j int) int32 { return int32(i + 2*j) })
 	input2.Init(func(i, j int) int32 { return int32(3*i - j) })
 
-	done := rt.CreateBarrier(*procs + 1)
+	done := p.CreateBarrier(*procs + 1)
 
 	dim := *n
-	err := rt.Run(func(root *munin.Thread) {
-		for w := 0; w < *procs; w++ {
+	workers := *procs
+	root := func(root *munin.Thread) {
+		for w := 0; w < workers; w++ {
 			w := w
-			lo, hi := w*dim / *procs, (w+1)*dim / *procs
+			lo, hi := w*dim/workers, (w+1)*dim/workers
 			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
 				arow := make([]int32, dim)
 				brow := make([]int32, dim)
@@ -75,14 +82,16 @@ func main() {
 			})
 		}
 		done.Wait(root)
-	})
+	}
+
+	res, err := p.Run(context.Background(), root)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// user_done: the product is at the root (the result flushes carried
 	// it); spot-check one element against a direct computation.
-	got, err := output.Snapshot(0)
+	got, err := output.Snapshot(res, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,8 +101,22 @@ func main() {
 		want += int64(i+2*k) * int64(3*k-j)
 	}
 	fmt.Printf("output[%d][%d] = %d (check %d)\n", i, j, got[i*dim+j], want)
+	if int64(got[i*dim+j]) != want {
+		log.Fatal("matmul: spot check disagrees with the direct computation")
+	}
 
-	st := rt.Stats()
-	fmt.Printf("%d procs: %.3f virtual s (root: %.3f user + %.3f system), %d messages\n",
-		*procs, st.Elapsed.Seconds(), st.RootUser.Seconds(), st.RootSystem.Seconds(), st.Messages)
+	st := res.Stats()
+	fmt.Printf("multi-protocol: %.3f virtual s (root: %.3f user + %.3f system), %d messages\n",
+		st.Elapsed.Seconds(), st.RootUser.Seconds(), st.RootSystem.Seconds(), st.Messages)
+
+	// Same Program, second run: everything forced write-shared (a Table 6
+	// single-protocol configuration) — no redeclaration needed.
+	res2, err := p.Run(context.Background(), root, munin.WithOverride(munin.WriteShared))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st2 := res2.Stats()
+	fmt.Printf("write-shared override: %.3f virtual s, %d messages (%+.1f%% messages vs multi-protocol)\n",
+		st2.Elapsed.Seconds(), st2.Messages,
+		100*float64(st2.Messages-st.Messages)/float64(st.Messages))
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,27 +31,28 @@ func main() {
 	flag.Parse()
 	L, W := *layers, *width
 
-	rt := munin.New(munin.Config{Processors: *procs})
+	prog := munin.NewProgram(*procs)
 
 	// shared read_only int weight[L][W]: cost of entering node (l, w).
-	weight := rt.DeclareInt32Matrix("weight", L, W, munin.ReadOnly)
+	weight := munin.DeclareMatrix[int32](prog, "weight", L, W, munin.ReadOnly)
 	weight.Init(func(l, w int) int32 {
 		return int32((l*73+w*139)%50 + 1)
 	})
 
 	// shared reduction int best: the global minimum, maintained with
 	// Fetch_and_min at its fixed owner.
-	best := rt.DeclareWords("best", 1, munin.Reduction)
+	best := munin.DeclareVar[int32](prog, "best", munin.Reduction)
 	best.Init(1 << 30)
 
 	// shared migratory int nextwork, protected by a lock: the work queue
 	// head. The lock grant carries the counter (AssociateDataAndSynch).
-	wl := rt.CreateLock()
-	next := rt.DeclareWords("nextwork", 1, munin.Migratory, munin.WithLock(wl))
+	wl := prog.CreateLock()
+	next := munin.DeclareVar[uint32](prog, "nextwork", munin.Migratory, munin.WithLock(wl))
 
-	done := rt.CreateBarrier(*procs + 1)
+	done := prog.CreateBarrier(*procs + 1)
 
-	err := rt.Run(func(root *munin.Thread) {
+	var parallel int32
+	res, err := prog.Run(context.Background(), func(root *munin.Thread) {
 		for p := 0; p < *procs; p++ {
 			p := p
 			root.Spawn(p, fmt.Sprintf("searcher%d", p), func(t *munin.Thread) {
@@ -61,8 +63,8 @@ func main() {
 				for {
 					// Take the next first-layer start node.
 					wl.Acquire(t)
-					start := int(next.Load(t, 0))
-					next.Store(t, 0, uint32(start+1))
+					start := int(next.Get(t))
+					next.Set(t, uint32(start+1))
 					wl.Release(t)
 					if start >= W {
 						break
@@ -77,7 +79,7 @@ func main() {
 					for l := 1; l < L; l++ {
 						weight.ReadRow(t, l, row)
 						nd := make([]int64, W)
-						incumbent := int64(int32(best.Load(t, 0)))
+						incumbent := int64(best.Get(t))
 						for w := 0; w < W; w++ {
 							bestIn := int64(1) << 40
 							for _, prev := range []int{w - 1, w, w + 1} {
@@ -94,7 +96,7 @@ func main() {
 					}
 					for w := 0; w < W; w++ {
 						if dist[w] < 1<<40 {
-							best.FetchAndMin(t, 0, uint32(dist[w]))
+							best.FetchAndMin(t, int32(dist[w]))
 						}
 					}
 				}
@@ -102,7 +104,8 @@ func main() {
 			})
 		}
 		done.Wait(root)
-		fmt.Printf("parallel minimum path cost: %d\n", int32(best.Load(root, 0)))
+		parallel = best.Get(root)
+		fmt.Printf("parallel minimum path cost: %d\n", parallel)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -137,7 +140,10 @@ func main() {
 		return m
 	}()
 	fmt.Printf("sequential check:           %d\n", seq)
+	if int64(parallel) != seq {
+		log.Fatal("minpath: parallel cost disagrees with the sequential check")
+	}
 
-	st := rt.Stats()
+	st := res.Stats()
 	fmt.Printf("%d procs: %.3f virtual s, %d messages\n", *procs, st.Elapsed.Seconds(), st.Messages)
 }

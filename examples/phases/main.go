@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,14 +41,14 @@ func main() {
 	}
 
 	const words = 2048 // one 8 KB page
-	rt := munin.New(munin.Config{Processors: *procs})
-	data := rt.DeclareWords("data", words, munin.ProducerConsumer)
-	sum := rt.DeclareWords("sum", *procs, munin.Result)
-	bar := rt.CreateBarrier(*procs + 1)
+	prog := munin.NewProgram(*procs)
+	data := munin.Declare[uint32](prog, "data", words, munin.ProducerConsumer)
+	sum := munin.Declare[uint32](prog, "sum", *procs, munin.ResultObject)
+	bar := prog.CreateBarrier(*procs + 1)
 
 	P, PH, R := *procs, *nphases, *rounds
 	var got uint64
-	err := rt.Run(func(root *munin.Thread) {
+	res, err := prog.Run(context.Background(), func(root *munin.Thread) {
 		for p := 0; p < P; p++ {
 			p := p
 			root.Spawn(p, fmt.Sprintf("node%d", p), func(t *munin.Thread) {
@@ -70,13 +71,13 @@ func main() {
 					for r := 0; r < R; r++ {
 						if p == producer {
 							for i := 0; i < 16; i++ {
-								data.Store(t, i, uint32(ph*1000+r*16+i))
+								data.Set(t, i, uint32(ph*1000+r*16+i))
 							}
 						}
 						bar.Wait(t) // flush pushes the round's diff to this phase's consumers
 						if consumer {
 							for i := 0; i < 16; i++ {
-								local += uint64(data.Load(t, i))
+								local += uint64(data.Get(t, i))
 							}
 						}
 						bar.Wait(t)
@@ -96,7 +97,7 @@ func main() {
 					}
 					bar.Wait(t)
 				}
-				sum.Store(t, p, uint32(local))
+				sum.Set(t, p, uint32(local))
 				bar.Wait(t) // result flush carries the sums to the root
 			})
 		}
@@ -106,13 +107,13 @@ func main() {
 
 		// Collect the per-node sums (result objects flushed them here).
 		for p := 0; p < P; p++ {
-			got += uint64(sum.Load(root, p))
+			got += uint64(sum.Get(root, p))
 		}
 
 		// The computation is over: the data is now effectively read-only.
 		// Switch its protocol so any further write would be caught.
 		root.ChangeAnnotation(data.Base(), munin.ReadOnly)
-		_ = data.Load(root, 0)
+		_ = data.Get(root, 0)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -128,7 +129,10 @@ func main() {
 		}
 	}
 	fmt.Printf("consumed total = %d (want %d)\n", got, want)
-	st := rt.Stats()
+	if got != want {
+		log.Fatal("phases: consumed total disagrees with the expected value")
+	}
+	st := res.Stats()
 	fmt.Printf("%d procs, %d phases x %d rounds: %.3f virtual s, %d messages\n",
 		P, PH, R, st.Elapsed.Seconds(), st.Messages)
 }

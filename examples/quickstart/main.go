@@ -4,10 +4,13 @@
 // read-only vector into a shared result vector, synchronizing with a
 // barrier — the canonical Munin workflow of §2.1:
 //
-//  1. declare shared variables with sharing annotations,
+//  1. build a Program: declare shared variables with sharing annotations,
 //  2. initialize them (the sequential user_init phase),
-//  3. spawn threads that access shared memory transparently,
+//  3. Run it: spawned threads access shared memory transparently,
 //  4. synchronize only through Munin locks and barriers.
+//
+// The Program is reusable: the same value could run again under another
+// transport or protocol override (see examples/matmul).
 //
 // Run with:
 //
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,40 +31,36 @@ const (
 )
 
 func main() {
-	rt := munin.New(munin.Config{Processors: procs})
+	p := munin.NewProgram(procs)
 
 	// shared read_only uint32 input[n]: replicated on demand, writes are
 	// runtime errors.
-	input := rt.DeclareWords("input", n, munin.ReadOnly)
-	vals := make([]uint32, n)
-	for i := range vals {
-		vals[i] = uint32(i % 97)
-	}
-	input.Init(vals...)
+	input := munin.Declare[uint32](p, "input", n, munin.ReadOnly)
+	input.InitFunc(func(i int) uint32 { return uint32(i % 97) })
 
 	// shared result uint32 partial[procs]: written in parallel, then read
 	// by the root alone; worker updates flush straight to the root.
-	partial := rt.DeclareWords("partial", procs, munin.Result)
+	partial := munin.Declare[uint32](p, "partial", procs, munin.ResultObject)
 
-	done := rt.CreateBarrier(procs + 1)
+	done := p.CreateBarrier(procs + 1)
 
 	var total uint64
-	err := rt.Run(func(root *munin.Thread) {
+	res, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("summer%d", w), func(t *munin.Thread) {
 				lo, hi := w*n/procs, (w+1)*n/procs
 				var sum uint32
 				for i := lo; i < hi; i++ {
-					sum += input.Load(t, i) // faults the pages in, once
+					sum += input.Get(t, i) // faults the pages in, once
 				}
-				partial.Store(t, w, sum)
+				partial.Set(t, w, sum)
 				done.Wait(t) // flushes the buffered write to the root
 			})
 		}
 		done.Wait(root)
 		for w := 0; w < procs; w++ {
-			total += uint64(partial.Load(root, w))
+			total += uint64(partial.Get(root, w))
 		}
 	})
 	if err != nil {
@@ -68,12 +68,15 @@ func main() {
 	}
 
 	var want uint64
-	for _, v := range vals {
-		want += uint64(v)
+	for i := 0; i < n; i++ {
+		want += uint64(i % 97)
 	}
 	fmt.Printf("parallel sum = %d (sequential check %d)\n", total, want)
+	if total != want {
+		log.Fatal("quickstart: parallel sum disagrees with the sequential check")
+	}
 
-	st := rt.Stats()
+	st := res.Stats()
 	fmt.Printf("virtual time %.3f s, %d messages, %d bytes\n",
 		st.Elapsed.Seconds(), st.Messages, st.Bytes)
 }

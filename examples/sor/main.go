@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,21 +35,21 @@ func main() {
 	)
 	flag.Parse()
 
-	rt := munin.New(munin.Config{Processors: *procs})
-	grid := rt.DeclareFloat32Matrix("matrix", *rows, *cols, munin.ProducerConsumer)
+	p := munin.NewProgram(*procs)
+	grid := munin.DeclareMatrix[float32](p, "matrix", *rows, *cols, munin.ProducerConsumer)
 	grid.Init(func(i, j int) float32 {
 		if i == 0 {
 			return 100 // hot top edge
 		}
 		return 0
 	})
-	bar := rt.CreateBarrier(*procs + 1)
+	bar := p.CreateBarrier(*procs + 1)
 
-	r, c, its := *rows, *cols, *iters
-	err := rt.Run(func(root *munin.Thread) {
-		for w := 0; w < *procs; w++ {
+	r, c, its, workers := *rows, *cols, *iters, *procs
+	res, err := p.Run(context.Background(), func(root *munin.Thread) {
+		for w := 0; w < workers; w++ {
 			w := w
-			lo, hi := w*r / *procs, (w+1)*r / *procs
+			lo, hi := w*r/workers, (w+1)*r/workers
 			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
 				up := make([]float32, c)
 				mid := make([]float32, c)
@@ -88,7 +89,7 @@ func main() {
 	}
 
 	// The heat front should have advanced about one row per iteration.
-	final, err := grid.SnapshotAny()
+	final, err := grid.SnapshotAny(res)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +98,38 @@ func main() {
 		fmt.Printf("  row %2d: %8.4f\n", i, final[i**cols+*cols/2])
 	}
 
-	st := rt.Stats()
+	// Self-check against a sequential Jacobi sweep of the same stencil.
+	ref := make([][]float32, r)
+	for i := range ref {
+		ref[i] = make([]float32, c)
+		if i == 0 {
+			for j := range ref[i] {
+				ref[i][j] = 100
+			}
+		}
+	}
+	for it := 0; it < its; it++ {
+		next := make([][]float32, r)
+		for i := range next {
+			next[i] = append([]float32(nil), ref[i]...)
+			if i == 0 || i == r-1 {
+				continue
+			}
+			for j := 1; j < c-1; j++ {
+				next[i][j] = (ref[i-1][j] + ref[i+1][j] + ref[i][j-1] + ref[i][j+1]) / 4
+			}
+		}
+		ref = next
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if d := final[i*c+j] - ref[i][j]; d > 1e-4 || d < -1e-4 {
+				log.Fatalf("sor: grid[%d][%d] = %g, sequential reference %g", i, j, final[i*c+j], ref[i][j])
+			}
+		}
+	}
+
+	st := res.Stats()
 	fmt.Printf("%d procs: %.3f virtual s, %d messages, %d bytes\n",
 		*procs, st.Elapsed.Seconds(), st.Messages, st.Bytes)
 }

@@ -10,6 +10,7 @@
 package apps
 
 import (
+	"context"
 	"hash/fnv"
 
 	"munin"
@@ -19,6 +20,81 @@ import (
 	"munin/internal/vm"
 	"munin/internal/wire"
 )
+
+// App is one evaluation program in reusable form: the Program (built
+// once), the root thread function, and a post-run check deriving the
+// workload's output fingerprint from a Result. One App can run many
+// times under different transports, overrides and machine knobs — the
+// shape the benches sweep natively.
+//
+// The cost model is part of the App, not a per-run knob: the root
+// function's Compute charges are priced with the build-time model, so
+// every run is forced onto that same model (a caller's WithModel would
+// otherwise silently blend two models in one run's timing).
+type App struct {
+	Prog *munin.Program
+	Root func(*munin.Thread)
+	// Check fingerprints the run's computed output.
+	Check func(*munin.Result) (uint32, error)
+	// Model is the cost model the Root's compute charges were built
+	// with; Run pins every execution to it.
+	Model model.CostModel
+}
+
+// Run executes the app once with the given per-run options.
+func (a *App) Run(ctx context.Context, opts ...munin.RunOption) (RunResult, error) {
+	// Pin the machine to the App's cost model, last so it cannot be
+	// overridden into a mixed-model run.
+	opts = append(append([]munin.RunOption(nil), opts...), munin.WithModel(a.Model))
+	res, err := a.Prog.Run(ctx, a.Root, opts...)
+	if err != nil {
+		return RunResult{}, err
+	}
+	chk, err := a.Check(res)
+	if err != nil {
+		return RunResult{}, err
+	}
+	st := res.Stats()
+	return RunResult{
+		Elapsed:       st.Elapsed,
+		RootUser:      st.RootUser,
+		RootSystem:    st.RootSystem,
+		Messages:      st.Messages,
+		Bytes:         st.Bytes,
+		PerKind:       st.PerKind,
+		Check:         chk,
+		AdaptSwitches: st.AdaptSwitches,
+		res:           res,
+	}, nil
+}
+
+// RunOpts translates the configs' shared per-run knobs into options
+// (the cost model is not among them — it belongs to the App). The bench
+// sweeps use it too, so single-shot wrappers and sweeps cannot drift
+// apart in what they configure.
+func RunOpts(transport string, override *protocol.Annotation, adaptive, exact bool) []munin.RunOption {
+	var opts []munin.RunOption
+	if transport != "" {
+		opts = append(opts, munin.WithTransport(transport))
+	}
+	if override != nil {
+		opts = append(opts, munin.WithOverride(*override))
+	}
+	if adaptive {
+		opts = append(opts, munin.WithAdaptive())
+	}
+	if exact {
+		opts = append(opts, munin.WithExactCopyset())
+	}
+	return opts
+}
+
+// LiveTransport reports whether name selects a real concurrent
+// transport (anything but the deterministic simulator) — the condition
+// that forces SOR's phase barrier on (see SORConfig.PhaseBarrier).
+func LiveTransport(name string) bool {
+	return name != "" && name != munin.TransportSim
+}
 
 // MatMulConfig parameterizes a matrix-multiply run (Tables 3, 4, 6).
 type MatMulConfig struct {
@@ -98,19 +174,19 @@ type RunResult struct {
 	// committed during the run (zero when not adaptive).
 	AdaptSwitches int
 
-	// run retains the finished Munin runtime for post-run inspection
-	// (nil for the message-passing versions).
-	run *munin.Runtime
+	// res retains the finished run for post-run inspection (nil for the
+	// message-passing versions).
+	res *munin.Result
 }
 
 // FinalImage returns the run's final shared-memory image, keyed by
 // object start address (nil for the message-passing versions). The
 // cross-transport equivalence tests compare these byte for byte.
 func (r RunResult) FinalImage() map[vm.Addr][]byte {
-	if r.run == nil {
+	if r.res == nil {
 		return nil
 	}
-	return r.run.FinalImage()
+	return r.res.FinalImage()
 }
 
 // MACRow is the matrix-multiply inner loop: dst[j] += aik * brow[j].

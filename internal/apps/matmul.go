@@ -1,14 +1,15 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"munin"
 	"munin/internal/model"
 )
 
-// MuninMatMul runs the paper's Matrix Multiply on the Munin runtime
-// (§4.1). The shared variables are declared exactly as in the paper:
+// NewMatMul builds the paper's Matrix Multiply (§4.1) as a reusable App.
+// The shared variables are declared exactly as in the paper:
 //
 //	shared read_only int input1[N][N];
 //	shared read_only int input2[N][N];
@@ -16,34 +17,37 @@ import (
 //
 // Each worker computes a block of output rows; when it finishes it waits
 // at a barrier, flushing its output diffs — which, because output is a
-// result object, travel only to the root.
-func MuninMatMul(c MatMulConfig) (RunResult, error) {
+// result object, travel only to the root. Procs, the dimension and the
+// SingleObject hint shape the Program; transport, override, adaptive and
+// copyset knobs are per-run options.
+func NewMatMul(c MatMulConfig) (*App, error) {
 	if c.N <= 0 || c.Procs <= 0 {
-		return RunResult{}, fmt.Errorf("apps: bad matmul config %+v", c)
+		return nil, fmt.Errorf("apps: bad matmul config %+v", c)
 	}
 	if c.Model == (model.CostModel{}) {
 		c.Model = model.Default()
 	}
-	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Override: c.Override,
-		ExactCopyset: c.Exact, Adaptive: c.Adaptive, Transport: c.Transport})
+	p := munin.NewProgram(c.Procs)
 
 	var inputOpts []munin.DeclOption
 	if c.Single {
 		inputOpts = append(inputOpts, munin.WithSingleObject())
 	}
 	n := c.N
-	input1 := rt.DeclareInt32Matrix("input1", n, n, munin.ReadOnly)
-	input2 := rt.DeclareInt32Matrix("input2", n, n, munin.ReadOnly, inputOpts...)
-	output := rt.DeclareInt32Matrix("output", n, n, munin.Result)
+	input1 := munin.DeclareMatrix[int32](p, "input1", n, n, munin.ReadOnly)
+	input2 := munin.DeclareMatrix[int32](p, "input2", n, n, munin.ReadOnly, inputOpts...)
+	output := munin.DeclareMatrix[int32](p, "output", n, n, munin.ResultObject)
 	input1.Init(func(i, j int) int32 { a, _ := MatMulInit(i, j); return a })
 	input2.Init(func(i, j int) int32 { _, b := MatMulInit(i, j); return b })
 
-	done := rt.CreateBarrier(c.Procs + 1)
+	done := p.CreateBarrier(c.Procs + 1)
 
-	err := rt.Run(func(root *munin.Thread) {
-		for w := 0; w < c.Procs; w++ {
+	cost := c.Model
+	procs := c.Procs
+	root := func(root *munin.Thread) {
+		for w := 0; w < procs; w++ {
 			w := w
-			lo, hi := w*n/c.Procs, (w+1)*n/c.Procs
+			lo, hi := w*n/procs, (w+1)*n/procs
 			root.Spawn(w, fmt.Sprintf("mm-worker%d", w), func(t *munin.Thread) {
 				arow := make([]int32, n)
 				brow := make([]int32, n)
@@ -57,7 +61,7 @@ func MuninMatMul(c MatMulConfig) (RunResult, error) {
 						input2.ReadRow(t, k, brow)
 						MACRow(crow, arow[k], brow)
 					}
-					t.Compute(MatMulRowCost(c.Model, n))
+					t.Compute(MatMulRowCost(cost, n))
 					output.WriteRow(t, i, crow)
 				}
 				done.Wait(t)
@@ -73,31 +77,31 @@ func MuninMatMul(c MatMulConfig) (RunResult, error) {
 		for i := 0; i < n; i++ {
 			output.ReadRow(root, i, row)
 		}
-	})
+	}
+
+	check := func(res *munin.Result) (uint32, error) {
+		// The result protocol flushes the output back to the root; under
+		// a Table 6 override (write-shared, conventional) the final
+		// copies live at the workers instead, so fall back to any holder.
+		out, err := output.Snapshot(res, 0)
+		if err != nil {
+			out, err = output.SnapshotAny(res)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("apps: output not assembled: %w", err)
+		}
+		return ChecksumInt32(out), nil
+	}
+	return &App{Prog: p, Root: root, Check: check, Model: cost}, nil
+}
+
+// MuninMatMul builds the matmul App and runs it once under the config's
+// per-run knobs.
+func MuninMatMul(c MatMulConfig) (RunResult, error) {
+	app, err := NewMatMul(c)
 	if err != nil {
 		return RunResult{}, err
 	}
-
-	// The result protocol flushes the output back to the root; under a
-	// Table 6 override (write-shared, conventional) the final copies live
-	// at the workers instead, so fall back to any holder.
-	out, err := output.Snapshot(0)
-	if err != nil {
-		out, err = output.SnapshotAny()
-	}
-	if err != nil {
-		return RunResult{}, fmt.Errorf("apps: output not assembled: %w", err)
-	}
-	st := rt.Stats()
-	return RunResult{
-		Elapsed:       st.Elapsed,
-		RootUser:      st.RootUser,
-		RootSystem:    st.RootSystem,
-		Messages:      st.Messages,
-		Bytes:         st.Bytes,
-		PerKind:       st.PerKind,
-		Check:         ChecksumInt32(out),
-		AdaptSwitches: st.AdaptSwitches,
-		run:           rt,
-	}, nil
+	return app.Run(context.Background(),
+		RunOpts(c.Transport, c.Override, c.Adaptive, c.Exact)...)
 }

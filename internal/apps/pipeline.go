@@ -11,14 +11,13 @@ package apps
 // online as the phases shift.
 
 import (
-	"encoding/binary"
+	"context"
 	"fmt"
 
 	"munin"
 	"munin/internal/model"
 	"munin/internal/protocol"
 	"munin/internal/sim"
-	"munin/internal/vm"
 )
 
 // PipelineConfig parameterizes a pipeline run.
@@ -100,11 +99,15 @@ func (c PipelineConfig) withDefaults() PipelineConfig {
 	return c
 }
 
-// MuninPipeline runs the phase-changing workload on the Munin runtime.
-func MuninPipeline(c PipelineConfig) (RunResult, error) {
+// NewPipeline builds the phase-changing workload as a reusable App. The
+// buffer's declared annotation is part of the Program: the paper's
+// phase-1 hint (producer_consumer) normally, no hint at all
+// (munin.Adaptive) when the config is adaptive, or the config's
+// Override. The engine itself is a per-run option.
+func NewPipeline(c PipelineConfig) (*App, error) {
 	c = c.withDefaults()
 	if c.Procs < 4 || c.Procs > 16 {
-		return RunResult{}, fmt.Errorf("apps: pipeline needs 4-16 processors, got %d", c.Procs)
+		return nil, fmt.Errorf("apps: pipeline needs 4-16 processors, got %d", c.Procs)
 	}
 	annot := protocol.ProducerConsumer
 	if c.Adaptive {
@@ -113,18 +116,18 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 	if c.Override != nil {
 		annot = *c.Override
 	}
-	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Adaptive: c.Adaptive, Transport: c.Transport})
+	prog := munin.NewProgram(c.Procs)
 
 	wordsPerPage := 8192 / 4
-	buf := rt.DeclareWords("buffer", c.Pages*wordsPerPage, annot)
-	sums := rt.DeclareWords("sums", c.Procs, munin.Result)
-	bar := rt.CreateBarrier(c.Procs + 1)
+	buf := munin.Declare[uint32](prog, "buffer", c.Pages*wordsPerPage, annot)
+	sums := munin.Declare[uint32](prog, "sums", c.Procs, munin.ResultObject)
+	bar := prog.CreateBarrier(c.Procs + 1)
 
 	P, R1, R2, pages := c.Procs, c.Rounds1, c.Rounds2, c.Pages
 	word := func(pg, i int) int { return pg*wordsPerPage + i }
 	touch := c.Model.MemTouchPerByte
 
-	err := rt.Run(func(root *munin.Thread) {
+	root := func(root *munin.Thread) {
 		for p := 0; p < P; p++ {
 			p := p
 			root.Spawn(p, fmt.Sprintf("pipe%d", p), func(t *munin.Thread) {
@@ -138,7 +141,7 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 				// exactly as the paper's adaptive-program pattern).
 				if consumer {
 					for pg := 0; pg < pages; pg++ {
-						t.PreAcquire(buf.Base() + vm.Addr(word(pg, 0)*4))
+						t.PreAcquire(buf.Addr(word(pg, 0)))
 					}
 				}
 				bar.Wait(t)
@@ -146,7 +149,7 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 					if producer {
 						for pg := 0; pg < pages; pg++ {
 							for i := 0; i < pipeProdWords; i++ {
-								buf.Store(t, word(pg, i), pipeValue1(r, pg, i))
+								buf.Set(t, word(pg, i), pipeValue1(r, pg, i))
 							}
 						}
 						t.Compute(touch * sim.Time(4*pipeProdWords*pages))
@@ -155,7 +158,7 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 					if consumer {
 						for pg := 0; pg < pages; pg++ {
 							for i := 0; i < pipeProdWords; i++ {
-								local += buf.Load(t, word(pg, i))
+								local += buf.Get(t, word(pg, i))
 							}
 						}
 						t.Compute(touch * sim.Time(4*pipeProdWords*pages))
@@ -167,14 +170,14 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 				for r := 0; r < R2; r++ {
 					for pg := 0; pg < pages; pg++ {
 						for i := 0; i < pipeSliceWords; i++ {
-							buf.Store(t, word(pg, p*pipeSliceWords+i), pipeValue2(r, pg, p, i))
+							buf.Set(t, word(pg, p*pipeSliceWords+i), pipeValue2(r, pg, p, i))
 						}
 					}
 					bar.Wait(t)
 					for pg := 0; pg < pages; pg++ {
 						for q := 0; q < P; q++ {
 							for i := 0; i < pipeSliceWords; i++ {
-								local += buf.Load(t, word(pg, q*pipeSliceWords+i))
+								local += buf.Get(t, word(pg, q*pipeSliceWords+i))
 							}
 						}
 					}
@@ -182,36 +185,36 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 					bar.Wait(t)
 				}
 
-				sums.Store(t, p, local)
+				sums.Set(t, p, local)
 				bar.Wait(t)
 			})
 		}
 		for i := 0; i < 1+2*R1+2*R2+1; i++ {
 			bar.Wait(root)
 		}
-	})
+	}
+
+	check := func(res *munin.Result) (uint32, error) {
+		snap, err := sums.Snapshot(res, 0)
+		if err != nil {
+			return 0, fmt.Errorf("apps: pipeline sums unavailable at root: %w", err)
+		}
+		var got uint32
+		for p := 0; p < P; p++ {
+			got += snap[p]
+		}
+		return got, nil
+	}
+	return &App{Prog: prog, Root: root, Check: check, Model: c.Model}, nil
+}
+
+// MuninPipeline builds the pipeline App and runs it once under the
+// config's per-run knobs.
+func MuninPipeline(c PipelineConfig) (RunResult, error) {
+	app, err := NewPipeline(c)
 	if err != nil {
 		return RunResult{}, err
 	}
-
-	var got uint32
-	raw := rt.System().ObjectData(0, sums.Base())
-	if raw == nil {
-		return RunResult{}, fmt.Errorf("apps: pipeline sums unavailable at root")
-	}
-	for p := 0; p < P; p++ {
-		got += binary.LittleEndian.Uint32(raw[p*4:])
-	}
-	st := rt.Stats()
-	return RunResult{
-		Elapsed:       st.Elapsed,
-		RootUser:      st.RootUser,
-		RootSystem:    st.RootSystem,
-		Messages:      st.Messages,
-		Bytes:         st.Bytes,
-		PerKind:       st.PerKind,
-		Check:         got,
-		AdaptSwitches: st.AdaptSwitches,
-		run:           rt,
-	}, nil
+	return app.Run(context.Background(),
+		RunOpts(c.Transport, nil, c.Adaptive, false)...)
 }

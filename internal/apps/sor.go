@@ -1,14 +1,15 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"munin"
 	"munin/internal/model"
 )
 
-// MuninSOR runs the paper's Successive Over-Relaxation on the Munin
-// runtime (§4.2). The grid is declared
+// NewSOR builds the paper's Successive Over-Relaxation (§4.2) as a
+// reusable App. The grid is declared
 //
 //	shared producer_consumer float matrix[ROWS][COLS];
 //
@@ -23,38 +24,36 @@ import (
 // The scratch-array variant is used (the paper notes scratch and
 // red-black work equally well under Munin); the scratch array is
 // thread-private, so only the matrix is shared.
-func MuninSOR(c SORConfig) (RunResult, error) {
+//
+// PhaseBarrier is part of the Program (it adds a barrier declaration);
+// programs meant to run on the live transports must set it.
+func NewSOR(c SORConfig) (*App, error) {
 	if c.Rows <= 0 || c.Cols <= 0 || c.Iters <= 0 || c.Procs <= 0 {
-		return RunResult{}, fmt.Errorf("apps: bad SOR config %+v", c)
+		return nil, fmt.Errorf("apps: bad SOR config %+v", c)
 	}
 	if c.Model == (model.CostModel{}) {
 		c.Model = model.Default()
 	}
-	if c.Transport != "" && c.Transport != "sim" {
-		// Real concurrency voids the cost-model timing argument that
-		// makes the single-barrier program deterministic; without the
-		// phase barrier a live run is chaotic relaxation and its grid
-		// diverges from the sequential reference.
-		c.PhaseBarrier = true
-	}
-	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model, Override: c.Override,
-		ExactCopyset: c.Exact, Adaptive: c.Adaptive, Transport: c.Transport})
+	p := munin.NewProgram(c.Procs)
 
-	grid := rt.DeclareFloat32Matrix("matrix", c.Rows, c.Cols, munin.ProducerConsumer)
+	grid := munin.DeclareMatrix[float32](p, "matrix", c.Rows, c.Cols, munin.ProducerConsumer)
 	grid.Init(SORInit)
-	bar := rt.CreateBarrier(c.Procs + 1)
+	bar := p.CreateBarrier(c.Procs + 1)
 	// The optional compute→copy barrier (workers only) that makes the
 	// iteration data-race-free; see SORConfig.PhaseBarrier.
 	var phase munin.Barrier
 	if c.PhaseBarrier {
-		phase = rt.CreateBarrier(c.Procs)
+		phase = p.CreateBarrier(c.Procs)
 	}
 
+	cost := c.Model
+	procs := c.Procs
 	rows, cols, iters := c.Rows, c.Cols, c.Iters
-	err := rt.Run(func(root *munin.Thread) {
-		for w := 0; w < c.Procs; w++ {
+	phaseBarrier := c.PhaseBarrier
+	root := func(root *munin.Thread) {
+		for w := 0; w < procs; w++ {
 			w := w
-			lo, hi := w*rows/c.Procs, (w+1)*rows/c.Procs
+			lo, hi := w*rows/procs, (w+1)*rows/procs
 			root.Spawn(w, fmt.Sprintf("sor-worker%d", w), func(t *munin.Thread) {
 				up := make([]float32, cols)
 				mid := make([]float32, cols)
@@ -81,7 +80,7 @@ func MuninSOR(c SORConfig) (RunResult, error) {
 						grid.ReadRow(t, i+1, down)
 						SORStencilRow(scratch[i-lo], up, mid, down)
 					}
-					if c.PhaseBarrier {
+					if phaseBarrier {
 						phase.Wait(t)
 					}
 
@@ -90,7 +89,7 @@ func MuninSOR(c SORConfig) (RunResult, error) {
 					// queue them on the DUQ.
 					for i := lo; i < hi; i++ {
 						grid.WriteRow(t, i, scratch[i-lo])
-						t.Compute(SORRowCost(c.Model, cols))
+						t.Compute(SORRowCost(cost, cols))
 					}
 					// One barrier per iteration, as in the paper (§4.2):
 					// the flush at the barrier carries edge updates to
@@ -102,37 +101,52 @@ func MuninSOR(c SORConfig) (RunResult, error) {
 		for it := 0; it < iters; it++ {
 			bar.Wait(root)
 		}
-	})
+	}
+
+	check := func(res *munin.Result) (uint32, error) {
+		// The single-barrier program is deterministic only under the
+		// simulator's cost model; on a live transport it is chaotic
+		// relaxation and its grid silently diverges from the sequential
+		// reference. Refuse the result rather than report wrong numbers.
+		if !phaseBarrier && LiveTransport(res.Transport()) {
+			return 0, fmt.Errorf("apps: SOR ran on the %q transport without its phase barrier (chaotic relaxation); build the App with SORConfig.PhaseBarrier", res.Transport())
+		}
+		// Assemble the final grid section by section from each worker's
+		// node; if a section's pages migrated elsewhere (conventional
+		// ping-pong can leave a boundary page owned by the neighbour),
+		// take any holder.
+		flat := make([]float32, 0, rows*cols)
+		for w := 0; w < procs; w++ {
+			lo, hi := w*rows/procs, (w+1)*rows/procs
+			snap, err := grid.SnapshotRows(res, w, lo, hi)
+			if err != nil {
+				full, anyErr := grid.SnapshotAny(res)
+				if anyErr != nil {
+					return 0, fmt.Errorf("apps: SOR snapshot node %d: %w (and no holder: %v)", w, err, anyErr)
+				}
+				snap = full[lo*cols : hi*cols]
+			}
+			flat = append(flat, snap...)
+		}
+		return ChecksumFloat32Sum(flat), nil
+	}
+	return &App{Prog: p, Root: root, Check: check, Model: cost}, nil
+}
+
+// MuninSOR builds the SOR App and runs it once under the config's
+// per-run knobs. On the live transports ("chan", "tcp") the phase
+// barrier is forced on: real concurrency voids the cost-model timing
+// argument that makes the single-barrier program deterministic; without
+// it a live run is chaotic relaxation and its grid diverges from the
+// sequential reference.
+func MuninSOR(c SORConfig) (RunResult, error) {
+	if LiveTransport(c.Transport) {
+		c.PhaseBarrier = true
+	}
+	app, err := NewSOR(c)
 	if err != nil {
 		return RunResult{}, err
 	}
-
-	// Assemble the final grid section by section from each worker's node;
-	// if a section's pages migrated elsewhere (conventional ping-pong can
-	// leave a boundary page owned by the neighbour), take any holder.
-	flat := make([]float32, 0, rows*cols)
-	for w := 0; w < c.Procs; w++ {
-		lo, hi := w*rows/c.Procs, (w+1)*rows/c.Procs
-		snap, err := grid.SnapshotRows(w, lo, hi)
-		if err != nil {
-			full, anyErr := grid.SnapshotAny()
-			if anyErr != nil {
-				return RunResult{}, fmt.Errorf("apps: SOR snapshot node %d: %w (and no holder: %v)", w, err, anyErr)
-			}
-			snap = full[lo*cols : hi*cols]
-		}
-		flat = append(flat, snap...)
-	}
-	st := rt.Stats()
-	return RunResult{
-		Elapsed:       st.Elapsed,
-		RootUser:      st.RootUser,
-		RootSystem:    st.RootSystem,
-		Messages:      st.Messages,
-		Bytes:         st.Bytes,
-		PerKind:       st.PerKind,
-		Check:         ChecksumFloat32Sum(flat),
-		AdaptSwitches: st.AdaptSwitches,
-		run:           rt,
-	}, nil
+	return app.Run(context.Background(),
+		RunOpts(c.Transport, c.Override, c.Adaptive, c.Exact)...)
 }

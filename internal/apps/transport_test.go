@@ -2,9 +2,12 @@ package apps
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"strings"
 	"testing"
 
+	"munin"
 	"munin/internal/protocol"
 )
 
@@ -175,6 +178,25 @@ func TestTransportTSP(t *testing.T) {
 				t.Errorf("%s tsp bound %d, want %d", tr, r.Check, want)
 			}
 		}
+	}
+}
+
+// TestSORRefusesLiveTransportWithoutPhaseBarrier: a SOR App built
+// without the phase barrier is chaotic relaxation on a live transport;
+// the run must fail loudly instead of reporting a diverged grid.
+func TestSORRefusesLiveTransportWithoutPhaseBarrier(t *testing.T) {
+	app, err := NewSOR(SORConfig{Procs: 4, Rows: 24, Cols: 64, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(context.Background(), munin.WithTransport("chan")); err == nil {
+		t.Fatal("barrier-less SOR ran on chan without an error")
+	} else if !strings.Contains(err.Error(), "phase barrier") {
+		t.Fatalf("err = %v, want the phase-barrier explanation", err)
+	}
+	// The same App on the simulator stays valid.
+	if _, err := app.Run(context.Background()); err != nil {
+		t.Fatalf("sim run: %v", err)
 	}
 }
 

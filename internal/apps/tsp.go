@@ -10,6 +10,7 @@ package apps
 // distance matrix.
 
 import (
+	"context"
 	"fmt"
 
 	"munin"
@@ -93,32 +94,33 @@ func TSPReference(cities int) int64 {
 	return best
 }
 
-// MuninTSP runs the branch-and-bound search on the Munin runtime:
+// NewTSP builds the branch-and-bound search as a reusable App:
 //
 //	shared read_only  int dist[C][C];
 //	shared reduction  int bound;          // Fetch_and_min
 //	shared migratory  int nextwork;       // protected by the work lock
-func MuninTSP(c TSPConfig) (RunResult, error) {
+func NewTSP(c TSPConfig) (*App, error) {
 	if c.Cities < 4 || c.Cities > 16 || c.Procs <= 0 {
-		return RunResult{}, fmt.Errorf("apps: bad TSP config %+v", c)
+		return nil, fmt.Errorf("apps: bad TSP config %+v", c)
 	}
 	if c.Model == (model.CostModel{}) {
 		c.Model = model.Default()
 	}
-	rt := munin.New(munin.Config{Processors: c.Procs, Model: c.Model,
-		Override: c.Override, Adaptive: c.Adaptive, Transport: c.Transport})
+	prog := munin.NewProgram(c.Procs)
 
 	cities := c.Cities
-	dist := rt.DeclareInt32Matrix("dist", cities, cities, munin.ReadOnly)
+	dist := munin.DeclareMatrix[int32](prog, "dist", cities, cities, munin.ReadOnly)
 	dist.Init(func(i, j int) int32 { return TSPDist(i, j) })
-	bound := rt.DeclareWords("bound", 1, munin.Reduction)
-	bound.Init(uint32(1 << 30))
-	wl := rt.CreateLock()
-	next := rt.DeclareWords("nextwork", 1, munin.Migratory, munin.WithLock(wl))
-	done := rt.CreateBarrier(c.Procs + 1)
+	bound := munin.DeclareVar[int32](prog, "bound", munin.Reduction)
+	bound.Init(1 << 30)
+	wl := prog.CreateLock()
+	next := munin.DeclareVar[uint32](prog, "nextwork", munin.Migratory, munin.WithLock(wl))
+	done := prog.CreateBarrier(c.Procs + 1)
 
-	err := rt.Run(func(root *munin.Thread) {
-		for p := 0; p < c.Procs; p++ {
+	cost := c.Model
+	procs := c.Procs
+	root := func(root *munin.Thread) {
+		for p := 0; p < procs; p++ {
 			p := p
 			root.Spawn(p, fmt.Sprintf("tsp-worker%d", p), func(t *munin.Thread) {
 				// Page the distance matrix in once.
@@ -133,8 +135,8 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 				visited[0] = true
 				for {
 					wl.Acquire(t)
-					unit := int(next.Load(t, 0))
-					next.Store(t, 0, uint32(unit+1))
+					unit := int(next.Get(t))
+					next.Set(t, uint32(unit+1))
 					wl.Release(t)
 					if unit >= tspWork(cities) {
 						break
@@ -144,44 +146,43 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 					// The incumbent is re-read from the reduction object
 					// per expansion batch: cache it locally and refresh
 					// through Fetch_and_min's return value on improvement.
-					incumbent := int64(int32(bound.Load(t, 0)))
+					incumbent := int64(bound.Get(t))
 					expanded := tspExpand(d, cities, visited, []int{0, second},
 						int64(d(0, second)),
 						func() int64 { return incumbent },
 						func(v int64) {
-							old := int64(int32(bound.FetchAndMin(t, 0, uint32(v))))
+							old := int64(bound.FetchAndMin(t, int32(v)))
 							if old < v {
 								v = old
 							}
 							incumbent = v
 						})
 					visited[second] = false
-					t.Compute(sim.Time(expanded) * c.Model.MatMulOp * 8)
+					t.Compute(sim.Time(expanded) * cost.MatMulOp * 8)
 				}
 				done.Wait(t)
 			})
 		}
 		done.Wait(root)
-	})
+	}
+
+	check := func(res *munin.Result) (uint32, error) {
+		best, err := bound.Snapshot(res, 0)
+		if err != nil {
+			return 0, fmt.Errorf("apps: TSP bound unavailable at root: %w", err)
+		}
+		return uint32(best), nil
+	}
+	return &App{Prog: prog, Root: root, Check: check, Model: cost}, nil
+}
+
+// MuninTSP builds the TSP App and runs it once under the config's
+// per-run knobs.
+func MuninTSP(c TSPConfig) (RunResult, error) {
+	app, err := NewTSP(c)
 	if err != nil {
 		return RunResult{}, err
 	}
-
-	final := rt.System().ObjectData(0, bound.Base())
-	if final == nil {
-		return RunResult{}, fmt.Errorf("apps: TSP bound unavailable at root")
-	}
-	best := uint32(final[0]) | uint32(final[1])<<8 | uint32(final[2])<<16 | uint32(final[3])<<24
-	st := rt.Stats()
-	return RunResult{
-		Elapsed:       st.Elapsed,
-		RootUser:      st.RootUser,
-		RootSystem:    st.RootSystem,
-		Messages:      st.Messages,
-		Bytes:         st.Bytes,
-		PerKind:       st.PerKind,
-		Check:         best,
-		AdaptSwitches: st.AdaptSwitches,
-		run:           rt,
-	}, nil
+	return app.Run(context.Background(),
+		RunOpts(c.Transport, c.Override, c.Adaptive, false)...)
 }

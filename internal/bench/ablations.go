@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -175,25 +176,25 @@ func RunCriticalSection(m model.CostModel, procs, rounds int, associate bool) (C
 	if m == (model.CostModel{}) {
 		m = model.Default()
 	}
-	rt := munin.New(munin.Config{Processors: procs, Model: m})
-	l := rt.CreateLock()
+	p := munin.NewProgram(procs)
+	l := p.CreateLock()
 	var opts []munin.DeclOption
 	if associate {
 		opts = append(opts, munin.WithLock(l))
 	}
-	ctr := rt.DeclareWords("counter", 1, munin.Migratory, opts...)
-	done := rt.CreateBarrier(procs + 1)
+	ctr := munin.DeclareVar[uint32](p, "counter", munin.Migratory, opts...)
+	done := p.CreateBarrier(procs + 1)
 
 	var final uint32
-	err := rt.Run(func(root *munin.Thread) {
+	res, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("cs-worker%d", w), func(t *munin.Thread) {
 				for r := 0; r < rounds; r++ {
 					l.Acquire(t)
-					v := ctr.Load(t, 0)
+					v := ctr.Get(t)
 					t.Compute(10 * sim.Microsecond) // the critical section's work
-					ctr.Store(t, 0, v+1)
+					ctr.Set(t, v+1)
 					l.Release(t)
 				}
 				done.Wait(t)
@@ -201,16 +202,16 @@ func RunCriticalSection(m model.CostModel, procs, rounds int, associate bool) (C
 		}
 		done.Wait(root)
 		l.Acquire(root)
-		final = ctr.Load(root, 0)
+		final = ctr.Get(root)
 		l.Release(root)
-	})
+	}, munin.WithModel(m))
 	if err != nil {
 		return CriticalSectionResult{}, err
 	}
-	st := rt.Stats()
+	st := res.Stats()
 	misses := 0
 	for i := 0; i < procs; i++ {
-		misses += rt.System().Node(i).ReadMisses
+		misses += res.System().Node(i).ReadMisses
 	}
 	return CriticalSectionResult{
 		Elapsed:    st.Elapsed,
@@ -266,9 +267,13 @@ func RunBarrierStorm(m model.CostModel, procs, rounds int, tree bool) (BarrierSt
 	if m == (model.CostModel{}) {
 		m = model.Default()
 	}
-	rt := munin.New(munin.Config{Processors: procs, Model: m, BarrierTree: tree})
-	bar := rt.CreateBarrier(procs + 1)
-	err := rt.Run(func(root *munin.Thread) {
+	p := munin.NewProgram(procs)
+	bar := p.CreateBarrier(procs + 1)
+	opts := []munin.RunOption{munin.WithModel(m)}
+	if tree {
+		opts = append(opts, munin.WithBarrierTree(0))
+	}
+	res, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("bs-worker%d", w), func(t *munin.Thread) {
@@ -280,11 +285,11 @@ func RunBarrierStorm(m model.CostModel, procs, rounds int, tree bool) (BarrierSt
 		for r := 0; r < rounds; r++ {
 			bar.Wait(root)
 		}
-	})
+	}, opts...)
 	if err != nil {
 		return BarrierStormResult{}, err
 	}
-	st := rt.Stats()
+	st := res.Stats()
 	return BarrierStormResult{Elapsed: st.Elapsed, Messages: st.Messages, Bytes: st.Bytes}, nil
 }
 
@@ -340,15 +345,19 @@ func RunReductionStorm(m model.CostModel, procs, rounds int, puq bool) (Reductio
 	if m == (model.CostModel{}) {
 		m = model.Default()
 	}
-	rt := munin.New(munin.Config{Processors: procs, Model: m, PendingUpdates: puq})
-	hist := rt.DeclareWords("histogram", 2048, munin.Reduction) // one 8 KB page
-	done := rt.CreateBarrier(procs + 1)
+	p := munin.NewProgram(procs)
+	hist := munin.Declare[uint32](p, "histogram", 2048, munin.Reduction) // one 8 KB page
+	done := p.CreateBarrier(procs + 1)
+	opts := []munin.RunOption{munin.WithModel(m)}
+	if puq {
+		opts = append(opts, munin.WithPendingUpdates())
+	}
 	var final uint32
-	err := rt.Run(func(root *munin.Thread) {
+	res, err := p.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("rs-worker%d", w), func(t *munin.Thread) {
-				_ = hist.Load(t, 0) // become a replica
+				_ = hist.Get(t, 0) // become a replica
 				done.Wait(t)
 				for r := 0; r < rounds; r++ {
 					hist.FetchAndAdd(t, (w*13+r)%2048, 1)
@@ -360,24 +369,24 @@ func RunReductionStorm(m model.CostModel, procs, rounds int, puq bool) (Reductio
 		done.Wait(root)
 		var sum uint32
 		for i := 0; i < 2048; i++ {
-			sum += hist.Load(root, i)
+			sum += hist.Get(root, i)
 		}
 		final = sum
-	})
+	}, opts...)
 	if err != nil {
 		return ReductionStormResult{}, err
 	}
-	st := rt.Stats()
-	res := ReductionStormResult{
+	st := res.Stats()
+	out := ReductionStormResult{
 		Elapsed: st.Elapsed, Messages: st.Messages, Bytes: st.Bytes, Final: final,
 	}
 	for i := 0; i < procs; i++ {
-		res.Applied += rt.System().Node(i).UpdatesApply
-		res.Coalesced += rt.System().Node(i).PendingCoalesced
+		out.Applied += res.System().Node(i).UpdatesApply
+		out.Coalesced += res.System().Node(i).PendingCoalesced
 	}
 	// The apply cost is one full-page copy per application.
-	res.MergeCPU = sim.Time(res.Applied) * m.CopyCost(8192)
-	return res, nil
+	out.MergeCPU = sim.Time(out.Applied) * m.CopyCost(8192)
+	return out, nil
 }
 
 // RunAblationA6 compares eager update application against the pending

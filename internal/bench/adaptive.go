@@ -10,6 +10,7 @@ package bench
 // phase-changing workload no single static annotation fits at all.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -139,7 +140,12 @@ func runAdaptiveRow(app string, statics []*protocol.Annotation, run adaptiveRun)
 	return row
 }
 
-// RunAdaptive builds the adaptive-vs-static comparison table.
+// RunAdaptive builds the adaptive-vs-static comparison table. Each
+// workload's Program is built once and executed under every
+// configuration of the sweep — the "same program, N protocols" shape the
+// Program/Run split exists for. (The pipeline is the exception: its
+// buffer's declared hint is itself what the sweep varies, so each of its
+// configurations is a distinct program.)
 func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 	o = o.withDefaults()
 	ws := protocol.WriteShared
@@ -149,23 +155,27 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 
 	t := AdaptiveTable{Procs: o.Procs}
 
+	mmApp, err := apps.NewMatMul(apps.MatMulConfig{Procs: o.Procs, N: o.N, Model: o.Model})
+	if err != nil {
+		return AdaptiveTable{}, fmt.Errorf("bench: adaptive matmul: %w", err)
+	}
 	t.Rows = append(t.Rows, runAdaptiveRow("matmul",
 		[]*protocol.Annotation{nil, &ws, &conv},
 		func(ov *protocol.Annotation, adaptive bool) (apps.RunResult, error) {
-			return apps.MuninMatMul(apps.MatMulConfig{
-				Procs: o.Procs, N: o.N, Model: o.Model, Override: ov, Adaptive: adaptive,
-				Transport: o.Transport,
-			})
+			return mmApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false)...)
 		}))
 
+	sorApp, err := apps.NewSOR(apps.SORConfig{
+		Procs: o.Procs, Rows: o.Rows, Cols: o.Cols, Iters: o.Iters, Model: o.Model,
+		PhaseBarrier: apps.LiveTransport(o.Transport),
+	})
+	if err != nil {
+		return AdaptiveTable{}, fmt.Errorf("bench: adaptive sor: %w", err)
+	}
 	t.Rows = append(t.Rows, runAdaptiveRow("sor-fs",
 		[]*protocol.Annotation{nil, &ws, &conv},
 		func(ov *protocol.Annotation, adaptive bool) (apps.RunResult, error) {
-			return apps.MuninSOR(apps.SORConfig{
-				Procs: o.Procs, Rows: o.Rows, Cols: o.Cols, Iters: o.Iters,
-				Model: o.Model, Override: ov, Adaptive: adaptive,
-				Transport: o.Transport,
-			})
+			return sorApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false)...)
 		}))
 
 	// The phase-changing pipeline has no "correct" single annotation:
@@ -188,18 +198,20 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 
 	// TSP: mis-annotated static runs abort outright (Fetch-and-Φ on a
 	// non-reduction object is a runtime error); the adaptive runtime
-	// recovers and converges.
+	// recovers and converges. Aborted runs do not consume the Program —
+	// the same value keeps executing the rest of the sweep.
 	tspProcs := o.Procs
 	if tspProcs > 8 {
 		tspProcs = 8
 	}
+	tspApp, err := apps.NewTSP(apps.TSPConfig{Procs: tspProcs, Cities: 9, Model: model.Default()})
+	if err != nil {
+		return AdaptiveTable{}, fmt.Errorf("bench: adaptive tsp: %w", err)
+	}
 	t.Rows = append(t.Rows, runAdaptiveRow("tsp",
 		[]*protocol.Annotation{nil, &ws, &conv},
 		func(ov *protocol.Annotation, adaptive bool) (apps.RunResult, error) {
-			return apps.MuninTSP(apps.TSPConfig{
-				Procs: tspProcs, Cities: 9, Model: model.Default(), Override: ov, Adaptive: adaptive,
-				Transport: o.Transport,
-			})
+			return tspApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false)...)
 		}))
 
 	return t, nil

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -174,16 +175,16 @@ func table2Column(m model.CostModel, p WritePattern) (Table2Column, error) {
 func measureDUQ(m model.CostModel, p WritePattern) (write, flush sim.Time, err error) {
 	// Acked flushes, so the measured flush spans the full Table 2 flow
 	// including the remote decode and the Reply.
-	rt := munin.New(munin.Config{Processors: 2, Model: m, AwaitUpdateAcks: true})
-	obj := rt.DeclareWords("obj", Table2ObjectBytes/4, munin.WriteShared)
+	prog := munin.NewProgram(2)
+	obj := munin.Declare[uint32](prog, "obj", Table2ObjectBytes/4, munin.WriteShared)
 	vals := make([]uint32, Table2ObjectBytes/4)
 	for i := range vals {
 		vals[i] = uint32(i) * 2654435761
 	}
 	obj.Init(vals...)
-	l := rt.CreateLock()
-	ready := rt.CreateBarrier(2)
-	done := rt.CreateBarrier(2)
+	l := prog.CreateLock()
+	ready := prog.CreateBarrier(2)
+	done := prog.CreateBarrier(2)
 
 	image := make([]byte, Table2ObjectBytes)
 	for i, v := range vals {
@@ -191,9 +192,9 @@ func measureDUQ(m model.CostModel, p WritePattern) (write, flush sim.Time, err e
 	}
 	p.Mutate(image)
 
-	runErr := rt.Run(func(root *munin.Thread) {
+	_, runErr := prog.Run(context.Background(), func(root *munin.Thread) {
 		root.Spawn(1, "reader", func(t *munin.Thread) {
-			obj.Load(t, 0) // fault in a read copy so the flush has a destination
+			obj.Get(t, 0) // fault in a read copy so the flush has a destination
 			ready.Wait(t)
 			done.Wait(t)
 		})
@@ -206,7 +207,7 @@ func measureDUQ(m model.CostModel, p WritePattern) (write, flush sim.Time, err e
 		t2 := root.Now()
 		write, flush = t1-t0, t2-t1
 		done.Wait(root)
-	})
+	}, munin.WithModel(m), munin.WithAwaitUpdateAcks())
 	if runErr != nil {
 		return 0, 0, runErr
 	}

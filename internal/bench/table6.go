@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -55,6 +56,9 @@ func RunTable6(o Table6Opts) (Table6, error) {
 }
 
 // runTable6 runs the three configurations with fully-resolved options.
+// The two application Programs are built once; each row is the same
+// program executed under a different per-run protocol override — the
+// comparison the Program/Run split expresses natively.
 func runTable6(o Table6Opts) (Table6, error) {
 	a := o.AppOpts
 	ws := protocol.WriteShared
@@ -64,20 +68,26 @@ func runTable6(o Table6Opts) (Table6, error) {
 		{Name: "Write-shared", Override: &ws},
 		{Name: "Conventional", Override: &conv},
 	}
+	mmApp, err := apps.NewMatMul(apps.MatMulConfig{Procs: o.Procs, N: a.N, Model: a.Model})
+	if err != nil {
+		return Table6{}, fmt.Errorf("bench: table 6 matmul: %w", err)
+	}
+	sorApp, err := apps.NewSOR(apps.SORConfig{
+		Procs: o.Procs, Rows: a.Rows, Cols: a.Cols, Iters: a.Iters, Model: a.Model,
+		// Live transports need the data-race-free variant (see MuninSOR).
+		PhaseBarrier: apps.LiveTransport(a.Transport),
+	})
+	if err != nil {
+		return Table6{}, fmt.Errorf("bench: table 6 sor: %w", err)
+	}
 	t := Table6{Procs: o.Procs}
 	for _, cfg := range configs {
-		mm, err := apps.MuninMatMul(apps.MatMulConfig{
-			Procs: o.Procs, N: a.N, Model: a.Model, Override: cfg.Override, Adaptive: a.Adaptive,
-			Transport: a.Transport,
-		})
+		opts := apps.RunOpts(a.Transport, cfg.Override, a.Adaptive, false)
+		mm, err := mmApp.Run(context.Background(), opts...)
 		if err != nil {
 			return Table6{}, fmt.Errorf("bench: table 6 matmul %s: %w", cfg.Name, err)
 		}
-		sor, err := apps.MuninSOR(apps.SORConfig{
-			Procs: o.Procs, Rows: a.Rows, Cols: a.Cols, Iters: a.Iters,
-			Model: a.Model, Override: cfg.Override, Adaptive: a.Adaptive,
-			Transport: a.Transport,
-		})
+		sor, err := sorApp.Run(context.Background(), opts...)
 		if err != nil {
 			return Table6{}, fmt.Errorf("bench: table 6 sor %s: %w", cfg.Name, err)
 		}

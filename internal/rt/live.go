@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -40,6 +41,10 @@ type Live struct {
 	stopOnce sync.Once
 	stopped  atomic.Bool
 	done     chan struct{}
+	// ctx, when bound, cancels the run: a watcher goroutine (started by
+	// Run alongside the deadlock watchdog) records ctx.Err() as the
+	// failure and stops the transport, unwinding every parked proc.
+	ctx context.Context
 
 	failMu  sync.Mutex
 	failure error
@@ -192,9 +197,23 @@ func (l *Live) Stop() {
 	})
 }
 
-// Run waits until Stop (a clean finish, a proc failure, or the deadlock
-// watchdog), unwinds every parked proc, and returns the first failure.
+// BindContext makes Run fail with ctx.Err() when ctx is canceled. Bind
+// before Run.
+func (l *Live) BindContext(ctx context.Context) { l.ctx = ctx }
+
+// Run waits until Stop (a clean finish, a proc failure, a canceled
+// context, or the deadlock watchdog), unwinds every parked proc, and
+// returns the first failure.
 func (l *Live) Run() error {
+	if l.ctx != nil {
+		go func() {
+			select {
+			case <-l.ctx.Done():
+				l.fail(l.ctx.Err())
+			case <-l.done:
+			}
+		}()
+	}
 	watchdogDone := make(chan struct{})
 	go l.watchdog(watchdogDone)
 	<-l.done

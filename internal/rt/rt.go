@@ -22,6 +22,8 @@
 package rt
 
 import (
+	"context"
+
 	"munin/internal/network"
 	"munin/internal/sim"
 	"munin/internal/wire"
@@ -89,6 +91,14 @@ type Semaphore interface {
 	TryAcquire() bool
 	Busy() bool
 	Release()
+}
+
+// ContextBinder is implemented by transports that can be canceled by a
+// context: Run then returns ctx.Err() once the cancellation is observed
+// (between events on the simulator; by every live node's next block or
+// yield point on the concurrent runtimes). Bind before Run.
+type ContextBinder interface {
+	BindContext(ctx context.Context)
 }
 
 // Transport is a runnable Munin machine substrate: it hosts procs, keeps

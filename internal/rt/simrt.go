@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 
 	"munin/internal/model"
@@ -98,6 +99,12 @@ func (t *Sim) SetTrace(fn func(Envelope)) { t.net.Trace = fn }
 
 // SetFaults installs fault injection.
 func (t *Sim) SetFaults(f *Faults) { t.net.Faults = f }
+
+// BindContext makes Run stop with ctx.Err() when ctx is canceled; the
+// event loop polls it between events.
+func (t *Sim) BindContext(ctx context.Context) {
+	t.sim.SetInterrupt(ctx.Err)
+}
 
 // Run executes events until Stop, a proc failure, or deadlock.
 func (t *Sim) Run() error { return t.sim.Run() }

@@ -106,6 +106,12 @@ func (p *Proc) park(reason string) {
 	p.blockReason = reason
 	s.yield <- struct{}{}
 	<-p.wake
+	if s.draining {
+		// Woken only to unwind: the run has ended (Stop, cancellation,
+		// failure or deadlock) and this process will never be resumed
+		// for real. The panic propagates to Spawn's recover.
+		panic(drainSignal{})
+	}
 	p.state = procRunning
 	p.blockReason = ""
 }

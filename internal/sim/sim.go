@@ -40,14 +40,18 @@ func (h *eventHeap) Pop() (popped any) {
 // process goroutines hand control back and forth over channels, so code
 // inside processes needs no locking and observes a consistent virtual clock.
 type Sim struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	yield   chan struct{}
-	procs   []*Proc
-	current *Proc
-	failure any // first panic raised by a process
-	stopped bool
+	now      Time
+	seq      uint64
+	events   eventHeap
+	yield    chan struct{}
+	procs    []*Proc
+	current  *Proc
+	failure  any // first panic raised by a process
+	stopped  bool
+	draining bool
+	// interrupt, if set, is polled periodically by Run; a non-nil return
+	// stops the event loop with that error (context cancellation).
+	interrupt func() error
 }
 
 // New returns an empty simulation with the clock at zero.
@@ -84,10 +88,17 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	s.procs = append(s.procs, p)
 	go func() {
 		<-p.wake
+		if s.draining {
+			// Woken only to unwind: the run ended before this process
+			// ever started.
+			p.state = procDone
+			s.yield <- struct{}{}
+			return
+		}
 		p.state = procRunning
 		defer func() {
 			if r := recover(); r != nil {
-				if s.failure == nil {
+				if _, unwinding := r.(drainSignal); !unwinding && s.failure == nil {
 					s.failure = r
 				}
 			}
@@ -124,12 +135,33 @@ func (e *DeadlockError) Error() string {
 		len(e.Blocked), strings.Join(e.Blocked, "; "))
 }
 
+// SetInterrupt installs a poll function Run calls between events (every
+// few events, to keep the hot loop cheap). A non-nil return stops the
+// run and becomes Run's error — this is how context cancellation reaches
+// the single-threaded event loop.
+func (s *Sim) SetInterrupt(f func() error) { s.interrupt = f }
+
 // Run executes events until none remain, a process panics, or Stop is
 // called. It returns the value a process panicked with (wrapped if needed),
 // or a *DeadlockError if processes remain blocked with no pending events.
-// A clean completion returns nil.
+// A clean completion returns nil. However Run ends, processes still
+// parked are unwound before it returns, so a stopped, canceled or
+// deadlocked run leaks no goroutines.
 func (s *Sim) Run() error {
-	for s.events.Len() > 0 && s.failure == nil && !s.stopped {
+	err := s.run()
+	s.drain()
+	return err
+}
+
+// run is the event loop.
+func (s *Sim) run() error {
+	for n := uint(0); s.events.Len() > 0 && s.failure == nil && !s.stopped; n++ {
+		if s.interrupt != nil && n%64 == 0 {
+			if err := s.interrupt(); err != nil {
+				s.stopped = true
+				return err
+			}
+		}
 		e := heap.Pop(&s.events).(event)
 		s.now = e.t
 		e.fn()
@@ -156,6 +188,22 @@ func (s *Sim) Run() error {
 	return nil
 }
 
+// drainSignal unwinds a parked process once the run has ended.
+type drainSignal struct{}
+
+// drain resumes every still-parked process with the draining flag set:
+// park (or the pre-start wait in Spawn) observes it and unwinds instead
+// of continuing, so their goroutines exit now rather than living as
+// long as the host process. Must run after the event loop has returned.
+func (s *Sim) drain() {
+	s.draining = true
+	for i := 0; i < len(s.procs); i++ {
+		if p := s.procs[i]; p.state == procBlocked {
+			s.resume(p)
+		}
+	}
+}
+
 // Stop makes Run return after the current event completes. Blocked
-// processes are abandoned (their goroutines exit with the test process).
+// processes are unwound before Run returns.
 func (s *Sim) Stop() { s.stopped = true }

@@ -11,16 +11,18 @@
 // diff-encoded writes — masks network latency and coalesces update
 // traffic.
 //
-// The distributed machine itself is simulated: a deterministic virtual
-// clock, a 10 Mbps-Ethernet-style network model, and software page tables
-// substitute for the paper's sixteen SUN-3/60s and modified V kernel (see
-// DESIGN.md). Programs are written against this package exactly as §2 of
-// the paper describes:
+// The API separates a program from its executions, which is the paper's
+// whole pitch (§2, §5): one shared-memory program runs unchanged under
+// many consistency protocols and machine configurations. A Program holds
+// the declarations — typed shared variables, locks, barriers, initial
+// data — and is built once; Run executes it, as many times as needed,
+// each run configured independently by RunOptions and yielding its own
+// Result:
 //
-//	rt := munin.New(munin.Config{Processors: 8})
-//	data := rt.DeclareInt32Matrix("data", n, n, munin.WriteShared)
-//	done := rt.CreateBarrier(8 + 1)
-//	err := rt.Run(func(root *munin.Thread) {
+//	p := munin.NewProgram(8)
+//	data := munin.DeclareMatrix[int32](p, "data", n, n, munin.WriteShared)
+//	done := p.CreateBarrier(8 + 1)
+//	root := func(root *munin.Thread) {
 //	    for w := 0; w < 8; w++ {
 //	        root.Spawn(w, "worker", func(t *munin.Thread) {
 //	            // ... compute via data.ReadRow / data.WriteRow ...
@@ -28,23 +30,31 @@
 //	        })
 //	    }
 //	    done.Wait(root)
-//	})
+//	}
+//	res, err := p.Run(ctx, root)                                  // deterministic simulator
+//	res2, err := p.Run(ctx, root, munin.WithTransport("tcp"))     // same program, real sockets
+//	res3, err := p.Run(ctx, root, munin.WithOverride(munin.Conventional)) // Table 6 comparison
+//	_ = res.Stats().Elapsed
+//
+// Shared variables are generic over their element type: Declare[T] makes
+// a one-dimensional Array[T], DeclareMatrix[T] a row-major Matrix[T], and
+// DeclareVar[T] a scalar Var[T], for T of int32, uint32, float32 or
+// float64 (or any type with one of those underlying types).
+//
+// The distributed machine is simulated by default: a deterministic
+// virtual clock, a 10 Mbps-Ethernet-style network model and software page
+// tables substitute for the paper's sixteen SUN-3/60s and modified V
+// kernel (see DESIGN.md). WithTransport selects the real concurrent
+// runtimes instead; the context passed to Run cancels them mid-flight.
 //
 // All synchronization must go through the runtime's locks and barriers
 // (release consistency requires it), and threads never migrate.
 package munin
 
 import (
-	"fmt"
-
 	"munin/internal/core"
-	"munin/internal/model"
-	"munin/internal/network"
 	"munin/internal/protocol"
-	xrt "munin/internal/rt"
 	"munin/internal/sim"
-	"munin/internal/vm"
-	"munin/internal/wire"
 )
 
 // Thread is a Munin user thread; see the methods of core.Thread
@@ -61,8 +71,9 @@ type Annotation = protocol.Annotation
 // The sharing annotations of §2.3.2 (Table 1), plus two extensions: the
 // delayed-invalidation protocol the paper considered but left
 // unimplemented, and Adaptive — no hint at all; the runtime profiles the
-// access pattern and picks the protocol itself (requires
-// Config.Adaptive).
+// access pattern and picks the protocol itself (requires WithAdaptive).
+// The paper's "result" annotation is exported as ResultObject (its §2.3.2
+// term is "result object"); Result is the value a Run returns.
 const (
 	Conventional     = protocol.Conventional
 	ReadOnly         = protocol.ReadOnly
@@ -70,344 +81,17 @@ const (
 	WriteShared      = protocol.WriteShared
 	ProducerConsumer = protocol.ProducerConsumer
 	Reduction        = protocol.Reduction
-	Result           = protocol.Result
+	ResultObject     = protocol.Result
 	InvalidateShared = protocol.InvalidateShared
 	Adaptive         = protocol.Adaptive
 )
 
-// Config configures the simulated machine.
-type Config struct {
-	// Processors is the node count (1–16).
-	Processors int
-	// Model overrides the calibrated cost model (zero value = default).
-	Model model.CostModel
-	// Override forces every shared object to one annotation (Table 6's
-	// single-protocol configurations).
-	Override *Annotation
-	// Adaptive enables the adaptive protocol engine (internal/adapt):
-	// every node profiles each shared object's access pattern
-	// (read/write faults, served requests, flush copyset history) and
-	// the runtime switches objects online to the Table 1 protocol the
-	// observed pattern matches — the dynamic access-pattern detection §6
-	// of the paper leaves as future work. With Adaptive set,
-	// mis-annotated and un-annotated (munin.Adaptive) variables converge
-	// toward the right protocol instead of running slowly or aborting.
-	Adaptive bool
-	// ExactCopyset selects the improved home-directed copyset
-	// determination algorithm of §3.3 instead of the prototype's
-	// broadcast (ablation A4 in DESIGN.md).
-	ExactCopyset bool
-	// AwaitUpdateAcks makes every release block until its updates are
-	// acknowledged remotely. The prototype (and the default here) relies
-	// on in-order delivery instead; see core.Config.AwaitUpdateAcks.
-	AwaitUpdateAcks bool
-	// BarrierTree releases barriers down a fan-out tree (arity
-	// BarrierFanout, default 4) instead of the prototype's centralized
-	// unicast — §3.4's envisioned scheme for larger systems.
-	BarrierTree   bool
-	BarrierFanout int
-	// PendingUpdates enables the pending update queue of §6's future
-	// work ("a dual to the delayed update queue"): incoming updates
-	// buffer at the receiver and apply at its next synchronization
-	// point, coalescing repeated full-object updates.
-	PendingUpdates bool
-	// Trace observes every delivered protocol message.
-	Trace func(network.Envelope)
-	// Transport selects the substrate the machine runs on:
-	//
-	//	"sim" (or "")  the deterministic discrete-event simulator the
-	//	               paper's tables are measured on — virtual clock,
-	//	               modeled 10 Mbps Ethernet, exactly reproducible
-	//	"chan"         a real concurrent runtime: every node is a
-	//	               goroutine cluster (user threads + dispatcher)
-	//	               exchanging messages over in-process queues in
-	//	               real time
-	//	"tcp"          the concurrent runtime with delivery over
-	//	               loopback TCP sockets, one connection per node
-	//	               pair (update acknowledgements are enabled
-	//	               automatically; TCP gives only per-pair FIFO)
-	//
-	// The protocol code is identical on all three; on "chan" and "tcp"
-	// Stats times are wall-clock, not modeled.
-	Transport string
-}
-
-// Transport names accepted by Config.Transport.
+// Transport names accepted by WithTransport.
 const (
 	TransportSim  = "sim"
 	TransportChan = "chan"
 	TransportTCP  = "tcp"
 )
 
-// Transports lists the valid Config.Transport values.
+// Transports lists the valid WithTransport values.
 func Transports() []string { return []string{TransportSim, TransportChan, TransportTCP} }
-
-// Runtime is a Munin program under construction and, after Run, its
-// results. Declare shared variables and synchronization objects first,
-// then call Run once.
-type Runtime struct {
-	cfg      Config
-	next     vm.Addr
-	decls    []core.Decl
-	locks    []core.LockDecl
-	barriers []core.BarrierDecl
-	assoc    map[int][]vm.Addr
-	sys      *core.System
-	ran      bool
-}
-
-// New creates an empty runtime for the given configuration.
-func New(cfg Config) *Runtime {
-	if cfg.Processors <= 0 || cfg.Processors > 16 {
-		panic(fmt.Sprintf("munin: %d processors outside 1–16", cfg.Processors))
-	}
-	return &Runtime{cfg: cfg, next: vm.SharedBase, assoc: make(map[int][]vm.Addr)}
-}
-
-// Processors returns the configured node count.
-func (rt *Runtime) Processors() int { return rt.cfg.Processors }
-
-// DeclOption adjusts a shared variable declaration.
-type DeclOption func(*declSpec)
-
-type declSpec struct {
-	single bool
-	lock   int
-}
-
-// WithSingleObject treats a large variable as a single object rather than
-// breaking it into page-sized objects (the SingleObject hint, §2.5).
-func WithSingleObject() DeclOption {
-	return func(s *declSpec) { s.single = true }
-}
-
-// WithLock associates the variable with a lock (AssociateDataAndSynch,
-// §2.5): lock grants carry the variable's data.
-func WithLock(l Lock) DeclOption {
-	return func(s *declSpec) { s.lock = l.id }
-}
-
-// declare lays out size bytes page-aligned, splitting into page-sized
-// objects unless single, and records the declarations.
-func (rt *Runtime) declare(name string, size int, annot Annotation, opts ...DeclOption) vm.Addr {
-	if rt.ran {
-		panic("munin: declaration after Run")
-	}
-	if size <= 0 {
-		panic(fmt.Sprintf("munin: variable %q has size %d", name, size))
-	}
-	spec := declSpec{lock: -1}
-	for _, o := range opts {
-		o(&spec)
-	}
-	size = (size + vm.WordSize - 1) / vm.WordSize * vm.WordSize
-	start := rt.next
-	pageSize := vm.DefaultPageSize
-	pages := (size + pageSize - 1) / pageSize
-	rt.next += vm.Addr(pages * pageSize)
-
-	if spec.single {
-		rt.decls = append(rt.decls, core.Decl{
-			Name: name, Start: start, Size: size, Annot: annot, Home: 0, Group: start, Synchq: spec.lock,
-		})
-	} else {
-		for off, idx := 0, 0; off < size; off, idx = off+pageSize, idx+1 {
-			chunk := pageSize
-			if size-off < chunk {
-				chunk = size - off
-			}
-			rt.decls = append(rt.decls, core.Decl{
-				Name:  fmt.Sprintf("%s[%d]", name, idx),
-				Start: start + vm.Addr(off), Size: chunk, Annot: annot, Home: 0, Group: start, Synchq: spec.lock,
-			})
-		}
-	}
-	if spec.lock >= 0 {
-		rt.assoc[spec.lock] = append(rt.assoc[spec.lock], rt.objectStarts(start, size)...)
-	}
-	return start
-}
-
-// objectStarts lists the object start addresses covering a variable.
-func (rt *Runtime) objectStarts(start vm.Addr, size int) []vm.Addr {
-	var out []vm.Addr
-	for _, d := range rt.decls {
-		if d.Start >= start && d.Start < start+vm.Addr(size) {
-			out = append(out, d.Start)
-		}
-	}
-	return out
-}
-
-// setInit installs initial contents for the variable at start.
-func (rt *Runtime) setInit(start vm.Addr, data []byte) {
-	off := 0
-	for i := range rt.decls {
-		d := &rt.decls[i]
-		if d.Start < start || off >= len(data) {
-			continue
-		}
-		if d.Start >= start {
-			n := d.Size
-			if len(data)-off < n {
-				n = len(data) - off
-			}
-			if d.Init == nil {
-				d.Init = make([]byte, d.Size)
-			}
-			copy(d.Init, data[off:off+n])
-			off += n
-		}
-	}
-}
-
-// Lock is a distributed lock handle.
-type Lock struct {
-	rt *Runtime
-	id int
-}
-
-// CreateLock declares a distributed queue-based lock (§3.4).
-func (rt *Runtime) CreateLock() Lock {
-	id := len(rt.locks) + 1
-	rt.locks = append(rt.locks, core.LockDecl{ID: id, Home: 0})
-	return Lock{rt: rt, id: id}
-}
-
-// Acquire blocks t until it holds the lock.
-func (l Lock) Acquire(t *Thread) { t.AcquireLock(l.id) }
-
-// Release releases the lock, flushing the delayed update queue first.
-func (l Lock) Release(t *Thread) { t.ReleaseLock(l.id) }
-
-// Barrier is a barrier handle.
-type Barrier struct {
-	rt *Runtime
-	id int
-}
-
-// CreateBarrier declares a barrier released when expected threads arrive.
-func (rt *Runtime) CreateBarrier(expected int) Barrier {
-	id := 1000 + len(rt.barriers)
-	rt.barriers = append(rt.barriers, core.BarrierDecl{ID: id, Home: 0, Expected: expected})
-	return Barrier{rt: rt, id: id}
-}
-
-// Wait flushes the DUQ and blocks t until the barrier releases.
-func (b Barrier) Wait(t *Thread) { t.WaitAtBarrier(b.id) }
-
-// Run executes the program: dispatchers start on every node, root runs as
-// the user root thread on node 0, and the simulation drives to completion
-// of all user threads. Returns the runtime error (annotation misuse) or
-// deadlock, if any.
-func (rt *Runtime) Run(root func(t *Thread)) error {
-	if rt.ran {
-		panic("munin: Run called twice")
-	}
-	rt.ran = true
-	tr, err := newTransport(rt.cfg)
-	if err != nil {
-		return err
-	}
-	rt.sys = core.NewSystem(core.Config{
-		Transport:       tr,
-		Processors:      rt.cfg.Processors,
-		Model:           rt.cfg.Model,
-		Override:        rt.cfg.Override,
-		Adaptive:        rt.cfg.Adaptive,
-		ExactCopyset:    rt.cfg.ExactCopyset,
-		AwaitUpdateAcks: rt.cfg.AwaitUpdateAcks,
-		BarrierTree:     rt.cfg.BarrierTree,
-		BarrierFanout:   rt.cfg.BarrierFanout,
-		PendingUpdates:  rt.cfg.PendingUpdates,
-		Trace:           rt.cfg.Trace,
-	}, rt.decls, rt.locks, rt.barriers)
-	for lock, addrs := range rt.assoc {
-		rt.sys.AssociateDataAndSynch(lock, addrs...)
-	}
-	return rt.sys.Run(root)
-}
-
-// newTransport builds the transport Config.Transport names. The cost
-// model must be resolved the same way core.NewSystem resolves it, so the
-// simulated transport charges identical costs.
-func newTransport(cfg Config) (xrt.Transport, error) {
-	cost := cfg.Model
-	if cost == (model.CostModel{}) {
-		cost = model.Default()
-	}
-	switch cfg.Transport {
-	case "", TransportSim:
-		return nil, nil // core.NewSystem defaults to rt.NewSim
-	case TransportChan:
-		return xrt.NewChan(cost, cfg.Processors), nil
-	case TransportTCP:
-		return xrt.NewTCP(cost, cfg.Processors)
-	default:
-		return nil, fmt.Errorf("munin: unknown transport %q (want sim, chan or tcp)", cfg.Transport)
-	}
-}
-
-// Stats summarizes a finished run.
-type Stats struct {
-	// Elapsed is the total virtual execution time.
-	Elapsed Time
-	// RootUser and RootSystem split the root node's time into user code
-	// and Munin runtime overhead (Tables 3–5's User/System columns).
-	RootUser   Time
-	RootSystem Time
-	// Messages and Bytes count all network traffic.
-	Messages int
-	Bytes    int
-	// PerKind breaks messages down by protocol message type.
-	PerKind map[wire.Kind]int
-	// AdaptProposals and AdaptSwitches count the adaptive engine's
-	// activity (zero unless Config.Adaptive): proposals issued, and
-	// annotation switches committed.
-	AdaptProposals int
-	AdaptSwitches  int
-}
-
-// Stats returns the run's statistics. Valid after Run.
-func (rt *Runtime) Stats() Stats {
-	if rt.sys == nil {
-		panic("munin: Stats before Run")
-	}
-	st := rt.sys.Net().Stats()
-	perKind := make(map[wire.Kind]int, len(st.Messages))
-	for k, v := range st.Messages {
-		perKind[k] = v
-	}
-	ast := rt.sys.AdaptStats()
-	return Stats{
-		Elapsed:        rt.sys.Elapsed(),
-		RootUser:       rt.sys.NodeUserTime(0),
-		RootSystem:     rt.sys.NodeSystemTime(0),
-		Messages:       st.TotalMessages(),
-		Bytes:          st.TotalBytes(),
-		PerKind:        perKind,
-		AdaptProposals: ast.Proposals,
-		AdaptSwitches:  ast.Commits,
-	}
-}
-
-// FinalImage returns the final shared-memory contents, keyed by object
-// start address (see core.System.FinalImage). Valid after Run.
-func (rt *Runtime) FinalImage() map[vm.Addr][]byte {
-	if rt.sys == nil {
-		panic("munin: FinalImage before Run")
-	}
-	return rt.sys.FinalImage()
-}
-
-// FinalAnnotations reports, after an adaptive run, the annotation each
-// declared variable converged to (keyed by the variable's base address).
-func (rt *Runtime) FinalAnnotations() map[vm.Addr]Annotation {
-	if rt.sys == nil {
-		panic("munin: FinalAnnotations before Run")
-	}
-	return rt.sys.FinalAnnotations()
-}
-
-// System exposes the underlying core system (benchmarks and tests).
-func (rt *Runtime) System() *core.System { return rt.sys }

@@ -1,6 +1,7 @@
 package munin
 
 import (
+	"context"
 	"testing"
 
 	"munin/internal/wire"
@@ -10,45 +11,12 @@ import (
 // returns the output matrix read back at the root.
 func matmulProgram(t *testing.T, procs, n int, opts ...DeclOption) []int32 {
 	t.Helper()
-	rt := New(Config{Processors: procs})
-	a := rt.DeclareInt32Matrix("input1", n, n, ReadOnly, opts...)
-	b := rt.DeclareInt32Matrix("input2", n, n, ReadOnly, opts...)
-	c := rt.DeclareInt32Matrix("output", n, n, Result)
-	a.Init(func(i, j int) int32 { return int32(i + j) })
-	b.Init(func(i, j int) int32 { return int32(i - j) })
-	done := rt.CreateBarrier(procs + 1)
-
-	err := rt.Run(func(root *Thread) {
-		for w := 0; w < procs; w++ {
-			w := w
-			lo, hi := w*n/procs, (w+1)*n/procs
-			root.Spawn(w, "worker", func(th *Thread) {
-				arow := make([]int32, n)
-				brow := make([]int32, n)
-				crow := make([]int32, n)
-				for i := lo; i < hi; i++ {
-					a.ReadRow(th, i, arow)
-					for k := range crow {
-						crow[k] = 0
-					}
-					for k := 0; k < n; k++ {
-						b.ReadRow(th, k, brow)
-						aik := arow[k]
-						for j := 0; j < n; j++ {
-							crow[j] += aik * brow[j]
-						}
-					}
-					c.WriteRow(th, i, crow)
-				}
-				done.Wait(th)
-			})
-		}
-		done.Wait(root)
-	})
+	p, root, c := buildMatmulProgram(procs, n, opts...)
+	res, err := p.Run(context.Background(), root)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	out, err := c.Snapshot(0)
+	out, err := c.Snapshot(res, 0)
 	if err != nil {
 		t.Fatalf("snapshot: %v", err)
 	}
@@ -93,35 +61,12 @@ func TestMatrixMultiplyMatchesSequential(t *testing.T) {
 func TestMatrixMultiplySingleObjectFewerMessages(t *testing.T) {
 	const n = 64 // 16 KB per matrix: 2 pages each
 	count := func(opts ...DeclOption) int {
-		rt := New(Config{Processors: 2})
-		a := rt.DeclareInt32Matrix("input1", n, n, ReadOnly, opts...)
-		b := rt.DeclareInt32Matrix("input2", n, n, ReadOnly, opts...)
-		c := rt.DeclareInt32Matrix("output", n, n, Result)
-		a.Init(func(i, j int) int32 { return 1 })
-		b.Init(func(i, j int) int32 { return 1 })
-		done := rt.CreateBarrier(3)
-		err := rt.Run(func(root *Thread) {
-			for w := 0; w < 2; w++ {
-				w := w
-				root.Spawn(w, "worker", func(th *Thread) {
-					row := make([]int32, n)
-					out := make([]int32, n)
-					for i := w * n / 2; i < (w+1)*n/2; i++ {
-						a.ReadRow(th, i, row)
-						for k := 0; k < n; k++ {
-							b.ReadRow(th, k, out)
-						}
-						c.WriteRow(th, i, out)
-					}
-					done.Wait(th)
-				})
-			}
-			done.Wait(root)
-		})
+		p, root, _ := buildMatmulProgram(2, n, opts...)
+		res, err := p.Run(context.Background(), root)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return rt.Stats().PerKind[wire.KindReadReq]
+		return res.Stats().PerKind[wire.KindReadReq]
 	}
 	paged := count()
 	single := count(WithSingleObject())
@@ -159,16 +104,16 @@ func TestSORConvergesLikeSequential(t *testing.T) {
 		ref = next
 	}
 
-	rt := New(Config{Processors: procs})
-	grid := rt.DeclareFloat32Matrix("matrix", rows, cols, ProducerConsumer)
+	p := NewProgram(procs)
+	grid := DeclareMatrix[float32](p, "matrix", rows, cols, ProducerConsumer)
 	grid.Init(func(i, j int) float32 {
 		if i == 0 {
 			return 100
 		}
 		return 0
 	})
-	bar := rt.CreateBarrier(procs + 1)
-	err := rt.Run(func(root *Thread) {
+	bar := p.CreateBarrier(procs + 1)
+	res, err := p.Run(context.Background(), func(root *Thread) {
 		for w := 0; w < procs; w++ {
 			w := w
 			lo, hi := w*rows/procs, (w+1)*rows/procs
@@ -211,13 +156,11 @@ func TestSORConvergesLikeSequential(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	// Every worker's final view must match the sequential sweep. Check
-	// from node 0's perspective via snapshot of its own section plus the
-	// boundary pages it holds; simplest correct check: each worker's rows
-	// at their owning node.
+	// Every worker's final view must match the sequential sweep: each
+	// worker's rows checked at their owning node.
 	for w := 0; w < procs; w++ {
 		lo, hi := w*rows/procs, (w+1)*rows/procs
-		snap, err := grid.Snapshot(w)
+		snap, err := grid.Snapshot(res, w)
 		if err != nil {
 			t.Fatalf("snapshot node %d: %v", w, err)
 		}
@@ -235,22 +178,22 @@ func TestSORConvergesLikeSequential(t *testing.T) {
 
 func TestReductionGlobalMinimum(t *testing.T) {
 	const procs = 4
-	rt := New(Config{Processors: procs})
-	min := rt.DeclareWords("globalmin", 1, Reduction)
+	p := NewProgram(procs)
+	min := DeclareVar[uint32](p, "globalmin", Reduction)
 	min.Init(1 << 30)
-	done := rt.CreateBarrier(procs + 1)
+	done := p.CreateBarrier(procs + 1)
 	var final uint32
-	err := rt.Run(func(root *Thread) {
+	_, err := p.Run(context.Background(), func(root *Thread) {
 		vals := []uint32{900, 250, 600, 400}
 		for w := 0; w < procs; w++ {
 			w := w
 			root.Spawn(w, "worker", func(th *Thread) {
-				min.FetchAndMin(th, 0, vals[w])
+				min.FetchAndMin(th, vals[w])
 				done.Wait(th)
 			})
 		}
 		done.Wait(root)
-		final = min.Load(root, 0)
+		final = min.Get(root)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -262,16 +205,16 @@ func TestReductionGlobalMinimum(t *testing.T) {
 
 func TestLockProtectedCounter(t *testing.T) {
 	const procs = 4
-	rt := New(Config{Processors: procs})
-	lk := rt.CreateLock()
-	counter := rt.DeclareWords("counter", 1, Migratory, WithLock(lk))
-	done := rt.CreateBarrier(procs + 1)
-	err := rt.Run(func(root *Thread) {
+	p := NewProgram(procs)
+	lk := p.CreateLock()
+	counter := DeclareVar[uint32](p, "counter", Migratory, WithLock(lk))
+	done := p.CreateBarrier(procs + 1)
+	res, err := p.Run(context.Background(), func(root *Thread) {
 		for w := 0; w < procs; w++ {
 			root.Spawn(w, "worker", func(th *Thread) {
 				for i := 0; i < 3; i++ {
 					lk.Acquire(th)
-					counter.Store(th, 0, counter.Load(th, 0)+1)
+					counter.Set(th, counter.Get(th)+1)
 					lk.Release(th)
 				}
 				done.Wait(th)
@@ -283,32 +226,29 @@ func TestLockProtectedCounter(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Find the final holder's value.
-	for node := 0; node < procs; node++ {
-		if data := rt.System().ObjectData(node, counter.Base()); data != nil {
-			got := uint32(data[0]) | uint32(data[1])<<8
-			if got != 3*procs {
-				t.Errorf("counter = %d, want %d", got, 3*procs)
-			}
-			return
-		}
+	got, err := counter.SnapshotAny(res)
+	if err != nil {
+		t.Fatalf("counter has no holder: %v", err)
 	}
-	t.Fatal("counter has no holder")
+	if got != 3*procs {
+		t.Errorf("counter = %d, want %d", got, 3*procs)
+	}
 }
 
 func TestStatsPopulated(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	x := rt.DeclareWords("x", 1, ReadOnly)
+	p := NewProgram(2)
+	x := DeclareVar[uint32](p, "x", ReadOnly)
 	x.Init(7)
-	err := rt.Run(func(root *Thread) {
+	res, err := p.Run(context.Background(), func(root *Thread) {
 		root.Spawn(1, "r", func(th *Thread) {
 			th.Compute(500)
-			_ = x.Load(th, 0)
+			_ = x.Get(th)
 		})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := rt.Stats()
+	st := res.Stats()
 	if st.Elapsed <= 0 {
 		t.Error("Elapsed not positive")
 	}
@@ -323,17 +263,16 @@ func TestStatsPopulated(t *testing.T) {
 	}
 }
 
-func TestOverrideConfig(t *testing.T) {
-	conv := Conventional
-	rt := New(Config{Processors: 2, Override: &conv})
-	x := rt.DeclareWords("x", 4, WriteShared)
+func TestOverrideOption(t *testing.T) {
+	p := NewProgram(2)
+	x := Declare[uint32](p, "x", 4, WriteShared)
 	var v uint32
-	err := rt.Run(func(root *Thread) {
+	res, err := p.Run(context.Background(), func(root *Thread) {
 		root.Spawn(1, "w", func(th *Thread) {
-			x.Store(th, 0, 5)
-			v = x.Load(th, 0)
+			x.Set(th, 0, 5)
+			v = x.Get(th, 0)
 		})
-	})
+	}, WithOverride(Conventional))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +280,7 @@ func TestOverrideConfig(t *testing.T) {
 		t.Errorf("v = %d, want 5", v)
 	}
 	// Conventional writes invalidate eagerly: no update batches.
-	if rt.Stats().PerKind[wire.KindUpdateBatch] != 0 {
+	if res.Stats().PerKind[wire.KindUpdateBatch] != 0 {
 		t.Error("override to conventional still produced update batches")
 	}
 }

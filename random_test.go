@@ -6,6 +6,7 @@ package munin_test
 // reproduce exactly from the printed seed.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -55,25 +56,32 @@ func (p randProgram) run(t *testing.T) {
 	t.Helper()
 	const slots = 64 // words checked per object
 
-	rt := munin.New(munin.Config{
-		Processors:      p.procs,
-		ExactCopyset:    p.exact,
-		AwaitUpdateAcks: p.acks,
-		BarrierTree:     p.tree,
-		PendingUpdates:  p.puq,
-	})
-	objs := make([]*munin.Words, p.objects)
-	for i := range objs {
-		objs[i] = rt.DeclareWords(fmt.Sprintf("obj%d", i), 2048, p.annot)
+	prog := munin.NewProgram(p.procs)
+	var opts []munin.RunOption
+	if p.exact {
+		opts = append(opts, munin.WithExactCopyset())
 	}
-	acc := rt.DeclareWords("acc", 1, munin.Reduction)
-	l := rt.CreateLock()
-	ctr := rt.DeclareWords("ctr", 1, munin.Migratory, munin.WithLock(l))
-	bar := rt.CreateBarrier(p.procs + 1)
+	if p.acks {
+		opts = append(opts, munin.WithAwaitUpdateAcks())
+	}
+	if p.tree {
+		opts = append(opts, munin.WithBarrierTree(0))
+	}
+	if p.puq {
+		opts = append(opts, munin.WithPendingUpdates())
+	}
+	objs := make([]*munin.Array[uint32], p.objects)
+	for i := range objs {
+		objs[i] = munin.Declare[uint32](prog, fmt.Sprintf("obj%d", i), 2048, p.annot)
+	}
+	acc := munin.DeclareVar[uint32](prog, "acc", munin.Reduction)
+	l := prog.CreateLock()
+	ctr := munin.DeclareVar[uint32](prog, "ctr", munin.Migratory, munin.WithLock(l))
+	bar := prog.CreateBarrier(p.procs + 1)
 
 	var accWant uint32
 
-	err := rt.Run(func(root *munin.Thread) {
+	_, err := prog.Run(context.Background(), func(root *munin.Thread) {
 		for w := 0; w < p.procs; w++ {
 			w := w
 			root.Spawn(w, fmt.Sprintf("worker%d", w), func(tt *munin.Thread) {
@@ -86,11 +94,11 @@ func (p randProgram) run(t *testing.T) {
 				rng := rand.New(rand.NewSource(p.seed ^ int64(w*31)))
 				for r := 0; r < p.rounds; r++ {
 					for key, val := range p.writes(w, r) {
-						objs[key[0]].Store(tt, key[1], val)
+						objs[key[0]].Set(tt, key[1], val)
 					}
-					acc.FetchAndAdd(tt, 0, uint32(w+r))
+					acc.FetchAndAdd(tt, uint32(w+r))
 					l.Acquire(tt)
-					ctr.Store(tt, 0, ctr.Load(tt, 0)+1)
+					ctr.Set(tt, ctr.Get(tt)+1)
 					l.Release(tt)
 					bar.Wait(tt)
 					// Check a few random slots against the mirror-after-
@@ -99,7 +107,7 @@ func (p randProgram) run(t *testing.T) {
 					for i := 0; i < 8; i++ {
 						obj := rng.Intn(p.objects)
 						slot := rng.Intn(slots)
-						got := objs[obj].Load(tt, slot)
+						got := objs[obj].Get(tt, slot)
 						want := mirrorAt(p, obj, slot, r)
 						if got != want {
 							t.Errorf("%v: worker %d round %d obj %d slot %d = %#x, want %#x",
@@ -120,15 +128,15 @@ func (p randProgram) run(t *testing.T) {
 		}
 
 		// Final global checks.
-		if got := acc.Load(root, 0); got != accWant {
+		if got := acc.Get(root); got != accWant {
 			t.Errorf("%v: accumulator = %d, want %d", p, got, accWant)
 		}
 		l.Acquire(root)
-		if got := ctr.Load(root, 0); got != uint32(p.procs*p.rounds) {
+		if got := ctr.Get(root); got != uint32(p.procs*p.rounds) {
 			t.Errorf("%v: counter = %d, want %d", p, got, p.procs*p.rounds)
 		}
 		l.Release(root)
-	})
+	}, opts...)
 	if err != nil {
 		t.Fatalf("%v: %v", p, err)
 	}

@@ -1,0 +1,237 @@
+package munin
+
+import (
+	"context"
+	"fmt"
+
+	"munin/internal/core"
+	"munin/internal/model"
+	"munin/internal/network"
+	"munin/internal/protocol"
+	xrt "munin/internal/rt"
+)
+
+// RunOption configures one execution of a Program. Options are per-run:
+// the same Program can be executed under different transports, protocol
+// overrides, processor counts and machine knobs without rebuilding its
+// declarations.
+type RunOption func(*runConfig)
+
+// runConfig is the resolved per-run machine configuration.
+type runConfig struct {
+	procs           int
+	transport       string
+	model           model.CostModel
+	override        *Annotation
+	adaptive        bool
+	exactCopyset    bool
+	awaitUpdateAcks bool
+	barrierTree     bool
+	barrierFanout   int
+	pendingUpdates  bool
+	trace           func(network.Envelope)
+}
+
+// WithTransport selects the substrate the machine runs on:
+//
+//	"sim" (default)  the deterministic discrete-event simulator the
+//	                 paper's tables are measured on — virtual clock,
+//	                 modeled 10 Mbps Ethernet, exactly reproducible
+//	"chan"           a real concurrent runtime: every node is a
+//	                 goroutine cluster (user threads + dispatcher)
+//	                 exchanging messages over in-process queues in
+//	                 real time
+//	"tcp"            the concurrent runtime with delivery over
+//	                 loopback TCP sockets, one connection per node
+//	                 pair (update acknowledgements are enabled
+//	                 automatically; TCP gives only per-pair FIFO)
+//
+// The protocol code is identical on all three; on "chan" and "tcp"
+// Stats times are wall-clock, not modeled.
+func WithTransport(name string) RunOption {
+	return func(c *runConfig) { c.transport = name }
+}
+
+// WithProcessors overrides the program's default node count for this run.
+func WithProcessors(n int) RunOption {
+	return func(c *runConfig) { c.procs = n }
+}
+
+// WithModel overrides the calibrated cost model (zero value = default).
+func WithModel(m model.CostModel) RunOption {
+	return func(c *runConfig) { c.model = m }
+}
+
+// WithOverride forces every shared object to one annotation for this run
+// (Table 6's single-protocol configurations).
+func WithOverride(a Annotation) RunOption {
+	return func(c *runConfig) { c.override = &a }
+}
+
+// WithAdaptive enables the adaptive protocol engine (internal/adapt):
+// every node profiles each shared object's access pattern (read/write
+// faults, served requests, flush copyset history) and the runtime
+// switches objects online to the Table 1 protocol the observed pattern
+// matches — the dynamic access-pattern detection §6 of the paper leaves
+// as future work. With the engine on, mis-annotated and un-annotated
+// (munin.Adaptive) variables converge toward the right protocol instead
+// of running slowly or aborting.
+func WithAdaptive() RunOption {
+	return func(c *runConfig) { c.adaptive = true }
+}
+
+// WithExactCopyset selects the improved home-directed copyset
+// determination algorithm of §3.3 instead of the prototype's broadcast
+// (ablation A4 in DESIGN.md).
+func WithExactCopyset() RunOption {
+	return func(c *runConfig) { c.exactCopyset = true }
+}
+
+// WithAwaitUpdateAcks makes every release block until its updates are
+// acknowledged remotely. The prototype (and the default here) relies on
+// in-order delivery instead; see core.Config.AwaitUpdateAcks.
+func WithAwaitUpdateAcks() RunOption {
+	return func(c *runConfig) { c.awaitUpdateAcks = true }
+}
+
+// WithBarrierTree releases barriers down a fan-out tree of the given
+// arity instead of the prototype's centralized unicast — §3.4's
+// envisioned scheme for larger systems. fanout 0 means the default (4);
+// a fanout below 2 is a configuration error reported by Run.
+func WithBarrierTree(fanout int) RunOption {
+	return func(c *runConfig) { c.barrierTree = true; c.barrierFanout = fanout }
+}
+
+// WithPendingUpdates enables the pending update queue of §6's future
+// work ("a dual to the delayed update queue"): incoming updates buffer
+// at the receiver and apply at its next synchronization point,
+// coalescing repeated full-object updates.
+func WithPendingUpdates() RunOption {
+	return func(c *runConfig) { c.pendingUpdates = true }
+}
+
+// WithTrace observes every delivered protocol message.
+func WithTrace(fn func(network.Envelope)) RunOption {
+	return func(c *runConfig) { c.trace = fn }
+}
+
+// resolve assembles and validates the run configuration. Every
+// configuration problem is an error from Run, never a panic.
+func (p *Program) resolve(opts []RunOption) (runConfig, error) {
+	cfg := runConfig{procs: p.procs, transport: TransportSim}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.procs <= 0 || cfg.procs > 16 {
+		return cfg, fmt.Errorf("munin: %d processors outside 1–16", cfg.procs)
+	}
+	if cfg.barrierTree && cfg.barrierFanout != 0 && cfg.barrierFanout < 2 {
+		return cfg, fmt.Errorf("munin: barrier tree fanout %d below 2", cfg.barrierFanout)
+	}
+	switch cfg.transport {
+	case "", TransportSim, TransportChan, TransportTCP:
+	default:
+		return cfg, errUnknownTransport(cfg.transport)
+	}
+	if cfg.model == (model.CostModel{}) {
+		cfg.model = model.Default()
+	}
+	if err := cfg.model.Validate(); err != nil {
+		return cfg, fmt.Errorf("munin: %w", err)
+	}
+	if !cfg.adaptive {
+		if cfg.override != nil {
+			if *cfg.override == protocol.Adaptive {
+				return cfg, fmt.Errorf("munin: override to the adaptive (no hint) annotation needs the adaptive engine; run with WithAdaptive")
+			}
+		} else {
+			for i := range p.decls {
+				if p.decls[i].Annot == protocol.Adaptive {
+					return cfg, fmt.Errorf("munin: variable %q declared adaptive (no hint) but the adaptive engine is off; run with WithAdaptive",
+						p.decls[i].Name)
+				}
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// errUnknownTransport is the one definition of the bad-transport error:
+// resolve validates with it before the program is sealed, and
+// newTransport's defensive default reuses it so the two switches cannot
+// drift apart in what they report.
+func errUnknownTransport(name string) error {
+	return fmt.Errorf("munin: unknown transport %q (want sim, chan or tcp)", name)
+}
+
+// newTransport builds the transport the run configuration names (already
+// validated by resolve). The cost model is already resolved, so the
+// simulated transport charges identical costs to core's accounting.
+func newTransport(cfg runConfig) (xrt.Transport, error) {
+	switch cfg.transport {
+	case "", TransportSim:
+		return xrt.NewSim(cfg.model, cfg.procs), nil
+	case TransportChan:
+		return xrt.NewChan(cfg.model, cfg.procs), nil
+	case TransportTCP:
+		return xrt.NewTCP(cfg.model, cfg.procs)
+	default:
+		return nil, errUnknownTransport(cfg.transport)
+	}
+}
+
+// Run executes the program: dispatchers start on every node, root runs
+// as the user root thread on node 0, and the machine drives to
+// completion of all user threads. Each call builds a fresh machine from
+// the program's declarations, so Run may be invoked repeatedly — and
+// concurrently — on one Program, with per-run knobs supplied as options.
+//
+// The context cancels a run in flight: on the live transports ("chan",
+// "tcp") every node observes the cancellation and unwinds; on the
+// simulator the event loop stops between events. A canceled run returns
+// ctx.Err().
+//
+// Run returns the run's Result, or the runtime error (annotation
+// misuse), deadlock, configuration error, or cancellation.
+func (p *Program) Run(ctx context.Context, root func(t *Thread), opts ...RunOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := p.resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.sealed.Store(true)
+	tr, err := newTransport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Done() != nil {
+		if b, ok := tr.(xrt.ContextBinder); ok {
+			b.BindContext(ctx)
+		}
+	}
+	sys := core.NewSystem(core.Config{
+		Transport:       tr,
+		Processors:      cfg.procs,
+		Model:           cfg.model,
+		Override:        cfg.override,
+		Adaptive:        cfg.adaptive,
+		ExactCopyset:    cfg.exactCopyset,
+		AwaitUpdateAcks: cfg.awaitUpdateAcks,
+		BarrierTree:     cfg.barrierTree,
+		BarrierFanout:   cfg.barrierFanout,
+		PendingUpdates:  cfg.pendingUpdates,
+		Trace:           cfg.trace,
+	}, p.decls, p.locks, p.barriers)
+	for lock, addrs := range p.assoc {
+		sys.AssociateDataAndSynch(lock, addrs...)
+	}
+	if err := sys.Run(root); err != nil {
+		return nil, err
+	}
+	return newResult(p, cfg, sys), nil
+}

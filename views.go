@@ -1,399 +1,465 @@
 package munin
 
+// Typed views over shared memory, implemented once as generics over a
+// little-endian element codec: Array[T] (one-dimensional), Matrix[T]
+// (row-major two-dimensional) and Var[T] (a scalar). T ranges over the
+// 4- and 8-byte numeric element types; the per-type copy-paste the old
+// Int32Matrix/Float32Matrix/Words trio needed is gone, and new element
+// types (float64 grids, uint32 counters) come for free.
+
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
+	"reflect"
+	"unsafe"
 
 	"munin/internal/vm"
 )
 
-// Int32Matrix is a shared two-dimensional int32 array, row-major. The
-// paper's Matrix Multiply declares its inputs and output this way.
-type Int32Matrix struct {
-	rt         *Runtime
-	name       string
-	base       vm.Addr
-	rows, cols int
-	objects    []vm.Addr
+// Elem is the set of element types shared variables can hold: any type
+// whose underlying type is int32, uint32, float32 or float64.
+type Elem interface {
+	~int32 | ~uint32 | ~float32 | ~float64
 }
 
-// DeclareInt32Matrix declares a rows×cols shared int32 matrix with the
-// given sharing annotation.
-func (rt *Runtime) DeclareInt32Matrix(name string, rows, cols int, annot Annotation, opts ...DeclOption) *Int32Matrix {
-	base := rt.declare(name, rows*cols*4, annot, opts...)
-	return &Int32Matrix{
-		rt: rt, name: name, base: base, rows: rows, cols: cols,
-		objects: rt.objectStarts(base, rows*cols*4),
+// maxElemSize bounds the element codec's staging buffers.
+const maxElemSize = 8
+
+// elemSize returns T's size in bytes (4 or 8).
+func elemSize[T Elem]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
+
+// putElem stores v's native bit pattern little-endian into b. The bit
+// pattern of every Elem member is well defined (two's complement, IEEE
+// 754), so the encoding is identical on every platform.
+func putElem[T Elem](b []byte, v T) {
+	if unsafe.Sizeof(v) == 8 {
+		binary.LittleEndian.PutUint64(b, *(*uint64)(unsafe.Pointer(&v)))
+	} else {
+		binary.LittleEndian.PutUint32(b, *(*uint32)(unsafe.Pointer(&v)))
+	}
+}
+
+// getElem decodes one element from b.
+func getElem[T Elem](b []byte) T {
+	var v T
+	if unsafe.Sizeof(v) == 8 {
+		u := binary.LittleEndian.Uint64(b)
+		return *(*T)(unsafe.Pointer(&u))
+	}
+	u := binary.LittleEndian.Uint32(b)
+	return *(*T)(unsafe.Pointer(&u))
+}
+
+// bits32 and fromBits32 reinterpret a 4-byte element as the runtime's
+// 32-bit word. Callers must have checked elemSize[T]() == 4.
+func bits32[T Elem](v T) uint32     { return *(*uint32)(unsafe.Pointer(&v)) }
+func fromBits32[T Elem](u uint32) T { return *(*T)(unsafe.Pointer(&u)) }
+
+// reduceable reports whether T works with the runtime's Fetch-and-Φ
+// operations, which act on 32-bit integer words.
+func reduceable[T Elem]() bool {
+	switch reflect.TypeOf(*new(T)).Kind() {
+	case reflect.Int32, reflect.Uint32:
+		return true
+	}
+	return false
+}
+
+// decodeInto fills out from the byte pieces of a faulted-in range. An
+// element never straddles pieces in practice (element offsets divide the
+// page size), but the carry path keeps the codec correct regardless.
+func decodeInto[T Elem](pieces [][]byte, out []T) {
+	es := elemSize[T]()
+	var carry [maxElemSize]byte
+	nc, k := 0, 0
+	for _, p := range pieces {
+		o := 0
+		if nc > 0 {
+			n := copy(carry[nc:es], p)
+			nc += n
+			o = n
+			if nc < es {
+				continue
+			}
+			out[k] = getElem[T](carry[:])
+			k++
+			nc = 0
+		}
+		for ; o+es <= len(p) && k < len(out); o += es {
+			out[k] = getElem[T](p[o:])
+			k++
+		}
+		if o < len(p) {
+			nc = copy(carry[:], p[o:])
+		}
+	}
+}
+
+// encodeFrom scatters vals into the byte pieces of a faulted-for-write
+// range, with the same carry handling as decodeInto.
+func encodeFrom[T Elem](pieces [][]byte, vals []T) {
+	es := elemSize[T]()
+	var carry [maxElemSize]byte
+	nc, k := 0, 0
+	for _, p := range pieces {
+		o := 0
+		if nc > 0 {
+			n := copy(p, carry[nc:es])
+			nc += n
+			o = n
+			if nc < es {
+				continue
+			}
+			nc = 0
+		}
+		for ; o+es <= len(p) && k < len(vals); o += es {
+			putElem(p[o:], vals[k])
+			k++
+		}
+		if o < len(p) && k < len(vals) {
+			putElem(carry[:], vals[k])
+			k++
+			nc = copy(p[o:], carry[:])
+		}
+	}
+}
+
+// decodeBytes converts a snapshot's raw bytes to elements.
+func decodeBytes[T Elem](raw []byte) []T {
+	es := elemSize[T]()
+	out := make([]T, len(raw)/es)
+	for i := range out {
+		out[i] = getElem[T](raw[i*es:])
+	}
+	return out
+}
+
+// Array is a shared one-dimensional vector of n elements of type T.
+// Reduction variables (a global minimum, counters) and flat buffers
+// declare it.
+type Array[T Elem] struct {
+	p        *Program
+	name     string
+	base     vm.Addr
+	n        int
+	objects  []vm.Addr
+	reduceOK bool
+}
+
+// Declare declares a shared n-element array under one annotation. With
+// Reduction (and a 32-bit integer T), access it via FetchAndAdd and
+// FetchAndMin.
+func Declare[T Elem](p *Program, name string, n int, annot Annotation, opts ...DeclOption) *Array[T] {
+	base := p.declare(name, n*elemSize[T](), annot, opts...)
+	return &Array[T]{
+		p: p, name: name, base: base, n: n,
+		objects: p.objectStarts(base), reduceOK: reduceable[T](),
+	}
+}
+
+// Base returns the array's shared address.
+func (a *Array[T]) Base() vm.Addr { return a.base }
+
+// Len returns the element count.
+func (a *Array[T]) Len() int { return a.n }
+
+// Objects returns the start addresses of the array's runtime objects.
+func (a *Array[T]) Objects() []vm.Addr { return a.objects }
+
+// Addr returns the shared address of element i.
+func (a *Array[T]) Addr(i int) vm.Addr {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("munin: %s index %d out of range [0,%d)", a.name, i, a.n))
+	}
+	return a.base + vm.Addr(i*elemSize[T]())
+}
+
+// Init sets the initial element values (the sequential user_init phase,
+// before the program runs). Fewer values than the length zero-fill the
+// rest (a full-size buffer is installed, so re-initializing clears any
+// previously set tail); more than the length is rejected.
+func (a *Array[T]) Init(vals ...T) {
+	if len(vals) > a.n {
+		panic(fmt.Sprintf("munin: %d initial values for %q, declared length %d",
+			len(vals), a.name, a.n))
+	}
+	es := elemSize[T]()
+	data := make([]byte, a.n*es)
+	for i, v := range vals {
+		putElem(data[i*es:], v)
+	}
+	a.p.setInit(a.base, a.n*es, a.name, data)
+}
+
+// InitFunc fills every element from f.
+func (a *Array[T]) InitFunc(f func(i int) T) {
+	es := elemSize[T]()
+	data := make([]byte, a.n*es)
+	for i := 0; i < a.n; i++ {
+		putElem(data[i*es:], f(i))
+	}
+	a.p.setInit(a.base, a.n*es, a.name, data)
+}
+
+// Get loads element i (replicating on demand).
+func (a *Array[T]) Get(t *Thread, i int) T {
+	addr := a.Addr(i)
+	if elemSize[T]() == 4 {
+		return fromBits32[T](t.ReadWord(addr))
+	}
+	var out [1]T
+	decodeInto(t.Slice(addr, 8, false), out[:])
+	return out[0]
+}
+
+// Set stores element i under the variable's protocol.
+func (a *Array[T]) Set(t *Thread, i int, v T) {
+	addr := a.Addr(i)
+	if elemSize[T]() == 4 {
+		t.WriteWord(addr, bits32(v))
+		return
+	}
+	encodeFrom(t.Slice(addr, 8, true), []T{v})
+}
+
+// Read copies elements [off, off+len(buf)) into buf, faulting pages as
+// needed.
+func (a *Array[T]) Read(t *Thread, off int, buf []T) {
+	if len(buf) == 0 {
+		return
+	}
+	_ = a.Addr(off)
+	_ = a.Addr(off + len(buf) - 1)
+	decodeInto(t.Slice(a.base+vm.Addr(off*elemSize[T]()), len(buf)*elemSize[T](), false), buf)
+}
+
+// Write stores vals at elements [off, off+len(vals)), faulting pages for
+// write.
+func (a *Array[T]) Write(t *Thread, off int, vals []T) {
+	if len(vals) == 0 {
+		return
+	}
+	_ = a.Addr(off)
+	_ = a.Addr(off + len(vals) - 1)
+	encodeFrom(t.Slice(a.base+vm.Addr(off*elemSize[T]()), len(vals)*elemSize[T](), true), vals)
+}
+
+// checkReduce guards the Fetch-and-Φ surface, which the runtime defines
+// on 32-bit integer words only.
+func (a *Array[T]) checkReduce(op string) {
+	if !a.reduceOK {
+		panic(fmt.Sprintf("munin: %s on %s: %s needs a 32-bit integer element type",
+			op, a.name, op))
+	}
+}
+
+// reduceTarget bounds-checks element i and resolves the runtime object
+// containing it: a page-split array's element beyond the first page
+// belongs to a later page-sized object, and the runtime's Fetch-and-Φ
+// addresses (object start, in-object word offset).
+func (a *Array[T]) reduceTarget(i int) (vm.Addr, int) {
+	addr := a.Addr(i)
+	obj := a.base
+	if len(a.objects) > 1 {
+		page := vm.Addr(vm.DefaultPageSize)
+		obj = a.base + (addr-a.base)/page*page
+	}
+	return obj, int(addr-obj) / 4
+}
+
+// FetchAndAdd atomically adds delta to element i, returning the old
+// value (reduction objects with a 32-bit integer T only).
+func (a *Array[T]) FetchAndAdd(t *Thread, i int, delta T) T {
+	a.checkReduce("FetchAndAdd")
+	obj, off := a.reduceTarget(i)
+	return fromBits32[T](t.FetchAndAdd(obj, off, bits32(delta)))
+}
+
+// FetchAndMin atomically lowers element i to v if smaller (signed),
+// returning the old value (reduction objects with a 32-bit integer T
+// only).
+func (a *Array[T]) FetchAndMin(t *Thread, i int, v T) T {
+	a.checkReduce("FetchAndMin")
+	obj, off := a.reduceTarget(i)
+	return fromBits32[T](t.FetchAndMin(obj, off, bits32(v)))
+}
+
+// Snapshot reads the whole array as seen from node's current copies in
+// the given run (home backing included). It fails if some object has no
+// data at that node — typically meaning the caller wanted a node that
+// never saw it.
+func (a *Array[T]) Snapshot(r *Result, node int) ([]T, error) {
+	raw, err := r.snapshot(node, a.objects, a.n*elemSize[T]())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.name, err)
+	}
+	return decodeBytes[T](raw), nil
+}
+
+// SnapshotAny reads the whole array, taking each object's bytes from
+// whichever node currently holds valid data. After a fully synchronized
+// program finishes, every valid copy is consistent, so any holder
+// serves; this is what post-run verification needs when the final copies
+// live at the workers (e.g. write-shared output under a Table 6
+// override).
+func (a *Array[T]) SnapshotAny(r *Result) ([]T, error) {
+	raw, err := r.snapshotAny(a.objects, a.n*elemSize[T]())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.name, err)
+	}
+	return decodeBytes[T](raw), nil
+}
+
+// Matrix is a shared two-dimensional array, row-major. The paper's
+// Matrix Multiply declares its inputs and output this way; SOR its grid.
+type Matrix[T Elem] struct {
+	arr        *Array[T]
+	rows, cols int
+}
+
+// DeclareMatrix declares a rows×cols shared matrix with the given
+// sharing annotation.
+func DeclareMatrix[T Elem](p *Program, name string, rows, cols int, annot Annotation, opts ...DeclOption) *Matrix[T] {
+	return &Matrix[T]{
+		arr:  Declare[T](p, name, rows*cols, annot, opts...),
+		rows: rows, cols: cols,
 	}
 }
 
 // Base returns the matrix's shared address.
-func (m *Int32Matrix) Base() vm.Addr { return m.base }
+func (m *Matrix[T]) Base() vm.Addr { return m.arr.base }
 
 // Rows returns the row count.
-func (m *Int32Matrix) Rows() int { return m.rows }
+func (m *Matrix[T]) Rows() int { return m.rows }
 
 // Cols returns the column count.
-func (m *Int32Matrix) Cols() int { return m.cols }
+func (m *Matrix[T]) Cols() int { return m.cols }
 
 // Objects returns the start addresses of the matrix's runtime objects.
-func (m *Int32Matrix) Objects() []vm.Addr { return m.objects }
+func (m *Matrix[T]) Objects() []vm.Addr { return m.arr.objects }
 
 // RowAddr returns the shared address of row i.
-func (m *Int32Matrix) RowAddr(i int) vm.Addr {
+func (m *Matrix[T]) RowAddr(i int) vm.Addr {
 	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("munin: %s row %d out of range", m.name, i))
+		panic(fmt.Sprintf("munin: %s row %d out of range", m.arr.name, i))
 	}
-	return m.base + vm.Addr(i*m.cols*4)
+	return m.arr.base + vm.Addr(i*m.cols*elemSize[T]())
 }
 
 // Init fills the matrix's initial contents (the work of the sequential
 // user_init routine, performed before the program runs).
-func (m *Int32Matrix) Init(f func(i, j int) int32) {
-	data := make([]byte, m.rows*m.cols*4)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			binary.LittleEndian.PutUint32(data[(i*m.cols+j)*4:], uint32(f(i, j)))
-		}
-	}
-	m.rt.setInit(m.base, data)
+func (m *Matrix[T]) Init(f func(i, j int) T) {
+	m.arr.InitFunc(func(k int) T { return f(k/m.cols, k%m.cols) })
 }
 
 // ReadRow copies row i into buf (len ≥ cols), faulting pages as needed.
-func (m *Int32Matrix) ReadRow(t *Thread, i int, buf []int32) {
-	pieces := t.Slice(m.RowAddr(i), m.cols*4, false)
-	k := 0
-	for _, p := range pieces {
-		for o := 0; o+4 <= len(p); o += 4 {
-			buf[k] = int32(binary.LittleEndian.Uint32(p[o:]))
-			k++
-		}
-	}
+func (m *Matrix[T]) ReadRow(t *Thread, i int, buf []T) {
+	_ = m.RowAddr(i)
+	m.arr.Read(t, i*m.cols, buf[:m.cols])
 }
 
 // WriteRow stores vals (len ≥ cols) into row i, faulting pages for write.
-func (m *Int32Matrix) WriteRow(t *Thread, i int, vals []int32) {
-	pieces := t.Slice(m.RowAddr(i), m.cols*4, true)
-	k := 0
-	for _, p := range pieces {
-		for o := 0; o+4 <= len(p); o += 4 {
-			binary.LittleEndian.PutUint32(p[o:], uint32(vals[k]))
-			k++
-		}
+func (m *Matrix[T]) WriteRow(t *Thread, i int, vals []T) {
+	_ = m.RowAddr(i)
+	m.arr.Write(t, i*m.cols, vals[:m.cols])
+}
+
+// at bounds-checks both coordinates and returns the flat element index.
+func (m *Matrix[T]) at(i, j int) int {
+	_ = m.RowAddr(i)
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("munin: %s column %d out of range", m.arr.name, j))
 	}
+	return i*m.cols + j
 }
 
 // Get loads one element.
-func (m *Int32Matrix) Get(t *Thread, i, j int) int32 {
-	return int32(t.ReadWord(m.RowAddr(i) + vm.Addr(j*4)))
+func (m *Matrix[T]) Get(t *Thread, i, j int) T {
+	return m.arr.Get(t, m.at(i, j))
 }
 
 // Set stores one element.
-func (m *Int32Matrix) Set(t *Thread, i, j int, v int32) {
-	t.WriteWord(m.RowAddr(i)+vm.Addr(j*4), uint32(v))
+func (m *Matrix[T]) Set(t *Thread, i, j int, v T) {
+	m.arr.Set(t, m.at(i, j), v)
 }
 
-// Snapshot reads the whole matrix as seen from node's current copies
-// (home backing included). It fails if some object has no data at that
-// node — typically meaning the caller wanted a node that never saw it.
-func (m *Int32Matrix) Snapshot(node int) ([]int32, error) {
-	raw, err := m.rt.snapshot(node, m.base, m.objects, m.rows*m.cols*4)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", m.name, err)
-	}
-	out := make([]int32, m.rows*m.cols)
-	for k := range out {
-		out[k] = int32(binary.LittleEndian.Uint32(raw[k*4:]))
-	}
-	return out, nil
+// Snapshot reads the whole matrix as seen from node's current copies in
+// the given run (see Array.Snapshot).
+func (m *Matrix[T]) Snapshot(r *Result, node int) ([]T, error) {
+	return m.arr.Snapshot(r, node)
 }
 
-// SnapshotAny reads the whole matrix, taking each object's bytes from
-// whichever node currently holds valid data. After a fully synchronized
-// program finishes, every valid copy is consistent, so any holder serves;
-// this is what post-run verification needs when the final copies live at
-// the workers (e.g. write-shared output under a Table 6 override).
-func (m *Int32Matrix) SnapshotAny() ([]int32, error) {
-	raw, err := m.rt.snapshotAny(m.objects, m.rows*m.cols*4)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", m.name, err)
-	}
-	out := make([]int32, m.rows*m.cols)
-	for k := range out {
-		out[k] = int32(binary.LittleEndian.Uint32(raw[k*4:]))
-	}
-	return out, nil
-}
-
-// Float32Matrix is a shared two-dimensional float32 array, row-major. SOR
-// declares its grid this way (producer_consumer).
-type Float32Matrix struct {
-	rt         *Runtime
-	name       string
-	base       vm.Addr
-	rows, cols int
-	objects    []vm.Addr
-}
-
-// DeclareFloat32Matrix declares a rows×cols shared float32 matrix.
-func (rt *Runtime) DeclareFloat32Matrix(name string, rows, cols int, annot Annotation, opts ...DeclOption) *Float32Matrix {
-	base := rt.declare(name, rows*cols*4, annot, opts...)
-	return &Float32Matrix{
-		rt: rt, name: name, base: base, rows: rows, cols: cols,
-		objects: rt.objectStarts(base, rows*cols*4),
-	}
-}
-
-// Base returns the matrix's shared address.
-func (m *Float32Matrix) Base() vm.Addr { return m.base }
-
-// Rows returns the row count.
-func (m *Float32Matrix) Rows() int { return m.rows }
-
-// Cols returns the column count.
-func (m *Float32Matrix) Cols() int { return m.cols }
-
-// Objects returns the start addresses of the matrix's runtime objects.
-func (m *Float32Matrix) Objects() []vm.Addr { return m.objects }
-
-// RowAddr returns the shared address of row i.
-func (m *Float32Matrix) RowAddr(i int) vm.Addr {
-	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("munin: %s row %d out of range", m.name, i))
-	}
-	return m.base + vm.Addr(i*m.cols*4)
-}
-
-// Init fills the matrix's initial contents.
-func (m *Float32Matrix) Init(f func(i, j int) float32) {
-	data := make([]byte, m.rows*m.cols*4)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			binary.LittleEndian.PutUint32(data[(i*m.cols+j)*4:], math.Float32bits(f(i, j)))
-		}
-	}
-	m.rt.setInit(m.base, data)
-}
-
-// ReadRow copies row i into buf (len ≥ cols).
-func (m *Float32Matrix) ReadRow(t *Thread, i int, buf []float32) {
-	pieces := t.Slice(m.RowAddr(i), m.cols*4, false)
-	k := 0
-	for _, p := range pieces {
-		for o := 0; o+4 <= len(p); o += 4 {
-			buf[k] = math.Float32frombits(binary.LittleEndian.Uint32(p[o:]))
-			k++
-		}
-	}
-}
-
-// WriteRow stores vals into row i.
-func (m *Float32Matrix) WriteRow(t *Thread, i int, vals []float32) {
-	pieces := t.Slice(m.RowAddr(i), m.cols*4, true)
-	k := 0
-	for _, p := range pieces {
-		for o := 0; o+4 <= len(p); o += 4 {
-			binary.LittleEndian.PutUint32(p[o:], math.Float32bits(vals[k]))
-			k++
-		}
-	}
-}
-
-// Get loads one element.
-func (m *Float32Matrix) Get(t *Thread, i, j int) float32 {
-	return math.Float32frombits(t.ReadWord(m.RowAddr(i) + vm.Addr(j*4)))
-}
-
-// Set stores one element.
-func (m *Float32Matrix) Set(t *Thread, i, j int, v float32) {
-	t.WriteWord(m.RowAddr(i)+vm.Addr(j*4), math.Float32bits(v))
-}
-
-// Snapshot reads the whole matrix from node's current copies.
-func (m *Float32Matrix) Snapshot(node int) ([]float32, error) {
-	raw, err := m.rt.snapshot(node, m.base, m.objects, m.rows*m.cols*4)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", m.name, err)
-	}
-	out := make([]float32, m.rows*m.cols)
-	for k := range out {
-		out[k] = math.Float32frombits(binary.LittleEndian.Uint32(raw[k*4:]))
-	}
-	return out, nil
-}
-
-// SnapshotAny reads the whole matrix, taking each object's bytes from
-// whichever node currently holds valid data (see Int32Matrix.SnapshotAny).
-func (m *Float32Matrix) SnapshotAny() ([]float32, error) {
-	raw, err := m.rt.snapshotAny(m.objects, m.rows*m.cols*4)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", m.name, err)
-	}
-	out := make([]float32, m.rows*m.cols)
-	for k := range out {
-		out[k] = math.Float32frombits(binary.LittleEndian.Uint32(raw[k*4:]))
-	}
-	return out, nil
+// SnapshotAny reads the whole matrix from any nodes holding valid data
+// (see Array.SnapshotAny).
+func (m *Matrix[T]) SnapshotAny(r *Result) ([]T, error) {
+	return m.arr.SnapshotAny(r)
 }
 
 // SnapshotRows reads rows [lo, hi) from node's current copies. The node
 // must hold every object overlapping that row range (a worker holds the
 // pages covering its own section).
-func (m *Float32Matrix) SnapshotRows(node, lo, hi int) ([]float32, error) {
-	raw, err := m.rt.snapshotRange(node, m.objects, int(m.RowAddr(lo)-m.base), (hi-lo)*m.cols*4)
+func (m *Matrix[T]) SnapshotRows(r *Result, node, lo, hi int) ([]T, error) {
+	raw, err := r.snapshotRange(node, m.arr.objects,
+		int(m.RowAddr(lo)-m.arr.base), (hi-lo)*m.cols*elemSize[T]())
 	if err != nil {
-		return nil, fmt.Errorf("%s rows [%d,%d): %w", m.name, lo, hi, err)
+		return nil, fmt.Errorf("%s rows [%d,%d): %w", m.arr.name, lo, hi, err)
 	}
-	out := make([]float32, (hi-lo)*m.cols)
-	for k := range out {
-		out[k] = math.Float32frombits(binary.LittleEndian.Uint32(raw[k*4:]))
-	}
-	return out, nil
+	return decodeBytes[T](raw), nil
 }
 
-// Words is a shared vector of 32-bit words; reduction variables (a global
-// minimum, counters) and small flags declare it.
-type Words struct {
-	rt   *Runtime
-	name string
-	base vm.Addr
-	n    int
+// Var is a shared scalar of type T.
+type Var[T Elem] struct {
+	arr *Array[T]
 }
 
-// DeclareWords declares n shared 32-bit words under one annotation. With
-// Reduction, access them via FetchAndAdd/FetchAndMin/FetchAndOp.
-func (rt *Runtime) DeclareWords(name string, n int, annot Annotation, opts ...DeclOption) *Words {
-	base := rt.declare(name, n*4, annot, opts...)
-	return &Words{rt: rt, name: name, base: base, n: n}
+// DeclareVar declares a shared scalar under one annotation. With
+// Reduction (and a 32-bit integer T), access it via FetchAndAdd and
+// FetchAndMin.
+func DeclareVar[T Elem](p *Program, name string, annot Annotation, opts ...DeclOption) *Var[T] {
+	return &Var[T]{arr: Declare[T](p, name, 1, annot, opts...)}
 }
 
 // Base returns the variable's shared address.
-func (w *Words) Base() vm.Addr { return w.base }
+func (v *Var[T]) Base() vm.Addr { return v.arr.base }
 
-// Len returns the word count.
-func (w *Words) Len() int { return w.n }
+// Init sets the initial value.
+func (v *Var[T]) Init(val T) { v.arr.Init(val) }
 
-// Init sets the initial word values.
-func (w *Words) Init(vals ...uint32) {
-	data := make([]byte, w.n*4)
-	for i, v := range vals {
-		binary.LittleEndian.PutUint32(data[i*4:], v)
+// Get loads the value (replicating on demand).
+func (v *Var[T]) Get(t *Thread) T { return v.arr.Get(t, 0) }
+
+// Set stores the value under the variable's protocol.
+func (v *Var[T]) Set(t *Thread, val T) { v.arr.Set(t, 0, val) }
+
+// FetchAndAdd atomically adds delta, returning the old value (reduction
+// objects with a 32-bit integer T only).
+func (v *Var[T]) FetchAndAdd(t *Thread, delta T) T { return v.arr.FetchAndAdd(t, 0, delta) }
+
+// FetchAndMin atomically lowers the value to val if smaller (signed),
+// returning the old value (reduction objects with a 32-bit integer T
+// only).
+func (v *Var[T]) FetchAndMin(t *Thread, val T) T { return v.arr.FetchAndMin(t, 0, val) }
+
+// Snapshot reads the value as seen from node's current copy in the
+// given run.
+func (v *Var[T]) Snapshot(r *Result, node int) (T, error) {
+	s, err := v.arr.Snapshot(r, node)
+	if err != nil {
+		var zero T
+		return zero, err
 	}
-	w.rt.setInit(w.base, data)
+	return s[0], nil
 }
 
-// Load reads word i (replicating on demand).
-func (w *Words) Load(t *Thread, i int) uint32 {
-	return t.ReadWord(w.base + vm.Addr(i*4))
-}
-
-// Store writes word i under the variable's protocol.
-func (w *Words) Store(t *Thread, i int, v uint32) {
-	t.WriteWord(w.base+vm.Addr(i*4), v)
-}
-
-// FetchAndAdd atomically adds delta to word i, returning the old value
-// (reduction objects only).
-func (w *Words) FetchAndAdd(t *Thread, i int, delta uint32) uint32 {
-	return t.FetchAndAdd(w.base, i, delta)
-}
-
-// FetchAndMin atomically lowers word i to v if smaller (signed), returning
-// the old value (reduction objects only).
-func (w *Words) FetchAndMin(t *Thread, i int, v uint32) uint32 {
-	return t.FetchAndMin(w.base, i, v)
-}
-
-// snapshotRange assembles the bytes at [off, off+n) of a variable whose
-// objects start at the given addresses (relative to the first object).
-func (rt *Runtime) snapshotRange(node int, objects []vm.Addr, off, n int) ([]byte, error) {
-	if rt.sys == nil {
-		return nil, fmt.Errorf("munin: snapshot before Run")
+// SnapshotAny reads the value from any node holding valid data.
+func (v *Var[T]) SnapshotAny(r *Result) (T, error) {
+	s, err := v.arr.SnapshotAny(r)
+	if err != nil {
+		var zero T
+		return zero, err
 	}
-	if len(objects) == 0 {
-		return nil, fmt.Errorf("munin: variable has no objects")
-	}
-	base := objects[0]
-	lo := base + vm.Addr(off)
-	hi := lo + vm.Addr(n)
-	out := make([]byte, n)
-	for _, start := range objects {
-		// Object extent from the declaration, not the data, so missing
-		// objects inside the range are detected.
-		objEnd := start + vm.Addr(objectSize(rt, start))
-		if objEnd <= lo || start >= hi {
-			continue
-		}
-		data := rt.sys.ObjectData(node, start)
-		if data == nil {
-			return nil, fmt.Errorf("object %#x has no data at node %d", start, node)
-		}
-		// Overlap of [start, objEnd) with [lo, hi).
-		from := lo
-		if start > from {
-			from = start
-		}
-		to := hi
-		if objEnd < to {
-			to = objEnd
-		}
-		copy(out[from-lo:to-lo], data[from-start:to-start])
-	}
-	return out, nil
-}
-
-// objectSize finds the declared size of the object starting at start.
-func objectSize(rt *Runtime, start vm.Addr) int {
-	for _, d := range rt.decls {
-		if d.Start == start {
-			return d.Size
-		}
-	}
-	return 0
-}
-
-// snapshotAny assembles a variable's bytes object by object from any node
-// holding valid data for that object.
-func (rt *Runtime) snapshotAny(objects []vm.Addr, size int) ([]byte, error) {
-	if rt.sys == nil {
-		return nil, fmt.Errorf("munin: snapshot before Run")
-	}
-	out := make([]byte, 0, size)
-	for _, start := range objects {
-		var data []byte
-		for node := 0; node < rt.cfg.Processors; node++ {
-			if d := rt.sys.ObjectData(node, start); d != nil {
-				data = d
-				break
-			}
-		}
-		if data == nil {
-			return nil, fmt.Errorf("object %#x has no data at any node", start)
-		}
-		out = append(out, data...)
-	}
-	if len(out) != size {
-		return nil, fmt.Errorf("assembled %d bytes, want %d", len(out), size)
-	}
-	return out, nil
-}
-
-// snapshot assembles a variable's bytes from a node's current object data.
-func (rt *Runtime) snapshot(node int, base vm.Addr, objects []vm.Addr, size int) ([]byte, error) {
-	if rt.sys == nil {
-		return nil, fmt.Errorf("munin: snapshot before Run")
-	}
-	out := make([]byte, 0, size)
-	for _, start := range objects {
-		data := rt.sys.ObjectData(node, start)
-		if data == nil {
-			return nil, fmt.Errorf("object %#x has no data at node %d", start, node)
-		}
-		out = append(out, data...)
-	}
-	if len(out) != size {
-		return nil, fmt.Errorf("assembled %d bytes, want %d", len(out), size)
-	}
-	return out, nil
+	return s[0], nil
 }

@@ -1,36 +1,44 @@
 package munin
 
-// Tests for the typed shared-variable views: element accessors, initial
-// contents, snapshots and their error paths.
+// Tests for the generic typed views: element accessors for every element
+// type (including 8-byte float64), initial contents, snapshots and their
+// error paths, and the reduction-surface type gate.
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
-func TestFloat32MatrixElementAccess(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	m := rt.DeclareFloat32Matrix("grid", 8, 8, WriteShared)
-	m.Init(func(i, j int) float32 { return float32(i) + float32(j)/10 })
-	if m.Rows() != 8 || m.Cols() != 8 {
-		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
-	}
-	bar := rt.CreateBarrier(2)
-	err := rt.Run(func(root *Thread) {
+// roundTripArray exercises Init/Get/Set/Read/Write/Snapshot for one
+// element type end to end on a 2-node machine.
+func roundTripArray[T Elem](t *testing.T, mk func(i int) T) {
+	t.Helper()
+	const n = 1500 // > one 8 KB page for float64: multi-object variable
+	p := NewProgram(2)
+	a := Declare[T](p, "a", n, WriteShared)
+	a.InitFunc(mk)
+	bar := p.CreateBarrier(2)
+	res, err := p.Run(context.Background(), func(root *Thread) {
 		root.Spawn(1, "worker", func(tt *Thread) {
-			if got := m.Get(tt, 3, 4); got != 3.4 {
-				t.Errorf("Get(3,4) = %v, want 3.4", got)
+			// Element access.
+			if got := a.Get(tt, 7); got != mk(7) {
+				t.Errorf("Get(7) = %v, want %v", got, mk(7))
 			}
-			m.Set(tt, 3, 4, 99.5)
-			if got := m.Get(tt, 3, 4); got != 99.5 {
-				t.Errorf("Get after Set = %v", got)
+			a.Set(tt, 7, mk(9999))
+			if got := a.Get(tt, 7); got != mk(9999) {
+				t.Errorf("Get after Set = %v, want %v", got, mk(9999))
 			}
-			row := make([]float32, 8)
-			m.ReadRow(tt, 0, row)
-			if row[7] != 0.7 {
-				t.Errorf("row0[7] = %v, want 0.7", row[7])
+			// Bulk access across page boundaries.
+			buf := make([]T, n)
+			a.Read(tt, 0, buf)
+			if buf[n-1] != mk(n-1) {
+				t.Errorf("Read: last element %v, want %v", buf[n-1], mk(n-1))
 			}
-			m.WriteRow(tt, 7, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+			for i := range buf {
+				buf[i] = mk(2 * i)
+			}
+			a.Write(tt, 0, buf)
 			bar.Wait(tt)
 		})
 		bar.Wait(root)
@@ -38,18 +46,90 @@ func TestFloat32MatrixElementAccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap, err := m.SnapshotAny()
+	snap, err := a.SnapshotAny(res)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap[3*8+4] != 99.5 || snap[7*8+0] != 1 {
-		t.Errorf("snapshot disagrees: %v %v", snap[3*8+4], snap[7*8])
+	for i := range snap {
+		if snap[i] != mk(2*i) {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, snap[i], mk(2*i))
+		}
 	}
 }
 
-func TestInt32MatrixRowAddrBounds(t *testing.T) {
-	rt := New(Config{Processors: 1})
-	m := rt.DeclareInt32Matrix("m", 4, 4, Conventional)
+func TestArrayRoundTripInt32(t *testing.T) {
+	roundTripArray[int32](t, func(i int) int32 { return int32(3*i - 1000) })
+}
+
+func TestArrayRoundTripUint32(t *testing.T) {
+	roundTripArray[uint32](t, func(i int) uint32 { return uint32(i) * 2654435761 })
+}
+
+func TestArrayRoundTripFloat32(t *testing.T) {
+	roundTripArray[float32](t, func(i int) float32 { return float32(i) + float32(i%10)/10 })
+}
+
+func TestArrayRoundTripFloat64(t *testing.T) {
+	roundTripArray[float64](t, func(i int) float64 { return float64(i)*1e6 + float64(i%7)/7 })
+}
+
+// roundTripMatrix exercises the two-dimensional surface for one element
+// type, with rows that straddle page boundaries.
+func roundTripMatrix[T Elem](t *testing.T, mk func(i, j int) T) {
+	t.Helper()
+	const rows, cols = 5, 1000 // rows split mid-page for 4-byte T
+	p := NewProgram(2)
+	m := DeclareMatrix[T](p, "m", rows, cols, WriteShared)
+	m.Init(mk)
+	res, err := p.Run(context.Background(), func(root *Thread) {
+		row := make([]T, cols)
+		for i := 0; i < rows; i++ {
+			m.ReadRow(root, i, row)
+			for j := 0; j < cols; j += 97 {
+				if row[j] != mk(i, j) {
+					t.Fatalf("row %d col %d = %v, want %v", i, j, row[j], mk(i, j))
+				}
+			}
+		}
+		if got := m.Get(root, 3, 4); got != mk(3, 4) {
+			t.Errorf("Get(3,4) = %v, want %v", got, mk(3, 4))
+		}
+		m.Set(root, 3, 4, mk(100, 100))
+		if got := m.Get(root, 3, 4); got != mk(100, 100) {
+			t.Errorf("Get after Set = %v", got)
+		}
+		for j := range row {
+			row[j] = mk(7, j)
+		}
+		m.WriteRow(root, 4, row)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap[3*cols+4] != mk(100, 100) || snap[4*cols+12] != mk(7, 12) {
+		t.Errorf("snapshot disagrees: %v %v", snap[3*cols+4], snap[4*cols+12])
+	}
+}
+
+func TestMatrixRoundTripInt32(t *testing.T) {
+	roundTripMatrix[int32](t, func(i, j int) int32 { return int32(i*1000 + j) })
+}
+
+func TestMatrixRoundTripFloat32(t *testing.T) {
+	roundTripMatrix[float32](t, func(i, j int) float32 { return float32(i) + float32(j)/1024 })
+}
+
+func TestMatrixRoundTripFloat64(t *testing.T) {
+	roundTripMatrix[float64](t, func(i, j int) float64 { return float64(i)*1e9 + float64(j)*1e-3 })
+}
+
+func TestMatrixRowAddrBounds(t *testing.T) {
+	p := NewProgram(1)
+	m := DeclareMatrix[int32](p, "m", 4, 4, Conventional)
 	defer func() {
 		if r := recover(); r == nil || !strings.Contains(r.(string), "out of range") {
 			t.Errorf("panic = %v, want out-of-range", r)
@@ -58,52 +138,57 @@ func TestInt32MatrixRowAddrBounds(t *testing.T) {
 	m.RowAddr(4)
 }
 
-func TestFloat32MatrixRowAddrBounds(t *testing.T) {
-	rt := New(Config{Processors: 1})
-	m := rt.DeclareFloat32Matrix("m", 4, 4, Conventional)
+func TestArrayIndexBounds(t *testing.T) {
+	p := NewProgram(1)
+	a := Declare[float64](p, "a", 4, Conventional)
 	defer func() {
 		if r := recover(); r == nil || !strings.Contains(r.(string), "out of range") {
 			t.Errorf("panic = %v, want out-of-range", r)
 		}
 	}()
-	m.RowAddr(-1)
-}
-
-func TestSnapshotBeforeRunFails(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	m := rt.DeclareInt32Matrix("m", 4, 4, Conventional)
-	f := rt.DeclareFloat32Matrix("f", 4, 4, Conventional)
-	if _, err := m.Snapshot(0); err == nil {
-		t.Error("Int32 Snapshot before Run succeeded")
-	}
-	if _, err := m.SnapshotAny(); err == nil {
-		t.Error("Int32 SnapshotAny before Run succeeded")
-	}
-	if _, err := f.Snapshot(0); err == nil {
-		t.Error("Float32 Snapshot before Run succeeded")
-	}
-	if _, err := f.SnapshotRows(0, 0, 2); err == nil {
-		t.Error("SnapshotRows before Run succeeded")
-	}
+	a.Addr(-1)
 }
 
 func TestWordsInitAndAccess(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	w := rt.DeclareWords("w", 8, Conventional)
+	p := NewProgram(2)
+	w := Declare[uint32](p, "w", 8, Conventional)
 	w.Init(10, 20, 30)
 	if w.Len() != 8 {
 		t.Fatalf("Len = %d", w.Len())
 	}
-	err := rt.Run(func(root *Thread) {
-		if v := w.Load(root, 1); v != 20 {
-			t.Errorf("Load(1) = %d, want 20", v)
+	_, err := p.Run(context.Background(), func(root *Thread) {
+		if v := w.Get(root, 1); v != 20 {
+			t.Errorf("Get(1) = %d, want 20", v)
 		}
-		if v := w.Load(root, 5); v != 0 {
-			t.Errorf("Load(5) = %d, want zero fill", v)
+		if v := w.Get(root, 5); v != 0 {
+			t.Errorf("Get(5) = %d, want zero fill", v)
 		}
-		w.Store(root, 5, 55)
-		if v := w.Load(root, 5); v != 55 {
-			t.Errorf("Load after Store = %d", v)
+		w.Set(root, 5, 55)
+		if v := w.Get(root, 5); v != 55 {
+			t.Errorf("Get after Set = %d", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReInitZeroFillsTail: Init installs a full-size buffer, so
+// re-initializing with fewer values clears the previously set tail (the
+// documented zero-fill contract).
+func TestReInitZeroFillsTail(t *testing.T) {
+	p := NewProgram(1)
+	a := Declare[uint32](p, "a", 4, Conventional)
+	a.Init(1, 2, 3, 4)
+	a.Init(9)
+	_, err := p.Run(context.Background(), func(root *Thread) {
+		if got := a.Get(root, 0); got != 9 {
+			t.Errorf("element 0 = %d, want 9", got)
+		}
+		for i := 1; i < 4; i++ {
+			if got := a.Get(root, i); got != 0 {
+				t.Errorf("element %d = %d, want zero fill", i, got)
+			}
 		}
 	})
 	if err != nil {
@@ -112,11 +197,11 @@ func TestWordsInitAndAccess(t *testing.T) {
 }
 
 func TestObjectsAndBases(t *testing.T) {
-	rt := New(Config{Processors: 1})
+	p := NewProgram(1)
 	// A 4-page variable splits into 4 page-sized objects unless declared
 	// SingleObject.
-	split := rt.DeclareInt32Matrix("split", 64, 128, WriteShared) // 32 KB
-	single := rt.DeclareFloat32Matrix("single", 64, 128, ReadOnly, WithSingleObject())
+	split := DeclareMatrix[int32](p, "split", 64, 128, WriteShared) // 32 KB
+	single := DeclareMatrix[float32](p, "single", 64, 128, ReadOnly, WithSingleObject())
 	if len(split.Objects()) != 4 {
 		t.Errorf("split into %d objects, want 4", len(split.Objects()))
 	}
@@ -129,31 +214,80 @@ func TestObjectsAndBases(t *testing.T) {
 	if split.Objects()[1]-split.Objects()[0] != 8192 {
 		t.Errorf("object stride %d, want page size", split.Objects()[1]-split.Objects()[0])
 	}
+	// float64 arrays lay out at 8 bytes per element.
+	wide := Declare[float64](p, "wide", 1024, Conventional) // exactly one page
+	if len(wide.Objects()) != 1 {
+		t.Errorf("1024 float64s split into %d objects, want 1", len(wide.Objects()))
+	}
 }
 
 func TestFetchAndMinMaxSemantics(t *testing.T) {
-	rt := New(Config{Processors: 2})
-	w := rt.DeclareWords("red", 4, Reduction)
+	p := NewProgram(2)
+	w := Declare[uint32](p, "red", 4, Reduction)
 	w.Init(100)
-	err := rt.Run(func(root *Thread) {
+	_, err := p.Run(context.Background(), func(root *Thread) {
 		if old := w.FetchAndMin(root, 0, 150); old != 100 {
 			t.Errorf("FetchAndMin returned %d, want 100", old)
 		}
-		if v := w.Load(root, 0); v != 100 {
+		if v := w.Get(root, 0); v != 100 {
 			t.Errorf("min(100,150) stored %d", v)
 		}
 		if old := w.FetchAndMin(root, 0, 40); old != 100 {
 			t.Errorf("FetchAndMin returned %d, want 100", old)
 		}
-		if v := w.Load(root, 0); v != 40 {
+		if v := w.Get(root, 0); v != 40 {
 			t.Errorf("min(100,40) stored %d", v)
 		}
 		if old := w.FetchAndAdd(root, 1, 7); old != 0 {
 			t.Errorf("FetchAndAdd returned %d, want 0", old)
 		}
-		if v := w.Load(root, 1); v != 7 {
+		if v := w.Get(root, 1); v != 7 {
 			t.Errorf("add stored %d", v)
 		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFetchAndOpAcrossPages: Fetch-and-Φ on a multi-page reduction
+// array resolves the element's containing page object, so in-bounds
+// indices beyond the first page work like every other accessor.
+func TestFetchAndOpAcrossPages(t *testing.T) {
+	const n = 4096 // 16 KB: two page-sized objects
+	p := NewProgram(2)
+	hist := Declare[uint32](p, "hist", n, Reduction)
+	_, err := p.Run(context.Background(), func(root *Thread) {
+		root.Spawn(1, "worker", func(tt *Thread) {
+			if old := hist.FetchAndAdd(tt, 3000, 5); old != 0 {
+				t.Errorf("FetchAndAdd(3000) returned %d, want 0", old)
+			}
+			if v := hist.Get(tt, 3000); v != 5 {
+				t.Errorf("element 3000 = %d after add, want 5", v)
+			}
+			if old := hist.FetchAndAdd(tt, 2048, 7); old != 0 {
+				t.Errorf("FetchAndAdd(2048) returned %d, want 0", old)
+			}
+			if old := hist.FetchAndAdd(tt, 0, 1); old != 0 {
+				t.Errorf("FetchAndAdd(0) returned %d, want 0", old)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFetchAndOpRejectsFloats: the Fetch-and-Φ surface is defined on
+// 32-bit integer words; float element types are a type error caught at
+// the call.
+func TestFetchAndOpRejectsFloats(t *testing.T) {
+	p := NewProgram(1)
+	f := Declare[float32](p, "f", 4, Reduction)
+	d := Declare[float64](p, "d", 4, Reduction)
+	_, err := p.Run(context.Background(), func(root *Thread) {
+		expectPanic(t, "integer", func() { f.FetchAndAdd(root, 0, 1) })
+		expectPanic(t, "integer", func() { d.FetchAndMin(root, 0, 1) })
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -163,10 +297,10 @@ func TestFetchAndMinMaxSemantics(t *testing.T) {
 func TestMultiPageVariableRoundTrips(t *testing.T) {
 	// Rows that straddle page boundaries read and write correctly.
 	const rows, cols = 5, 1000 // 4000 B rows: pages split mid-row
-	rt := New(Config{Processors: 2})
-	m := rt.DeclareInt32Matrix("m", rows, cols, WriteShared)
+	p := NewProgram(2)
+	m := DeclareMatrix[int32](p, "m", rows, cols, WriteShared)
 	m.Init(func(i, j int) int32 { return int32(i*cols + j) })
-	err := rt.Run(func(root *Thread) {
+	_, err := p.Run(context.Background(), func(root *Thread) {
 		row := make([]int32, cols)
 		for i := 0; i < rows; i++ {
 			m.ReadRow(root, i, row)
