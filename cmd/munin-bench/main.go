@@ -14,6 +14,8 @@
 //	munin-bench -table 3 -n 200            # smaller matrix
 //	munin-bench -table all -json out.json  # machine-readable results
 //	munin-bench -table 3 -adaptive         # run the apps with the adaptive engine on
+//	munin-bench -table lazy                # eager vs lazy release consistency
+//	munin-bench -table 5 -consistency lazy # run the apps under the lazy engine
 //
 // Times are virtual seconds from the calibrated cost model (a 1991-era
 // SUN-3/60 cluster on 10 Mbps Ethernet); see EXPERIMENTS.md for how each
@@ -42,16 +44,17 @@ var tableOut io.Writer = os.Stdout
 
 func main() {
 	var (
-		table     = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive or all")
-		ablation  = flag.String("ablation", "", "ablation to run: A1-A6 or all")
-		procs     = flag.String("procs", "", "comma-separated processor counts for tables 3-5 (default 1,2,4,8,16)")
-		n         = flag.Int("n", 0, "matrix dimension for tables 3/4/6 (default 400)")
-		rows      = flag.Int("rows", 0, "SOR grid rows (default 512)")
-		cols      = flag.Int("cols", 0, "SOR grid columns (default 2048)")
-		iters     = flag.Int("iters", 0, "SOR iterations (default 100)")
-		adaptive  = flag.Bool("adaptive", false, "run the application tables with the adaptive protocol engine enabled")
-		transport = flag.String("transport", "sim", "transport for the Munin runs: sim (virtual time), chan or tcp (real concurrency, wall clock)")
-		jsonOut   = flag.String("json", "", "also write the collected results as JSON to this file (\"-\" for stdout)")
+		table       = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive, lazy or all")
+		ablation    = flag.String("ablation", "", "ablation to run: A1-A6 or all")
+		procs       = flag.String("procs", "", "comma-separated processor counts for tables 3-5 (default 1,2,4,8,16)")
+		n           = flag.Int("n", 0, "matrix dimension for tables 3/4/6 (default 400)")
+		rows        = flag.Int("rows", 0, "SOR grid rows (default 512)")
+		cols        = flag.Int("cols", 0, "SOR grid columns (default 2048)")
+		iters       = flag.Int("iters", 0, "SOR iterations (default 100)")
+		adaptive    = flag.Bool("adaptive", false, "run the application tables with the adaptive protocol engine enabled")
+		consistency = flag.String("consistency", "eager", "release-consistency engine for the application tables: eager or lazy")
+		transport   = flag.String("transport", "sim", "transport for the Munin runs: sim (virtual time), chan or tcp (real concurrency, wall clock)")
+		jsonOut     = flag.String("json", "", "also write the collected results as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if *table == "" && *ablation == "" {
@@ -62,7 +65,15 @@ func main() {
 	if *jsonOut == "-" {
 		tableOut = os.Stderr
 	}
-	opts := bench.AppOpts{N: *n, Rows: *rows, Cols: *cols, Iters: *iters, Adaptive: *adaptive, Transport: *transport}
+	lazyRC := false
+	switch *consistency {
+	case "", "eager":
+	case "lazy":
+		lazyRC = true
+	default:
+		fatal(fmt.Errorf("unknown consistency %q (want eager or lazy)", *consistency))
+	}
+	opts := bench.AppOpts{N: *n, Rows: *rows, Cols: *cols, Iters: *iters, Adaptive: *adaptive, Lazy: lazyRC, Transport: *transport}
 	if *procs != "" {
 		ps, err := parseProcs(*procs)
 		if err != nil {
@@ -72,7 +83,7 @@ func main() {
 	}
 
 	if *table != "" {
-		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp", "adaptive"}) {
+		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp", "adaptive", "lazy"}) {
 			runTable(t, opts)
 			fmt.Fprintln(tableOut)
 		}
@@ -195,6 +206,20 @@ func runTable(t string, opts bench.AppOpts) {
 		}
 		r.Format(tableOut)
 		results["tsp"] = r
+	case "lazy":
+		lo := bench.LazyOpts{N: opts.N, Rows: opts.Rows, Cols: opts.Cols, Iters: opts.Iters, Transport: opts.Transport}
+		if len(opts.Procs) > 0 {
+			lo.Procs = opts.Procs[len(opts.Procs)-1]
+			if len(opts.Procs) > 1 {
+				fmt.Fprintf(tableOut, "(lazy table runs at one processor count; using %d)\n", lo.Procs)
+			}
+		}
+		r, err := bench.RunLazy(lo)
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(tableOut)
+		results["lazy"] = r
 	case "adaptive":
 		ao := bench.AdaptiveOpts{N: opts.N, Rows: opts.Rows, Cols: opts.Cols, Iters: opts.Iters, Transport: opts.Transport}
 		if len(opts.Procs) > 0 {

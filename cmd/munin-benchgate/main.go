@@ -8,10 +8,17 @@
 // virtual and reproducible to the nanosecond; the live-transport runs are
 // uploaded as artifacts for inspection but not gated (wall-clock noise).
 //
+// It also gates the eager-vs-lazy consistency table (-lazy): LazyRC
+// must send strictly fewer messages than EagerRC on the lock-heavy
+// workload and the pipeline, with both engines computing identical
+// results — absolute invariants of the lazy engine, needing no baseline.
+//
 // Usage:
 //
 //	munin-bench -table 6 -n 128 -rows 64 -cols 512 -iters 10 -json out.json
 //	munin-benchgate -baseline BENCH_baseline.json -current out.json -max-regress 20
+//	munin-bench -table lazy -procs 8 -json lazy.json
+//	munin-benchgate -lazy lazy.json
 package main
 
 import (
@@ -32,7 +39,66 @@ type table6 struct {
 }
 
 type results struct {
-	Table6 table6 `json:"table6"`
+	Table6 table6    `json:"table6"`
+	Lazy   lazyTable `json:"lazy"`
+}
+
+// lazyTable mirrors the fields of bench.LazyTable the lazy gate needs.
+type lazyTable struct {
+	Rows []struct {
+		App           string
+		EagerMessages int
+		LazyMessages  int
+		ImageMatch    bool
+		ChecksOK      bool
+	}
+}
+
+// gateLazy holds the eager-vs-lazy invariants: on the lock-heavy
+// workload and the pipeline — the acquire-directed engine's home turf —
+// LazyRC must send strictly fewer messages than EagerRC, and every
+// workload's two runs must agree on correctness (matching checksums,
+// byte-identical sim images). No baseline needed: these are absolute
+// properties of the engine, not a trajectory.
+func gateLazy(path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var r results
+	if err := json.Unmarshal(b, &r); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(r.Lazy.Rows) == 0 {
+		fatal(fmt.Errorf("%s: no lazy table", path))
+	}
+	mustBeat := map[string]bool{"lockheavy": true, "pipeline": true}
+	failed := false
+	for _, row := range r.Lazy.Rows {
+		status := "ok"
+		switch {
+		case !row.ChecksOK:
+			status = "WRONG RESULT"
+			failed = true
+		case !row.ImageMatch:
+			status = "IMAGE DIFFERS"
+			failed = true
+		case mustBeat[row.App] && row.LazyMessages >= row.EagerMessages:
+			status = "REGRESSED (lazy must send fewer messages)"
+			failed = true
+		}
+		delete(mustBeat, row.App)
+		fmt.Printf("%-10s eager %6d msgs  lazy %6d msgs  %s\n",
+			row.App, row.EagerMessages, row.LazyMessages, status)
+	}
+	for app := range mustBeat {
+		fmt.Printf("%-10s MISSING from lazy table\n", app)
+		failed = true
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "munin-benchgate: eager-vs-lazy gate failed")
+		os.Exit(1)
+	}
 }
 
 // speedup is single-protocol time over multi-protocol time for one
@@ -86,8 +152,15 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
 		currentPath  = flag.String("current", "", "fresh munin-bench -json output")
 		maxRegress   = flag.Float64("max-regress", 20, "maximum allowed speedup regression, percent")
+		lazyPath     = flag.String("lazy", "", "munin-bench -table lazy -json output to gate (LazyRC must send strictly fewer messages than EagerRC on lockheavy and pipeline, with matching results)")
 	)
 	flag.Parse()
+	if *lazyPath != "" {
+		gateLazy(*lazyPath)
+		if *currentPath == "" {
+			return
+		}
+	}
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "munin-benchgate: -current is required")
 		os.Exit(2)

@@ -26,20 +26,31 @@ import (
 
 func main() {
 	var (
-		app       = flag.String("app", "matmul", "application: matmul, sor or tsp")
-		procs     = flag.Int("procs", 8, "processor count (1-16)")
-		n         = flag.Int("n", 400, "matrix dimension (matmul)")
-		rows      = flag.Int("rows", 512, "grid rows (sor)")
-		cols      = flag.Int("cols", 2048, "grid columns (sor)")
-		iters     = flag.Int("iters", 100, "iterations (sor)")
-		single    = flag.Bool("single", false, "apply the SingleObject optimization (matmul)")
-		annot     = flag.String("annotation", "", "force one annotation on all shared data (conventional, write_shared, ...)")
-		exact     = flag.Bool("exact", false, "use the improved home-directed copyset determination")
-		cities    = flag.Int("cities", 10, "tour length (tsp)")
-		adaptive  = flag.Bool("adaptive", false, "enable the adaptive protocol engine (profiles access patterns and switches protocols online)")
-		transport = flag.String("transport", "sim", "transport: sim (deterministic virtual time), chan (concurrent goroutine-per-node) or tcp (concurrent over loopback sockets)")
+		app         = flag.String("app", "matmul", "application: matmul, sor, tsp or lockheavy")
+		procs       = flag.Int("procs", 8, "processor count (1-16)")
+		n           = flag.Int("n", 400, "matrix dimension (matmul)")
+		rows        = flag.Int("rows", 512, "grid rows (sor)")
+		cols        = flag.Int("cols", 2048, "grid columns (sor)")
+		iters       = flag.Int("iters", 100, "iterations (sor)")
+		single      = flag.Bool("single", false, "apply the SingleObject optimization (matmul)")
+		annot       = flag.String("annotation", "", "force one annotation on all shared data (conventional, write_shared, ...)")
+		exact       = flag.Bool("exact", false, "use the improved home-directed copyset determination")
+		cities      = flag.Int("cities", 10, "tour length (tsp)")
+		adaptive    = flag.Bool("adaptive", false, "enable the adaptive protocol engine (profiles access patterns and switches protocols online)")
+		consistency = flag.String("consistency", "eager", "release-consistency engine: eager (release-time flush) or lazy (acquire-directed, internal/lrc)")
+		rounds      = flag.Int("rounds", 12, "critical-section rounds (lockheavy)")
+		transport   = flag.String("transport", "sim", "transport: sim (deterministic virtual time), chan (concurrent goroutine-per-node) or tcp (concurrent over loopback sockets)")
 	)
 	flag.Parse()
+
+	lazy := false
+	switch *consistency {
+	case "", "eager":
+	case "lazy":
+		lazy = true
+	default:
+		fatal(fmt.Errorf("unknown consistency %q (want eager or lazy)", *consistency))
+	}
 
 	var override *protocol.Annotation
 	if *annot != "" {
@@ -57,25 +68,29 @@ func main() {
 	)
 	switch *app {
 	case "matmul":
-		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact, Adaptive: *adaptive, Transport: *transport}
+		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact, Adaptive: *adaptive, Lazy: lazy, Transport: *transport}
 		r, err = apps.MuninMatMul(cfg)
 		ref = apps.MatMulReference(*n)
 	case "sor":
-		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact, Adaptive: *adaptive, Transport: *transport}
+		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact, Adaptive: *adaptive, Lazy: lazy, Transport: *transport}
 		r, err = apps.MuninSOR(cfg)
 		ref = apps.SORReference(*rows, *cols, *iters)
 	case "tsp":
-		cfg := apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive, Transport: *transport}
+		cfg := apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive, Lazy: lazy, Transport: *transport}
 		r, err = apps.MuninTSP(cfg)
 		ref = uint32(apps.TSPReference(*cities))
+	case "lockheavy":
+		cfg := apps.LockHeavyConfig{Procs: *procs, Rounds: *rounds, Override: override, Adaptive: *adaptive, Lazy: lazy, Transport: *transport}
+		r, err = apps.MuninLockHeavy(cfg)
+		ref = apps.LockHeavyReference(cfg)
 	default:
-		fatal(fmt.Errorf("unknown app %q (want matmul, sor or tsp)", *app))
+		fatal(fmt.Errorf("unknown app %q (want matmul, sor, tsp or lockheavy)", *app))
 	}
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("app=%s procs=%d transport=%s\n\n", *app, *procs, *transport)
+	fmt.Printf("app=%s procs=%d transport=%s consistency=%s\n\n", *app, *procs, *transport, *consistency)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "total time\t%.3f s\t\n", r.Elapsed.Seconds())
 	fmt.Fprintf(tw, "root user time\t%.3f s\t\n", r.RootUser.Seconds())
@@ -84,6 +99,11 @@ func main() {
 	fmt.Fprintf(tw, "bytes\t%d\t\n", r.Bytes)
 	if *adaptive {
 		fmt.Fprintf(tw, "adaptive switches\t%d\t\n", r.AdaptSwitches)
+	}
+	if lazy {
+		fmt.Fprintf(tw, "lrc intervals\t%d\t\n", r.LrcIntervals)
+		fmt.Fprintf(tw, "lrc diff fetches\t%d\t\n", r.LrcDiffFetches)
+		fmt.Fprintf(tw, "lrc records gced\t%d\t\n", r.LrcRecordsGCed)
 	}
 	match := "MATCH"
 	if r.Check != ref {

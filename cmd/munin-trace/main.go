@@ -27,12 +27,24 @@ import (
 	"munin/internal/vm"
 )
 
+// extraOpts carries flag-selected per-run options into every workload.
+var extraOpts []munin.RunOption
+
 func main() {
 	var (
-		workload = flag.String("workload", "lock", "workload: lock, migratory, producer-consumer, reduction, matmul or adaptive")
-		procs    = flag.Int("procs", 4, "processor count (2-16)")
+		workload    = flag.String("workload", "lock", "workload: lock, migratory, producer-consumer, reduction, matmul or adaptive")
+		procs       = flag.Int("procs", 4, "processor count (2-16)")
+		consistency = flag.String("consistency", "eager", "release-consistency engine: eager or lazy (the lazy engine's acquire-with-notices grants, diff fetches and GC broadcasts appear in the trace)")
 	)
 	flag.Parse()
+	cons, err := munin.ParseConsistency(*consistency)
+	if err != nil {
+		fatal(err)
+	}
+	if cons == munin.LazyRC && *workload == "adaptive" {
+		fatal(fmt.Errorf("the adaptive workload does not run under the lazy engine (the engines are mutually exclusive)"))
+	}
+	extraOpts = append(extraOpts, munin.WithConsistency(cons))
 	if *procs < 2 || *procs > 16 {
 		fatal(fmt.Errorf("procs %d outside 2-16", *procs))
 	}
@@ -42,7 +54,6 @@ func main() {
 			env.DeliveredAt.Milliseconds(), env.Src, env.Dst, env.Msg.Kind(), env.Bytes)
 	}
 
-	var err error
 	switch *workload {
 	case "lock":
 		err = traceLock(*procs, trace)
@@ -86,7 +97,7 @@ func traceLock(procs int, trace func(network.Envelope)) error {
 		l.Acquire(root)
 		fmt.Printf("-- final counter: %d (want %d)\n", ctr.Get(root), procs)
 		l.Release(root)
-	}, munin.WithTrace(trace))
+	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
 	return err
 }
 
@@ -112,7 +123,7 @@ func traceMigratory(procs int, trace func(network.Envelope)) error {
 		for turn := 0; turn < procs; turn++ {
 			bar.Wait(root)
 		}
-	}, munin.WithTrace(trace))
+	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
 	return err
 }
 
@@ -145,7 +156,7 @@ func traceProducerConsumer(procs int, trace func(network.Envelope)) error {
 		for ph := 0; ph < 2*phases; ph++ {
 			bar.Wait(root)
 		}
-	}, munin.WithTrace(trace))
+	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
 	return err
 }
 
@@ -165,7 +176,7 @@ func traceReduction(procs int, trace func(network.Envelope)) error {
 		}
 		done.Wait(root)
 		fmt.Printf("-- final minimum: %d (want %d)\n", minv.Get(root), 100-10*(procs-1))
-	}, munin.WithTrace(trace))
+	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
 	return err
 }
 
@@ -205,7 +216,7 @@ func traceMatMul(procs int, trace func(network.Envelope)) error {
 			})
 		}
 		done.Wait(root)
-	}, munin.WithTrace(trace))
+	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
 	return err
 }
 
@@ -240,7 +251,7 @@ func traceAdaptive(procs int, trace func(network.Envelope)) error {
 		for ph := 0; ph < 2*phases; ph++ {
 			bar.Wait(root)
 		}
-	}, munin.WithTrace(trace), munin.WithAdaptive())
+	}, append([]munin.RunOption{munin.WithTrace(trace), munin.WithAdaptive()}, extraOpts...)...)
 	if err != nil {
 		return err
 	}

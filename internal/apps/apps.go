@@ -56,23 +56,28 @@ func (a *App) Run(ctx context.Context, opts ...munin.RunOption) (RunResult, erro
 	}
 	st := res.Stats()
 	return RunResult{
-		Elapsed:       st.Elapsed,
-		RootUser:      st.RootUser,
-		RootSystem:    st.RootSystem,
-		Messages:      st.Messages,
-		Bytes:         st.Bytes,
-		PerKind:       st.PerKind,
-		Check:         chk,
-		AdaptSwitches: st.AdaptSwitches,
-		res:           res,
+		Elapsed:        st.Elapsed,
+		RootUser:       st.RootUser,
+		RootSystem:     st.RootSystem,
+		Messages:       st.Messages,
+		Bytes:          st.Bytes,
+		PerKind:        st.PerKind,
+		PerKindBytes:   st.PerKindBytes,
+		Check:          chk,
+		AdaptSwitches:  st.AdaptSwitches,
+		LrcIntervals:   st.LrcIntervals,
+		LrcDiffFetches: st.LrcDiffFetches,
+		LrcRecordsGCed: st.LrcRecordsGCed,
+		res:            res,
 	}, nil
 }
 
 // RunOpts translates the configs' shared per-run knobs into options
 // (the cost model is not among them — it belongs to the App). The bench
 // sweeps use it too, so single-shot wrappers and sweeps cannot drift
-// apart in what they configure.
-func RunOpts(transport string, override *protocol.Annotation, adaptive, exact bool) []munin.RunOption {
+// apart in what they configure. lazy selects the lazy release
+// consistency engine (WithConsistency(LazyRC)).
+func RunOpts(transport string, override *protocol.Annotation, adaptive, exact, lazy bool) []munin.RunOption {
 	var opts []munin.RunOption
 	if transport != "" {
 		opts = append(opts, munin.WithTransport(transport))
@@ -85,6 +90,9 @@ func RunOpts(transport string, override *protocol.Annotation, adaptive, exact bo
 	}
 	if exact {
 		opts = append(opts, munin.WithExactCopyset())
+	}
+	if lazy {
+		opts = append(opts, munin.WithConsistency(munin.LazyRC))
 	}
 	return opts
 }
@@ -115,6 +123,8 @@ type MatMulConfig struct {
 	// Adaptive enables the adaptive protocol engine, which profiles the
 	// (possibly mis-annotated) shared data and switches protocols online.
 	Adaptive bool
+	// Lazy selects the lazy release consistency engine (LazyRC).
+	Lazy bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -139,6 +149,8 @@ type SORConfig struct {
 	// Adaptive enables the adaptive protocol engine, which profiles the
 	// (possibly mis-annotated) shared data and switches protocols online.
 	Adaptive bool
+	// Lazy selects the lazy release consistency engine (LazyRC).
+	Lazy bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 	// PhaseBarrier inserts a second barrier between the compute and copy
@@ -164,15 +176,21 @@ type RunResult struct {
 	// Messages and Bytes count all network traffic.
 	Messages int
 	Bytes    int
-	// PerKind breaks Munin messages down by protocol message type
-	// (nil for the message-passing versions).
-	PerKind map[wire.Kind]int
+	// PerKind and PerKindBytes break Munin traffic down by protocol
+	// message type (nil for the message-passing versions).
+	PerKind      map[wire.Kind]int
+	PerKindBytes map[wire.Kind]int
 	// Check fingerprints the computed output so Munin, message-passing
 	// and sequential reference runs can be compared exactly.
 	Check uint32
 	// AdaptSwitches counts annotation switches the adaptive engine
 	// committed during the run (zero when not adaptive).
 	AdaptSwitches int
+	// LrcIntervals, LrcDiffFetches and LrcRecordsGCed count the lazy
+	// engine's activity (zero on eager runs).
+	LrcIntervals   int
+	LrcDiffFetches int
+	LrcRecordsGCed int
 
 	// res retains the finished run for post-run inspection (nil for the
 	// message-passing versions).

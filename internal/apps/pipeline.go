@@ -36,6 +36,8 @@ type PipelineConfig struct {
 	Override *protocol.Annotation
 	// Adaptive enables the adaptive protocol engine.
 	Adaptive bool
+	// Lazy selects the lazy release consistency engine (LazyRC).
+	Lazy bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -216,5 +218,5 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	return app.Run(context.Background(),
-		RunOpts(c.Transport, nil, c.Adaptive, false)...)
+		RunOpts(c.Transport, nil, c.Adaptive, false, c.Lazy)...)
 }

@@ -34,6 +34,8 @@ type TSPConfig struct {
 	Override *protocol.Annotation
 	// Adaptive enables the adaptive protocol engine.
 	Adaptive bool
+	// Lazy selects the lazy release consistency engine (LazyRC).
+	Lazy bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -184,5 +186,5 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	return app.Run(context.Background(),
-		RunOpts(c.Transport, c.Override, c.Adaptive, false)...)
+		RunOpts(c.Transport, c.Override, c.Adaptive, false, c.Lazy)...)
 }

@@ -162,7 +162,7 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 	t.Rows = append(t.Rows, runAdaptiveRow("matmul",
 		[]*protocol.Annotation{nil, &ws, &conv},
 		func(ov *protocol.Annotation, adaptive bool) (apps.RunResult, error) {
-			return mmApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false)...)
+			return mmApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false, false)...)
 		}))
 
 	sorApp, err := apps.NewSOR(apps.SORConfig{
@@ -175,7 +175,7 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 	t.Rows = append(t.Rows, runAdaptiveRow("sor-fs",
 		[]*protocol.Annotation{nil, &ws, &conv},
 		func(ov *protocol.Annotation, adaptive bool) (apps.RunResult, error) {
-			return sorApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false)...)
+			return sorApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false, false)...)
 		}))
 
 	// The phase-changing pipeline has no "correct" single annotation:
@@ -211,7 +211,7 @@ func RunAdaptive(o AdaptiveOpts) (AdaptiveTable, error) {
 	t.Rows = append(t.Rows, runAdaptiveRow("tsp",
 		[]*protocol.Annotation{nil, &ws, &conv},
 		func(ov *protocol.Annotation, adaptive bool) (apps.RunResult, error) {
-			return tspApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false)...)
+			return tspApp.Run(context.Background(), apps.RunOpts(o.Transport, ov, adaptive, false, false)...)
 		}))
 
 	return t, nil

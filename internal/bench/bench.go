@@ -39,6 +39,9 @@ type AppOpts struct {
 	// Adaptive runs the Munin versions with the adaptive protocol engine
 	// enabled (profiling plus online annotation switching).
 	Adaptive bool
+	// Lazy runs the Munin versions under the lazy release consistency
+	// engine (WithConsistency(LazyRC)) instead of the eager default.
+	Lazy bool
 	// Transport selects the substrate the Munin versions run on: "sim"
 	// (default, virtual time), "chan" or "tcp" (real concurrency, wall
 	// clock). The hand-coded message-passing comparisons always run on

@@ -1,0 +1,264 @@
+package bench
+
+// The eager-vs-lazy consistency table: every workload is built ONCE as a
+// Program and executed under both release-consistency engines
+// (WithConsistency(EagerRC | LazyRC)), reporting time, messages and
+// bytes side by side, plus the per-kind traffic breakdown. On the
+// deterministic sim transport the two runs' final shared-memory images
+// are also compared byte for byte — the engines must disagree about
+// nothing except when and how the bits moved.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"munin"
+	"munin/internal/apps"
+	"munin/internal/model"
+	"munin/internal/protocol"
+	"munin/internal/sim"
+	"munin/internal/wire"
+)
+
+// LazyRow is one workload's eager-vs-lazy comparison.
+type LazyRow struct {
+	// App names the workload: matmul, sor, tsp, pipeline, lockheavy.
+	App string
+	// Eager and Lazy are total execution times under each engine.
+	Eager sim.Time
+	Lazy  sim.Time
+	// Message and byte totals under each engine.
+	EagerMessages int
+	LazyMessages  int
+	EagerBytes    int
+	LazyBytes     int
+	// EagerPerKind and LazyPerKind attribute the traffic to message
+	// kinds (messages, not bytes; the JSON form of the satellite
+	// per-kind breakdown).
+	EagerPerKind map[string]int
+	LazyPerKind  map[string]int
+	// ImageMatch reports that the two engines ended with byte-identical
+	// final shared memory (compared on the sim transport only; true by
+	// fiat elsewhere, where checksums still must match).
+	ImageMatch bool
+	// ChecksOK reports both runs matched the workload's reference.
+	ChecksOK bool
+	// LazyDiffFetches and LazyRecordsGCed are the lazy engine's
+	// demand-fetch and garbage-collection counters.
+	LazyDiffFetches int
+	LazyRecordsGCed int
+}
+
+// LazyTable is the full comparison.
+type LazyTable struct {
+	Procs int
+	Rows  []LazyRow
+}
+
+// LazyOpts sizes the workloads.
+type LazyOpts struct {
+	// Procs is the processor count (0 = 8, where the eager broadcast
+	// overhead is pronounced but runs stay fast).
+	Procs int
+	// N is the matmul dimension; Rows/Cols/Iters the SOR grid; Rounds
+	// the pipeline rounds per phase and the lock-heavy rounds; Cities
+	// the TSP tour length. Zero values pick moderate defaults.
+	N                 int
+	Rows, Cols, Iters int
+	Rounds            int
+	Cities            int
+	Model             model.CostModel
+	// Transport selects the substrate ("sim" default; the image
+	// comparison runs only there).
+	Transport string
+}
+
+func (o LazyOpts) withDefaults() LazyOpts {
+	if o.Procs == 0 {
+		o.Procs = 8
+	}
+	if o.N == 0 {
+		o.N = 128
+	}
+	if o.Rows == 0 {
+		o.Rows = 64
+	}
+	if o.Cols == 0 {
+		o.Cols = 2048
+	}
+	if o.Iters == 0 {
+		o.Iters = 10
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 8
+	}
+	if o.Cities == 0 {
+		o.Cities = 9
+	}
+	if o.Model == (model.CostModel{}) {
+		o.Model = model.Default()
+	}
+	return o
+}
+
+// lazyWorkload is one row's App plus its reference checksum.
+type lazyWorkload struct {
+	name string
+	app  *apps.App
+	ref  uint32
+}
+
+// lazyWorkloads builds the five Programs the table sweeps.
+func lazyWorkloads(o LazyOpts) ([]lazyWorkload, error) {
+	var out []lazyWorkload
+	mm, err := apps.NewMatMul(apps.MatMulConfig{Procs: o.Procs, N: o.N, Model: o.Model})
+	if err != nil {
+		return nil, fmt.Errorf("bench: lazy matmul: %w", err)
+	}
+	out = append(out, lazyWorkload{"matmul", mm, apps.MatMulReference(o.N)})
+	// The phase barrier is always on: the single-barrier SOR is chaotic
+	// relaxation outside the paper's exact timing regime, and release
+	// consistency (either engine) defines the comparison only for
+	// data-race-free programs.
+	sor, err := apps.NewSOR(apps.SORConfig{
+		Procs: o.Procs, Rows: o.Rows, Cols: o.Cols, Iters: o.Iters, Model: o.Model,
+		PhaseBarrier: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: lazy sor: %w", err)
+	}
+	out = append(out, lazyWorkload{"sor", sor, apps.SORReference(o.Rows, o.Cols, o.Iters)})
+	tsp, err := apps.NewTSP(apps.TSPConfig{Procs: o.Procs, Cities: o.Cities, Model: o.Model})
+	if err != nil {
+		return nil, fmt.Errorf("bench: lazy tsp: %w", err)
+	}
+	out = append(out, lazyWorkload{"tsp", tsp, uint32(apps.TSPReference(o.Cities))})
+	// The pipeline's natural annotation is phase 1's producer_consumer,
+	// whose stable-sharing check phase 2 violates under a static run:
+	// the sweep forces write_shared, which both engines handle.
+	ws := protocol.WriteShared
+	pipe, err := apps.NewPipeline(apps.PipelineConfig{
+		Procs: o.Procs, Rounds1: o.Rounds, Rounds2: o.Rounds, Model: o.Model, Override: &ws,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: lazy pipeline: %w", err)
+	}
+	out = append(out, lazyWorkload{"pipeline", pipe,
+		apps.PipelineReference(apps.PipelineConfig{Procs: o.Procs, Rounds1: o.Rounds, Rounds2: o.Rounds})})
+	lh, err := apps.NewLockHeavy(apps.LockHeavyConfig{Procs: o.Procs, Rounds: o.Rounds + 4, Model: o.Model})
+	if err != nil {
+		return nil, fmt.Errorf("bench: lazy lockheavy: %w", err)
+	}
+	out = append(out, lazyWorkload{"lockheavy", lh,
+		apps.LockHeavyReference(apps.LockHeavyConfig{Procs: o.Procs, Rounds: o.Rounds + 4})})
+	return out, nil
+}
+
+// kindNames converts a per-kind count map to string keys for JSON.
+func kindNames(m map[wire.Kind]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		if v != 0 {
+			out[k.String()] = v
+		}
+	}
+	return out
+}
+
+// sameImage compares two final images byte for byte.
+func sameImage(a, b map[vmAddr][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for addr, want := range a {
+		if !bytes.Equal(b[addr], want) {
+			return false
+		}
+	}
+	return true
+}
+
+// vmAddr aliases the image key type without importing vm here twice.
+type vmAddr = uint32
+
+// imageOf converts a RunResult's final image to the comparison form.
+func imageOf(r apps.RunResult) map[vmAddr][]byte {
+	img := r.FinalImage()
+	out := make(map[vmAddr][]byte, len(img))
+	for a, d := range img {
+		out[vmAddr(a)] = d
+	}
+	return out
+}
+
+// RunLazy regenerates the eager-vs-lazy table: each workload's Program
+// runs under both engines, same transport, same cost model.
+func RunLazy(o LazyOpts) (LazyTable, error) {
+	o = o.withDefaults()
+	ws, err := lazyWorkloads(o)
+	if err != nil {
+		return LazyTable{}, err
+	}
+	t := LazyTable{Procs: o.Procs}
+	for _, w := range ws {
+		var opts []munin.RunOption
+		if o.Transport != "" {
+			opts = append(opts, munin.WithTransport(o.Transport))
+		}
+		eager, err := w.app.Run(context.Background(), opts...)
+		if err != nil {
+			return LazyTable{}, fmt.Errorf("bench: lazy table %s eager: %w", w.name, err)
+		}
+		lazy, err := w.app.Run(context.Background(),
+			append(append([]munin.RunOption(nil), opts...), munin.WithConsistency(munin.LazyRC))...)
+		if err != nil {
+			return LazyTable{}, fmt.Errorf("bench: lazy table %s lazy: %w", w.name, err)
+		}
+		row := LazyRow{
+			App:             w.name,
+			Eager:           eager.Elapsed,
+			Lazy:            lazy.Elapsed,
+			EagerMessages:   eager.Messages,
+			LazyMessages:    lazy.Messages,
+			EagerBytes:      eager.Bytes,
+			LazyBytes:       lazy.Bytes,
+			EagerPerKind:    kindNames(eager.PerKind),
+			LazyPerKind:     kindNames(lazy.PerKind),
+			ChecksOK:        eager.Check == w.ref && lazy.Check == w.ref,
+			ImageMatch:      true,
+			LazyDiffFetches: lazy.LrcDiffFetches,
+			LazyRecordsGCed: lazy.LrcRecordsGCed,
+		}
+		if o.Transport == "" || o.Transport == munin.TransportSim {
+			row.ImageMatch = sameImage(imageOf(eager), imageOf(lazy))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Format prints the comparison.
+func (t LazyTable) Format(w io.Writer) {
+	fmt.Fprintf(w, "Eager vs lazy release consistency, %d processors\n", t.Procs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "App\tEager s\tLazy s\tEager msgs\tLazy msgs\tEager KB\tLazy KB\tfetches\tGCed\timage\tok\t\n")
+	for _, r := range t.Rows {
+		img := "same"
+		if !r.ImageMatch {
+			img = "DIFFER"
+		}
+		ok := "yes"
+		if !r.ChecksOK {
+			ok = "NO"
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\t%d\t%.0f\t%.0f\t%d\t%d\t%s\t%s\t\n",
+			r.App, r.Eager.Seconds(), r.Lazy.Seconds(),
+			r.EagerMessages, r.LazyMessages,
+			float64(r.EagerBytes)/1024, float64(r.LazyBytes)/1024,
+			r.LazyDiffFetches, r.LazyRecordsGCed, img, ok)
+	}
+	tw.Flush()
+}

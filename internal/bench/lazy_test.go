@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestLazyTable pins the eager-vs-lazy table's acceptance shape on a
+// scaled-down sweep: every workload correct under both engines with
+// byte-identical sim images, and strictly fewer lazy messages on the
+// acquire-directed workloads (the lock-heavy ring and the pipeline).
+func TestLazyTable(t *testing.T) {
+	r, err := RunLazy(LazyOpts{Procs: 8, N: 64, Rows: 32, Cols: 512, Iters: 6, Rounds: 6, Cities: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(r.Rows))
+	}
+	mustBeat := map[string]bool{"lockheavy": true, "pipeline": true}
+	var sawGC bool
+	for _, row := range r.Rows {
+		if !row.ChecksOK {
+			t.Errorf("%s: wrong result under one of the engines", row.App)
+		}
+		if !row.ImageMatch {
+			t.Errorf("%s: engines ended with different final images", row.App)
+		}
+		if mustBeat[row.App] && row.LazyMessages >= row.EagerMessages {
+			t.Errorf("%s: lazy sent %d messages, eager %d — want strictly fewer",
+				row.App, row.LazyMessages, row.EagerMessages)
+		}
+		if row.LazyRecordsGCed > 0 {
+			sawGC = true
+		}
+	}
+	if !sawGC {
+		t.Error("no workload reclaimed diff records")
+	}
+
+	// The satellite per-kind breakdown must survive the JSON path the
+	// bench artifacts use, with readable kind names.
+	b, err := json.Marshal(map[string]any{"lazy": r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"LazyPerKind", "lrc-diff-req", "lrc-lock-grant", "EagerPerKind", "copyset-query"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("lazy table JSON lacks %q", want)
+		}
+	}
+}

@@ -82,7 +82,7 @@ func runTable6(o Table6Opts) (Table6, error) {
 	}
 	t := Table6{Procs: o.Procs}
 	for _, cfg := range configs {
-		opts := apps.RunOpts(a.Transport, cfg.Override, a.Adaptive, false)
+		opts := apps.RunOpts(a.Transport, cfg.Override, a.Adaptive, false, a.Lazy)
 		mm, err := mmApp.Run(context.Background(), opts...)
 		if err != nil {
 			return Table6{}, fmt.Errorf("bench: table 6 matmul %s: %w", cfg.Name, err)

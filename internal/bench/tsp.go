@@ -19,7 +19,7 @@ func RunTSP(o AppOpts) (AppTable, error) {
 	ref := apps.TSPReference(cities)
 	t := AppTable{Title: fmt.Sprintf("Extra: branch-and-bound TSP (sec), %d cities", cities)}
 	for _, procs := range o.Procs {
-		cfg := apps.TSPConfig{Procs: procs, Cities: cities, Model: o.Model, Adaptive: o.Adaptive, Transport: o.Transport}
+		cfg := apps.TSPConfig{Procs: procs, Cities: cities, Model: o.Model, Adaptive: o.Adaptive, Lazy: o.Lazy, Transport: o.Transport}
 		mu, err := apps.MuninTSP(cfg)
 		if err != nil {
 			return AppTable{}, fmt.Errorf("bench: munin tsp p=%d: %w", procs, err)

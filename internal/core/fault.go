@@ -40,6 +40,14 @@ func (n *Node) handleFault(t *Thread, base vm.Addr, write bool) {
 	// twins the local copy.
 	n.drainPendingObject(p, e.Start)
 
+	if n.lazy(e) {
+		// Lazy engine: make the local copy current with respect to
+		// every write notice seen — base fetch from the home if none is
+		// held, then the missing diffs writer by writer — before the
+		// protocol inspects it.
+		n.lrcBringCurrent(t, e)
+	}
+
 	// Another thread may have resolved the fault while we waited on the
 	// entry semaphore.
 	if e.Valid && (!write || e.Writable) {
@@ -309,6 +317,12 @@ func (n *Node) serveMigrate(p rt.Proc, m wire.MigrateReq) {
 // delayedWrite implements the DUQ write path (§3.3): fetch current data if
 // needed, twin if multiple writers are allowed, enqueue, unprotect.
 func (n *Node) delayedWrite(t *Thread, e *directory.Entry) {
+	if n.lazy(e) {
+		// A pending closed interval materializes now, so the fresh twin
+		// separates the new open interval's writes from the closed ones
+		// (the other materialization point is the first remote request).
+		n.lrcMaterialize(t.proc, e)
+	}
 	// Stable objects whose determined copyset is empty are private: made
 	// locally writable with no twin and no further consistency overhead
 	// (§4.2). A fault here means the page was somehow re-protected;
@@ -331,7 +345,11 @@ func (n *Node) delayedWrite(t *Thread, e *directory.Entry) {
 		}
 		if !e.Valid {
 			n.WriteMisses++
-			n.fetchReadCopy(t, e, false)
+			if n.lazy(e) {
+				n.lrcBringCurrent(t, e)
+			} else {
+				n.fetchReadCopy(t, e, false)
+			}
 			continue
 		}
 		if !e.Params.MultipleWriters {

@@ -1,0 +1,862 @@
+package core
+
+// The core-side driver of the lazy release consistency engine
+// (internal/lrc) — Munin's second pluggable consistency subsystem,
+// selected per run with Config.Lazy. It manages exactly the objects the
+// delayed update queue would otherwise flush eagerly (delayed,
+// multiple-writer, non-invalidate, non-flush-to-owner protocols:
+// write_shared and producer_consumer); every other annotation keeps its
+// synchronous eager machinery unchanged, so a lazy run still migrates
+// migratory objects, forwards Fetch-and-Φ, and flushes result objects to
+// their home.
+//
+// The inversion relative to releaseFlush (flush.go):
+//
+//	eager: release → determine copyset (broadcast) → encode diffs →
+//	       push updates to every holder
+//	lazy:  release → close an interval (purely local) → notices ride the
+//	       next lock grant / barrier release → acquirer refreshes the
+//	       copies it holds by pulling diffs, per writer, batched → a
+//	       never-held copy pulls a base from the home plus the missing
+//	       diffs
+//
+// Dispatcher serve paths (serveLrcDiff, serveLrcFetch, serveLrcGC) never
+// block, so request chains cannot deadlock; shared-state mutations in
+// the materialize/apply paths complete before any virtual-time charge
+// (a yield point), so concurrent local threads cannot observe a half
+// transition.
+
+import (
+	"fmt"
+	"sort"
+
+	"munin/internal/diffenc"
+	"munin/internal/directory"
+	"munin/internal/duq"
+	"munin/internal/lrc"
+	"munin/internal/rt"
+	"munin/internal/vm"
+	"munin/internal/wire"
+)
+
+// lazyManaged reports whether the entry's protocol is handled by the
+// lazy engine when one is configured: the DUQ-buffered multiple-writer
+// update protocols. Delayed-invalidate and flush-to-owner protocols keep
+// their eager semantics (their propagation is directed, not broadcast).
+func lazyManaged(e *directory.Entry) bool {
+	p := e.Params
+	return p.Delayed && p.MultipleWriters && !p.FlushToOwner && !p.Invalidate
+}
+
+// lazy reports whether the entry is lazily managed on this node.
+func (n *Node) lazy(e *directory.Entry) bool {
+	return n.lrc != nil && lazyManaged(e)
+}
+
+// lrcState returns the entry's lazy-engine state, creating it on first
+// use.
+func (n *Node) lrcState(e *directory.Entry) *directory.LrcEntry {
+	if e.Lrc == nil {
+		e.Lrc = directory.NewLrcEntry(n.sys.Nodes())
+	}
+	return e.Lrc
+}
+
+// lrcRelease is the lazy engine's release action, replacing releaseFlush:
+// entries the lazy engine manages close an interval (no messages at all);
+// everything else on the DUQ — result objects, delayed invalidations —
+// flushes through the eager machinery unchanged.
+func (n *Node) lrcRelease(t *Thread) {
+	if n.duq.Len() == 0 {
+		return
+	}
+	n.flushSem.Acquire(t.proc)
+	defer n.flushSem.Release()
+	entries := n.duq.Drain()
+	var lazyEntries, eager []*directory.Entry
+	for _, e := range entries {
+		if lazyManaged(e) {
+			lazyEntries = append(lazyEntries, e)
+		} else {
+			eager = append(eager, e)
+		}
+	}
+	if len(eager) > 0 {
+		n.Flushes++
+		n.flushEntries(t, eager)
+	}
+	if len(lazyEntries) > 0 {
+		n.lrcCloseEntries(t.proc, lazyEntries)
+	}
+}
+
+// lrcCloseEntries closes one interval over the given modified entries:
+// record the write notices, extend each entry's pending (unmaterialized)
+// range, and write-protect the pages so the next local store opens a new
+// interval. The twin is kept — the diff is not computed until someone
+// asks for it.
+func (n *Node) lrcCloseEntries(p rt.Proc, entries []*directory.Entry) {
+	addrs := make([]vm.Addr, 0, len(entries))
+	for _, e := range entries {
+		addrs = append(addrs, e.Start)
+	}
+	ivl := n.lrc.CloseInterval(addrs)
+	closeVT := n.lrc.VT() // the interval's happens-before stamp
+	for _, e := range entries {
+		if e.Twin == nil {
+			panic(fmt.Sprintf("core: node %d closing interval over %v without a twin", n.id, e))
+		}
+		st := n.lrcState(e)
+		if st.PendFirst == 0 {
+			st.PendFirst = ivl
+		}
+		st.PendLast = ivl
+		st.PendVT = closeVT
+		st.Applied[n.id] = ivl // the page always holds its own stores
+		e.Modified = false
+		n.protectObject(p, e, vm.ProtRead)
+		advance(p, n.sys.cost.LrcNoticeCPU)
+	}
+}
+
+// lrcMaterialize turns the entry's pending closed intervals into a diff
+// record in the node's writer store, dropping the twin. Runs at the
+// first remote request for the diffs or at the next local write fault —
+// whichever first makes the pending writes distinguishable from newer
+// ones. All state mutations precede the virtual-time charge (a yield
+// point), so it cannot run twice for one pending range.
+func (n *Node) lrcMaterialize(p rt.Proc, e *directory.Entry) {
+	st := e.Lrc
+	if st == nil || st.PendFirst == 0 {
+		return
+	}
+	if e.Twin == nil || !e.Valid {
+		panic(fmt.Sprintf("core: node %d materializing %v without twin+copy", n.id, e))
+	}
+	cur := n.readObject(e)
+	diff, dst := diffenc.Encode(e.Twin, cur)
+	first, last, vt := st.PendFirst, st.PendLast, st.PendVT
+	st.PendFirst, st.PendLast, st.PendVT = 0, 0, nil
+	duq.DropTwin(e)
+	if !diffenc.Empty(diff) {
+		if vt == nil {
+			vt = n.lrc.VT()
+		}
+		n.lrc.AddRecord(e.Start, wire.LrcRecord{First: first, Last: last, VT: vt, Diff: diff})
+	}
+	advance(p, n.sys.cost.DiffScanPerWord*rt.Time(dst.Words)+
+		n.sys.cost.DiffEncodePerWord*rt.Time(dst.Changed)+
+		n.sys.cost.DiffRunOverhead*rt.Time(dst.Runs))
+}
+
+// lrcAbsorb merges an acquire message's vector timestamp and write
+// notices into the node's engine.
+func (n *Node) lrcAbsorb(p rt.Proc, vt []uint32, notices []wire.LrcInterval) {
+	touched := n.lrc.Absorb(vt, notices)
+	advance(p, n.sys.cost.LrcNoticeCPU*rt.Time(len(touched)))
+}
+
+// lrcNeeds reports whether the entry's valid base lacks diffs some write
+// notice promised.
+func (n *Node) lrcNeeds(e *directory.Entry) bool {
+	return e.Valid && len(n.lrc.NeedsFrom(e.Start, n.lrcState(e).Applied)) > 0
+}
+
+// lrcRPC sends a token-routed lazy-engine request and blocks t for the
+// response. Tokens make concurrent requests from different local threads
+// independent (per-object serialization does not cover the batched
+// acquire refresh).
+func (n *Node) lrcRPC(t *Thread, dst int, build func(token uint32) wire.Message) any {
+	n.lrcToken++
+	token := n.lrcToken
+	key := pendKey{pendLrc, uint64(token)}
+	msg := build(token)
+	f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("lrc-rpc[n%d %v]", n.id, msg.Kind()))
+	n.pending[key] = f
+	n.sys.tr.Send(t.proc, n.id, dst, msg)
+	return f.Wait(t.proc)
+}
+
+// lrcFetchBase pulls a base copy of the object from its home node and
+// installs it read-only; the response's applied vector says which diffs
+// the base already incorporates.
+func (n *Node) lrcFetchBase(t *Thread, e *directory.Entry) {
+	st := n.lrcState(e)
+	if e.Home == n.id {
+		if e.Backing == nil {
+			fail(n.id, e.Start, "lrc fetch", "home holds neither a copy nor a backing")
+		}
+		// The home's base is its backing; st.Applied already describes
+		// it (zeros initially, refreshed when a lazy drop folded the
+		// live copy back in).
+		n.installObject(t.proc, e, append([]byte(nil), e.Backing...), vm.ProtRead)
+		return
+	}
+	n.ReadMisses++
+	resp := n.lrcRPC(t, e.Home, func(token uint32) wire.Message {
+		return wire.LrcFetchReq{Addr: e.Start, Requester: uint8(n.id), Token: token}
+	}).(wire.LrcFetchResp)
+	n.installObject(t.proc, e, resp.Data, vm.ProtRead)
+	for j := range st.Applied {
+		if j < len(resp.Applied) {
+			st.Applied[j] = resp.Applied[j]
+		} else {
+			st.Applied[j] = 0
+		}
+	}
+	// Note Applied[self] stays whatever the SERVED base incorporates:
+	// this node's own committed records are not in the home's base
+	// unless the home applied them, and lrcBringCurrent replays the
+	// missing ones from the local store (no messages).
+}
+
+// serveLrcFetch answers a base-copy request at the object's home: the
+// twin if local writes are in flight (the twin is the base without them),
+// else the live page, else the backing. The response carries the base's
+// applied vector so the fetcher pulls exactly the missing diffs.
+func (n *Node) serveLrcFetch(p rt.Proc, m wire.LrcFetchReq) {
+	e, ok := n.dir.Lookup(m.Addr)
+	if !ok || e.Home != n.id {
+		fail(n.id, m.Addr, "lrc fetch serve", "base fetch arrived at a node that is not the object's home")
+	}
+	st := n.lrcState(e)
+	applied := append([]uint32(nil), st.Applied...)
+	var data []byte
+	switch {
+	case e.Valid && e.Twin != nil:
+		data = append([]byte(nil), e.Twin...)
+		applied[n.id] = n.lrc.LastRecord(e.Start)
+	case e.Valid:
+		data = n.readObject(e)
+	case e.Backing != nil:
+		data = append([]byte(nil), e.Backing...)
+	default:
+		fail(n.id, e.Start, "lrc fetch serve", "home holds neither a copy nor a backing")
+	}
+	e.Copyset = e.Copyset.Add(int(m.Requester))
+	p.Advance(n.sys.cost.CopyCost(e.Size))
+	n.sys.tr.Send(p, n.id, int(m.Requester), wire.LrcFetchResp{
+		Addr: e.Start, Token: m.Token, Applied: applied, Data: data,
+	})
+}
+
+// lrcDiffFetch pulls, from one writer, the diff records for the given
+// objects beyond the given applied intervals.
+func (n *Node) lrcDiffFetch(t *Thread, writer int, addrs []vm.Addr, after []uint32) wire.LrcDiffResp {
+	n.lrc.Stats.DiffRequests++
+	resp := n.lrcRPC(t, writer, func(token uint32) wire.Message {
+		return wire.LrcDiffReq{Requester: uint8(n.id), Token: token, Addrs: addrs, After: after}
+	}).(wire.LrcDiffResp)
+	for _, s := range resp.Sets {
+		n.lrc.Stats.RecordsFetched += len(s.Records)
+	}
+	return resp
+}
+
+// serveLrcDiff answers a diff request from the node's writer store,
+// materializing pending diffs first — the "created lazily at the first
+// remote request" half of the engine. Never blocks.
+func (n *Node) serveLrcDiff(p rt.Proc, m wire.LrcDiffReq) {
+	sets := make([]wire.LrcDiffSet, 0, len(m.Addrs))
+	for i, a := range m.Addrs {
+		if e, ok := n.dir.Lookup(a); ok && e.Lrc != nil {
+			n.lrcMaterialize(p, e)
+		}
+		var after uint32
+		if i < len(m.After) {
+			after = m.After[i]
+		}
+		sets = append(sets, wire.LrcDiffSet{Addr: a, Records: n.lrc.RecordsAfter(a, after)})
+		p.Advance(n.sys.cost.LrcDiffFetchCPU)
+	}
+	n.sys.tr.Send(p, n.id, int(m.Requester), wire.LrcDiffResp{Token: m.Token, Sets: sets})
+}
+
+// lrcApply merges fetched diff records into the entry's page (and twin,
+// so the node's own later diff stays clean of them) in happens-before
+// order, then advances the applied vector. Mutations per record complete
+// before the record's charge.
+func (n *Node) lrcApply(p rt.Proc, e *directory.Entry, sets []lrc.WriterRecords) {
+	st := n.lrcState(e)
+	for _, or := range lrc.Order(sets) {
+		r := or.Rec
+		switch {
+		case r.Full != nil:
+			if len(r.Full) != e.Size {
+				fail(n.id, e.Start, "lrc apply",
+					fmt.Sprintf("full record sized %d for object sized %d", len(r.Full), e.Size))
+			}
+			n.writeObjectData(e, r.Full)
+			if e.Twin != nil {
+				copy(e.Twin, r.Full)
+			}
+			n.UpdatesApply++
+			advance(p, n.sys.cost.CopyCost(e.Size))
+		case !diffenc.Empty(r.Diff):
+			cur := n.readObject(e)
+			dst, err := diffenc.Decode(cur, r.Diff)
+			if err != nil {
+				fail(n.id, e.Start, "lrc apply", err.Error())
+			}
+			n.writeObjectData(e, cur)
+			if e.Twin != nil {
+				if _, err := diffenc.Decode(e.Twin, r.Diff); err != nil {
+					fail(n.id, e.Start, "lrc apply", "twin merge: "+err.Error())
+				}
+			}
+			n.UpdatesApply++
+			advance(p, n.sys.cost.DiffDecodePerWord*rt.Time(dst.Changed)+
+				n.sys.cost.DiffDecodePerRun*rt.Time(dst.Runs))
+		}
+	}
+	for _, s := range sets {
+		// Advance only to what the request covered (plus records the
+		// writer volunteered beyond it) — never to notices that arrived
+		// mid-fetch, whose diffs this response does not carry.
+		have := st.Applied[s.Writer]
+		if s.UpTo > have {
+			have = s.UpTo
+		}
+		for _, r := range s.Records {
+			if r.Last > have {
+				have = r.Last
+			}
+		}
+		st.Applied[s.Writer] = have
+	}
+}
+
+// lrcBringCurrent makes the entry's local copy current with respect to
+// every write notice this node has seen: fetch a base from the home if
+// none is held, then pull and apply the missing diffs writer by writer.
+// The caller holds the entry's semaphore.
+func (n *Node) lrcBringCurrent(t *Thread, e *directory.Entry) {
+	if !e.Valid {
+		n.lrcFetchBase(t, e)
+	}
+	st := n.lrcState(e)
+	var sets []lrc.WriterRecords
+	// A freshly fetched base may lack this node's OWN committed records
+	// (the home serves what it has applied, which need not include
+	// them): replay the missing ones from the local store, no messages.
+	if own := n.lrc.RecordsAfter(e.Start, st.Applied[n.id]); len(own) > 0 {
+		sets = append(sets, lrc.WriterRecords{
+			Writer: n.id, UpTo: n.lrc.LastRecord(e.Start), Records: own,
+		})
+	}
+	for _, j := range n.lrc.NeedsFrom(e.Start, st.Applied) {
+		// Snapshot the noticed interval before the fetch yields: the
+		// response covers exactly this much.
+		upTo := n.lrc.Noticed(e.Start)[j]
+		resp := n.lrcDiffFetch(t, j, []vm.Addr{e.Start}, []uint32{st.Applied[j]})
+		var recs []wire.LrcRecord
+		if len(resp.Sets) > 0 {
+			recs = resp.Sets[0].Records
+		}
+		sets = append(sets, lrc.WriterRecords{Writer: j, UpTo: upTo, Records: recs})
+	}
+	if len(sets) == 0 {
+		return
+	}
+	n.lrcApply(t.proc, e, sets)
+}
+
+// lrcAcquireRefresh is the acquire-directed propagation step: after
+// absorbing a grant's or barrier release's write notices, refresh every
+// stale copy this node holds, batching the diff requests per writer
+// (one request/response pair per writer regardless of how many objects
+// it dirtied — the batching that replaces the eager flush's one update
+// per (writer, holder, flush)). Copies this node does not hold are left
+// alone; a later fault pulls them base-plus-diffs on demand.
+func (n *Node) lrcAcquireRefresh(t *Thread) {
+	var stale []*directory.Entry
+	for _, e := range n.dir.Entries() {
+		if lazyManaged(e) && n.lrcNeeds(e) {
+			stale = append(stale, e)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	// Entries() is address-ascending; acquiring the semaphores in that
+	// order cannot cycle with the fault path (which holds one).
+	for _, e := range stale {
+		e.Sem.Acquire(t.proc)
+	}
+	defer func() {
+		for i := len(stale) - 1; i >= 0; i-- {
+			stale[i].Sem.Release()
+		}
+	}()
+	// Recheck after the waits (another thread may have refreshed or the
+	// copy may have been dropped) and group the remaining needs.
+	perWriter := make(map[int][]*directory.Entry)
+	for _, e := range stale {
+		if !e.Valid {
+			continue
+		}
+		for _, j := range n.lrc.NeedsFrom(e.Start, n.lrcState(e).Applied) {
+			perWriter[j] = append(perWriter[j], e)
+		}
+	}
+	if len(perWriter) == 0 {
+		return
+	}
+	writers := make([]int, 0, len(perWriter))
+	for j := range perWriter {
+		writers = append(writers, j)
+	}
+	sort.Ints(writers)
+	perEntry := make(map[*directory.Entry][]lrc.WriterRecords)
+	for _, j := range writers {
+		es := perWriter[j]
+		addrs := make([]vm.Addr, len(es))
+		after := make([]uint32, len(es))
+		upTo := make([]uint32, len(es))
+		for i, e := range es {
+			addrs[i] = e.Start
+			after[i] = e.Lrc.Applied[j]
+			// Snapshot before the fetch yields (see lrcBringCurrent).
+			upTo[i] = n.lrc.Noticed(e.Start)[j]
+		}
+		resp := n.lrcDiffFetch(t, j, addrs, after)
+		for i, e := range es {
+			var recs []wire.LrcRecord
+			if i < len(resp.Sets) {
+				recs = resp.Sets[i].Records
+			}
+			perEntry[e] = append(perEntry[e], lrc.WriterRecords{Writer: j, UpTo: upTo[i], Records: recs})
+		}
+	}
+	for _, e := range stale {
+		if sets := perEntry[e]; len(sets) > 0 && e.Valid {
+			n.lrcApply(t.proc, e, sets)
+		}
+	}
+}
+
+// lrcFloors computes this node's applied floors: per writer, the lowest
+// interval some base this node holds (a live copy, or the home backing
+// that would serve a future fetch) still lacks; the writer's diffs at or
+// below the floor minus one must be kept. Capped at the node's own
+// vector timestamp — it cannot vouch for intervals it has not seen.
+func (n *Node) lrcFloors() []uint32 {
+	fl := n.lrc.VT()
+	for _, e := range n.dir.Entries() {
+		if !lazyManaged(e) || e.Lrc == nil {
+			continue
+		}
+		hasBase := e.Valid || (e.Home == n.id && e.Backing != nil)
+		if !hasBase {
+			continue
+		}
+		noticed := n.lrc.Noticed(e.Start)
+		if noticed == nil {
+			continue
+		}
+		for j := range fl {
+			if j == n.id {
+				continue
+			}
+			if noticed[j] > e.Lrc.Applied[j] && e.Lrc.Applied[j] < fl[j] {
+				fl[j] = e.Lrc.Applied[j]
+			}
+		}
+	}
+	return fl
+}
+
+// serveLrcGC applies a garbage-collection floor broadcast by a barrier
+// master.
+func (n *Node) serveLrcGC(m wire.LrcGC) {
+	n.lrc.GC(m.Floors)
+}
+
+// lrcDrop folds a dying local copy back into the lazy bookkeeping before
+// dropObject unmaps it: pending diffs materialize (the record store is
+// the propagation medium — dropping the twin would lose them), and at
+// the home the page content refreshes the backing so future base fetches
+// serve it with the entry's applied vector intact. Non-home drops reset
+// the applied vector; the next fetch overwrites it.
+func (n *Node) lrcDrop(p rt.Proc, e *directory.Entry) {
+	if !e.Valid {
+		return
+	}
+	n.lrcMaterialize(p, e)
+	if e.Home == n.id {
+		e.Backing = n.readObject(e)
+		e.BackingStale = false
+	} else {
+		e.Lrc = directory.NewLrcEntry(n.sys.Nodes())
+	}
+}
+
+// --- lazy synchronization message handling ---
+
+// lrcLockAcquire runs the remote-acquire path under the lazy engine: the
+// request carries the acquirer's vector timestamp, the grant returns the
+// releaser's plus the missing write notices (the acquire-with-notices
+// grant), and departing the acquire refreshes the stale copies this node
+// holds.
+func (n *Node) lrcLockAcquire(t *Thread, id int, se *directory.SynchEntry) {
+	p := t.proc
+	grant := n.rpc(t, se.ProbOwner, pendKey{pendLock, uint64(id)},
+		wire.LrcLockAcq{Lock: uint32(id), Requester: uint8(n.id), VT: n.lrc.VT()}).(wire.LrcLockGrant)
+	n.lockPend[id] = false
+	se.Owned = true
+	se.Held = true
+	n.locksHeld++
+	se.ProbOwner = n.id
+	se.Tail = int(grant.Tail)
+	n.redispatchLockChase(p, id)
+	n.drainPendingAll(p)
+	n.lrcAbsorb(p, grant.VT, grant.Notices)
+	n.lrcAcquireRefresh(t)
+	n.applyGrantUpdates(t, grant.Updates, se)
+}
+
+// sendLockGrant transfers lock ownership to dst: the eager grant, or the
+// lazy acquire-with-notices grant tailored to the acquirer's vector
+// timestamp. Both piggyback the associated objects' data (lazily managed
+// associates are excluded — their consistency travels as notices).
+func (n *Node) sendLockGrant(p rt.Proc, id int, se *directory.SynchEntry, dst, tail int, reqVT []uint32) {
+	if n.lrc != nil {
+		n.sys.tr.Send(p, n.id, dst, wire.LrcLockGrant{
+			Lock: uint32(id), Tail: uint8(tail),
+			VT:      n.lrc.VT(),
+			Notices: n.lrc.NoticesSince(reqVT),
+			Updates: n.lockPiggyback(p, se),
+		})
+		return
+	}
+	n.sys.tr.Send(p, n.id, dst, wire.LockGrant{
+		Lock: uint32(id), Tail: uint8(tail), Updates: n.lockPiggyback(p, se),
+	})
+}
+
+// lrcSuccVT returns (and forgets) the enqueued successor's vector
+// timestamp for the lock; a missing record degrades to "send everything
+// above the floor" (zeros), which is correct, just fatter.
+func (n *Node) lrcSuccVT(id int) []uint32 {
+	vt := n.lockSuccVT[id]
+	delete(n.lockSuccVT, id)
+	if vt == nil {
+		vt = make([]uint32, n.sys.Nodes())
+	}
+	return vt
+}
+
+// serveLrcLockSetSucc records the successor and its vector timestamp.
+func (n *Node) serveLrcLockSetSucc(m wire.LrcLockSetSucc) {
+	se := n.mustSynch(int(m.Lock), directory.SynchLock)
+	if se.Succ >= 0 {
+		fail(n.id, 0, "lock enqueue", fmt.Sprintf("lock %d successor already set (succ=%d, SetSucc %d)", m.Lock, se.Succ, m.Succ))
+	}
+	se.Succ = int(m.Succ)
+	n.lockSuccVT[int(m.Lock)] = append([]uint32(nil), m.VT...)
+}
+
+// --- lazy barrier handling ---
+
+// lrcBarrierArrive sends (or locally records) a barrier arrival with the
+// lazy payload: vector timestamp, write notices above the sender's
+// floor, and the sender's applied floors for garbage collection.
+func (n *Node) lrcBarrierArrive(p rt.Proc, id int, se *directory.SynchEntry) {
+	if se.Home == n.id {
+		se.Arrived++
+		n.lrcNoteArrival(id, n.id, n.lrc.VT(), n.lrcFloors(), true)
+		n.checkBarrier(p, id, se)
+		return
+	}
+	n.sys.tr.Send(p, n.id, se.Home, wire.LrcBarrierArrive{
+		Barrier: uint32(id), From: uint8(n.id),
+		VT:      n.lrc.VT(),
+		Floors:  n.lrcFloors(),
+		Notices: n.lrc.NoticesSince(n.lrc.Floor()),
+	})
+}
+
+// serveLrcBarrierArrive counts a remote lazy arrival at the barrier's
+// master, absorbing its notices and min-merging its floors.
+func (n *Node) serveLrcBarrierArrive(p rt.Proc, m wire.LrcBarrierArrive) {
+	id := int(m.Barrier)
+	p.Advance(n.sys.cost.BarrierHandlerCPU)
+	se := n.mustSynch(id, directory.SynchBarrier)
+	if se.Home != n.id {
+		fail(n.id, 0, "barrier", fmt.Sprintf("lazy arrival for barrier %d at non-master node", id))
+	}
+	n.lrcAbsorb(p, m.VT, m.Notices)
+	se.Arrived++
+	n.barrierFrom[id] = append(n.barrierFrom[id], int(m.From))
+	n.lrcNoteArrival(id, int(m.From), m.VT, m.Floors, false)
+	n.checkBarrier(p, id, se)
+}
+
+// lrcNoteArrival accumulates one barrier arrival's lazy payload at the
+// master: its vector timestamp (for per-destination notice tailoring)
+// and its floors (for garbage collection). local marks the master's own
+// arrivals, which contribute floors but need no release message.
+func (n *Node) lrcNoteArrival(id, from int, vt, floors []uint32, local bool) {
+	if !local {
+		n.barrierVTs[id] = append(n.barrierVTs[id], vt)
+	}
+	n.barrierFloors[id] = lrc.MinFloors(n.barrierFloors[id], floors)
+	if n.barrierNodes[id] == nil {
+		n.barrierNodes[id] = make(map[int]bool)
+	}
+	n.barrierNodes[id][from] = true
+}
+
+// lrcBarrierComplete releases a lazy barrier: one acquire-with-notices
+// release per remote arrival (or per tree child), each tailored to what
+// the arrival had seen, then the knowledge floor advances and — when
+// every node of the machine took part — the merged applied floors are
+// broadcast as the garbage-collection message.
+func (n *Node) lrcBarrierComplete(p rt.Proc, id int, from []int) {
+	mergedVT := n.lrc.VT()
+	vts := n.barrierVTs[id]
+	n.barrierVTs[id] = nil
+	if n.sys.cfg.BarrierTree {
+		nodes := dedupeNodes(from)
+		// One payload for the whole tree: notices above the lowest
+		// arrival timestamp cover every destination.
+		minVT := append([]uint32(nil), mergedVT...)
+		for _, vt := range vts {
+			minVT = lrc.MinFloors(minVT, vt)
+		}
+		n.lrcTreeRelease(p, id, nodes, mergedVT, n.lrc.NoticesSince(minVT))
+	} else {
+		for i, src := range from {
+			p.Advance(n.sys.cost.BarrierHandlerCPU)
+			var vt []uint32
+			if i < len(vts) {
+				vt = vts[i]
+			}
+			n.sys.tr.Send(p, n.id, src, wire.LrcBarrierRelease{
+				Barrier: uint32(id), VT: mergedVT, Notices: n.lrc.NoticesSince(vt),
+			})
+		}
+	}
+	n.lrc.AdvanceFloor(mergedVT)
+
+	floors := n.barrierFloors[id]
+	n.barrierFloors[id] = nil
+	contributors := n.barrierNodes[id]
+	n.barrierNodes[id] = nil
+	if len(contributors) == n.sys.Nodes() && n.lrcFloorsAdvanced(floors) {
+		for dst := 0; dst < n.sys.Nodes(); dst++ {
+			if dst != n.id {
+				n.sys.tr.Send(p, n.id, dst, wire.LrcGC{Floors: floors})
+			}
+		}
+		n.lrc.GC(floors)
+		copy(n.lrcLastGC, floors)
+	}
+}
+
+// lrcFloorsAdvanced reports whether the floors gained on the last
+// garbage-collection broadcast (an all-zero or repeated floor is not
+// worth N-1 messages).
+func (n *Node) lrcFloorsAdvanced(floors []uint32) bool {
+	if floors == nil {
+		return false
+	}
+	for j, f := range floors {
+		if j < len(n.lrcLastGC) && f > n.lrcLastGC[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// lrcTreeRelease fans a lazy barrier release down the tree, every
+// message carrying the same merged timestamp and notice payload.
+func (n *Node) lrcTreeRelease(p rt.Proc, id int, nodes []int, vt []uint32, notices []wire.LrcInterval) {
+	fanout := n.sys.cfg.BarrierFanout
+	if fanout <= 1 {
+		fanout = 4
+	}
+	if len(nodes) == 0 {
+		return
+	}
+	k := fanout
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	rest := nodes[k:]
+	for i := 0; i < k; i++ {
+		child := nodes[i]
+		var sub []uint8
+		for j := i; j < len(rest); j += k {
+			sub = append(sub, uint8(rest[j]))
+		}
+		p.Advance(n.sys.cost.BarrierHandlerCPU)
+		n.sys.tr.Send(p, n.id, child, wire.LrcBarrierRelease{
+			Barrier: uint32(id), Tree: true, Subtree: sub, VT: vt, Notices: notices,
+		})
+	}
+}
+
+// --- post-run reconciliation ---
+
+// finishLazy makes a finished lazy run's shared memory well defined for
+// inspection, exactly once: every pending or still-open interval
+// materializes into the record stores, and then every surviving base
+// (live copies everywhere, the backing at each home) applies the records
+// it lacks, in happens-before order. After it, ObjectData/FinalImage
+// behave as after an eager run: every surviving copy is current.
+func (s *System) finishLazy() {
+	if !s.cfg.Lazy {
+		return
+	}
+	s.lazyOnce.Do(func() {
+		// 1. Materialize every twin still alive: pending closed
+		// intervals, and unreleased writes at run end (closed into one
+		// final virtual interval so they enter the record store, as an
+		// eager run's final image would have carried them in a copy).
+		for _, n := range s.nodes {
+			for _, e := range n.dir.Entries() {
+				if !lazyManaged(e) || e.Twin == nil || !e.Valid {
+					continue
+				}
+				st := n.lrcState(e)
+				if e.Enqueued {
+					n.duq.Remove(e)
+				}
+				if st.PendFirst == 0 && e.Modified {
+					ivl := n.lrc.CloseInterval([]vm.Addr{e.Start})
+					st.PendFirst, st.PendLast = ivl, ivl
+					st.PendVT = n.lrc.VT()
+					st.Applied[n.id] = ivl
+					e.Modified = false
+				}
+				if st.PendFirst != 0 {
+					n.lrcMaterialize(nil, e)
+				} else {
+					duq.DropTwin(e)
+				}
+			}
+		}
+		// 2. Collect every node's record store per object.
+		recs := make(map[vm.Addr][]lrc.WriterRecords)
+		for _, n := range s.nodes {
+			for _, a := range n.lrc.RecordAddrs() {
+				recs[a] = append(recs[a], lrc.WriterRecords{
+					Writer: n.id, Records: n.lrc.RecordsAfter(a, 0),
+				})
+			}
+		}
+		// 3. Reconcile every surviving base against the records it has
+		// not incorporated.
+		for _, n := range s.nodes {
+			for _, e := range n.dir.Entries() {
+				if !lazyManaged(e) {
+					continue
+				}
+				switch {
+				case e.Valid:
+					n.lazyFinishBase(e, recs[e.Start], false)
+				case e.Home == n.id && e.Backing != nil:
+					n.lazyFinishBase(e, recs[e.Start], true)
+				}
+			}
+		}
+	})
+}
+
+// lazyFinishBase applies, post-run, the records the base (live page, or
+// home backing) has not incorporated, in happens-before order.
+func (n *Node) lazyFinishBase(e *directory.Entry, sets []lrc.WriterRecords, backing bool) {
+	st := n.lrcState(e)
+	var pend []lrc.WriterRecords
+	for _, s := range sets {
+		var keep []wire.LrcRecord
+		for _, r := range s.Records {
+			if r.Last > st.Applied[s.Writer] {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) > 0 {
+			pend = append(pend, lrc.WriterRecords{Writer: s.Writer, Records: keep})
+		}
+	}
+	if len(pend) == 0 {
+		return
+	}
+	var data []byte
+	if backing {
+		data = append([]byte(nil), e.Backing...)
+	} else {
+		data = n.readObject(e)
+	}
+	for _, or := range lrc.Order(pend) {
+		r := or.Rec
+		switch {
+		case r.Full != nil:
+			copy(data, r.Full)
+		case !diffenc.Empty(r.Diff):
+			if _, err := diffenc.Decode(data, r.Diff); err != nil {
+				panic(fmt.Sprintf("core: node %d post-run reconcile of %#x: %v", n.id, e.Start, err))
+			}
+		}
+		if r.Last > st.Applied[or.Writer] {
+			st.Applied[or.Writer] = r.Last
+		}
+	}
+	if backing {
+		e.Backing = data
+	} else {
+		n.writeObjectData(e, data)
+	}
+}
+
+// LrcStats aggregates the lazy engine's counters across nodes
+// (zero-valued when the run was eager).
+func (s *System) LrcStats() lrc.Stats {
+	var st lrc.Stats
+	for _, n := range s.nodes {
+		if n.lrc == nil {
+			continue
+		}
+		e := n.lrc.Stats
+		st.Intervals += e.Intervals
+		st.NoticesSent += e.NoticesSent
+		st.NoticesAbsorbed += e.NoticesAbsorbed
+		st.DiffRequests += e.DiffRequests
+		st.RecordsFetched += e.RecordsFetched
+		st.RecordsMaterialized += e.RecordsMaterialized
+		st.RecordsServed += e.RecordsServed
+		st.RecordsGCed += e.RecordsGCed
+		st.NoticesGCed += e.NoticesGCed
+	}
+	return st
+}
+
+// serveLrcBarrierRelease wakes threads blocked at a lazy barrier,
+// absorbing the release's notices and advancing the knowledge floor
+// first so the departing threads' acquire refresh sees them.
+func (n *Node) serveLrcBarrierRelease(p rt.Proc, m wire.LrcBarrierRelease) {
+	id := int(m.Barrier)
+	n.lrcAbsorb(p, m.VT, m.Notices)
+	n.lrc.AdvanceFloor(m.VT)
+	ws := n.barrierWait[id]
+	if m.Tree {
+		if len(m.Subtree) > 0 {
+			nodes := make([]int, len(m.Subtree))
+			for i, b := range m.Subtree {
+				nodes[i] = int(b)
+			}
+			n.lrcTreeRelease(p, id, nodes, m.VT, m.Notices)
+		}
+		n.barrierWait[id] = nil
+		for _, f := range ws {
+			f.Complete(nil)
+		}
+		return
+	}
+	if len(ws) == 0 {
+		fail(n.id, 0, "barrier", fmt.Sprintf("lazy release for barrier %d with no local waiters", id))
+	}
+	n.barrierWait[id] = ws[1:]
+	ws[0].Complete(nil)
+}

@@ -7,6 +7,7 @@ import (
 	"munin/internal/diffenc"
 	"munin/internal/directory"
 	"munin/internal/duq"
+	"munin/internal/lrc"
 	"munin/internal/network"
 	"munin/internal/protocol"
 	"munin/internal/rt"
@@ -26,6 +27,9 @@ const (
 	pendReduce
 	pendDir
 	pendLock
+	// pendLrc keys lazy-engine RPCs by a per-node token instead of an
+	// address: the batched acquire refresh is not per-object serialized.
+	pendLrc
 )
 
 type pendKey struct {
@@ -77,12 +81,12 @@ type Node struct {
 	barrierFrom map[int][]int
 	// lockWait holds local threads queued behind a local holder, and
 	// lockPend marks an in-flight remote acquire. lockChase parks lock
-	// request chases that dead-ended here on a stale probable-owner hint
-	// (see serveLockAcq); they re-dispatch when ownership knowledge
-	// refreshes.
+	// request chases (eager or lazy form) that dead-ended here on a
+	// stale probable-owner hint (see serveLockRequest); they re-dispatch
+	// when ownership knowledge refreshes.
 	lockWait  map[int][]rt.Future
 	lockPend  map[int]bool
-	lockChase map[int][]wire.LockAcq
+	lockChase map[int][]wire.Message
 
 	// Stats
 	ReadMisses    int
@@ -114,6 +118,23 @@ type Node struct {
 	adaptEng  *adapt.Engine
 	annotWait map[vm.Addr]rt.Future
 	locksHeld int
+
+	// lrc is the lazy release consistency engine; nil unless
+	// Config.Lazy. lrcToken numbers lazy RPCs so concurrent requests
+	// from different local threads route their responses independently.
+	// lockSuccVT remembers, per lock, the enqueued successor's vector
+	// timestamp so the eventual grant carries exactly the notices it
+	// lacks. barrierVTs/barrierFloors/barrierNodes accumulate, at a
+	// barrier master, the current episode's arrival timestamps, merged
+	// applied floors and contributor set; lrcLastGC is the floor of the
+	// last garbage-collection broadcast.
+	lrc           *lrc.Engine
+	lrcToken      uint32
+	lockSuccVT    map[int][]uint32
+	barrierVTs    map[int][][]uint32
+	barrierFloors map[int][]uint32
+	barrierNodes  map[int]map[int]bool
+	lrcLastGC     []uint32
 	// AdaptApplied counts annotation switches applied at this node.
 	AdaptApplied int
 
@@ -225,7 +246,7 @@ func newNode(s *System, id int) *Node {
 		barrierFrom:   make(map[int][]int),
 		lockWait:      make(map[int][]rt.Future),
 		lockPend:      make(map[int]bool),
-		lockChase:     make(map[int][]wire.LockAcq),
+		lockChase:     make(map[int][]wire.Message),
 		fetchStash:    make(map[vm.Addr][]wire.UpdateEntry),
 		deferredReads: make(map[vm.Addr][]wire.ReadReq),
 		deferredChase: make(map[vm.Addr][]wire.Message),
@@ -233,6 +254,14 @@ func newNode(s *System, id int) *Node {
 	if s.cfg.PendingUpdates {
 		n.puq = newPendingUpdates()
 		n.puqSem = s.tr.NewSemaphore(id, fmt.Sprintf("puq[%d]", id), 1)
+	}
+	if s.cfg.Lazy {
+		n.lrc = lrc.New(id, s.cfg.Processors)
+		n.lockSuccVT = make(map[int][]uint32)
+		n.barrierVTs = make(map[int][][]uint32)
+		n.barrierFloors = make(map[int][]uint32)
+		n.barrierNodes = make(map[int]map[int]bool)
+		n.lrcLastGC = make([]uint32, s.cfg.Processors)
 	}
 	if s.cfg.Adaptive {
 		n.adaptEng = adapt.New(adapt.Config{
@@ -322,6 +351,27 @@ func (n *Node) dispatch(p rt.Proc, env network.Envelope) {
 		n.serveBarrierArrive(p, m)
 	case wire.BarrierRelease:
 		n.serveBarrierRelease(p, m)
+
+	case wire.LrcLockAcq:
+		n.serveLockRequest(p, m, int(m.Lock), int(m.Requester), m.VT)
+	case wire.LrcLockSetSucc:
+		n.serveLrcLockSetSucc(m)
+	case wire.LrcLockGrant:
+		n.complete(pendKey{pendLock, uint64(m.Lock)}, m)
+	case wire.LrcBarrierArrive:
+		n.serveLrcBarrierArrive(p, m)
+	case wire.LrcBarrierRelease:
+		n.serveLrcBarrierRelease(p, m)
+	case wire.LrcDiffReq:
+		n.serveLrcDiff(p, m)
+	case wire.LrcDiffResp:
+		n.complete(pendKey{pendLrc, uint64(m.Token)}, m)
+	case wire.LrcFetchReq:
+		n.serveLrcFetch(p, m)
+	case wire.LrcFetchResp:
+		n.complete(pendKey{pendLrc, uint64(m.Token)}, m)
+	case wire.LrcGC:
+		n.serveLrcGC(m)
 
 	case wire.ReadReply:
 		n.complete(pendKey{pendRead, uint64(m.Addr)}, m)
@@ -580,6 +630,12 @@ func (n *Node) protectObject(p rt.Proc, e *directory.Entry, prot vm.Prot) {
 
 // dropObject unmaps the entry's pages and invalidates the local copy.
 func (n *Node) dropObject(p rt.Proc, e *directory.Entry) {
+	if n.lazy(e) {
+		// Materialize pending diffs (the record store is the lazy
+		// engine's propagation medium) and, at the home, fold the page
+		// back into the backing so future base fetches stay current.
+		n.lrcDrop(p, e)
+	}
 	for _, base := range n.pagesOf(e) {
 		if _, ok := n.space.Lookup(base); ok {
 			n.space.Unmap(base)

@@ -139,6 +139,15 @@ func (n *Node) flushObject(t *Thread, addr vm.Addr) {
 	n.flushSem.Acquire(t.proc)
 	defer n.flushSem.Release()
 	n.duq.Remove(e)
+	if n.lazy(e) {
+		// The lazy engine cannot push (nobody has asked); the closest
+		// honest equivalent is closing an interval over just this
+		// object and materializing its diff eagerly, so the first
+		// request is served without encode latency.
+		n.lrcCloseEntries(t.proc, []*directory.Entry{e})
+		n.lrcMaterialize(t.proc, e)
+		return
+	}
 	n.flushEntries(t, []*directory.Entry{e})
 }
 
@@ -150,6 +159,19 @@ func (n *Node) invalidateObject(t *Thread, addr vm.Addr) {
 	e := n.entry(t, addr)
 	n.drainPendingObject(p, e.Start)
 	if !e.Valid {
+		return
+	}
+	if n.lazy(e) {
+		// Close any open interval so the buffered writes get notices;
+		// dropObject's lazy hook materializes the diffs (the record
+		// store preserves the data) and refreshes the home backing.
+		if e.Enqueued {
+			n.flushSem.Acquire(p)
+			n.duq.Remove(e)
+			n.lrcCloseEntries(p, []*directory.Entry{e})
+			n.flushSem.Release()
+		}
+		n.dropObject(p, e)
 		return
 	}
 	if e.Enqueued {
@@ -181,6 +203,11 @@ func (n *Node) preAcquire(t *Thread, addr vm.Addr) {
 	e := n.entry(t, addr)
 	e.Sem.Acquire(t.proc)
 	defer e.Sem.Release()
+	if n.lazy(e) {
+		n.drainPendingObject(t.proc, e.Start)
+		n.lrcBringCurrent(t, e)
+		return
+	}
 	if e.Valid {
 		return
 	}
@@ -234,6 +261,10 @@ func (n *Node) purgeSharing(p rt.Proc, e *directory.Entry) {
 // hence the parameter bits) everywhere.
 func (n *Node) changeAnnotation(t *Thread, addr vm.Addr, annot protocol.Annotation) {
 	e := n.entry(t, addr)
+	if n.lrc != nil && (lazyManaged(e) || lazyManaged(&directory.Entry{Params: annot.Params()})) {
+		fail(n.id, e.Start, "change annotation",
+			"ChangeAnnotation into or out of a lazily managed protocol is not supported under the lazy consistency engine")
+	}
 	n.drainPendingObject(t.proc, e.Start)
 	if e.Enqueued {
 		n.flushSem.Acquire(t.proc)

@@ -35,6 +35,12 @@ func (n *Node) acquireLock(t *Thread, id int) {
 		return
 	}
 	n.lockPend[id] = true
+	if n.lrc != nil {
+		// Lazy engine: the request carries our vector timestamp, the
+		// grant brings back the write notices we lack (see lrc.go).
+		n.lrcLockAcquire(t, id, se)
+		return
+	}
 	grant := n.rpc(t, se.ProbOwner, pendKey{pendLock, uint64(id)},
 		wire.LockAcq{Lock: uint32(id), Requester: uint8(n.id)}).(wire.LockGrant)
 	n.lockPend[id] = false
@@ -50,10 +56,16 @@ func (n *Node) acquireLock(t *Thread, id int) {
 	n.redispatchLockChase(p, id)
 	// Acquire semantics: queued incoming updates become visible now.
 	n.drainPendingAll(p)
-	// Apply piggybacked data for objects associated with this lock
-	// (AssociateDataAndSynch): the consistency information travels in the
-	// message that passes lock ownership (§2.5).
-	for _, u := range grant.Updates {
+	n.applyGrantUpdates(t, grant.Updates, se)
+}
+
+// applyGrantUpdates applies the data piggybacked on a lock grant for
+// objects associated with the lock (AssociateDataAndSynch): the
+// consistency information travels in the message that passes lock
+// ownership (§2.5).
+func (n *Node) applyGrantUpdates(t *Thread, updates []wire.UpdateEntry, se *directory.SynchEntry) {
+	p := t.proc
+	for _, u := range updates {
 		e := n.entry(t, u.Addr)
 		n.applyUpdate(p, e, u, se.ProbOwner)
 		if e.Annot == protocol.Migratory {
@@ -68,7 +80,11 @@ func (n *Node) acquireLock(t *Thread, id int) {
 // then hand the lock to a local waiter or the distributed queue's head.
 func (n *Node) releaseLock(t *Thread, id int) {
 	p := t.proc
-	n.releaseFlush(t)
+	if n.lrc != nil {
+		n.lrcRelease(t)
+	} else {
+		n.releaseFlush(t)
+	}
 	n.adaptAtRelease(t)
 	p.Advance(n.sys.cost.LockHandlerCPU)
 	se := n.mustSynch(id, directory.SynchLock)
@@ -77,7 +93,9 @@ func (n *Node) releaseLock(t *Thread, id int) {
 	}
 	n.locksHeld--
 	if ws := n.lockWait[id]; len(ws) > 0 {
-		// Hand directly to a local waiter; ownership and Held stay.
+		// Hand directly to a local waiter; ownership and Held stay (and
+		// under the lazy engine the waiter shares this node's timestamp
+		// and notice state, so nothing needs to travel).
 		n.lockWait[id] = ws[1:]
 		ws[0].Complete(nil)
 		return
@@ -92,9 +110,11 @@ func (n *Node) releaseLock(t *Thread, id int) {
 		if tail == n.id {
 			tail = succ
 		}
-		n.sys.tr.Send(p, n.id, succ, wire.LockGrant{
-			Lock: uint32(id), Tail: uint8(tail), Updates: n.lockPiggyback(p, se),
-		})
+		var succVT []uint32
+		if n.lrc != nil {
+			succVT = n.lrcSuccVT(id)
+		}
+		n.sendLockGrant(p, id, se, succ, tail, succVT)
 		n.notifyLockHome(p, se, id, succ)
 		n.redispatchLockChase(p, id)
 		return
@@ -131,16 +151,27 @@ func (n *Node) redispatchLockChase(p rt.Proc, id int) {
 	}
 	delete(n.lockChase, id)
 	for _, m := range ms {
-		n.serveLockAcq(p, m)
+		switch mm := m.(type) {
+		case wire.LockAcq:
+			n.serveLockAcq(p, mm)
+		case wire.LrcLockAcq:
+			n.serveLockRequest(p, mm, int(mm.Lock), int(mm.Requester), mm.VT)
+		default:
+			panic(fmt.Sprintf("core: node %d cannot re-dispatch parked lock chase %T", n.id, m))
+		}
 	}
 }
 
-// serveLockAcq handles a remote acquire at this node: grant if we own a
-// free lock, enqueue at the distributed queue's tail if it is busy, or
-// forward along the probable-owner chain.
+// serveLockAcq handles an eager remote acquire.
 func (n *Node) serveLockAcq(p rt.Proc, m wire.LockAcq) {
-	id := int(m.Lock)
-	req := int(m.Requester)
+	n.serveLockRequest(p, m, int(m.Lock), int(m.Requester), nil)
+}
+
+// serveLockRequest handles a remote acquire (eager LockAcq or lazy
+// LrcLockAcq, whose vector timestamp is reqVT) at this node: grant if we
+// own a free lock, enqueue at the distributed queue's tail if it is
+// busy, or forward along the probable-owner chain.
+func (n *Node) serveLockRequest(p rt.Proc, m wire.Message, id, req int, reqVT []uint32) {
 	p.Advance(n.sys.cost.LockHandlerCPU)
 	se := n.mustSynch(id, directory.SynchLock)
 	if !se.Owned {
@@ -168,9 +199,7 @@ func (n *Node) serveLockAcq(p rt.Proc, m wire.LockAcq) {
 		// Free: transfer ownership directly to the requester.
 		se.Owned = false
 		se.ProbOwner = req
-		n.sys.tr.Send(p, n.id, req, wire.LockGrant{
-			Lock: uint32(id), Tail: uint8(req), Updates: n.lockPiggyback(p, se),
-		})
+		n.sendLockGrant(p, id, se, req, req, reqVT)
 		n.notifyLockHome(p, se, id, req)
 		n.redispatchLockChase(p, id)
 		return
@@ -189,6 +218,11 @@ func (n *Node) serveLockAcq(p rt.Proc, m wire.LockAcq) {
 			fail(n.id, 0, "lock enqueue", fmt.Sprintf("lock %d successor already set (succ=%d, enqueuing %d)", id, se.Succ, req))
 		}
 		se.Succ = req
+		if n.lrc != nil {
+			n.lockSuccVT[id] = append([]uint32(nil), reqVT...)
+		}
+	} else if n.lrc != nil {
+		n.sys.tr.Send(p, n.id, prevTail, wire.LrcLockSetSucc{Lock: uint32(id), Succ: uint8(req), VT: reqVT})
 	} else {
 		n.sys.tr.Send(p, n.id, prevTail, wire.LockSetSucc{Lock: uint32(id), Succ: uint8(req)})
 	}
@@ -220,6 +254,12 @@ func (n *Node) lockPiggyback(p rt.Proc, se *directory.SynchEntry) []wire.UpdateE
 		if !ok {
 			continue
 		}
+		if n.lazy(e) {
+			// Lazily managed associates travel as write notices on the
+			// grant itself; piggybacking a full image would bypass the
+			// interval bookkeeping.
+			continue
+		}
 		n.drainPendingObject(p, e.Start)
 		data := n.currentData(e)
 		if data == nil {
@@ -242,21 +282,32 @@ func (n *Node) lockPiggyback(p rt.Proc, se *directory.SynchEntry) []wire.UpdateE
 // arrival to the barrier's owner node and block until released (§3.4).
 func (n *Node) waitAtBarrier(t *Thread, id int) {
 	p := t.proc
-	n.releaseFlush(t)
+	if n.lrc != nil {
+		n.lrcRelease(t)
+	} else {
+		n.releaseFlush(t)
+	}
 	n.adaptAtRelease(t)
 	p.Advance(n.sys.cost.BarrierHandlerCPU)
 	se := n.mustSynch(id, directory.SynchBarrier)
 	f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("barrier[n%d b%d]", n.id, id))
 	n.barrierWait[id] = append(n.barrierWait[id], f)
-	if se.Home == n.id {
+	if n.lrc != nil {
+		n.lrcBarrierArrive(p, id, se)
+	} else if se.Home == n.id {
 		se.Arrived++
 		n.checkBarrier(p, id, se)
 	} else {
 		n.sys.tr.Send(p, n.id, se.Home, wire.BarrierArrive{Barrier: uint32(id), From: uint8(n.id)})
 	}
 	f.Wait(p)
-	// Departing the barrier is an acquire: queued updates apply now.
+	// Departing the barrier is an acquire: queued updates apply now, and
+	// under the lazy engine the stale copies this node holds refresh
+	// against the release's write notices.
 	n.drainPendingAll(p)
+	if n.lrc != nil {
+		n.lrcAcquireRefresh(t)
+	}
 }
 
 // serveBarrierArrive counts a remote arrival at the barrier's owner node.
@@ -287,6 +338,13 @@ func (n *Node) checkBarrier(p rt.Proc, id int, se *directory.SynchEntry) {
 	n.barrierFrom[id] = nil
 	local := n.barrierWait[id]
 	n.barrierWait[id] = nil
+	if n.lrc != nil {
+		n.lrcBarrierComplete(p, id, from)
+		for _, f := range local {
+			f.Complete(nil)
+		}
+		return
+	}
 	if n.sys.cfg.BarrierTree {
 		// One release per node, fanned out down a tree: the owner
 		// releases its immediate children, each of which wakes its own

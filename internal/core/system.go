@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"munin/internal/directory"
@@ -58,6 +59,15 @@ type Config struct {
 	AdaptMinEvents     int
 	AdaptMinChurn      int
 	AdaptStableFlushes int
+	// Lazy selects the lazy release consistency engine (internal/lrc)
+	// for the DUQ-buffered multiple-writer protocols (write_shared,
+	// producer_consumer): releases close intervals instead of flushing,
+	// write notices ride lock grants and barrier releases, and diffs are
+	// created and fetched on demand at acquires. Every other annotation
+	// keeps its eager machinery. Mutually exclusive with Adaptive (an
+	// online annotation switch would change an object's engine
+	// membership mid-interval; see DESIGN.md).
+	Lazy bool
 	// AwaitUpdateAcks makes a release block until every update it sent is
 	// acknowledged (decoded and merged remotely). The prototype does not
 	// block: it propagates updates at the release and relies on the
@@ -129,6 +139,10 @@ type System struct {
 	// transports threads spawn and finish concurrently.
 	threadSeq atomic.Int64
 	liveUser  atomic.Int64
+
+	// lazyOnce runs the lazy engine's post-run reconciliation exactly
+	// once, before the first state inspection (see finishLazy).
+	lazyOnce sync.Once
 }
 
 // NewSystem builds a machine from declarations. The root node (0) holds
@@ -137,6 +151,9 @@ type System struct {
 func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDecl) *System {
 	if cfg.Processors <= 0 || cfg.Processors > 16 {
 		panic(fmt.Sprintf("core: %d processors outside the prototype's 1–16", cfg.Processors))
+	}
+	if cfg.Lazy && cfg.Adaptive {
+		panic("core: the lazy consistency engine does not compose with the adaptive protocol engine")
 	}
 	if cfg.PageSize == 0 {
 		cfg.PageSize = vm.DefaultPageSize
@@ -294,6 +311,7 @@ func (s *System) Elapsed() rt.Time { return s.tr.Now() }
 // from node i (live copy, or fresh backing at the home), or nil if the
 // node holds no data. Intended for post-run verification.
 func (s *System) ObjectData(i int, addr vm.Addr) []byte {
+	s.finishLazy()
 	n := s.nodes[i]
 	e, ok := n.dir.Lookup(addr)
 	if !ok {

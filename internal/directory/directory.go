@@ -210,10 +210,39 @@ type Entry struct {
 	// and unused unless the runtime is configured adaptive).
 	Acc Access
 
+	// Lrc is the lazy release consistency engine's per-copy interval
+	// state (nil under the eager engine); see internal/lrc.
+	Lrc *LrcEntry
+
 	// Sem serializes protocol operations on the entry across block
 	// points.
 	Sem rt.Semaphore
 }
+
+// LrcEntry tracks, under the lazy release consistency engine, which
+// closed write intervals the entry's local base (the live copy, or the
+// home's backing after a lazy drop refreshed it) has incorporated, and
+// the closed-but-unmaterialized interval range of this node's own
+// buffered writes.
+type LrcEntry struct {
+	// Applied[j] is the highest closed interval of node j whose diffs
+	// are incorporated in the base. For the local node itself it is the
+	// page's own-write coverage (the page always contains its own
+	// stores).
+	Applied []uint32
+	// PendFirst and PendLast bound the closed intervals whose local
+	// writes still live only in the page/twin pair — the diff is
+	// materialized lazily at the first remote request or the next local
+	// write fault. Zero means nothing pending. PendVT is the node's
+	// vector timestamp at PendLast's close — the happens-before stamp
+	// the materialized record will carry.
+	PendFirst uint32
+	PendLast  uint32
+	PendVT    []uint32
+}
+
+// NewLrcEntry returns fresh lazy-engine state for a machine of n nodes.
+func NewLrcEntry(n int) *LrcEntry { return &LrcEntry{Applied: make([]uint32, n)} }
 
 // Contains reports whether addr falls within the object.
 func (e *Entry) Contains(addr vm.Addr) bool {

@@ -83,6 +83,18 @@ type CostModel struct {
 	// protocol selection when an annotation switch commits or applies.
 	AdaptSwitchCPU sim.Time
 
+	// --- Lazy release consistency engine (internal/lrc) ---
+
+	// LrcNoticeCPU is the cost of recording or absorbing one write
+	// notice (an interval's entry for one object): a hash insert plus a
+	// vector-timestamp comparison.
+	LrcNoticeCPU sim.Time
+	// LrcDiffFetchCPU is the per-object processing cost of a diff
+	// request/response exchange, on top of the modeled message costs and
+	// the diff encode/decode charges (locating the interval records,
+	// assembling the response).
+	LrcDiffFetchCPU sim.Time
+
 	// --- Application compute (both Munin and message-passing versions
 	// charge these identically, as the paper requires the computational
 	// components to be identical) ---
@@ -129,6 +141,12 @@ func Default() CostModel {
 		AdaptClassifyCPU: 20 * sim.Microsecond,
 		AdaptSwitchCPU:   60 * sim.Microsecond,
 
+		// A write notice is a few words of bookkeeping; a diff fetch
+		// walks the record store and builds a response (the diff bytes
+		// themselves are charged via the Diff* constants).
+		LrcNoticeCPU:    15 * sim.Microsecond,
+		LrcDiffFetchCPU: 80 * sim.Microsecond,
+
 		MatMulOp: 3 * sim.Microsecond,
 		// A SUN-3/60's 68881 coprocessor delivers floating point at a
 		// few microseconds per operation once compiler-generated loads,
@@ -165,6 +183,8 @@ func (m CostModel) Validate() error {
 		{"RequestHandlerCPU", m.RequestHandlerCPU},
 		{"AdaptClassifyCPU", m.AdaptClassifyCPU},
 		{"AdaptSwitchCPU", m.AdaptSwitchCPU},
+		{"LrcNoticeCPU", m.LrcNoticeCPU},
+		{"LrcDiffFetchCPU", m.LrcDiffFetchCPU},
 		{"MatMulOp", m.MatMulOp},
 		{"SORPoint", m.SORPoint},
 		{"MemTouchPerByte", m.MemTouchPerByte},

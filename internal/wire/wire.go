@@ -56,42 +56,62 @@ const (
 	KindAdaptCommit
 	KindMPData
 	KindLockOwnNotify
+	KindLrcLockAcq
+	KindLrcLockSetSucc
+	KindLrcLockGrant
+	KindLrcBarrierArrive
+	KindLrcBarrierRelease
+	KindLrcDiffReq
+	KindLrcDiffResp
+	KindLrcFetchReq
+	KindLrcFetchResp
+	KindLrcGC
 	numKinds
 )
 
 var kindNames = [...]string{
-	KindInvalid:        "invalid",
-	KindReadReq:        "read-req",
-	KindReadReply:      "read-reply",
-	KindOwnReq:         "own-req",
-	KindOwnReply:       "own-reply",
-	KindInvalidate:     "invalidate",
-	KindInvalidateAck:  "invalidate-ack",
-	KindMigrateReq:     "migrate-req",
-	KindMigrateReply:   "migrate-reply",
-	KindUpdateBatch:    "update-batch",
-	KindUpdateAck:      "update-ack",
-	KindCopysetQuery:   "copyset-query",
-	KindCopysetReply:   "copyset-reply",
-	KindReduceReq:      "reduce-req",
-	KindReduceReply:    "reduce-reply",
-	KindLockAcq:        "lock-acq",
-	KindLockSetSucc:    "lock-set-succ",
-	KindLockGrant:      "lock-grant",
-	KindBarrierArrive:  "barrier-arrive",
-	KindBarrierRelease: "barrier-release",
-	KindDirReq:         "dir-req",
-	KindDirReply:       "dir-reply",
-	KindPhaseChange:    "phase-change",
-	KindChangeAnnot:    "change-annot",
-	KindCopysetLookup:  "copyset-lookup",
-	KindCopysetInfo:    "copyset-info",
-	KindCopysetNotify:  "copyset-notify",
-	KindOwnNotify:      "own-notify",
-	KindAdaptPropose:   "adapt-propose",
-	KindAdaptCommit:    "adapt-commit",
-	KindMPData:         "mp-data",
-	KindLockOwnNotify:  "lock-own-notify",
+	KindInvalid:           "invalid",
+	KindReadReq:           "read-req",
+	KindReadReply:         "read-reply",
+	KindOwnReq:            "own-req",
+	KindOwnReply:          "own-reply",
+	KindInvalidate:        "invalidate",
+	KindInvalidateAck:     "invalidate-ack",
+	KindMigrateReq:        "migrate-req",
+	KindMigrateReply:      "migrate-reply",
+	KindUpdateBatch:       "update-batch",
+	KindUpdateAck:         "update-ack",
+	KindCopysetQuery:      "copyset-query",
+	KindCopysetReply:      "copyset-reply",
+	KindReduceReq:         "reduce-req",
+	KindReduceReply:       "reduce-reply",
+	KindLockAcq:           "lock-acq",
+	KindLockSetSucc:       "lock-set-succ",
+	KindLockGrant:         "lock-grant",
+	KindBarrierArrive:     "barrier-arrive",
+	KindBarrierRelease:    "barrier-release",
+	KindDirReq:            "dir-req",
+	KindDirReply:          "dir-reply",
+	KindPhaseChange:       "phase-change",
+	KindChangeAnnot:       "change-annot",
+	KindCopysetLookup:     "copyset-lookup",
+	KindCopysetInfo:       "copyset-info",
+	KindCopysetNotify:     "copyset-notify",
+	KindOwnNotify:         "own-notify",
+	KindAdaptPropose:      "adapt-propose",
+	KindAdaptCommit:       "adapt-commit",
+	KindMPData:            "mp-data",
+	KindLockOwnNotify:     "lock-own-notify",
+	KindLrcLockAcq:        "lrc-lock-acq",
+	KindLrcLockSetSucc:    "lrc-lock-set-succ",
+	KindLrcLockGrant:      "lrc-lock-grant",
+	KindLrcBarrierArrive:  "lrc-barrier-arrive",
+	KindLrcBarrierRelease: "lrc-barrier-release",
+	KindLrcDiffReq:        "lrc-diff-req",
+	KindLrcDiffResp:       "lrc-diff-resp",
+	KindLrcFetchReq:       "lrc-fetch-req",
+	KindLrcFetchResp:      "lrc-fetch-resp",
+	KindLrcGC:             "lrc-gc",
 }
 
 // String returns the kind's trace name.
@@ -416,6 +436,144 @@ type AdaptCommit struct {
 	Epoch uint32
 }
 
+// --- Lazy release consistency (internal/lrc) ---
+//
+// Under the lazy engine a release propagates nothing: it closes an
+// interval on the releasing node and the interval's write notices travel
+// on the next synchronization message the happens-before order requires
+// (a lock grant, a barrier release). Diffs move only on demand, pulled by
+// the acquirer with a request/response pair. Vector timestamps are dense
+// []uint32 slices indexed by node id.
+
+// LrcInterval is one write-notice interval: at its close, node Node had
+// buffered modifications to exactly the objects in Addrs. Receiving the
+// notice obliges a node holding a copy of any of those objects to fetch
+// the interval's diffs before using the copy after its next acquire.
+type LrcInterval struct {
+	Node  uint8
+	Ivl   uint32
+	Addrs []vm.Addr
+}
+
+// LrcRecord is one stored diff: the writes one node made to one object
+// during its closed intervals [First, Last], as a word diff against the
+// twin (Diff) or a full snapshot (Full; currently only post-run
+// materialization produces these). VT is the writer's vector timestamp at
+// the close of interval Last — the happens-before order diffs from
+// different writers must be applied in.
+type LrcRecord struct {
+	First uint32
+	Last  uint32
+	VT    []uint32
+	Diff  []byte
+	Full  []byte
+}
+
+// LrcDiffSet carries one object's records inside an LrcDiffResp.
+type LrcDiffSet struct {
+	Addr    vm.Addr
+	Records []LrcRecord
+}
+
+// LrcLockAcq is LockAcq under the lazy engine: the requester's vector
+// timestamp rides along so the eventual granter can send exactly the
+// write notices the requester has not seen.
+type LrcLockAcq struct {
+	Lock      uint32
+	Requester uint8
+	VT        []uint32
+}
+
+// LrcLockSetSucc is LockSetSucc under the lazy engine: the successor's
+// vector timestamp must reach the node that will eventually grant to it.
+type LrcLockSetSucc struct {
+	Lock uint32
+	Succ uint8
+	VT   []uint32
+}
+
+// LrcLockGrant is the acquire-with-notices grant: lock ownership plus the
+// releaser's vector timestamp and the write notices between the
+// acquirer's timestamp and the releaser's. Updates piggybacks data for
+// objects associated with the lock whose protocols are not lazily
+// managed (migratory critical-section data still moves with the lock).
+type LrcLockGrant struct {
+	Lock    uint32
+	Tail    uint8
+	VT      []uint32
+	Notices []LrcInterval
+	Updates []UpdateEntry
+}
+
+// LrcBarrierArrive reports a barrier arrival under the lazy engine,
+// carrying the arriver's vector timestamp, the write notices the barrier
+// master may not have seen, and the arriver's applied floors (per writer:
+// the lowest interval any of its copies still lacks), from which the
+// master computes the garbage-collection floor.
+type LrcBarrierArrive struct {
+	Barrier uint32
+	From    uint8
+	VT      []uint32
+	Floors  []uint32
+	Notices []LrcInterval
+}
+
+// LrcBarrierRelease resumes threads blocked at a barrier under the lazy
+// engine, carrying the merged vector timestamp and the write notices the
+// destination is missing. Departing the barrier is an acquire: the
+// receiver absorbs the notices and refreshes its stale copies on demand.
+type LrcBarrierRelease struct {
+	Barrier uint32
+	Tree    bool
+	Subtree []uint8
+	VT      []uint32
+	Notices []LrcInterval
+}
+
+// LrcDiffReq asks a writer for the diffs of its closed intervals on the
+// listed objects: for Addrs[i], every record with Last > After[i]. The
+// writer materializes pending diffs lazily at this first remote request.
+// Token routes the response to the requesting thread.
+type LrcDiffReq struct {
+	Requester uint8
+	Token     uint32
+	Addrs     []vm.Addr
+	After     []uint32
+}
+
+// LrcDiffResp answers an LrcDiffReq with the requested records per object.
+type LrcDiffResp struct {
+	Token uint32
+	Sets  []LrcDiffSet
+}
+
+// LrcFetchReq asks an object's home node for a base copy (a node that
+// never held the object needs one before diffs mean anything).
+type LrcFetchReq struct {
+	Addr      vm.Addr
+	Requester uint8
+	Token     uint32
+}
+
+// LrcFetchResp returns a base copy plus, per writer, the highest closed
+// interval already incorporated in it; the fetcher pulls the rest as
+// diffs.
+type LrcFetchResp struct {
+	Addr    vm.Addr
+	Token   uint32
+	Applied []uint32
+	Data    []byte
+}
+
+// LrcGC broadcasts the garbage-collection floor the barrier master
+// computed from every arrival's applied floors: node j's diff records for
+// intervals <= Floors[j] have been incorporated into every surviving
+// copy (or superseded for every future fetch) and can be discarded, along
+// with the matching write-notice bookkeeping.
+type LrcGC struct {
+	Floors []uint32
+}
+
 // --- Message passing baseline ---
 
 // MPData is a raw tagged payload for the hand-coded message-passing
@@ -457,6 +615,17 @@ func (AdaptPropose) Kind() Kind   { return KindAdaptPropose }
 func (AdaptCommit) Kind() Kind    { return KindAdaptCommit }
 func (MPData) Kind() Kind         { return KindMPData }
 
+func (LrcLockAcq) Kind() Kind        { return KindLrcLockAcq }
+func (LrcLockSetSucc) Kind() Kind    { return KindLrcLockSetSucc }
+func (LrcLockGrant) Kind() Kind      { return KindLrcLockGrant }
+func (LrcBarrierArrive) Kind() Kind  { return KindLrcBarrierArrive }
+func (LrcBarrierRelease) Kind() Kind { return KindLrcBarrierRelease }
+func (LrcDiffReq) Kind() Kind        { return KindLrcDiffReq }
+func (LrcDiffResp) Kind() Kind       { return KindLrcDiffResp }
+func (LrcFetchReq) Kind() Kind       { return KindLrcFetchReq }
+func (LrcFetchResp) Kind() Kind      { return KindLrcFetchResp }
+func (LrcGC) Kind() Kind             { return KindLrcGC }
+
 // ErrCorrupt is returned by Unmarshal for undecodable input.
 var ErrCorrupt = errors.New("wire: corrupt message")
 
@@ -493,6 +662,42 @@ func (e *encoder) updates(v []UpdateEntry) {
 		} else {
 			e.bytes(u.Diff)
 		}
+	}
+}
+
+func (e *encoder) u32s(v []uint32) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u32(x)
+	}
+}
+func (e *encoder) intervals(v []LrcInterval) {
+	e.u32(uint32(len(v)))
+	for _, iv := range v {
+		e.u8(iv.Node)
+		e.u32(iv.Ivl)
+		e.addrs(iv.Addrs)
+	}
+}
+func (e *encoder) records(v []LrcRecord) {
+	e.u32(uint32(len(v)))
+	for _, r := range v {
+		e.u32(r.First)
+		e.u32(r.Last)
+		e.u32s(r.VT)
+		e.boolean(r.Full != nil)
+		if r.Full != nil {
+			e.bytes(r.Full)
+		} else {
+			e.bytes(r.Diff)
+		}
+	}
+}
+func (e *encoder) diffSets(v []LrcDiffSet) {
+	e.u32(uint32(len(v)))
+	for _, s := range v {
+		e.u32(uint32(s.Addr))
+		e.records(s.Records)
 	}
 }
 
@@ -597,6 +802,85 @@ func (d *decoder) updates() []UpdateEntry {
 			u.Diff = payload
 		}
 		out = append(out, u)
+	}
+	return out
+}
+
+func (d *decoder) u32s() []uint32 {
+	n := int(d.u32())
+	if d.err != nil || len(d.b) < 4*n {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.u32()
+	}
+	return out
+}
+func (d *decoder) intervals() []LrcInterval {
+	n := int(d.u32())
+	if d.err != nil || n > len(d.b) { // each interval is >= 9 bytes
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]LrcInterval, 0, n)
+	for i := 0; i < n; i++ {
+		var iv LrcInterval
+		iv.Node = d.u8()
+		iv.Ivl = d.u32()
+		iv.Addrs = d.addrs()
+		out = append(out, iv)
+	}
+	return out
+}
+func (d *decoder) records() []LrcRecord {
+	n := int(d.u32())
+	if d.err != nil || n > len(d.b) { // each record is >= 17 bytes
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]LrcRecord, 0, n)
+	for i := 0; i < n; i++ {
+		var r LrcRecord
+		r.First = d.u32()
+		r.Last = d.u32()
+		r.VT = d.u32s()
+		full := d.boolean()
+		payload := d.bytes()
+		if full {
+			r.Full = payload
+		} else {
+			r.Diff = payload
+		}
+		out = append(out, r)
+	}
+	return out
+}
+func (d *decoder) diffSets() []LrcDiffSet {
+	n := int(d.u32())
+	if d.err != nil || n > len(d.b) { // each set is >= 8 bytes
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]LrcDiffSet, 0, n)
+	for i := 0; i < n; i++ {
+		var s LrcDiffSet
+		s.Addr = vm.Addr(d.u32())
+		s.Records = d.records()
+		out = append(out, s)
 	}
 	return out
 }
@@ -718,6 +1002,52 @@ func Marshal(msg Message) []byte {
 	case MPData:
 		e.u32(m.Tag)
 		e.bytes(m.Payload)
+	case LrcLockAcq:
+		e.u32(m.Lock)
+		e.u8(m.Requester)
+		e.u32s(m.VT)
+	case LrcLockSetSucc:
+		e.u32(m.Lock)
+		e.u8(m.Succ)
+		e.u32s(m.VT)
+	case LrcLockGrant:
+		e.u32(m.Lock)
+		e.u8(m.Tail)
+		e.u32s(m.VT)
+		e.intervals(m.Notices)
+		e.updates(m.Updates)
+	case LrcBarrierArrive:
+		e.u32(m.Barrier)
+		e.u8(m.From)
+		e.u32s(m.VT)
+		e.u32s(m.Floors)
+		e.intervals(m.Notices)
+	case LrcBarrierRelease:
+		e.u32(m.Barrier)
+		e.boolean(m.Tree)
+		e.u32(uint32(len(m.Subtree)))
+		e.b = append(e.b, m.Subtree...)
+		e.u32s(m.VT)
+		e.intervals(m.Notices)
+	case LrcDiffReq:
+		e.u8(m.Requester)
+		e.u32(m.Token)
+		e.addrs(m.Addrs)
+		e.u32s(m.After)
+	case LrcDiffResp:
+		e.u32(m.Token)
+		e.diffSets(m.Sets)
+	case LrcFetchReq:
+		e.u32(uint32(m.Addr))
+		e.u8(m.Requester)
+		e.u32(m.Token)
+	case LrcFetchResp:
+		e.u32(uint32(m.Addr))
+		e.u32(m.Token)
+		e.u32s(m.Applied)
+		e.bytes(m.Data)
+	case LrcGC:
+		e.u32s(m.Floors)
 	default:
 		panic(fmt.Sprintf("wire: cannot marshal %T", msg))
 	}
@@ -794,6 +1124,29 @@ func Unmarshal(b []byte) (Message, error) {
 		msg = AdaptCommit{Addr: vm.Addr(d.u32()), Annot: d.u8(), Epoch: d.u32()}
 	case KindMPData:
 		msg = MPData{Tag: d.u32(), Payload: d.bytes()}
+	case KindLrcLockAcq:
+		msg = LrcLockAcq{Lock: d.u32(), Requester: d.u8(), VT: d.u32s()}
+	case KindLrcLockSetSucc:
+		msg = LrcLockSetSucc{Lock: d.u32(), Succ: d.u8(), VT: d.u32s()}
+	case KindLrcLockGrant:
+		msg = LrcLockGrant{Lock: d.u32(), Tail: d.u8(), VT: d.u32s(),
+			Notices: d.intervals(), Updates: d.updates()}
+	case KindLrcBarrierArrive:
+		msg = LrcBarrierArrive{Barrier: d.u32(), From: d.u8(), VT: d.u32s(),
+			Floors: d.u32s(), Notices: d.intervals()}
+	case KindLrcBarrierRelease:
+		msg = LrcBarrierRelease{Barrier: d.u32(), Tree: d.boolean(), Subtree: d.bytes8(),
+			VT: d.u32s(), Notices: d.intervals()}
+	case KindLrcDiffReq:
+		msg = LrcDiffReq{Requester: d.u8(), Token: d.u32(), Addrs: d.addrs(), After: d.u32s()}
+	case KindLrcDiffResp:
+		msg = LrcDiffResp{Token: d.u32(), Sets: d.diffSets()}
+	case KindLrcFetchReq:
+		msg = LrcFetchReq{Addr: vm.Addr(d.u32()), Requester: d.u8(), Token: d.u32()}
+	case KindLrcFetchResp:
+		msg = LrcFetchResp{Addr: vm.Addr(d.u32()), Token: d.u32(), Applied: d.u32s(), Data: d.bytes()}
+	case KindLrcGC:
+		msg = LrcGC{Floors: d.u32s()}
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
 	}

@@ -48,6 +48,32 @@ func sampleMessages() []Message {
 		AdaptPropose{Addr: 0x8000d000, Annot: 4, Epoch: 2, From: 6, Events: 31, Urgent: true},
 		AdaptCommit{Addr: 0x8000d000, Annot: 4, Epoch: 3},
 		MPData{Tag: 77, Payload: []byte("hello")},
+		LrcLockAcq{Lock: 2, Requester: 3, VT: []uint32{0, 4, 1, 9}},
+		LrcLockSetSucc{Lock: 2, Succ: 5, VT: []uint32{1, 0, 0, 2}},
+		LrcLockGrant{Lock: 2, Tail: 1, VT: []uint32{3, 4, 0, 9},
+			Notices: []LrcInterval{
+				{Node: 1, Ivl: 4, Addrs: []vm.Addr{0x80001000, 0x80003000}},
+				{Node: 3, Ivl: 9, Addrs: []vm.Addr{0x80001000}},
+			},
+			Updates: []UpdateEntry{{Addr: 0x80009000, Size: 4, Full: []byte{1, 2, 3, 4}}}},
+		LrcBarrierArrive{Barrier: 1001, From: 2, VT: []uint32{3, 4, 0, 9},
+			Floors:  []uint32{1, 2, 0, 5},
+			Notices: []LrcInterval{{Node: 2, Ivl: 1, Addrs: []vm.Addr{0x80002000}}}},
+		LrcBarrierRelease{Barrier: 1001, VT: []uint32{3, 4, 1, 9},
+			Notices: []LrcInterval{{Node: 0, Ivl: 3, Addrs: []vm.Addr{0x80001000}}}},
+		LrcBarrierRelease{Barrier: 1001, Tree: true, Subtree: []uint8{2, 3},
+			VT: []uint32{3, 4, 1, 9}},
+		LrcDiffReq{Requester: 4, Token: 17, Addrs: []vm.Addr{0x80001000, 0x80003000}, After: []uint32{0, 2}},
+		LrcDiffResp{Token: 17, Sets: []LrcDiffSet{
+			{Addr: 0x80001000, Records: []LrcRecord{
+				{First: 1, Last: 2, VT: []uint32{0, 2, 0, 0}, Diff: []byte{1, 0, 0, 0, 1, 0, 0, 0, 42, 0, 0, 0}},
+				{First: 3, Last: 3, VT: []uint32{1, 3, 0, 4}, Full: []byte{9, 9, 9, 9}},
+			}},
+			{Addr: 0x80003000},
+		}},
+		LrcFetchReq{Addr: 0x80001000, Requester: 6, Token: 23},
+		LrcFetchResp{Addr: 0x80001000, Token: 23, Applied: []uint32{2, 0, 1, 0}, Data: []byte{1, 2, 3, 4}},
+		LrcGC{Floors: []uint32{1, 2, 3, 4}},
 	}
 }
 

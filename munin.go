@@ -52,6 +52,8 @@
 package munin
 
 import (
+	"fmt"
+
 	"munin/internal/core"
 	"munin/internal/protocol"
 	"munin/internal/sim"
@@ -95,3 +97,53 @@ const (
 
 // Transports lists the valid WithTransport values.
 func Transports() []string { return []string{TransportSim, TransportChan, TransportTCP} }
+
+// Consistency selects the release-consistency engine a run executes
+// under (WithConsistency).
+type Consistency int
+
+const (
+	// EagerRC is the paper's engine (the default): every release
+	// flushes the delayed update queue — copyset determination, diff
+	// encoding, and an update push to every holder, at the release
+	// itself (§3.3).
+	EagerRC Consistency = iota
+	// LazyRC is the second engine (internal/lrc): interval-based lazy
+	// release consistency with per-node vector timestamps, in the style
+	// of the follow-up work the same group published next (Keleher, Cox,
+	// Zwaenepoel; TreadMarks). A release closes an interval locally and
+	// sends nothing; write notices ride the next lock grant or barrier
+	// release; diffs are created lazily at the first remote request and
+	// fetched at acquire time by exactly the nodes the happens-before
+	// order obliges. It manages the multiple-writer update protocols
+	// (write_shared, producer_consumer); every other annotation keeps
+	// its eager machinery.
+	LazyRC
+)
+
+// String returns the engine's flag spelling: "eager" or "lazy".
+func (c Consistency) String() string {
+	switch c {
+	case EagerRC:
+		return "eager"
+	case LazyRC:
+		return "lazy"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// ParseConsistency maps "eager" or "lazy" to the engine constant.
+func ParseConsistency(s string) (Consistency, error) {
+	switch s {
+	case "", "eager":
+		return EagerRC, nil
+	case "lazy":
+		return LazyRC, nil
+	default:
+		return 0, fmt.Errorf("munin: unknown consistency %q (want eager or lazy)", s)
+	}
+}
+
+// Consistencies lists the valid WithConsistency values.
+func Consistencies() []Consistency { return []Consistency{EagerRC, LazyRC} }

@@ -20,13 +20,27 @@ type Stats struct {
 	// Messages and Bytes count all network traffic.
 	Messages int
 	Bytes    int
-	// PerKind breaks messages down by protocol message type.
-	PerKind map[wire.Kind]int
+	// PerKind and PerKindBytes break the traffic down by protocol
+	// message type (message counts and byte volume including framing),
+	// so a table can attribute traffic to message kinds instead of
+	// totals only.
+	PerKind      map[wire.Kind]int
+	PerKindBytes map[wire.Kind]int
 	// AdaptProposals and AdaptSwitches count the adaptive engine's
 	// activity (zero unless the run used WithAdaptive): proposals
 	// issued, and annotation switches committed.
 	AdaptProposals int
 	AdaptSwitches  int
+	// The Lrc* fields count the lazy consistency engine's activity
+	// (zero unless the run used WithConsistency(LazyRC)): intervals
+	// closed at releases, diff request/response exchanges, diff records
+	// materialized, and records reclaimed by garbage collection.
+	LrcIntervals   int
+	LrcDiffFetches int
+	LrcRecords     int
+	LrcRecordsGCed int
+	LrcNoticesSent int
+	LrcNoticesGCed int
 }
 
 // Result is everything one execution of a Program produced: statistics,
@@ -48,7 +62,12 @@ func newResult(p *Program, cfg runConfig, sys *core.System) *Result {
 	for k, v := range st.Messages {
 		perKind[k] = v
 	}
+	perKindBytes := make(map[wire.Kind]int, len(st.Bytes))
+	for k, v := range st.Bytes {
+		perKindBytes[k] = v
+	}
 	ast := sys.AdaptStats()
+	lst := sys.LrcStats()
 	return &Result{
 		prog: p,
 		cfg:  cfg,
@@ -60,8 +79,15 @@ func newResult(p *Program, cfg runConfig, sys *core.System) *Result {
 			Messages:       st.TotalMessages(),
 			Bytes:          st.TotalBytes(),
 			PerKind:        perKind,
+			PerKindBytes:   perKindBytes,
 			AdaptProposals: ast.Proposals,
 			AdaptSwitches:  ast.Commits,
+			LrcIntervals:   lst.Intervals,
+			LrcDiffFetches: lst.DiffRequests,
+			LrcRecords:     lst.RecordsMaterialized,
+			LrcRecordsGCed: lst.RecordsGCed,
+			LrcNoticesSent: lst.NoticesSent,
+			LrcNoticesGCed: lst.NoticesGCed,
 		},
 	}
 }
@@ -74,6 +100,10 @@ func (r *Result) Processors() int { return r.cfg.procs }
 
 // Transport returns the transport name the run executed on.
 func (r *Result) Transport() string { return r.cfg.transport }
+
+// Consistency returns the release-consistency engine the run executed
+// under.
+func (r *Result) Consistency() Consistency { return r.cfg.consistency }
 
 // FinalImage returns the final shared-memory contents, keyed by object
 // start address (see core.System.FinalImage).

@@ -21,6 +21,7 @@ type RunOption func(*runConfig)
 type runConfig struct {
 	procs           int
 	transport       string
+	consistency     Consistency
 	model           model.CostModel
 	override        *Annotation
 	adaptive        bool
@@ -50,6 +51,16 @@ type runConfig struct {
 // Stats times are wall-clock, not modeled.
 func WithTransport(name string) RunOption {
 	return func(c *runConfig) { c.transport = name }
+}
+
+// WithConsistency selects the release-consistency engine for this run:
+// EagerRC (the default — release-time flush to the whole copyset, as the
+// paper implements) or LazyRC (interval/vector-timestamp lazy release
+// consistency: propagation deferred to the acquire, diffs pulled on
+// demand; see the Consistency constants). One Program can sweep both
+// engines, which is how the eager-vs-lazy bench table is produced.
+func WithConsistency(c Consistency) RunOption {
+	return func(cfg *runConfig) { cfg.consistency = c }
 }
 
 // WithProcessors overrides the program's default node count for this run.
@@ -132,6 +143,14 @@ func (p *Program) resolve(opts []RunOption) (runConfig, error) {
 	case "", TransportSim, TransportChan, TransportTCP:
 	default:
 		return cfg, errUnknownTransport(cfg.transport)
+	}
+	switch cfg.consistency {
+	case EagerRC, LazyRC:
+	default:
+		return cfg, fmt.Errorf("munin: unknown consistency %v (want EagerRC or LazyRC)", cfg.consistency)
+	}
+	if cfg.consistency == LazyRC && cfg.adaptive {
+		return cfg, fmt.Errorf("munin: the lazy consistency engine does not compose with the adaptive protocol engine (an online annotation switch would change an object's engine membership mid-interval)")
 	}
 	if cfg.model == (model.CostModel{}) {
 		cfg.model = model.Default()
@@ -225,6 +244,7 @@ func (p *Program) Run(ctx context.Context, root func(t *Thread), opts ...RunOpti
 		BarrierTree:     cfg.barrierTree,
 		BarrierFanout:   cfg.barrierFanout,
 		PendingUpdates:  cfg.pendingUpdates,
+		Lazy:            cfg.consistency == LazyRC,
 		Trace:           cfg.trace,
 	}, p.decls, p.locks, p.barriers)
 	for lock, addrs := range p.assoc {
