@@ -15,6 +15,7 @@
 //	munin-bench -table all -json out.json  # machine-readable results
 //	munin-bench -table 3 -adaptive         # run the apps with the adaptive engine on
 //	munin-bench -table lazy                # eager vs lazy release consistency
+//	munin-bench -table wire                # batched vs unbatched transport sends
 //	munin-bench -table 5 -consistency lazy # run the apps under the lazy engine
 //
 // Times are virtual seconds from the calibrated cost model (a 1991-era
@@ -44,7 +45,7 @@ var tableOut io.Writer = os.Stdout
 
 func main() {
 	var (
-		table       = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive, lazy or all")
+		table       = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive, lazy, wire or all")
 		ablation    = flag.String("ablation", "", "ablation to run: A1-A6 or all")
 		procs       = flag.String("procs", "", "comma-separated processor counts for tables 3-5 (default 1,2,4,8,16)")
 		n           = flag.Int("n", 0, "matrix dimension for tables 3/4/6 (default 400)")
@@ -83,7 +84,7 @@ func main() {
 	}
 
 	if *table != "" {
-		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp", "adaptive", "lazy"}) {
+		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp", "adaptive", "lazy", "wire"}) {
 			runTable(t, opts)
 			fmt.Fprintln(tableOut)
 		}
@@ -206,6 +207,20 @@ func runTable(t string, opts bench.AppOpts) {
 		}
 		r.Format(tableOut)
 		results["tsp"] = r
+	case "wire":
+		wo := bench.WireOpts{Transport: opts.Transport}
+		if len(opts.Procs) > 0 {
+			wo.Procs = opts.Procs[len(opts.Procs)-1]
+			if len(opts.Procs) > 1 {
+				fmt.Fprintf(tableOut, "(wire table runs at one processor count; using %d)\n", wo.Procs)
+			}
+		}
+		r, err := bench.RunWire(wo)
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(tableOut)
+		results["wire"] = r
 	case "lazy":
 		lo := bench.LazyOpts{N: opts.N, Rows: opts.Rows, Cols: opts.Cols, Iters: opts.Iters, Transport: opts.Transport}
 		if len(opts.Procs) > 0 {

@@ -19,6 +19,15 @@
 //	munin-benchgate -baseline BENCH_baseline.json -current out.json -max-regress 20
 //	munin-bench -table lazy -procs 8 -json lazy.json
 //	munin-benchgate -lazy lazy.json
+//	munin-bench -table wire -procs 8 -json wire.json
+//	munin-benchgate -wire wire.json
+//	munin-benchgate -baseline BENCH_baseline.json -current out.json -exact
+//
+// The -wire gate holds the batching invariants (strictly fewer transport
+// sends where the design guarantees coalescing, never more anywhere,
+// byte-identical results); -exact additionally pins the Table 6 eager
+// numbers to the committed baseline bit for bit, since the batching fast
+// path is opt-in and must not move the default path at all.
 package main
 
 import (
@@ -41,6 +50,21 @@ type table6 struct {
 type results struct {
 	Table6 table6    `json:"table6"`
 	Lazy   lazyTable `json:"lazy"`
+	Wire   wireTable `json:"wire"`
+}
+
+// wireTable mirrors the fields of bench.WireTable the wire gate needs.
+type wireTable struct {
+	Rows []struct {
+		App             string
+		Consistency     string
+		PlainSends      int
+		BatchedSends    int
+		PlainMessages   int
+		BatchedMessages int
+		ImageMatch      bool
+		ChecksOK        bool
+	}
 }
 
 // lazyTable mirrors the fields of bench.LazyTable the lazy gate needs.
@@ -101,6 +125,85 @@ func gateLazy(path string) {
 	}
 }
 
+// gateWire holds the batching invariants. Correctness first: every row's
+// two runs must agree with the reference checksum and end with
+// byte-identical final memory. Then the send counts: batching must
+// strictly reduce transport sends wherever the design guarantees
+// coalescing — the pipeline under both engines (release flush + barrier
+// arrival to the master, master releases + its own flush or the GC
+// broadcast) and the lock-heavy ring under the lazy engine (releases +
+// GC floors) — and must never increase sends anywhere. Envelopes
+// coalesce sends, never messages, so the protocol message totals must
+// also stay within a few percent: cheaper sends shift virtual timing,
+// which can move chase and demand-fetch messages (the lazy pipeline
+// moves ~2.6% at 8 nodes), but a larger swing means riders were lost or
+// duplicated.
+func gateWire(path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var r results
+	if err := json.Unmarshal(b, &r); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(r.Wire.Rows) == 0 {
+		fatal(fmt.Errorf("%s: no wire table", path))
+	}
+	mustReduce := map[[2]string]bool{
+		{"pipeline", "eager"}: true,
+		{"pipeline", "lazy"}:  true,
+		{"lockheavy", "lazy"}: true,
+	}
+	failed := false
+	for _, row := range r.Wire.Rows {
+		key := [2]string{row.App, row.Consistency}
+		status := "ok"
+		switch {
+		case !row.ChecksOK:
+			status = "WRONG RESULT"
+			failed = true
+		case !row.ImageMatch:
+			status = "IMAGE DIFFERS"
+			failed = true
+		case row.BatchedSends > row.PlainSends:
+			status = "REGRESSED (batching increased transport sends)"
+			failed = true
+		case mustReduce[key] && row.BatchedSends >= row.PlainSends:
+			status = "REGRESSED (batching must strictly reduce transport sends)"
+			failed = true
+		case messageDrift(row.PlainMessages, row.BatchedMessages) > 0.05:
+			status = fmt.Sprintf("MESSAGES DIVERGED (%d -> %d: riders lost or duplicated?)",
+				row.PlainMessages, row.BatchedMessages)
+			failed = true
+		}
+		delete(mustReduce, key)
+		fmt.Printf("%-10s %-6s plain %6d sends  batched %6d sends  %s\n",
+			row.App, row.Consistency, row.PlainSends, row.BatchedSends, status)
+	}
+	for key := range mustReduce {
+		fmt.Printf("%-10s %-6s MISSING from wire table\n", key[0], key[1])
+		failed = true
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "munin-benchgate: batched-vs-unbatched wire gate failed")
+		os.Exit(1)
+	}
+}
+
+// messageDrift returns the relative difference between two protocol
+// message totals.
+func messageDrift(plain, batched int) float64 {
+	if plain == 0 {
+		return 0
+	}
+	d := batched - plain
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(plain)
+}
+
 // speedup is single-protocol time over multi-protocol time for one
 // (configuration, application) pair; > 1 means multi-protocol wins.
 type speedup struct {
@@ -153,13 +256,18 @@ func main() {
 		currentPath  = flag.String("current", "", "fresh munin-bench -json output")
 		maxRegress   = flag.Float64("max-regress", 20, "maximum allowed speedup regression, percent")
 		lazyPath     = flag.String("lazy", "", "munin-bench -table lazy -json output to gate (LazyRC must send strictly fewer messages than EagerRC on lockheavy and pipeline, with matching results)")
+		wirePath     = flag.String("wire", "", "munin-bench -table wire -json output to gate (batching must strictly reduce transport sends on pipeline under both engines and on lockheavy under the lazy engine, never increase them, and keep results byte-identical)")
+		exact        = flag.Bool("exact", false, "require the current Table 6 eager numbers (times and message counts) to be byte-identical to the baseline instead of within the regression band — the batching fast path is opt-in, so the default-path numbers must not move at all")
 	)
 	flag.Parse()
+	if *wirePath != "" {
+		gateWire(*wirePath)
+	}
 	if *lazyPath != "" {
 		gateLazy(*lazyPath)
-		if *currentPath == "" {
-			return
-		}
+	}
+	if (*wirePath != "" || *lazyPath != "") && *currentPath == "" {
+		return
 	}
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "munin-benchgate: -current is required")
@@ -172,6 +280,9 @@ func main() {
 	cur, err := load(*currentPath)
 	if err != nil {
 		fatal(err)
+	}
+	if *exact {
+		gateExact(base, cur)
 	}
 	baseSp, err := speedups(base)
 	if err != nil {
@@ -202,6 +313,47 @@ func main() {
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "munin-benchgate: Table 6 speedup regressed more than %.0f%% vs baseline\n", *maxRegress)
+		os.Exit(1)
+	}
+}
+
+// gateExact requires the current Table 6 eager numbers — per-row virtual
+// times and message counts — to equal the committed baseline exactly.
+// Virtual time is reproducible to the nanosecond on the simulator and
+// the batching fast path is opt-in, so any drift in the default path is
+// an unintended behavior change, not noise.
+func gateExact(base, cur table6) {
+	type row = struct {
+		Name           string
+		MatMul, SOR    int64
+		MatMulMessages int
+		SORMessages    int
+	}
+	baseBy := map[string]row{}
+	for _, r := range base.Rows {
+		baseBy[r.Name] = r
+	}
+	failed := false
+	for _, c := range cur.Rows {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("%-14s not in baseline\n", c.Name)
+			failed = true
+			continue
+		}
+		status := "identical"
+		if b != c {
+			status = fmt.Sprintf("DRIFTED (baseline %+v, current %+v)", b, c)
+			failed = true
+		}
+		fmt.Printf("%-14s %s\n", c.Name, status)
+	}
+	if len(cur.Rows) != len(base.Rows) {
+		fmt.Printf("row count differs: baseline %d, current %d\n", len(base.Rows), len(cur.Rows))
+		failed = true
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "munin-benchgate: Table 6 eager numbers are not byte-identical to the baseline")
 		os.Exit(1)
 	}
 }

@@ -39,6 +39,7 @@ func main() {
 		adaptive    = flag.Bool("adaptive", false, "enable the adaptive protocol engine (profiles access patterns and switches protocols online)")
 		consistency = flag.String("consistency", "eager", "release-consistency engine: eager (release-time flush) or lazy (acquire-directed, internal/lrc)")
 		rounds      = flag.Int("rounds", 12, "critical-section rounds (lockheavy)")
+		batch       = flag.Bool("batch", false, "coalesce same-destination protocol messages into batch envelopes (fewer transport sends; see munin.WithBatching)")
 		transport   = flag.String("transport", "sim", "transport: sim (deterministic virtual time), chan (concurrent goroutine-per-node) or tcp (concurrent over loopback sockets)")
 	)
 	flag.Parse()
@@ -68,19 +69,19 @@ func main() {
 	)
 	switch *app {
 	case "matmul":
-		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact, Adaptive: *adaptive, Lazy: lazy, Transport: *transport}
+		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact, Adaptive: *adaptive, Lazy: lazy, Batch: *batch, Transport: *transport}
 		r, err = apps.MuninMatMul(cfg)
 		ref = apps.MatMulReference(*n)
 	case "sor":
-		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact, Adaptive: *adaptive, Lazy: lazy, Transport: *transport}
+		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact, Adaptive: *adaptive, Lazy: lazy, Batch: *batch, Transport: *transport}
 		r, err = apps.MuninSOR(cfg)
 		ref = apps.SORReference(*rows, *cols, *iters)
 	case "tsp":
-		cfg := apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive, Lazy: lazy, Transport: *transport}
+		cfg := apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive, Lazy: lazy, Batch: *batch, Transport: *transport}
 		r, err = apps.MuninTSP(cfg)
 		ref = uint32(apps.TSPReference(*cities))
 	case "lockheavy":
-		cfg := apps.LockHeavyConfig{Procs: *procs, Rounds: *rounds, Override: override, Adaptive: *adaptive, Lazy: lazy, Transport: *transport}
+		cfg := apps.LockHeavyConfig{Procs: *procs, Rounds: *rounds, Override: override, Adaptive: *adaptive, Lazy: lazy, Batch: *batch, Transport: *transport}
 		r, err = apps.MuninLockHeavy(cfg)
 		ref = apps.LockHeavyReference(cfg)
 	default:
@@ -96,6 +97,10 @@ func main() {
 	fmt.Fprintf(tw, "root user time\t%.3f s\t\n", r.RootUser.Seconds())
 	fmt.Fprintf(tw, "root system time\t%.3f s\t\n", r.RootSystem.Seconds())
 	fmt.Fprintf(tw, "messages\t%d\t\n", r.Messages)
+	if *batch {
+		fmt.Fprintf(tw, "transport sends\t%d\t\n", r.Sends)
+		fmt.Fprintf(tw, "batch envelopes\t%d\t\n", r.BatchedInto)
+	}
 	fmt.Fprintf(tw, "bytes\t%d\t\n", r.Bytes)
 	if *adaptive {
 		fmt.Fprintf(tw, "adaptive switches\t%d\t\n", r.AdaptSwitches)

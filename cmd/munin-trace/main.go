@@ -34,6 +34,7 @@ func main() {
 	var (
 		workload    = flag.String("workload", "lock", "workload: lock, migratory, producer-consumer, reduction, matmul or adaptive")
 		procs       = flag.Int("procs", 4, "processor count (2-16)")
+		batch       = flag.Bool("batch", false, "coalesce same-destination protocol messages into batch envelopes (they appear in the trace as one 'batch' delivery)")
 		consistency = flag.String("consistency", "eager", "release-consistency engine: eager or lazy (the lazy engine's acquire-with-notices grants, diff fetches and GC broadcasts appear in the trace)")
 	)
 	flag.Parse()
@@ -45,6 +46,9 @@ func main() {
 		fatal(fmt.Errorf("the adaptive workload does not run under the lazy engine (the engines are mutually exclusive)"))
 	}
 	extraOpts = append(extraOpts, munin.WithConsistency(cons))
+	if *batch {
+		extraOpts = append(extraOpts, munin.WithBatching())
+	}
 	if *procs < 2 || *procs > 16 {
 		fatal(fmt.Errorf("procs %d outside 2-16", *procs))
 	}

@@ -60,6 +60,9 @@ func (a *App) Run(ctx context.Context, opts ...munin.RunOption) (RunResult, erro
 		RootUser:       st.RootUser,
 		RootSystem:     st.RootSystem,
 		Messages:       st.Messages,
+		Sends:          st.Sends,
+		BatchedInto:    st.BatchEnvelopes,
+		Riders:         st.BatchedMessages,
 		Bytes:          st.Bytes,
 		PerKind:        st.PerKind,
 		PerKindBytes:   st.PerKindBytes,
@@ -97,6 +100,15 @@ func RunOpts(transport string, override *protocol.Annotation, adaptive, exact, l
 	return opts
 }
 
+// appendBatch appends munin.WithBatching when batch is set — the shape
+// the single-shot app wrappers share.
+func appendBatch(opts []munin.RunOption, batch bool) []munin.RunOption {
+	if batch {
+		opts = append(opts, munin.WithBatching())
+	}
+	return opts
+}
+
 // LiveTransport reports whether name selects a real concurrent
 // transport (anything but the deterministic simulator) — the condition
 // that forces SOR's phase barrier on (see SORConfig.PhaseBarrier).
@@ -125,6 +137,9 @@ type MatMulConfig struct {
 	Adaptive bool
 	// Lazy selects the lazy release consistency engine (LazyRC).
 	Lazy bool
+	// Batch coalesces same-destination protocol messages into wire.Batch
+	// envelopes (munin.WithBatching).
+	Batch bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -151,6 +166,9 @@ type SORConfig struct {
 	Adaptive bool
 	// Lazy selects the lazy release consistency engine (LazyRC).
 	Lazy bool
+	// Batch coalesces same-destination protocol messages into wire.Batch
+	// envelopes (munin.WithBatching).
+	Batch bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 	// PhaseBarrier inserts a second barrier between the compute and copy
@@ -173,9 +191,15 @@ type RunResult struct {
 	// runtime).
 	RootUser   sim.Time
 	RootSystem sim.Time
-	// Messages and Bytes count all network traffic.
-	Messages int
-	Bytes    int
+	// Messages and Bytes count all network traffic. Sends counts
+	// transport sends: equal to Messages without batching, lower with
+	// munin.WithBatching (BatchedInto counts the envelopes and Riders
+	// the messages that rode inside them).
+	Messages    int
+	Sends       int
+	BatchedInto int
+	Riders      int
+	Bytes       int
 	// PerKind and PerKindBytes break Munin traffic down by protocol
 	// message type (nil for the message-passing versions).
 	PerKind      map[wire.Kind]int

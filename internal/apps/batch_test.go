@@ -1,0 +1,105 @@
+package apps
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"munin"
+	"munin/internal/protocol"
+)
+
+// Batched-mode equivalence: per-destination batching (munin.WithBatching)
+// must change how many transport sends carry the traffic — never what
+// the program computes. Each workload runs batched on every transport
+// and is compared against the unbatched sim reference; on sim the whole
+// final image must match byte for byte, and the batched run must not
+// send more envelopes than the unbatched run sent messages. Running
+// multi-node on chan/tcp, this is also the suite that drives the batch
+// dispatch path under `go test -race`.
+
+func TestBatchedEquivalencePipeline(t *testing.T) {
+	ws := protocol.WriteShared
+	cfg := PipelineConfig{Procs: 8, Override: &ws}
+	ref, err := MuninPipeline(cfg)
+	if err != nil {
+		t.Fatalf("sim unbatched: %v", err)
+	}
+	for _, tr := range []string{"sim", "chan", "tcp"} {
+		c := cfg
+		c.Transport = tr
+		c.Batch = true
+		got, err := MuninPipeline(c)
+		if err != nil {
+			t.Fatalf("%s batched: %v", tr, err)
+		}
+		if got.Check != ref.Check {
+			t.Errorf("%s: batched checksum %08x, want %08x", tr, got.Check, ref.Check)
+		}
+		if got.Sends > got.Messages {
+			t.Errorf("%s: %d sends exceed %d messages", tr, got.Sends, got.Messages)
+		}
+		if tr == "sim" {
+			if got.Sends >= ref.Sends {
+				t.Errorf("sim: batched %d sends, unbatched %d — want strictly fewer", got.Sends, ref.Sends)
+			}
+			refImg, gotImg := ref.FinalImage(), got.FinalImage()
+			for addr, want := range refImg {
+				if !bytes.Equal(gotImg[addr], want) {
+					t.Errorf("sim: object %#x differs between batched and unbatched runs", addr)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchedEquivalenceLockHeavy(t *testing.T) {
+	cfg := LockHeavyConfig{Procs: 8, Rounds: 10}
+	for _, lazy := range []bool{false, true} {
+		c := cfg
+		c.Lazy = lazy
+		ref, err := MuninLockHeavy(c)
+		if err != nil {
+			t.Fatalf("sim unbatched (lazy=%v): %v", lazy, err)
+		}
+		for _, tr := range []string{"sim", "chan", "tcp"} {
+			bc := c
+			bc.Transport = tr
+			bc.Batch = true
+			got, err := MuninLockHeavy(bc)
+			if err != nil {
+				t.Fatalf("%s batched (lazy=%v): %v", tr, lazy, err)
+			}
+			if got.Check != ref.Check {
+				t.Errorf("%s (lazy=%v): batched checksum %08x, want %08x", tr, lazy, got.Check, ref.Check)
+			}
+			if tr == "sim" && got.Sends > ref.Sends {
+				t.Errorf("sim (lazy=%v): batching increased sends %d -> %d", lazy, ref.Sends, got.Sends)
+			}
+		}
+	}
+}
+
+// TestBatchedConventionalInvalidate drives the invalidate-heavy
+// conventional protocol batched on every transport: the dying-copy
+// update and its invalidate acknowledgement share an envelope there
+// (serveInvalidate), a path the barrier workloads do not reach.
+func TestBatchedConventionalInvalidate(t *testing.T) {
+	conv := protocol.Conventional
+	app, err := NewSOR(SORConfig{Procs: 4, Rows: 24, Cols: 64, Iters: 3,
+		Override: &conv, PhaseBarrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SORReference(24, 64, 3)
+	for _, tr := range []string{"sim", "chan", "tcp"} {
+		got, err := app.Run(context.Background(),
+			munin.WithTransport(tr), munin.WithBatching())
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if got.Check != want {
+			t.Errorf("%s: checksum %08x, want %08x", tr, got.Check, want)
+		}
+	}
+}

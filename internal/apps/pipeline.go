@@ -38,6 +38,9 @@ type PipelineConfig struct {
 	Adaptive bool
 	// Lazy selects the lazy release consistency engine (LazyRC).
 	Lazy bool
+	// Batch coalesces same-destination protocol messages into wire.Batch
+	// envelopes (munin.WithBatching).
+	Batch bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -218,5 +221,5 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	return app.Run(context.Background(),
-		RunOpts(c.Transport, nil, c.Adaptive, false, c.Lazy)...)
+		appendBatch(RunOpts(c.Transport, nil, c.Adaptive, false, c.Lazy), c.Batch)...)
 }

@@ -36,6 +36,9 @@ type TSPConfig struct {
 	Adaptive bool
 	// Lazy selects the lazy release consistency engine (LazyRC).
 	Lazy bool
+	// Batch coalesces same-destination protocol messages into wire.Batch
+	// envelopes (munin.WithBatching).
+	Batch bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -186,5 +189,5 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	return app.Run(context.Background(),
-		RunOpts(c.Transport, c.Override, c.Adaptive, false, c.Lazy)...)
+		appendBatch(RunOpts(c.Transport, c.Override, c.Adaptive, false, c.Lazy), c.Batch)...)
 }

@@ -1,0 +1,88 @@
+package core
+
+// Per-destination message batching (Config.Batching): one protocol
+// operation — a release flush plus the lock grant that follows it, a
+// barrier master's update fan-out plus its releases, a lazy barrier
+// release plus the garbage-collection broadcast — often sends several
+// messages to the same node back to back. The batcher accumulates them
+// and flushes everything bound for one destination as a single
+// wire.Batch envelope: one transport send, one wire header, one
+// send-path CPU charge plus the reduced per-rider increment
+// (model.CostModel.SendCPU), with the receiving dispatcher unpacking the
+// riders in order.
+//
+// Rules of use:
+//
+//   - One batcher per operation, owned by one proc. It is not shared
+//     across threads and needs no locking.
+//   - flush() MUST run before the operation blocks (an RPC reply, an ack
+//     collector, a barrier future) and before it returns: a queued
+//     message a remote node needs in order to make progress must not sit
+//     in the buffer across a wait.
+//   - Per-destination order is exactly send order, and destinations
+//     flush in first-enqueue order, so on the causally ordered
+//     transports (sim bus, chan) a message enqueued before another is
+//     never delivered after it to the same node, and the
+//     updates-before-grant order release consistency leans on survives
+//     batching.
+//
+// With Config.Batching off, send() degenerates to an immediate transport
+// send and flush() to a no-op — bit-for-bit the unbatched runtime.
+
+import (
+	"munin/internal/rt"
+	"munin/internal/wire"
+)
+
+// batcher coalesces one protocol operation's outgoing messages per
+// destination.
+type batcher struct {
+	n    *Node
+	p    rt.Proc
+	on   bool
+	dsts []int // first-enqueue order; also flush order
+	q    map[int][]wire.Message
+}
+
+// newBatcher returns a batcher for one operation run by proc p. When the
+// system is not configured for batching the batcher passes messages
+// straight through.
+func (n *Node) newBatcher(p rt.Proc) *batcher {
+	return &batcher{n: n, p: p, on: n.sys.cfg.Batching}
+}
+
+// send queues msg for dst, or sends it immediately when batching is off.
+func (b *batcher) send(dst int, msg wire.Message) {
+	if !b.on {
+		b.n.sys.tr.Send(b.p, b.n.id, dst, msg)
+		return
+	}
+	if b.q == nil {
+		b.q = make(map[int][]wire.Message, 4)
+	}
+	if _, ok := b.q[dst]; !ok {
+		b.dsts = append(b.dsts, dst)
+	}
+	b.q[dst] = append(b.q[dst], msg)
+}
+
+// flush sends every queued destination's messages — bare when a
+// destination holds one message (an envelope of one would only add
+// framing), a wire.Batch otherwise — in first-enqueue destination order.
+func (b *batcher) flush() {
+	if !b.on || len(b.dsts) == 0 {
+		return
+	}
+	for _, dst := range b.dsts {
+		msgs := b.q[dst]
+		delete(b.q, dst)
+		switch len(msgs) {
+		case 0:
+		case 1:
+			b.n.sys.tr.Send(b.p, b.n.id, dst, msgs[0])
+		default:
+			b.n.sys.tr.Send(b.p, b.n.id, dst, wire.Batch{Msgs: msgs})
+		}
+	}
+	b.dsts = b.dsts[:0]
+}

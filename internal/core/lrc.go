@@ -66,7 +66,7 @@ func (n *Node) lrcState(e *directory.Entry) *directory.LrcEntry {
 // entries the lazy engine manages close an interval (no messages at all);
 // everything else on the DUQ — result objects, delayed invalidations —
 // flushes through the eager machinery unchanged.
-func (n *Node) lrcRelease(t *Thread) {
+func (n *Node) lrcRelease(t *Thread, b *batcher) {
 	if n.duq.Len() == 0 {
 		return
 	}
@@ -83,7 +83,7 @@ func (n *Node) lrcRelease(t *Thread) {
 	}
 	if len(eager) > 0 {
 		n.Flushes++
-		n.flushEntries(t, eager)
+		n.flushEntries(t, eager, b)
 	}
 	if len(lazyEntries) > 0 {
 		n.lrcCloseEntries(t.proc, lazyEntries)
@@ -519,9 +519,9 @@ func (n *Node) lrcLockAcquire(t *Thread, id int, se *directory.SynchEntry) {
 // lazy acquire-with-notices grant tailored to the acquirer's vector
 // timestamp. Both piggyback the associated objects' data (lazily managed
 // associates are excluded — their consistency travels as notices).
-func (n *Node) sendLockGrant(p rt.Proc, id int, se *directory.SynchEntry, dst, tail int, reqVT []uint32) {
+func (n *Node) sendLockGrant(p rt.Proc, id int, se *directory.SynchEntry, dst, tail int, reqVT []uint32, b *batcher) {
 	if n.lrc != nil {
-		n.sys.tr.Send(p, n.id, dst, wire.LrcLockGrant{
+		b.send(dst, wire.LrcLockGrant{
 			Lock: uint32(id), Tail: uint8(tail),
 			VT:      n.lrc.VT(),
 			Notices: n.lrc.NoticesSince(reqVT),
@@ -529,7 +529,7 @@ func (n *Node) sendLockGrant(p rt.Proc, id int, se *directory.SynchEntry, dst, t
 		})
 		return
 	}
-	n.sys.tr.Send(p, n.id, dst, wire.LockGrant{
+	b.send(dst, wire.LockGrant{
 		Lock: uint32(id), Tail: uint8(tail), Updates: n.lockPiggyback(p, se),
 	})
 }
@@ -561,14 +561,14 @@ func (n *Node) serveLrcLockSetSucc(m wire.LrcLockSetSucc) {
 // lrcBarrierArrive sends (or locally records) a barrier arrival with the
 // lazy payload: vector timestamp, write notices above the sender's
 // floor, and the sender's applied floors for garbage collection.
-func (n *Node) lrcBarrierArrive(p rt.Proc, id int, se *directory.SynchEntry) {
+func (n *Node) lrcBarrierArrive(p rt.Proc, id int, se *directory.SynchEntry, b *batcher) {
 	if se.Home == n.id {
 		se.Arrived++
 		n.lrcNoteArrival(id, n.id, n.lrc.VT(), n.lrcFloors(), true)
-		n.checkBarrier(p, id, se)
+		n.checkBarrier(p, id, se, b)
 		return
 	}
-	n.sys.tr.Send(p, n.id, se.Home, wire.LrcBarrierArrive{
+	b.send(se.Home, wire.LrcBarrierArrive{
 		Barrier: uint32(id), From: uint8(n.id),
 		VT:      n.lrc.VT(),
 		Floors:  n.lrcFloors(),
@@ -589,7 +589,9 @@ func (n *Node) serveLrcBarrierArrive(p rt.Proc, m wire.LrcBarrierArrive) {
 	se.Arrived++
 	n.barrierFrom[id] = append(n.barrierFrom[id], int(m.From))
 	n.lrcNoteArrival(id, int(m.From), m.VT, m.Floors, false)
-	n.checkBarrier(p, id, se)
+	b := n.newBatcher(p)
+	n.checkBarrier(p, id, se, b)
+	b.flush()
 }
 
 // lrcNoteArrival accumulates one barrier arrival's lazy payload at the
@@ -612,7 +614,7 @@ func (n *Node) lrcNoteArrival(id, from int, vt, floors []uint32, local bool) {
 // the arrival had seen, then the knowledge floor advances and — when
 // every node of the machine took part — the merged applied floors are
 // broadcast as the garbage-collection message.
-func (n *Node) lrcBarrierComplete(p rt.Proc, id int, from []int) {
+func (n *Node) lrcBarrierComplete(p rt.Proc, id int, from []int, b *batcher) {
 	mergedVT := n.lrc.VT()
 	vts := n.barrierVTs[id]
 	n.barrierVTs[id] = nil
@@ -624,7 +626,7 @@ func (n *Node) lrcBarrierComplete(p rt.Proc, id int, from []int) {
 		for _, vt := range vts {
 			minVT = lrc.MinFloors(minVT, vt)
 		}
-		n.lrcTreeRelease(p, id, nodes, mergedVT, n.lrc.NoticesSince(minVT))
+		n.lrcTreeRelease(p, id, nodes, mergedVT, n.lrc.NoticesSince(minVT), b)
 	} else {
 		for i, src := range from {
 			p.Advance(n.sys.cost.BarrierHandlerCPU)
@@ -632,7 +634,7 @@ func (n *Node) lrcBarrierComplete(p rt.Proc, id int, from []int) {
 			if i < len(vts) {
 				vt = vts[i]
 			}
-			n.sys.tr.Send(p, n.id, src, wire.LrcBarrierRelease{
+			b.send(src, wire.LrcBarrierRelease{
 				Barrier: uint32(id), VT: mergedVT, Notices: n.lrc.NoticesSince(vt),
 			})
 		}
@@ -644,9 +646,12 @@ func (n *Node) lrcBarrierComplete(p rt.Proc, id int, from []int) {
 	contributors := n.barrierNodes[id]
 	n.barrierNodes[id] = nil
 	if len(contributors) == n.sys.Nodes() && n.lrcFloorsAdvanced(floors) {
+		// The GC broadcast shares envelopes with the releases above:
+		// a node that both departs the barrier and advances its floors
+		// gets one message, not two.
 		for dst := 0; dst < n.sys.Nodes(); dst++ {
 			if dst != n.id {
-				n.sys.tr.Send(p, n.id, dst, wire.LrcGC{Floors: floors})
+				b.send(dst, wire.LrcGC{Floors: floors})
 			}
 		}
 		n.lrc.GC(floors)
@@ -671,7 +676,7 @@ func (n *Node) lrcFloorsAdvanced(floors []uint32) bool {
 
 // lrcTreeRelease fans a lazy barrier release down the tree, every
 // message carrying the same merged timestamp and notice payload.
-func (n *Node) lrcTreeRelease(p rt.Proc, id int, nodes []int, vt []uint32, notices []wire.LrcInterval) {
+func (n *Node) lrcTreeRelease(p rt.Proc, id int, nodes []int, vt []uint32, notices []wire.LrcInterval, b *batcher) {
 	fanout := n.sys.cfg.BarrierFanout
 	if fanout <= 1 {
 		fanout = 4
@@ -691,7 +696,7 @@ func (n *Node) lrcTreeRelease(p rt.Proc, id int, nodes []int, vt []uint32, notic
 			sub = append(sub, uint8(rest[j]))
 		}
 		p.Advance(n.sys.cost.BarrierHandlerCPU)
-		n.sys.tr.Send(p, n.id, child, wire.LrcBarrierRelease{
+		b.send(child, wire.LrcBarrierRelease{
 			Barrier: uint32(id), Tree: true, Subtree: sub, VT: vt, Notices: notices,
 		})
 	}
@@ -843,10 +848,12 @@ func (n *Node) serveLrcBarrierRelease(p rt.Proc, m wire.LrcBarrierRelease) {
 	if m.Tree {
 		if len(m.Subtree) > 0 {
 			nodes := make([]int, len(m.Subtree))
-			for i, b := range m.Subtree {
-				nodes[i] = int(b)
+			for i, c := range m.Subtree {
+				nodes[i] = int(c)
 			}
-			n.lrcTreeRelease(p, id, nodes, m.VT, m.Notices)
+			b := n.newBatcher(p)
+			n.lrcTreeRelease(p, id, nodes, m.VT, m.Notices, b)
+			b.flush()
 		}
 		n.barrierWait[id] = nil
 		for _, f := range ws {

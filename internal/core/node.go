@@ -309,6 +309,24 @@ func (n *Node) startDispatcher() {
 // dispatch handles one incoming message on the dispatcher.
 func (n *Node) dispatch(p rt.Proc, env network.Envelope) {
 	switch m := env.Msg.(type) {
+	case wire.Batch:
+		// Unpack a batching envelope: the riders are handled in exactly
+		// the order the sender queued them, so per-destination FIFO (and
+		// with it the updates-before-grant order release consistency
+		// needs) is preserved. The dispatcher loop charged the receive
+		// dispatch cost for the envelope; each further rider pays its own.
+		// The synthetic per-rider envelopes carry no Bytes: no dispatch
+		// handler reads the field, and a payload-only size would disagree
+		// with the header-inclusive sizes real envelopes carry.
+		for i, sub := range m.Msgs {
+			if i > 0 {
+				p.Advance(n.sys.cost.RequestHandlerCPU)
+			}
+			n.dispatch(p, network.Envelope{
+				Src: env.Src, Dst: env.Dst, Msg: sub,
+				SentAt: env.SentAt, DeliveredAt: env.DeliveredAt,
+			})
+		}
 	case wire.DirReq:
 		n.serveDirReq(p, env.Src, m)
 	case wire.ReadReq:

@@ -148,7 +148,9 @@ func (n *Node) flushObject(t *Thread, addr vm.Addr) {
 		n.lrcMaterialize(t.proc, e)
 		return
 	}
-	n.flushEntries(t, []*directory.Entry{e})
+	b := n.newBatcher(t.proc)
+	n.flushEntries(t, []*directory.Entry{e}, b)
+	b.flush()
 }
 
 // invalidateObject implements the Invalidate library routine (§2.5):
@@ -177,7 +179,9 @@ func (n *Node) invalidateObject(t *Thread, addr vm.Addr) {
 	if e.Enqueued {
 		n.flushSem.Acquire(p)
 		n.duq.Remove(e)
-		n.flushEntries(t, []*directory.Entry{e})
+		b := n.newBatcher(p)
+		n.flushEntries(t, []*directory.Entry{e}, b)
+		b.flush()
 		n.flushSem.Release()
 	}
 	if !e.Valid {
@@ -269,7 +273,9 @@ func (n *Node) changeAnnotation(t *Thread, addr vm.Addr, annot protocol.Annotati
 	if e.Enqueued {
 		n.flushSem.Acquire(t.proc)
 		n.duq.Remove(e)
-		n.flushEntries(t, []*directory.Entry{e})
+		b := n.newBatcher(t.proc)
+		n.flushEntries(t, []*directory.Entry{e}, b)
+		b.flush()
 		n.flushSem.Release()
 	}
 	n.applyAnnotation(e, annot)

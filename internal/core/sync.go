@@ -78,12 +78,21 @@ func (n *Node) applyGrantUpdates(t *Thread, updates []wire.UpdateEntry, se *dire
 
 // releaseLock implements ReleaseLock: flush the DUQ (release consistency),
 // then hand the lock to a local waiter or the distributed queue's head.
+// One batcher spans the whole release, so the flushed updates and the
+// grant (or home notification) bound for the same node share an envelope
+// — the per-destination coalescing the wire fast path exists for.
 func (n *Node) releaseLock(t *Thread, id int) {
 	p := t.proc
+	b := n.newBatcher(p)
 	if n.lrc != nil {
-		n.lrcRelease(t)
+		n.lrcRelease(t, b)
 	} else {
-		n.releaseFlush(t)
+		n.releaseFlush(t, b)
+	}
+	if n.adaptEng != nil {
+		// The adaptive sweep's proposals and commit broadcasts bypass the
+		// batcher; the flushed updates must precede them on the wire.
+		b.flush()
 	}
 	n.adaptAtRelease(t)
 	p.Advance(n.sys.cost.LockHandlerCPU)
@@ -96,6 +105,7 @@ func (n *Node) releaseLock(t *Thread, id int) {
 		// Hand directly to a local waiter; ownership and Held stay (and
 		// under the lazy engine the waiter shares this node's timestamp
 		// and notice state, so nothing needs to travel).
+		b.flush()
 		n.lockWait[id] = ws[1:]
 		ws[0].Complete(nil)
 		return
@@ -114,23 +124,25 @@ func (n *Node) releaseLock(t *Thread, id int) {
 		if n.lrc != nil {
 			succVT = n.lrcSuccVT(id)
 		}
-		n.sendLockGrant(p, id, se, succ, tail, succVT)
-		n.notifyLockHome(p, se, id, succ)
+		n.sendLockGrant(p, id, se, succ, tail, succVT, b)
+		n.notifyLockHome(p, se, id, succ, b)
+		b.flush()
 		n.redispatchLockChase(p, id)
 		return
 	}
 	se.Held = false
+	b.flush()
 }
 
 // notifyLockHome anchors the lock home's hint to the transfer history
 // (the lock analogue of OwnNotify): after a remote-to-remote transfer
 // the home is the one node guaranteed to eventually learn the current
 // owner, so dead-ended request chases re-route through it.
-func (n *Node) notifyLockHome(p rt.Proc, se *directory.SynchEntry, id, owner int) {
+func (n *Node) notifyLockHome(p rt.Proc, se *directory.SynchEntry, id, owner int, b *batcher) {
 	if se.Home == n.id || se.Home == owner {
 		return
 	}
-	n.sys.tr.Send(p, n.id, se.Home, wire.LockOwnNotify{Lock: uint32(id), Owner: uint8(owner)})
+	b.send(se.Home, wire.LockOwnNotify{Lock: uint32(id), Owner: uint8(owner)})
 }
 
 // serveLockOwnNotify records a lock transfer at the lock's home.
@@ -196,11 +208,16 @@ func (n *Node) serveLockRequest(p rt.Proc, m wire.Message, id, req int, reqVT []
 		return
 	}
 	if !se.Held && len(n.lockWait[id]) == 0 && se.Succ < 0 {
-		// Free: transfer ownership directly to the requester.
+		// Free: transfer ownership directly to the requester. The grant
+		// and the home notification batch per destination (they share one
+		// only when the requester is the home's neighbor case, but the
+		// batcher is cheap either way).
+		b := n.newBatcher(p)
 		se.Owned = false
 		se.ProbOwner = req
-		n.sendLockGrant(p, id, se, req, req, reqVT)
-		n.notifyLockHome(p, se, id, req)
+		n.sendLockGrant(p, id, se, req, req, reqVT, b)
+		n.notifyLockHome(p, se, id, req, b)
+		b.flush()
 		n.redispatchLockChase(p, id)
 		return
 	}
@@ -280,12 +297,21 @@ func (n *Node) lockPiggyback(p rt.Proc, se *directory.SynchEntry) []wire.UpdateE
 
 // waitAtBarrier implements WaitAtBarrier: flush the DUQ, then report
 // arrival to the barrier's owner node and block until released (§3.4).
+// One batcher spans the flush and the arrival (and, at the master whose
+// own arrival completes the barrier, the release fan-out), so updates
+// and barrier traffic bound for one node share an envelope.
 func (n *Node) waitAtBarrier(t *Thread, id int) {
 	p := t.proc
+	b := n.newBatcher(p)
 	if n.lrc != nil {
-		n.lrcRelease(t)
+		n.lrcRelease(t, b)
 	} else {
-		n.releaseFlush(t)
+		n.releaseFlush(t, b)
+	}
+	if n.adaptEng != nil {
+		// See releaseLock: the adaptive sweep's messages bypass the
+		// batcher and must not overtake the flushed updates.
+		b.flush()
 	}
 	n.adaptAtRelease(t)
 	p.Advance(n.sys.cost.BarrierHandlerCPU)
@@ -293,13 +319,14 @@ func (n *Node) waitAtBarrier(t *Thread, id int) {
 	f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("barrier[n%d b%d]", n.id, id))
 	n.barrierWait[id] = append(n.barrierWait[id], f)
 	if n.lrc != nil {
-		n.lrcBarrierArrive(p, id, se)
+		n.lrcBarrierArrive(p, id, se, b)
 	} else if se.Home == n.id {
 		se.Arrived++
-		n.checkBarrier(p, id, se)
+		n.checkBarrier(p, id, se, b)
 	} else {
-		n.sys.tr.Send(p, n.id, se.Home, wire.BarrierArrive{Barrier: uint32(id), From: uint8(n.id)})
+		b.send(se.Home, wire.BarrierArrive{Barrier: uint32(id), From: uint8(n.id)})
 	}
+	b.flush()
 	f.Wait(p)
 	// Departing the barrier is an acquire: queued updates apply now, and
 	// under the lazy engine the stale copies this node holds refresh
@@ -320,12 +347,17 @@ func (n *Node) serveBarrierArrive(p rt.Proc, m wire.BarrierArrive) {
 	}
 	se.Arrived++
 	n.barrierFrom[id] = append(n.barrierFrom[id], int(m.From))
-	n.checkBarrier(p, id, se)
+	b := n.newBatcher(p)
+	n.checkBarrier(p, id, se, b)
+	b.flush()
 }
 
 // checkBarrier releases everyone once the expected number of threads have
 // arrived: one reply per remote arrival, plus completing local waiters.
-func (n *Node) checkBarrier(p rt.Proc, id int, se *directory.SynchEntry) {
+// Releases go through the caller's batcher: several threads of one node
+// arriving remotely (or, under the lazy engine, the GC broadcast behind
+// the releases) coalesce into one envelope per destination.
+func (n *Node) checkBarrier(p rt.Proc, id int, se *directory.SynchEntry, b *batcher) {
 	if se.Arrived < se.Expected {
 		return
 	}
@@ -339,7 +371,7 @@ func (n *Node) checkBarrier(p rt.Proc, id int, se *directory.SynchEntry) {
 	local := n.barrierWait[id]
 	n.barrierWait[id] = nil
 	if n.lrc != nil {
-		n.lrcBarrierComplete(p, id, from)
+		n.lrcBarrierComplete(p, id, from, b)
 		for _, f := range local {
 			f.Complete(nil)
 		}
@@ -351,11 +383,11 @@ func (n *Node) checkBarrier(p rt.Proc, id int, se *directory.SynchEntry) {
 		// waiters and forwards to its share of the subtree (§3.4's
 		// scalable scheme). The release path costs O(log N) serial sends
 		// at every node instead of O(N) at the owner.
-		n.treeRelease(p, id, dedupeNodes(from))
+		n.treeRelease(p, id, dedupeNodes(from), b)
 	} else {
 		for _, src := range from {
 			p.Advance(n.sys.cost.BarrierHandlerCPU)
-			n.sys.tr.Send(p, n.id, src, wire.BarrierRelease{Barrier: uint32(id)})
+			b.send(src, wire.BarrierRelease{Barrier: uint32(id)})
 		}
 	}
 	for _, f := range local {
@@ -372,10 +404,12 @@ func (n *Node) serveBarrierRelease(p rt.Proc, m wire.BarrierRelease) {
 	if m.Tree {
 		if len(m.Subtree) > 0 {
 			nodes := make([]int, len(m.Subtree))
-			for i, b := range m.Subtree {
-				nodes[i] = int(b)
+			for i, c := range m.Subtree {
+				nodes[i] = int(c)
 			}
-			n.treeRelease(p, id, nodes)
+			b := n.newBatcher(p)
+			n.treeRelease(p, id, nodes, b)
+			b.flush()
 		}
 		n.barrierWait[id] = nil
 		for _, f := range ws {
@@ -392,7 +426,7 @@ func (n *Node) serveBarrierRelease(p rt.Proc, m wire.BarrierRelease) {
 
 // treeRelease forwards a tree-scheme barrier release to up to fanout
 // children, handing each its slice of the remaining nodes.
-func (n *Node) treeRelease(p rt.Proc, id int, nodes []int) {
+func (n *Node) treeRelease(p rt.Proc, id int, nodes []int, b *batcher) {
 	fanout := n.sys.cfg.BarrierFanout
 	if fanout <= 1 {
 		fanout = 4
@@ -413,7 +447,7 @@ func (n *Node) treeRelease(p rt.Proc, id int, nodes []int) {
 			sub = append(sub, uint8(rest[j]))
 		}
 		p.Advance(n.sys.cost.BarrierHandlerCPU)
-		n.sys.tr.Send(p, n.id, child, wire.BarrierRelease{Barrier: uint32(id), Tree: true, Subtree: sub})
+		b.send(child, wire.BarrierRelease{Barrier: uint32(id), Tree: true, Subtree: sub})
 	}
 }
 

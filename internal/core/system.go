@@ -68,6 +68,15 @@ type Config struct {
 	// online annotation switch would change an object's engine
 	// membership mid-interval; see DESIGN.md).
 	Lazy bool
+	// Batching coalesces the messages one protocol operation sends to
+	// the same destination — a release flush's update plus the lock
+	// grant behind it, a barrier master's updates plus its releases, a
+	// lazy release plus the GC broadcast — into single wire.Batch
+	// envelopes: fewer transport sends, fewer wire headers, a cheaper
+	// per-rider send path (model.CostModel.SendCPU). Off by default so
+	// the paper tables' traffic shape is untouched; the wire bench table
+	// (munin-bench -table wire) measures the difference.
+	Batching bool
 	// AwaitUpdateAcks makes a release block until every update it sent is
 	// acknowledged (decoded and merged remotely). The prototype does not
 	// block: it propagates updates at the release and relies on the

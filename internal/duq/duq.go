@@ -7,9 +7,13 @@
 // allowed, makes a twin). The queue is flushed whenever a local thread
 // releases a lock or arrives at a barrier; the runtime then diffs each
 // enqueued object against its twin and propagates updates or
-// invalidations. This package provides the queue structure and twin
-// lifecycle; the runtime in internal/core drives propagation and charges
-// the cost model.
+// invalidations, combining the entries bound for one node into a single
+// UpdateBatch message (§3.3) — and, under Config.Batching, coalescing
+// that update with the rest of the release's same-destination traffic
+// (the lock grant, the barrier arrival) into one wire.Batch envelope.
+// This package provides the queue structure and twin lifecycle; the
+// runtime in internal/core drives propagation and charges the cost
+// model.
 package duq
 
 import (

@@ -32,6 +32,12 @@ type CostModel struct {
 	WireLatency sim.Time
 	// PerByte is wire time per payload byte (10 Mbps = 0.8 µs/byte).
 	PerByte sim.Time
+	// BatchPerMsgCPU is the incremental send-path cost per additional
+	// message riding a batch envelope (wire.Batch): the first rider pays
+	// the full MsgSendCPU (one kernel send), each further rider only the
+	// marshaling-and-append work. Receivers likewise pay MsgRecvCPU once
+	// per envelope, then the dispatch cost (RequestHandlerCPU) per rider.
+	BatchPerMsgCPU sim.Time
 	// BusSerialized serializes wire occupancy as on a shared Ethernet
 	// segment: a message cannot start transmitting until the bus is free.
 	BusSerialized bool
@@ -114,11 +120,14 @@ type CostModel struct {
 // experiments.
 func Default() CostModel {
 	return CostModel{
-		MsgSendCPU:    600 * sim.Microsecond,
-		MsgRecvCPU:    500 * sim.Microsecond,
-		WireLatency:   100 * sim.Microsecond,
-		PerByte:       800 * sim.Nanosecond, // 10 Mbps
-		BusSerialized: true,
+		MsgSendCPU:  600 * sim.Microsecond,
+		MsgRecvCPU:  500 * sim.Microsecond,
+		WireLatency: 100 * sim.Microsecond,
+		PerByte:     800 * sim.Nanosecond, // 10 Mbps
+		// Appending an already-encoded rider to an open envelope is an
+		// order of magnitude cheaper than a full kernel send path.
+		BatchPerMsgCPU: 60 * sim.Microsecond,
+		BusSerialized:  true,
 
 		FaultTrap:   700 * sim.Microsecond,
 		PageMapOp:   100 * sim.Microsecond,
@@ -169,6 +178,7 @@ func (m CostModel) Validate() error {
 		{"MsgRecvCPU", m.MsgRecvCPU},
 		{"WireLatency", m.WireLatency},
 		{"PerByte", m.PerByte},
+		{"BatchPerMsgCPU", m.BatchPerMsgCPU},
 		{"FaultTrap", m.FaultTrap},
 		{"PageMapOp", m.PageMapOp},
 		{"CopyPerByte", m.CopyPerByte},
@@ -212,4 +222,16 @@ func (m CostModel) CopyCost(n int) sim.Time {
 // the shared medium is busy carrying it.
 func (m CostModel) MsgTime(size int) sim.Time {
 	return sim.Time(size) * m.PerByte
+}
+
+// SendCPU returns the sender-side processor cost of one transport send
+// carrying msgs protocol messages: the full send path once, plus the
+// per-rider increment for every additional message coalesced into the
+// envelope. msgs <= 1 is the unbatched path and costs exactly
+// MsgSendCPU, so unbatched runs are unchanged to the nanosecond.
+func (m CostModel) SendCPU(msgs int) sim.Time {
+	if msgs <= 1 {
+		return m.MsgSendCPU
+	}
+	return m.MsgSendCPU + sim.Time(msgs-1)*m.BatchPerMsgCPU
 }

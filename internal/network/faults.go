@@ -12,10 +12,18 @@ import (
 // zero value injects nothing. One Faults value may be shared by code
 // running on many nodes concurrently (the live transports), so the
 // counters are atomic and the reorder generator is locked.
+//
+// Faults operate on whole transport envelopes: under batching
+// (wire.Batch) a drop loses the envelope with every rider inside it, and
+// reordering moves the envelope as a unit — exactly the failure modes a
+// real lost or overtaken frame would produce. A partial batch cannot be
+// observed.
 type Faults struct {
-	// Drop, if non-nil, is consulted for every message; returning true
-	// silently discards it (a lost packet). The function may be called
-	// concurrently from many sender goroutines on the live transports.
+	// Drop, if non-nil, is consulted once per envelope; returning true
+	// silently discards it (a lost packet). Under batching msg may be a
+	// wire.Batch — dropping it drops every rider. The function may be
+	// called concurrently from many sender goroutines on the live
+	// transports.
 	Drop func(src, dst int, msg wire.Message) bool
 
 	// Partition assigns each node to a group; messages crossing groups

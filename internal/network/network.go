@@ -30,13 +30,50 @@ type Envelope struct {
 	DeliveredAt sim.Time
 }
 
-// Stats aggregates traffic counts.
+// Stats aggregates traffic counts. Messages and Bytes attribute traffic
+// to protocol message kinds: a batch envelope's riders are counted
+// individually under their own kinds (so per-kind tables mean the same
+// thing batched or not), while the envelope's framing and wire header
+// are attributed to wire.KindBatch bytes. Sends counts transport sends —
+// the number the batching fast path exists to reduce.
 type Stats struct {
 	Messages map[wire.Kind]int
 	Bytes    map[wire.Kind]int
+	// Sends counts transport sends (envelopes): an unbatched message is
+	// one send; a wire.Batch of k messages is one send carrying k.
+	Sends int
+	// BatchEnvelopes counts the wire.Batch envelopes among Sends, and
+	// BatchedMessages the protocol messages that rode inside them.
+	BatchEnvelopes  int
+	BatchedMessages int
 }
 
-// TotalMessages returns the total message count.
+// CountSend records one transport send of msg whose on-the-wire size —
+// encoded payload plus framing header — is size bytes. For a batch
+// envelope every rider is counted under its own kind with its own
+// encoded size, and the envelope overhead (batch framing plus the one
+// shared header) lands under wire.KindBatch.
+func (s *Stats) CountSend(msg wire.Message, size int) {
+	s.Sends++
+	if b, ok := msg.(wire.Batch); ok {
+		s.BatchEnvelopes++
+		s.BatchedMessages += len(b.Msgs)
+		inner := 0
+		for _, sub := range b.Msgs {
+			n := wire.Size(sub)
+			s.Messages[sub.Kind()]++
+			s.Bytes[sub.Kind()] += n
+			inner += n
+		}
+		s.Bytes[wire.KindBatch] += size - inner
+		return
+	}
+	s.Messages[msg.Kind()]++
+	s.Bytes[msg.Kind()] += size
+}
+
+// TotalMessages returns the total protocol message count (batch riders
+// counted individually; envelopes not double-counted).
 func (s *Stats) TotalMessages() int {
 	n := 0
 	for _, v := range s.Messages {
@@ -45,7 +82,8 @@ func (s *Stats) TotalMessages() int {
 	return n
 }
 
-// TotalBytes returns the total byte count (including headers).
+// TotalBytes returns the total byte count (including headers and batch
+// framing).
 func (s *Stats) TotalBytes() int {
 	n := 0
 	for _, v := range s.Bytes {
@@ -112,20 +150,24 @@ func (nw *Network) Send(p *sim.Proc, src, dst int, msg wire.Message) {
 	if src == dst {
 		panic(fmt.Sprintf("network: node %d sending %v to itself", src, msg.Kind()))
 	}
-	encoded := wire.Marshal(msg)
+	bp := wire.GetBuf()
+	encoded := wire.AppendTo(*bp, msg)
+	*bp = encoded
 	decoded, err := wire.Unmarshal(encoded)
 	if err != nil {
 		panic(fmt.Sprintf("network: message %v does not round-trip: %v", msg.Kind(), err))
 	}
 	size := len(encoded) + HeaderBytes
+	wire.PutBuf(bp)
 
-	p.Advance(nw.cost.MsgSendCPU)
+	p.Advance(nw.cost.SendCPU(wire.Riders(msg)))
 	if nw.Faults.Cut(src, dst, decoded) {
+		// Fault injection operates on whole envelopes: a dropped batch
+		// loses every rider at once, exactly as a lost frame would.
 		return
 	}
 
-	nw.stats.Messages[msg.Kind()]++
-	nw.stats.Bytes[msg.Kind()] += size
+	nw.stats.CountSend(decoded, size)
 
 	now := nw.sim.Now()
 	start := now

@@ -345,23 +345,31 @@ func (l *Live) Send(p Proc, src, dst int, msg wire.Message) {
 		panic(fmt.Sprintf("rt: node %d sending %v to itself", src, msg.Kind()))
 	}
 	lp := l.liveProcOf(p, src)
-	encoded := wire.Marshal(msg)
+	// Encode into a pooled buffer; the round-trip through Unmarshal both
+	// checks the codec and deep-copies the message, so the receiver never
+	// aliases sender memory. The buffer is recycled once delivery (which
+	// copies or frames it) returns.
+	bp := wire.GetBuf()
+	encoded := wire.AppendTo(*bp, msg)
+	*bp = encoded
 	decoded, err := wire.Unmarshal(encoded)
 	if err != nil {
 		panic(fmt.Sprintf("rt: message %v does not round-trip: %v", msg.Kind(), err))
 	}
 	size := len(encoded) + network.HeaderBytes
-	lp.charge(l.cost.MsgSendCPU)
+	lp.charge(l.cost.SendCPU(wire.Riders(msg)))
 	if l.faults.Cut(src, dst, decoded) {
+		// Whole-envelope semantics: a dropped batch loses every rider.
+		wire.PutBuf(bp)
 		return
 	}
 	l.statsMu.Lock()
-	l.stats.Messages[msg.Kind()]++
-	l.stats.Bytes[msg.Kind()] += size
+	l.stats.CountSend(decoded, size)
 	l.statsMu.Unlock()
 	env := Envelope{Src: src, Dst: dst, Msg: decoded, Bytes: size, SentAt: l.Now()}
 	lp.exit()
 	l.deliver(env, encoded)
+	wire.PutBuf(bp)
 	lp.enter()
 	lp.checkStop()
 }

@@ -134,11 +134,16 @@ func (t *TCP) readLoop(node int, c net.Conn) {
 // concurrent senders of one node from interleaving frames.
 func (t *TCP) deliverTCP(env Envelope, encoded []byte) {
 	cc := t.conns[env.Src][env.Dst]
-	frame := make([]byte, tcpFrameHeader+len(encoded))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(encoded)))
-	frame[4] = byte(env.Src)
-	binary.LittleEndian.PutUint64(frame[5:13], uint64(env.SentAt))
-	copy(frame[tcpFrameHeader:], encoded)
+	// Frame in a pooled buffer: the Write completes before this returns,
+	// so the bytes are dead (and recyclable) on exit.
+	var hdr [tcpFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(encoded)))
+	hdr[4] = byte(env.Src)
+	binary.LittleEndian.PutUint64(hdr[5:13], uint64(env.SentAt))
+	fp := wire.GetBuf()
+	frame := append(append(*fp, hdr[:]...), encoded...)
+	*fp = frame
+	defer wire.PutBuf(fp)
 	t.inflight.Add(1)
 	t.activity.Add(1)
 	cc.mu.Lock()

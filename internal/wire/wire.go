@@ -3,15 +3,25 @@
 //
 // The prototype ran over V-kernel messages on a 10 Mbps Ethernet; the
 // network model charges wire time per encoded byte, so every message here
-// has an honest binary form (encoding/binary, little-endian). Marshal and
-// Unmarshal round-trip every message; the simulated network uses the
-// encoded size for timing and delivers the decoded form.
+// has an honest binary form (encoding/binary, little-endian). The codec
+// is allocation-free on the hot path: AppendTo encodes into a
+// caller-owned (or pooled, see GetBuf/PutBuf) buffer and Size computes
+// the encoded length per message kind without encoding anything — the
+// wire tests hold Size(msg) == len(Marshal(msg)) for every kind over
+// randomized messages. Marshal and Unmarshal are the allocating
+// round-trip wrappers; the simulated network uses the encoded size for
+// timing and delivers the decoded form.
+//
+// Batch is the per-destination coalescing envelope: everything one
+// protocol operation sends to the same node rides one transport send.
+// See DESIGN.md "Wire protocol" for the full field-layout reference.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"munin/internal/vm"
 )
@@ -66,6 +76,7 @@ const (
 	KindLrcFetchReq
 	KindLrcFetchResp
 	KindLrcGC
+	KindBatch
 	numKinds
 )
 
@@ -112,6 +123,7 @@ var kindNames = [...]string{
 	KindLrcFetchReq:       "lrc-fetch-req",
 	KindLrcFetchResp:      "lrc-fetch-resp",
 	KindLrcGC:             "lrc-gc",
+	KindBatch:             "batch",
 }
 
 // String returns the kind's trace name.
@@ -574,6 +586,25 @@ type LrcGC struct {
 	Floors []uint32
 }
 
+// --- Batching envelope ---
+
+// Batch coalesces protocol messages bound for one destination into a
+// single transport send: a release flush's update plus the lock grant
+// that follows it, a barrier master's updates plus its releases, a lazy
+// barrier release plus the garbage-collection floor — anything one
+// protocol operation fans out to the same node. The transport counts a
+// batch as ONE send (one send-path CPU charge plus a reduced per-rider
+// charge, one wire header) while the per-kind statistics still attribute
+// every inner message; the receiving dispatcher unpacks the envelope and
+// handles the messages in order, so an envelope preserves exactly the
+// per-destination FIFO order the unbatched sends would have had.
+//
+// Batches never nest: Marshal panics on (and Unmarshal rejects) a Batch
+// inside a Batch.
+type Batch struct {
+	Msgs []Message
+}
+
 // --- Message passing baseline ---
 
 // MPData is a raw tagged payload for the hand-coded message-passing
@@ -625,6 +656,7 @@ func (LrcDiffResp) Kind() Kind       { return KindLrcDiffResp }
 func (LrcFetchReq) Kind() Kind       { return KindLrcFetchReq }
 func (LrcFetchResp) Kind() Kind      { return KindLrcFetchResp }
 func (LrcGC) Kind() Kind             { return KindLrcGC }
+func (Batch) Kind() Kind             { return KindBatch }
 
 // ErrCorrupt is returned by Unmarshal for undecodable input.
 var ErrCorrupt = errors.New("wire: corrupt message")
@@ -885,9 +917,19 @@ func (d *decoder) diffSets() []LrcDiffSet {
 	return out
 }
 
-// Marshal encodes msg to its wire form (kind byte plus payload).
+// Marshal encodes msg to its wire form (kind byte plus payload). It
+// allocates exactly once, sized by Size; the zero-allocation fast path
+// is AppendTo with a reused (or pooled, see GetBuf) buffer.
 func Marshal(msg Message) []byte {
-	e := &encoder{}
+	return AppendTo(make([]byte, 0, Size(msg)), msg)
+}
+
+// AppendTo appends msg's wire form (kind byte plus payload) to buf and
+// returns the extended slice, exactly as append does. When buf has
+// Size(msg) spare capacity — a pooled buffer in steady state — the
+// encode performs no allocation at all.
+func AppendTo(buf []byte, msg Message) []byte {
+	e := encoder{b: buf}
 	e.u8(uint8(msg.Kind()))
 	switch m := msg.(type) {
 	case ReadReq:
@@ -1048,6 +1090,15 @@ func Marshal(msg Message) []byte {
 		e.bytes(m.Data)
 	case LrcGC:
 		e.u32s(m.Floors)
+	case Batch:
+		e.u32(uint32(len(m.Msgs)))
+		for _, sub := range m.Msgs {
+			if _, nested := sub.(Batch); nested {
+				panic("wire: batch inside a batch")
+			}
+			e.u32(uint32(Size(sub)))
+			e.b = AppendTo(e.b, sub)
+		}
 	default:
 		panic(fmt.Sprintf("wire: cannot marshal %T", msg))
 	}
@@ -1147,6 +1198,30 @@ func Unmarshal(b []byte) (Message, error) {
 		msg = LrcFetchResp{Addr: vm.Addr(d.u32()), Token: d.u32(), Applied: d.u32s(), Data: d.bytes()}
 	case KindLrcGC:
 		msg = LrcGC{Floors: d.u32s()}
+	case KindBatch:
+		n := int(d.u32())
+		if d.err != nil || n > len(d.b) { // each rider is >= 5 bytes framed
+			d.fail()
+			break
+		}
+		msgs := make([]Message, 0, n)
+		for i := 0; i < n; i++ {
+			ln := int(d.u32())
+			if d.err != nil || ln < 1 || len(d.b) < ln {
+				d.fail()
+				break
+			}
+			sub, err := Unmarshal(d.b[:ln])
+			if err != nil {
+				return nil, fmt.Errorf("%w: batch rider %d: %v", ErrCorrupt, i, err)
+			}
+			if _, nested := sub.(Batch); nested {
+				return nil, fmt.Errorf("%w: batch inside a batch", ErrCorrupt)
+			}
+			d.b = d.b[ln:]
+			msgs = append(msgs, sub)
+		}
+		msg = Batch{Msgs: msgs}
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
 	}
@@ -1159,5 +1234,186 @@ func Unmarshal(b []byte) (Message, error) {
 	return msg, nil
 }
 
-// Size returns the encoded payload length of msg in bytes.
-func Size(msg Message) int { return len(Marshal(msg)) }
+// --- Computed sizes ---
+//
+// Size is computed directly from the message fields, never by encoding:
+// the simulated network sizes every message it carries, and a Marshal
+// per Size would dominate the send path. The size helpers mirror the
+// encoder helpers one for one; the wire tests assert
+// Size(msg) == len(Marshal(msg)) for every kind over randomized
+// messages, so the two cannot drift apart silently.
+
+func sizeBytes(b []byte) int    { return 4 + len(b) }
+func sizeAddrs(v []vm.Addr) int { return 4 + 4*len(v) }
+func sizeU32s(v []uint32) int   { return 4 + 4*len(v) }
+func sizeEntry(u *UpdateEntry) int {
+	if u.Full != nil {
+		return 4 + 4 + 1 + sizeBytes(u.Full)
+	}
+	return 4 + 4 + 1 + sizeBytes(u.Diff)
+}
+func sizeUpdates(v []UpdateEntry) int {
+	n := 4
+	for i := range v {
+		n += sizeEntry(&v[i])
+	}
+	return n
+}
+func sizeIntervals(v []LrcInterval) int {
+	n := 4
+	for i := range v {
+		n += 1 + 4 + sizeAddrs(v[i].Addrs)
+	}
+	return n
+}
+func sizeRecords(v []LrcRecord) int {
+	n := 4
+	for i := range v {
+		r := &v[i]
+		n += 4 + 4 + sizeU32s(r.VT) + 1
+		if r.Full != nil {
+			n += sizeBytes(r.Full)
+		} else {
+			n += sizeBytes(r.Diff)
+		}
+	}
+	return n
+}
+func sizeDiffSets(v []LrcDiffSet) int {
+	n := 4
+	for i := range v {
+		n += 4 + sizeRecords(v[i].Records)
+	}
+	return n
+}
+
+// Size returns the encoded length of msg in bytes (kind byte plus
+// payload), computed without encoding anything.
+func Size(msg Message) int {
+	const kind = 1
+	switch m := msg.(type) {
+	case ReadReq:
+		return kind + 4 + 1 + 1
+	case ReadReply:
+		return kind + 4 + 1 + sizeBytes(m.Data)
+	case OwnReq:
+		return kind + 4 + 1
+	case OwnReply:
+		return kind + 4 + 8 + sizeBytes(m.Data)
+	case Invalidate:
+		return kind + 4 + 1
+	case InvalidateAck:
+		return kind + 4
+	case MigrateReq:
+		return kind + 4 + 1
+	case MigrateReply:
+		return kind + 4 + sizeBytes(m.Data)
+	case UpdateBatch:
+		return kind + 1 + 1 + sizeUpdates(m.Entries)
+	case UpdateAck:
+		return kind + 4
+	case CopysetQuery:
+		return kind + 1 + sizeAddrs(m.Addrs)
+	case CopysetReply:
+		return kind + sizeAddrs(m.Addrs)
+	case ReduceReq:
+		return kind + 4 + 4 + 1 + 4 + 1
+	case ReduceReply:
+		return kind + 4 + 4
+	case LockAcq:
+		return kind + 4 + 1
+	case LockSetSucc:
+		return kind + 4 + 1
+	case LockOwnNotify:
+		return kind + 4 + 1
+	case LockGrant:
+		return kind + 4 + 1 + sizeUpdates(m.Updates)
+	case BarrierArrive:
+		return kind + 4 + 1
+	case BarrierRelease:
+		return kind + 4 + 1 + 4 + len(m.Subtree)
+	case DirReq:
+		return kind + 4
+	case DirReply:
+		return kind + 1 + 4 + 4 + 1 + 1 + 1 + 4 + 4
+	case PhaseChange:
+		return kind + 4
+	case ChangeAnnot:
+		return kind + 4 + 1
+	case CopysetLookup:
+		return kind + 1 + sizeAddrs(m.Addrs)
+	case CopysetInfo:
+		return kind + sizeAddrs(m.Addrs) + 4 + 8*len(m.Sets)
+	case CopysetNotify:
+		return kind + 4 + 1
+	case OwnNotify:
+		return kind + 4 + 1
+	case AdaptPropose:
+		return kind + 4 + 1 + 4 + 1 + 4 + 1
+	case AdaptCommit:
+		return kind + 4 + 1 + 4
+	case MPData:
+		return kind + 4 + sizeBytes(m.Payload)
+	case LrcLockAcq:
+		return kind + 4 + 1 + sizeU32s(m.VT)
+	case LrcLockSetSucc:
+		return kind + 4 + 1 + sizeU32s(m.VT)
+	case LrcLockGrant:
+		return kind + 4 + 1 + sizeU32s(m.VT) + sizeIntervals(m.Notices) + sizeUpdates(m.Updates)
+	case LrcBarrierArrive:
+		return kind + 4 + 1 + sizeU32s(m.VT) + sizeU32s(m.Floors) + sizeIntervals(m.Notices)
+	case LrcBarrierRelease:
+		return kind + 4 + 1 + 4 + len(m.Subtree) + sizeU32s(m.VT) + sizeIntervals(m.Notices)
+	case LrcDiffReq:
+		return kind + 1 + 4 + sizeAddrs(m.Addrs) + sizeU32s(m.After)
+	case LrcDiffResp:
+		return kind + 4 + sizeDiffSets(m.Sets)
+	case LrcFetchReq:
+		return kind + 4 + 1 + 4
+	case LrcFetchResp:
+		return kind + 4 + 4 + sizeU32s(m.Applied) + sizeBytes(m.Data)
+	case LrcGC:
+		return kind + sizeU32s(m.Floors)
+	case Batch:
+		n := kind + 4
+		for _, sub := range m.Msgs {
+			n += 4 + Size(sub)
+		}
+		return n
+	default:
+		panic(fmt.Sprintf("wire: cannot size %T", msg))
+	}
+}
+
+// --- Pooled encode buffers ---
+
+// bufPool recycles encode scratch buffers across sends: every transport
+// encodes each message once (the simulator to size and round-trip it,
+// the live runtimes to frame or copy it), and in steady state the
+// pooled buffer makes that encode allocation-free.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// GetBuf returns a zero-length pooled scratch buffer for AppendTo.
+// Return it with PutBuf once the encoded bytes are no longer referenced.
+func GetBuf() *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. The caller must not
+// retain the encoded contents past this call.
+func PutBuf(bp *[]byte) { bufPool.Put(bp) }
+
+// Riders returns the number of protocol messages one transport send of
+// msg carries: len(b.Msgs) for a batch envelope, 1 for anything else.
+// The cost models charge the send path per envelope plus a reduced
+// per-rider increment (model.CostModel.SendCPU).
+func Riders(msg Message) int {
+	if b, ok := msg.(Batch); ok {
+		return len(b.Msgs)
+	}
+	return 1
+}

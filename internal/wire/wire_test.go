@@ -74,6 +74,14 @@ func sampleMessages() []Message {
 		LrcFetchReq{Addr: 0x80001000, Requester: 6, Token: 23},
 		LrcFetchResp{Addr: 0x80001000, Token: 23, Applied: []uint32{2, 0, 1, 0}, Data: []byte{1, 2, 3, 4}},
 		LrcGC{Floors: []uint32{1, 2, 3, 4}},
+		Batch{Msgs: []Message{
+			UpdateBatch{From: 2, Entries: []UpdateEntry{
+				{Addr: 0x80005000, Size: 8192, Diff: []byte{1, 0, 0, 0, 1, 0, 0, 0, 42, 0, 0, 0}},
+			}},
+			LockGrant{Lock: 1, Tail: 3, Updates: []UpdateEntry{{Addr: 0x80009000, Size: 4, Full: []byte{1, 2, 3, 4}}}},
+			BarrierRelease{Barrier: 2, Tree: true, Subtree: []uint8{3, 4}},
+			LrcGC{Floors: []uint32{1, 2}},
+		}},
 	}
 }
 

@@ -17,9 +17,18 @@ type Stats struct {
 	// and Munin runtime overhead (Tables 3–5's User/System columns).
 	RootUser   Time
 	RootSystem Time
-	// Messages and Bytes count all network traffic.
+	// Messages and Bytes count all network traffic: protocol messages
+	// (batch envelope riders counted individually) and bytes including
+	// framing.
 	Messages int
 	Bytes    int
+	// Sends counts transport sends: without batching it equals Messages;
+	// with WithBatching every envelope is one send however many messages
+	// ride it. BatchEnvelopes counts the wire.Batch envelopes among the
+	// sends, BatchedMessages the messages that rode inside them.
+	Sends           int
+	BatchEnvelopes  int
+	BatchedMessages int
 	// PerKind and PerKindBytes break the traffic down by protocol
 	// message type (message counts and byte volume including framing),
 	// so a table can attribute traffic to message kinds instead of
@@ -73,21 +82,24 @@ func newResult(p *Program, cfg runConfig, sys *core.System) *Result {
 		cfg:  cfg,
 		sys:  sys,
 		stats: Stats{
-			Elapsed:        sys.Elapsed(),
-			RootUser:       sys.NodeUserTime(0),
-			RootSystem:     sys.NodeSystemTime(0),
-			Messages:       st.TotalMessages(),
-			Bytes:          st.TotalBytes(),
-			PerKind:        perKind,
-			PerKindBytes:   perKindBytes,
-			AdaptProposals: ast.Proposals,
-			AdaptSwitches:  ast.Commits,
-			LrcIntervals:   lst.Intervals,
-			LrcDiffFetches: lst.DiffRequests,
-			LrcRecords:     lst.RecordsMaterialized,
-			LrcRecordsGCed: lst.RecordsGCed,
-			LrcNoticesSent: lst.NoticesSent,
-			LrcNoticesGCed: lst.NoticesGCed,
+			Elapsed:         sys.Elapsed(),
+			RootUser:        sys.NodeUserTime(0),
+			RootSystem:      sys.NodeSystemTime(0),
+			Messages:        st.TotalMessages(),
+			Bytes:           st.TotalBytes(),
+			Sends:           st.Sends,
+			BatchEnvelopes:  st.BatchEnvelopes,
+			BatchedMessages: st.BatchedMessages,
+			PerKind:         perKind,
+			PerKindBytes:    perKindBytes,
+			AdaptProposals:  ast.Proposals,
+			AdaptSwitches:   ast.Commits,
+			LrcIntervals:    lst.Intervals,
+			LrcDiffFetches:  lst.DiffRequests,
+			LrcRecords:      lst.RecordsMaterialized,
+			LrcRecordsGCed:  lst.RecordsGCed,
+			LrcNoticesSent:  lst.NoticesSent,
+			LrcNoticesGCed:  lst.NoticesGCed,
 		},
 	}
 }

@@ -30,6 +30,7 @@ type runConfig struct {
 	barrierTree     bool
 	barrierFanout   int
 	pendingUpdates  bool
+	batching        bool
 	trace           func(network.Envelope)
 }
 
@@ -119,6 +120,20 @@ func WithBarrierTree(fanout int) RunOption {
 // coalescing repeated full-object updates.
 func WithPendingUpdates() RunOption {
 	return func(c *runConfig) { c.pendingUpdates = true }
+}
+
+// WithBatching coalesces the messages one protocol operation sends to
+// the same destination into single wire.Batch envelopes: a release
+// flush's update shares a transport send with the lock grant behind it,
+// a barrier master's updates with its releases, a lazy barrier release
+// with the garbage-collection broadcast. Fewer transport sends, fewer
+// wire headers, a cheaper per-rider send path — with byte-identical
+// final memory (the riders are handled in exactly the order unbatched
+// sends would have arrived in). Off by default so the reproduced paper
+// tables keep the prototype's traffic shape; `munin-bench -table wire`
+// measures the difference, and Stats.Sends/BatchEnvelopes report it.
+func WithBatching() RunOption {
+	return func(c *runConfig) { c.batching = true }
 }
 
 // WithTrace observes every delivered protocol message.
@@ -244,6 +259,7 @@ func (p *Program) Run(ctx context.Context, root func(t *Thread), opts ...RunOpti
 		BarrierTree:     cfg.barrierTree,
 		BarrierFanout:   cfg.barrierFanout,
 		PendingUpdates:  cfg.pendingUpdates,
+		Batching:        cfg.batching,
 		Lazy:            cfg.consistency == LazyRC,
 		Trace:           cfg.trace,
 	}, p.decls, p.locks, p.barriers)
