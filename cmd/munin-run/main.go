@@ -11,14 +11,18 @@
 //	munin-run -app sor -procs 4 -exact            # improved copyset algorithm
 //	munin-run -app tsp -procs 8 -annotation conventional -adaptive
 //	                                              # mis-annotated + adaptive recovery
+//	munin-run -app sor -procs 8 -profile          # hot-object table + latency percentiles
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"text/tabwriter"
 
+	"munin"
 	"munin/internal/apps"
 	"munin/internal/protocol"
 	"munin/internal/wire"
@@ -41,6 +45,8 @@ func main() {
 		rounds      = flag.Int("rounds", 12, "critical-section rounds (lockheavy)")
 		batch       = flag.Bool("batch", false, "coalesce same-destination protocol messages into batch envelopes (fewer transport sends; see munin.WithBatching)")
 		transport   = flag.String("transport", "sim", "transport: sim (deterministic virtual time), chan (concurrent goroutine-per-node) or tcp (concurrent over loopback sockets)")
+		profile     = flag.Bool("profile", false, "enable per-run metrics and print the hot-object table and latency percentiles (munin.WithMetrics; charges nothing to the cost model)")
+		top         = flag.Int("top", 10, "number of objects in the -profile table")
 	)
 	flag.Parse()
 
@@ -63,30 +69,41 @@ func main() {
 	}
 
 	var (
-		r   apps.RunResult
-		ref uint32
-		err error
+		a     *apps.App
+		ref   uint32
+		err   error
+		exopt bool // whether the app honours -exact
 	)
 	switch *app {
 	case "matmul":
-		cfg := apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override, Exact: *exact, Adaptive: *adaptive, Lazy: lazy, Batch: *batch, Transport: *transport}
-		r, err = apps.MuninMatMul(cfg)
+		a, err = apps.NewMatMul(apps.MatMulConfig{Procs: *procs, N: *n, Single: *single, Override: override})
 		ref = apps.MatMulReference(*n)
+		exopt = true
 	case "sor":
-		cfg := apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, Exact: *exact, Adaptive: *adaptive, Lazy: lazy, Batch: *batch, Transport: *transport}
-		r, err = apps.MuninSOR(cfg)
+		a, err = apps.NewSOR(apps.SORConfig{Procs: *procs, Rows: *rows, Cols: *cols, Iters: *iters, Override: override, PhaseBarrier: apps.LiveTransport(*transport)})
 		ref = apps.SORReference(*rows, *cols, *iters)
+		exopt = true
 	case "tsp":
-		cfg := apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive, Lazy: lazy, Batch: *batch, Transport: *transport}
-		r, err = apps.MuninTSP(cfg)
+		a, err = apps.NewTSP(apps.TSPConfig{Procs: *procs, Cities: *cities, Override: override, Adaptive: *adaptive})
 		ref = uint32(apps.TSPReference(*cities))
 	case "lockheavy":
-		cfg := apps.LockHeavyConfig{Procs: *procs, Rounds: *rounds, Override: override, Adaptive: *adaptive, Lazy: lazy, Batch: *batch, Transport: *transport}
-		r, err = apps.MuninLockHeavy(cfg)
+		cfg := apps.LockHeavyConfig{Procs: *procs, Rounds: *rounds, Override: override}
+		a, err = apps.NewLockHeavy(cfg)
 		ref = apps.LockHeavyReference(cfg)
 	default:
 		fatal(fmt.Errorf("unknown app %q (want matmul, sor, tsp or lockheavy)", *app))
 	}
+	if err != nil {
+		fatal(err)
+	}
+	opts := apps.RunOpts(*transport, override, *adaptive, *exact && exopt, lazy)
+	if *batch {
+		opts = append(opts, munin.WithBatching())
+	}
+	if *profile {
+		opts = append(opts, munin.WithMetrics())
+	}
+	r, err := a.Run(context.Background(), opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,6 +142,40 @@ func main() {
 		}
 	}
 	tw.Flush()
+
+	if *profile {
+		fmt.Println("\nlatency percentiles (virtual ns):")
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  op\tcount\tp50\tp99\tp999\tmax\t\n")
+		ops := make([]string, 0, len(r.Latencies))
+		for op := range r.Latencies {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			s := r.Latencies[op]
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%d\t\n", op, s.Count, s.P50, s.P99, s.P999, s.Max)
+		}
+		tw.Flush()
+
+		prof := r.Profile()
+		shown := len(prof)
+		if shown > *top {
+			shown = *top
+		}
+		fmt.Printf("\nhot objects (top %d of %d):\n", shown, len(prof))
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  object\treads\twrites\tinval\tmigr\tfetch\tsharers\tper-node\t\n")
+		for _, o := range prof[:shown] {
+			name := r.ObjectName(o.Addr)
+			if name == "" {
+				name = fmt.Sprintf("%#x", o.Addr)
+			}
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t\n",
+				name, o.Reads, o.Writes, o.Invalidations, o.Migrations, o.Fetches, o.Sharers(), o.PerNode)
+		}
+		tw.Flush()
+	}
 	// Exit non-zero on a result mismatch under the program's own
 	// annotations; overrides may legitimately perturb chaotic relaxation
 	// (see EXPERIMENTS.md on Table 6).

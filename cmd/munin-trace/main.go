@@ -5,272 +5,156 @@
 // pages data in from where, when the delayed update queue flushes, how a
 // lock grant chases the distributed queue.
 //
+// The workloads come from the shared registry in internal/apps (see
+// -list), so the tracer, the benches and the tests all run the same
+// programs. With -obs the run also records structured protocol events
+// (faults, fetches, invalidations, ownership transfers, interval closes)
+// with cause links, exportable as JSON lines or as Chrome trace_event
+// JSON that loads in chrome://tracing and Perfetto.
+//
 // Usage:
 //
+//	munin-trace -list
 //	munin-trace -workload lock -procs 4
-//	munin-trace -workload producer-consumer -procs 3
-//	munin-trace -workload migratory -procs 4
-//	munin-trace -workload reduction -procs 4
-//	munin-trace -workload matmul -procs 2
-//	munin-trace -workload adaptive -procs 4
+//	munin-trace -workload lockheavy -procs 4 -consistency lazy -batch
+//	munin-trace -workload pipeline -procs 4 -obs -chrome out.json
+//	munin-trace -workload migratory -obs -jsonl events.jsonl
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"text/tabwriter"
 
 	"munin"
+	"munin/internal/apps"
 	"munin/internal/network"
 	"munin/internal/vm"
 )
 
-// extraOpts carries flag-selected per-run options into every workload.
-var extraOpts []munin.RunOption
-
 func main() {
 	var (
-		workload    = flag.String("workload", "lock", "workload: lock, migratory, producer-consumer, reduction, matmul or adaptive")
-		procs       = flag.Int("procs", 4, "processor count (2-16)")
+		workload    = flag.String("workload", "lock", "workload from the registry (see -list)")
+		list        = flag.Bool("list", false, "list the workload registry and exit")
+		procs       = flag.Int("procs", 4, "processor count (2-16; pipeline needs 4)")
 		batch       = flag.Bool("batch", false, "coalesce same-destination protocol messages into batch envelopes (they appear in the trace as one 'batch' delivery)")
 		consistency = flag.String("consistency", "eager", "release-consistency engine: eager or lazy (the lazy engine's acquire-with-notices grants, diff fetches and GC broadcasts appear in the trace)")
+		obsFlag     = flag.Bool("obs", false, "record structured protocol events (faults, fetches, invalidations, ...) and print them as JSON lines after the run")
+		chrome      = flag.String("chrome", "", "write the recorded events as Chrome trace_event JSON to this file (implies -obs; loads in Perfetto)")
+		jsonl       = flag.String("jsonl", "", "write the recorded events as JSON lines to this file (implies -obs)")
+		quiet       = flag.Bool("quiet", false, "suppress the per-message wire trace (useful with -obs on larger runs)")
 	)
 	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, d := range apps.Demos() {
+			engine := "eager/lazy"
+			if d.Adaptive {
+				engine = "adaptive"
+			}
+			fmt.Fprintf(tw, "%s\t[%s, ≥%d procs]\t%s\t\n", d.Name, engine, d.MinProcs, d.Desc)
+		}
+		tw.Flush()
+		return
+	}
+
+	demo, err := apps.DemoByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
 	cons, err := munin.ParseConsistency(*consistency)
 	if err != nil {
 		fatal(err)
 	}
-	if cons == munin.LazyRC && *workload == "adaptive" {
-		fatal(fmt.Errorf("the adaptive workload does not run under the lazy engine (the engines are mutually exclusive)"))
+	if demo.Adaptive && cons == munin.LazyRC {
+		fatal(fmt.Errorf("the %s workload needs the adaptive engine, which does not run under the lazy engine (the engines are mutually exclusive)", demo.Name))
 	}
-	extraOpts = append(extraOpts, munin.WithConsistency(cons))
-	if *batch {
-		extraOpts = append(extraOpts, munin.WithBatching())
-	}
-	if *procs < 2 || *procs > 16 {
-		fatal(fmt.Errorf("procs %d outside 2-16", *procs))
+	if *procs < demo.MinProcs || *procs > 16 {
+		fatal(fmt.Errorf("procs %d outside %d-16 for workload %s", *procs, demo.MinProcs, demo.Name))
 	}
 
-	trace := func(env network.Envelope) {
-		fmt.Printf("%12.3f ms  n%d -> n%d  %-16v %4d B\n",
-			env.DeliveredAt.Milliseconds(), env.Src, env.Dst, env.Msg.Kind(), env.Bytes)
-	}
-
-	switch *workload {
-	case "lock":
-		err = traceLock(*procs, trace)
-	case "migratory":
-		err = traceMigratory(*procs, trace)
-	case "producer-consumer":
-		err = traceProducerConsumer(*procs, trace)
-	case "reduction":
-		err = traceReduction(*procs, trace)
-	case "matmul":
-		err = traceMatMul(*procs, trace)
-	case "adaptive":
-		err = traceAdaptive(*procs, trace)
-	default:
-		err = fmt.Errorf("unknown workload %q", *workload)
-	}
+	app, err := demo.New(apps.DemoConfig{Procs: *procs})
 	if err != nil {
 		fatal(err)
 	}
+
+	opts := []munin.RunOption{munin.WithConsistency(cons)}
+	if demo.Adaptive {
+		opts = append(opts, munin.WithAdaptive())
+	}
+	if *batch {
+		opts = append(opts, munin.WithBatching())
+	}
+	if !*quiet {
+		opts = append(opts, munin.WithTrace(func(env network.Envelope) {
+			fmt.Printf("%12.3f ms  n%d -> n%d  %-16v %4d B\n",
+				env.DeliveredAt.Milliseconds(), env.Src, env.Dst, env.Msg.Kind(), env.Bytes)
+		}))
+	}
+	var sink *munin.TraceBuffer
+	if *obsFlag || *chrome != "" || *jsonl != "" {
+		sink = &munin.TraceBuffer{}
+		opts = append(opts, munin.WithTracing(sink))
+	}
+
+	r, err := app.Run(context.Background(), opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("-- check: %08x ok\n", r.Check)
+	if demo.Adaptive {
+		fmt.Printf("-- %d adaptive switches committed\n", r.AdaptSwitches)
+		final := r.FinalAnnotations()
+		bases := make([]vm.Addr, 0, len(final))
+		for base := range final {
+			bases = append(bases, base)
+		}
+		sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+		for _, base := range bases {
+			fmt.Printf("-- final annotation of %#x: %v\n", base, final[base])
+		}
+	}
+
+	if sink != nil {
+		if n := sink.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "munin-trace: event ring overflow, oldest %d events dropped\n", n)
+		}
+		if *chrome != "" {
+			if err := writeFile(*chrome, sink.WriteChrome); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- %d events written to %s (Chrome trace_event format)\n", len(sink.Events()), *chrome)
+		}
+		if *jsonl != "" {
+			if err := writeFile(*jsonl, sink.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- %d events written to %s (JSON lines)\n", len(sink.Events()), *jsonl)
+		}
+		if *chrome == "" && *jsonl == "" {
+			if err := sink.WriteJSONL(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
 }
 
-// traceLock passes one lock around every node; each holder increments a
-// migratory counter associated with the lock, so the grant messages carry
-// the data (§2.5's AssociateDataAndSynch).
-func traceLock(procs int, trace func(network.Envelope)) error {
-	p := munin.NewProgram(procs)
-	l := p.CreateLock()
-	ctr := munin.DeclareVar[uint32](p, "counter", munin.Migratory, munin.WithLock(l))
-	done := p.CreateBarrier(procs + 1)
-	_, err := p.Run(context.Background(), func(root *munin.Thread) {
-		for w := 0; w < procs; w++ {
-			w := w
-			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
-				l.Acquire(t)
-				ctr.Set(t, ctr.Get(t)+1)
-				l.Release(t)
-				done.Wait(t)
-			})
-		}
-		done.Wait(root)
-		l.Acquire(root)
-		fmt.Printf("-- final counter: %d (want %d)\n", ctr.Get(root), procs)
-		l.Release(root)
-	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
-	return err
-}
-
-// traceMigratory bounces a migratory object between nodes without a lock.
-func traceMigratory(procs int, trace func(network.Envelope)) error {
-	p := munin.NewProgram(procs)
-	obj := munin.Declare[uint32](p, "token", 16, munin.Migratory)
-	bar := p.CreateBarrier(procs + 1)
-	_, err := p.Run(context.Background(), func(root *munin.Thread) {
-		for w := 0; w < procs; w++ {
-			w := w
-			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
-				// Each worker takes the object in turn (barrier-paced so
-				// exactly one node accesses it per phase).
-				for turn := 0; turn < procs; turn++ {
-					if turn == w {
-						obj.Set(t, 0, obj.Get(t, 0)+1)
-					}
-					bar.Wait(t)
-				}
-			})
-		}
-		for turn := 0; turn < procs; turn++ {
-			bar.Wait(root)
-		}
-	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
-	return err
-}
-
-// traceProducerConsumer has node 0 produce a page that the other nodes
-// consume each phase: after the first phase the copyset is stable and the
-// producer's flush updates exactly the consumers.
-func traceProducerConsumer(procs int, trace func(network.Envelope)) error {
-	p := munin.NewProgram(procs)
-	data := munin.Declare[uint32](p, "data", 512, munin.ProducerConsumer)
-	bar := p.CreateBarrier(procs + 1)
-	const phases = 3
-	_, err := p.Run(context.Background(), func(root *munin.Thread) {
-		for w := 0; w < procs; w++ {
-			w := w
-			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
-				for ph := 0; ph < phases; ph++ {
-					if w == 0 {
-						for i := 0; i < 8; i++ {
-							data.Set(t, i, uint32(ph*100+i))
-						}
-					}
-					bar.Wait(t) // producer's flush pushes the diff to consumers
-					if w != 0 {
-						_ = data.Get(t, 0)
-					}
-					bar.Wait(t)
-				}
-			})
-		}
-		for ph := 0; ph < 2*phases; ph++ {
-			bar.Wait(root)
-		}
-	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
-	return err
-}
-
-// traceReduction runs Fetch-and-min against a fixed-owner global minimum.
-func traceReduction(procs int, trace func(network.Envelope)) error {
-	p := munin.NewProgram(procs)
-	minv := munin.DeclareVar[int32](p, "globalmin", munin.Reduction)
-	minv.Init(1 << 30)
-	done := p.CreateBarrier(procs + 1)
-	_, err := p.Run(context.Background(), func(root *munin.Thread) {
-		for w := 0; w < procs; w++ {
-			w := w
-			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
-				minv.FetchAndMin(t, int32(100-10*w))
-				done.Wait(t)
-			})
-		}
-		done.Wait(root)
-		fmt.Printf("-- final minimum: %d (want %d)\n", minv.Get(root), 100-10*(procs-1))
-	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
-	return err
-}
-
-// traceMatMul runs a tiny matrix multiply so the full read-only /
-// result protocol flow fits in a screenful.
-func traceMatMul(procs int, trace func(network.Envelope)) error {
-	const n = 64
-	p := munin.NewProgram(procs)
-	a := munin.DeclareMatrix[int32](p, "a", n, n, munin.ReadOnly)
-	b := munin.DeclareMatrix[int32](p, "b", n, n, munin.ReadOnly)
-	c := munin.DeclareMatrix[int32](p, "c", n, n, munin.ResultObject)
-	a.Init(func(i, j int) int32 { return int32(i + j) })
-	b.Init(func(i, j int) int32 { return int32(i - j) })
-	done := p.CreateBarrier(procs + 1)
-	_, err := p.Run(context.Background(), func(root *munin.Thread) {
-		for w := 0; w < procs; w++ {
-			w := w
-			lo, hi := w*n/procs, (w+1)*n/procs
-			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
-				arow := make([]int32, n)
-				brow := make([]int32, n)
-				crow := make([]int32, n)
-				for i := lo; i < hi; i++ {
-					a.ReadRow(t, i, arow)
-					for j := range crow {
-						crow[j] = 0
-					}
-					for k := 0; k < n; k++ {
-						b.ReadRow(t, k, brow)
-						for j := range crow {
-							crow[j] += arow[k] * brow[j]
-						}
-					}
-					c.WriteRow(t, i, crow)
-				}
-				done.Wait(t)
-			})
-		}
-		done.Wait(root)
-	}, append([]munin.RunOption{munin.WithTrace(trace)}, extraOpts...)...)
-	return err
-}
-
-// traceAdaptive runs a mis-annotated producer-consumer exchange under the
-// adaptive protocol engine: a buffer declared with no hint at all
-// (munin.Adaptive) starts conventional, the engine observes the
-// invalidate/refetch ping-pong, and the adapt-propose/adapt-commit
-// exchange switching it to producer_consumer appears in the trace.
-func traceAdaptive(procs int, trace func(network.Envelope)) error {
-	p := munin.NewProgram(procs)
-	data := munin.Declare[uint32](p, "data", 512, munin.Adaptive)
-	bar := p.CreateBarrier(procs + 1)
-	const phases = 8
-	res, err := p.Run(context.Background(), func(root *munin.Thread) {
-		for w := 0; w < procs; w++ {
-			w := w
-			root.Spawn(w, fmt.Sprintf("worker%d", w), func(t *munin.Thread) {
-				for ph := 0; ph < phases; ph++ {
-					if w == 0 {
-						for i := 0; i < 8; i++ {
-							data.Set(t, i, uint32(ph*100+i))
-						}
-					}
-					bar.Wait(t)
-					if w != 0 {
-						_ = data.Get(t, 0)
-					}
-					bar.Wait(t)
-				}
-			})
-		}
-		for ph := 0; ph < 2*phases; ph++ {
-			bar.Wait(root)
-		}
-	}, append([]munin.RunOption{munin.WithTrace(trace), munin.WithAdaptive()}, extraOpts...)...)
+// writeFile streams one exporter's output into a freshly created file.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	st := res.Stats()
-	fmt.Printf("-- %d adaptive switches committed\n", st.AdaptSwitches)
-	final := res.FinalAnnotations()
-	bases := make([]vm.Addr, 0, len(final))
-	for base := range final {
-		bases = append(bases, base)
+	if err := write(f); err != nil {
+		f.Close()
+		return err
 	}
-	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
-	for _, base := range bases {
-		fmt.Printf("-- final annotation of %#x: %v\n", base, final[base])
-	}
-	return nil
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -71,6 +71,7 @@ func (a *App) Run(ctx context.Context, opts ...munin.RunOption) (RunResult, erro
 		LrcIntervals:   st.LrcIntervals,
 		LrcDiffFetches: st.LrcDiffFetches,
 		LrcRecordsGCed: st.LrcRecordsGCed,
+		Latencies:      st.Latencies,
 		res:            res,
 	}, nil
 }
@@ -109,6 +110,17 @@ func appendBatch(opts []munin.RunOption, batch bool) []munin.RunOption {
 	return opts
 }
 
+// appendMetrics appends munin.WithMetrics when metrics is set. Recording
+// charges nothing to the cost model, so a metrics run's virtual times
+// and traffic are bit-identical to a bare one — the knob only decides
+// whether RunResult.Latencies and Profile are populated.
+func appendMetrics(opts []munin.RunOption, metrics bool) []munin.RunOption {
+	if metrics {
+		opts = append(opts, munin.WithMetrics())
+	}
+	return opts
+}
+
 // LiveTransport reports whether name selects a real concurrent
 // transport (anything but the deterministic simulator) — the condition
 // that forces SOR's phase barrier on (see SORConfig.PhaseBarrier).
@@ -140,6 +152,9 @@ type MatMulConfig struct {
 	// Batch coalesces same-destination protocol messages into wire.Batch
 	// envelopes (munin.WithBatching).
 	Batch bool
+	// Metrics enables latency histograms and hot-object profiles
+	// (munin.WithMetrics; charges nothing to the cost model).
+	Metrics bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -169,6 +184,9 @@ type SORConfig struct {
 	// Batch coalesces same-destination protocol messages into wire.Batch
 	// envelopes (munin.WithBatching).
 	Batch bool
+	// Metrics enables latency histograms and hot-object profiles
+	// (munin.WithMetrics; charges nothing to the cost model).
+	Metrics bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 	// PhaseBarrier inserts a second barrier between the compute and copy
@@ -215,6 +233,10 @@ type RunResult struct {
 	LrcIntervals   int
 	LrcDiffFetches int
 	LrcRecordsGCed int
+	// Latencies holds the per-operation latency percentiles of a
+	// munin.WithMetrics run, keyed by operation name; nil when metrics
+	// were off (see munin.Stats.Latencies).
+	Latencies map[string]munin.LatencySummary `json:",omitempty"`
 
 	// res retains the finished run for post-run inspection (nil for the
 	// message-passing versions).
@@ -229,6 +251,33 @@ func (r RunResult) FinalImage() map[vm.Addr][]byte {
 		return nil
 	}
 	return r.res.FinalImage()
+}
+
+// FinalAnnotations reports, after an adaptive run, the annotation each
+// declared variable converged to (nil for the message-passing versions).
+func (r RunResult) FinalAnnotations() map[vm.Addr]protocol.Annotation {
+	if r.res == nil {
+		return nil
+	}
+	return r.res.FinalAnnotations()
+}
+
+// Profile returns the run's hot-object profiles, hottest first (nil
+// unless the run used munin.WithMetrics).
+func (r RunResult) Profile() []munin.ObjectProfile {
+	if r.res == nil {
+		return nil
+	}
+	return r.res.Profile()
+}
+
+// ObjectName resolves a profiled object's address to its declared
+// variable name (empty for the message-passing versions).
+func (r RunResult) ObjectName(addr uint64) string {
+	if r.res == nil {
+		return ""
+	}
+	return r.res.ObjectName(addr)
 }
 
 // MACRow is the matrix-multiply inner loop: dst[j] += aik * brow[j].

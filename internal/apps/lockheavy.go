@@ -50,6 +50,9 @@ type LockHeavyConfig struct {
 	// Batch coalesces same-destination protocol messages into wire.Batch
 	// envelopes (munin.WithBatching).
 	Batch bool
+	// Metrics enables latency histograms and hot-object profiles
+	// (munin.WithMetrics; charges nothing to the cost model).
+	Metrics bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -191,5 +194,5 @@ func MuninLockHeavy(c LockHeavyConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	return app.Run(context.Background(),
-		appendBatch(RunOpts(c.Transport, c.Override, c.Adaptive, false, c.Lazy), c.Batch)...)
+		appendMetrics(appendBatch(RunOpts(c.Transport, c.Override, c.Adaptive, false, c.Lazy), c.Batch), c.Metrics)...)
 }

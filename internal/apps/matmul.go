@@ -103,5 +103,5 @@ func MuninMatMul(c MatMulConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	return app.Run(context.Background(),
-		appendBatch(RunOpts(c.Transport, c.Override, c.Adaptive, c.Exact, c.Lazy), c.Batch)...)
+		appendMetrics(appendBatch(RunOpts(c.Transport, c.Override, c.Adaptive, c.Exact, c.Lazy), c.Batch), c.Metrics)...)
 }

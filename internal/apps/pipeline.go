@@ -41,6 +41,9 @@ type PipelineConfig struct {
 	// Batch coalesces same-destination protocol messages into wire.Batch
 	// envelopes (munin.WithBatching).
 	Batch bool
+	// Metrics enables latency histograms and hot-object profiles
+	// (munin.WithMetrics; charges nothing to the cost model).
+	Metrics bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -221,5 +224,5 @@ func MuninPipeline(c PipelineConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	return app.Run(context.Background(),
-		appendBatch(RunOpts(c.Transport, nil, c.Adaptive, false, c.Lazy), c.Batch)...)
+		appendMetrics(appendBatch(RunOpts(c.Transport, nil, c.Adaptive, false, c.Lazy), c.Batch), c.Metrics)...)
 }

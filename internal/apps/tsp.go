@@ -39,6 +39,9 @@ type TSPConfig struct {
 	// Batch coalesces same-destination protocol messages into wire.Batch
 	// envelopes (munin.WithBatching).
 	Batch bool
+	// Metrics enables latency histograms and hot-object profiles
+	// (munin.WithMetrics; charges nothing to the cost model).
+	Metrics bool
 	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
 	Transport string
 }
@@ -189,5 +192,5 @@ func MuninTSP(c TSPConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	return app.Run(context.Background(),
-		appendBatch(RunOpts(c.Transport, c.Override, c.Adaptive, false, c.Lazy), c.Batch)...)
+		appendMetrics(appendBatch(RunOpts(c.Transport, c.Override, c.Adaptive, false, c.Lazy), c.Batch), c.Metrics)...)
 }

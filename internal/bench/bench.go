@@ -15,6 +15,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"munin"
 	"munin/internal/apps"
 	"munin/internal/model"
 	"munin/internal/sim"
@@ -92,6 +93,11 @@ type AppRow struct {
 	// ChecksOK reports that the Munin, message-passing and sequential
 	// reference computations produced identical results.
 	ChecksOK bool
+	// Latencies holds the Munin run's per-operation latency percentiles
+	// (acquire, release, barrier, fault, ...; see munin.Stats.Latencies).
+	// Metrics recording charges nothing to the cost model, so the timed
+	// columns are identical with and without it.
+	Latencies map[string]munin.LatencySummary `json:",omitempty"`
 }
 
 // AppTable is a full application table.
@@ -138,5 +144,6 @@ func appRow(procs int, mu, dm apps.RunResult, ref uint32) AppRow {
 		DMMessages:    dm.Messages,
 		MuninMessages: mu.Messages,
 		ChecksOK:      mu.Check == ref && dm.Check == ref,
+		Latencies:     mu.Latencies,
 	}
 }

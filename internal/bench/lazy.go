@@ -50,6 +50,10 @@ type LazyRow struct {
 	// demand-fetch and garbage-collection counters.
 	LazyDiffFetches int
 	LazyRecordsGCed int
+	// EagerLatencies and LazyLatencies hold each engine's per-operation
+	// latency percentiles (see munin.Stats.Latencies).
+	EagerLatencies map[string]munin.LatencySummary `json:",omitempty"`
+	LazyLatencies  map[string]munin.LatencySummary `json:",omitempty"`
 }
 
 // LazyTable is the full comparison.
@@ -204,7 +208,7 @@ func RunLazy(o LazyOpts) (LazyTable, error) {
 	}
 	t := LazyTable{Procs: o.Procs}
 	for _, w := range ws {
-		var opts []munin.RunOption
+		opts := []munin.RunOption{munin.WithMetrics()}
 		if o.Transport != "" {
 			opts = append(opts, munin.WithTransport(o.Transport))
 		}
@@ -231,6 +235,8 @@ func RunLazy(o LazyOpts) (LazyTable, error) {
 			ImageMatch:      true,
 			LazyDiffFetches: lazy.LrcDiffFetches,
 			LazyRecordsGCed: lazy.LrcRecordsGCed,
+			EagerLatencies:  eager.Latencies,
+			LazyLatencies:   lazy.Latencies,
 		}
 		if o.Transport == "" || o.Transport == munin.TransportSim {
 			row.ImageMatch = sameImage(imageOf(eager), imageOf(lazy))

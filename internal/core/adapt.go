@@ -35,6 +35,7 @@ import (
 
 	"munin/internal/adapt"
 	"munin/internal/directory"
+	"munin/internal/obs"
 	"munin/internal/protocol"
 	"munin/internal/rt"
 	"munin/internal/vm"
@@ -194,6 +195,9 @@ func (n *Node) applySwitch(p rt.Proc, e *directory.Entry, annot protocol.Annotat
 // could silently let go stale.
 func (n *Node) applyAnnotationSwitch(p rt.Proc, e *directory.Entry, annot protocol.Annotation) {
 	advance(p, n.sys.cost.AdaptSwitchCPU)
+	if n.obs != nil && p != nil {
+		n.obs.Event(obs.EvEngineSwitch, int64(p.Now()), 0, uint64(e.Start), -1, int64(annot))
+	}
 	n.AdaptApplied++
 	e.PendingAnnot = nil
 	e.Annot = annot

@@ -30,6 +30,7 @@ package core
 // send and flush() to a no-op — bit-for-bit the unbatched runtime.
 
 import (
+	"munin/internal/obs"
 	"munin/internal/rt"
 	"munin/internal/wire"
 )
@@ -81,6 +82,9 @@ func (b *batcher) flush() {
 		case 1:
 			b.n.sys.tr.Send(b.p, b.n.id, dst, msgs[0])
 		default:
+			if b.n.obs != nil {
+				b.n.obs.Event(obs.EvBatchFlush, int64(b.p.Now()), 0, 0, dst, int64(len(msgs)))
+			}
 			b.n.sys.tr.Send(b.p, b.n.id, dst, wire.Batch{Msgs: msgs})
 		}
 	}

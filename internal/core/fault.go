@@ -5,6 +5,7 @@ import (
 
 	"munin/internal/directory"
 	"munin/internal/duq"
+	"munin/internal/obs"
 	"munin/internal/protocol"
 	"munin/internal/rt"
 	"munin/internal/vm"
@@ -30,6 +31,30 @@ func (n *Node) handleFault(t *Thread, base vm.Addr, write bool) {
 	defer p.SetKind(prev)
 	p.Advance(n.sys.cost.FaultTrap)
 
+	if n.obs == nil {
+		n.resolveFault(t, base, write)
+		return
+	}
+	// The fault's event id is reserved up front so the fetches and
+	// invalidations it triggers can cause-link to it, and the span itself
+	// records once the resolution latency is known.
+	t0 := p.Now()
+	id := n.obs.SpanID()
+	prevCause := n.obs.BeginCause(id)
+	n.resolveFault(t, base, write)
+	n.obs.EndCause(prevCause)
+	d := int64(p.Now() - t0)
+	n.obs.Latency(obs.OpFault, d)
+	var w int64
+	if write {
+		w = 1
+	}
+	n.obs.Span(id, obs.EvFault, int64(t0), d, uint64(base), -1, w)
+}
+
+// resolveFault is the protocol body of handleFault.
+func (n *Node) resolveFault(t *Thread, base vm.Addr, write bool) {
+	p := t.proc
 	e := n.entry(t, base)
 	e.Sem.Acquire(p)
 	defer e.Sem.Release()
@@ -57,6 +82,9 @@ func (n *Node) handleFault(t *Thread, base vm.Addr, write bool) {
 		n.writeMiss(t, e)
 	} else {
 		n.readMiss(t, e)
+	}
+	if n.obs != nil {
+		n.obs.Access(uint64(e.Start), write)
 	}
 }
 
@@ -136,10 +164,15 @@ func (n *Node) fetchReadCopy(t *Thread, e *directory.Entry, prefetch bool) {
 	if dst == n.id {
 		fail(n.id, e.Start, "read miss", "no holder known for object")
 	}
+	t0 := t.proc.Now()
 	reply := n.rpc(t, dst, pendKey{pendRead, uint64(e.Start)},
 		wire.ReadReq{Addr: e.Start, Requester: uint8(n.id), Prefetch: prefetch}).(wire.ReadReply)
 	e.ProbOwner = int(reply.Owner)
 	n.installObject(t.proc, e, reply.Data, vm.ProtRead)
+	if n.obs != nil {
+		n.obs.Event(obs.EvFetch, int64(t0), int64(t.proc.Now()-t0), uint64(e.Start), dst, int64(e.Size))
+		n.obs.Fetched(uint64(e.Start))
+	}
 	// Apply any updates that raced the fetch (writers whose flush saw the
 	// fault in progress and addressed this copy). Word diffs carry
 	// absolute values, so re-applying one the served data already
@@ -263,9 +296,14 @@ func (n *Node) migrate(t *Thread, e *directory.Entry) {
 		}
 		fail(n.id, e.Start, "migrate", "no holder known for migratory object")
 	}
+	t0 := t.proc.Now()
 	reply := n.rpc(t, dst, pendKey{pendMigrate, uint64(e.Start)},
 		wire.MigrateReq{Addr: e.Start, Requester: uint8(n.id)}).(wire.MigrateReply)
 	n.installObject(t.proc, e, reply.Data, vm.ProtReadWrite)
+	if n.obs != nil {
+		n.obs.Event(obs.EvFetch, int64(t0), int64(t.proc.Now()-t0), uint64(e.Start), dst, int64(e.Size))
+		n.obs.Migrated(uint64(e.Start))
+	}
 	e.Owned = true
 	e.ProbOwner = n.id
 	if e.Params.Delayed {
@@ -477,6 +515,9 @@ func (n *Node) serveOwn(p rt.Proc, m wire.OwnReq) {
 	if n.adaptEng != nil && n.adaptEng.NoteOwnTransfer(e, req) {
 		n.adaptEvaluate(p, e)
 	}
+	if n.obs != nil {
+		n.obs.Event(obs.EvOwnership, int64(p.Now()), 0, uint64(e.Start), req, 0)
+	}
 	cs := e.Copyset.Remove(req)
 	n.dropObject(p, e)
 	e.Owned = false
@@ -546,6 +587,10 @@ func (n *Node) serveInvalidate(p rt.Proc, src int, m wire.Invalidate) {
 				fail(n.id, e.Start, "invalidate",
 					"invalidation would lose local modifications (single-writer object)")
 			}
+		}
+		if n.obs != nil {
+			n.obs.Event(obs.EvInvalidate, int64(p.Now()), 0, uint64(e.Start), src, int64(m.NewOwner))
+			n.obs.Invalidated(uint64(e.Start))
 		}
 		n.dropObject(p, e)
 		e.Owned = false

@@ -34,6 +34,7 @@ import (
 	"munin/internal/directory"
 	"munin/internal/duq"
 	"munin/internal/lrc"
+	"munin/internal/obs"
 	"munin/internal/rt"
 	"munin/internal/vm"
 	"munin/internal/wire"
@@ -102,6 +103,9 @@ func (n *Node) lrcCloseEntries(p rt.Proc, entries []*directory.Entry) {
 	}
 	ivl := n.lrc.CloseInterval(addrs)
 	closeVT := n.lrc.VT() // the interval's happens-before stamp
+	if n.obs != nil && p != nil {
+		n.obs.Event(obs.EvIntervalClose, int64(p.Now()), 0, uint64(addrs[0]), -1, int64(len(entries)))
+	}
 	for _, e := range entries {
 		if e.Twin == nil {
 			panic(fmt.Sprintf("core: node %d closing interval over %v without a twin", n.id, e))
@@ -153,6 +157,9 @@ func (n *Node) lrcMaterialize(p rt.Proc, e *directory.Entry) {
 // notices into the node's engine.
 func (n *Node) lrcAbsorb(p rt.Proc, vt []uint32, notices []wire.LrcInterval) {
 	touched := n.lrc.Absorb(vt, notices)
+	if n.obs != nil && p != nil && len(notices) > 0 {
+		n.obs.Event(obs.EvNoticeApply, int64(p.Now()), 0, 0, -1, int64(len(notices)))
+	}
 	advance(p, n.sys.cost.LrcNoticeCPU*rt.Time(len(touched)))
 }
 
@@ -193,10 +200,15 @@ func (n *Node) lrcFetchBase(t *Thread, e *directory.Entry) {
 		return
 	}
 	n.ReadMisses++
+	t0 := t.proc.Now()
 	resp := n.lrcRPC(t, e.Home, func(token uint32) wire.Message {
 		return wire.LrcFetchReq{Addr: e.Start, Requester: uint8(n.id), Token: token}
 	}).(wire.LrcFetchResp)
 	n.installObject(t.proc, e, resp.Data, vm.ProtRead)
+	if n.obs != nil {
+		n.obs.Event(obs.EvFetch, int64(t0), int64(t.proc.Now()-t0), uint64(e.Start), e.Home, int64(e.Size))
+		n.obs.Fetched(uint64(e.Start))
+	}
 	for j := range st.Applied {
 		if j < len(resp.Applied) {
 			st.Applied[j] = resp.Applied[j]
@@ -244,11 +256,22 @@ func (n *Node) serveLrcFetch(p rt.Proc, m wire.LrcFetchReq) {
 // objects beyond the given applied intervals.
 func (n *Node) lrcDiffFetch(t *Thread, writer int, addrs []vm.Addr, after []uint32) wire.LrcDiffResp {
 	n.lrc.Stats.DiffRequests++
+	t0 := t.proc.Now()
 	resp := n.lrcRPC(t, writer, func(token uint32) wire.Message {
 		return wire.LrcDiffReq{Requester: uint8(n.id), Token: token, Addrs: addrs, After: after}
 	}).(wire.LrcDiffResp)
+	records := 0
 	for _, s := range resp.Sets {
 		n.lrc.Stats.RecordsFetched += len(s.Records)
+		records += len(s.Records)
+	}
+	if n.obs != nil {
+		d := int64(t.proc.Now() - t0)
+		n.obs.Latency(obs.OpDiffFetch, d)
+		n.obs.Event(obs.EvFetch, int64(t0), d, uint64(addrs[0]), writer, int64(records))
+		for _, a := range addrs {
+			n.obs.Fetched(uint64(a))
+		}
 	}
 	return resp
 }

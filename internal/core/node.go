@@ -9,6 +9,7 @@ import (
 	"munin/internal/duq"
 	"munin/internal/lrc"
 	"munin/internal/network"
+	"munin/internal/obs"
 	"munin/internal/protocol"
 	"munin/internal/rt"
 	"munin/internal/vm"
@@ -138,6 +139,13 @@ type Node struct {
 	// AdaptApplied counts annotation switches applied at this node.
 	AdaptApplied int
 
+	// obs is the node's observability recorder; nil unless Config.Metrics
+	// or Config.TraceEvents enabled it. Every hook in the protocol code
+	// is guarded by this single pointer check, so the disabled path costs
+	// one comparison. The recorder needs no locking: it is only touched
+	// under the node monitor, like the stat counters above.
+	obs *obs.Recorder
+
 	// fetchStash buffers updates that arrive for an object while a local
 	// fault on it is mid-flight (the entry is not yet valid but its
 	// semaphore is held). They apply — in arrival order, idempotently —
@@ -262,6 +270,9 @@ func newNode(s *System, id int) *Node {
 		n.barrierFloors = make(map[int][]uint32)
 		n.barrierNodes = make(map[int]map[int]bool)
 		n.lrcLastGC = make([]uint32, s.cfg.Processors)
+	}
+	if s.cfg.Metrics || s.cfg.TraceEvents > 0 {
+		n.obs = obs.NewRecorder(id, &s.obsSeq, s.cfg.Metrics, s.cfg.TraceEvents)
 	}
 	if s.cfg.Adaptive {
 		n.adaptEng = adapt.New(adapt.Config{

@@ -6,6 +6,7 @@ import (
 
 	"munin/internal/directory"
 	"munin/internal/duq"
+	"munin/internal/obs"
 	"munin/internal/protocol"
 	"munin/internal/rt"
 	"munin/internal/vm"
@@ -64,9 +65,13 @@ func (n *Node) fetchAndOp(t *Thread, addr vm.Addr, off int, op wire.ReduceOp, op
 		defer e.Sem.Release()
 		return n.reduceAtHome(p, e, off, op, operand)
 	}
+	t0 := p.Now()
 	reply := n.rpc(t, e.Home, pendKey{pendReduce, uint64(addr)},
 		wire.ReduceReq{Addr: e.Start, Off: uint32(off * vm.WordSize), Op: op,
 			Operand: operand, Requester: uint8(n.id)}).(wire.ReduceReply)
+	if n.obs != nil {
+		n.obs.Latency(obs.OpRemoteOp, int64(p.Now()-t0))
+	}
 	return reply.Old
 }
 

@@ -8,6 +8,7 @@ import (
 	"munin/internal/directory"
 	"munin/internal/model"
 	"munin/internal/network"
+	"munin/internal/obs"
 	"munin/internal/protocol"
 	"munin/internal/rt"
 	"munin/internal/vm"
@@ -90,6 +91,18 @@ type Config struct {
 	AwaitUpdateAcks bool
 	// Trace, if non-nil, observes every delivered network message.
 	Trace func(network.Envelope)
+	// Metrics enables the observability subsystem's latency histograms
+	// (acquire/release, barrier wait, fault resolution, diff fetch,
+	// remote fetch-and-Φ) and the per-object hot-object profile
+	// (internal/obs). Recording charges nothing to the cost model, so
+	// metrics-on simulator runs are bit-identical to metrics-off runs.
+	Metrics bool
+	// TraceEvents > 0 enables structured protocol event tracing: every
+	// node keeps a ring of that many typed events (fault, fetch,
+	// invalidate, ownership transfer, interval close, notice apply,
+	// batch flush, engine switch) with cause-linking ids, merged at run
+	// end (System.ObsEvents) for JSONL or Chrome trace export.
+	TraceEvents int
 	// Transport carries the machine's messages and hosts its procs. Nil
 	// means the deterministic simulator (rt.NewSim) — the transport the
 	// paper's tables are measured on. rt.NewChan and rt.NewTCP run the
@@ -152,6 +165,10 @@ type System struct {
 	// lazyOnce runs the lazy engine's post-run reconciliation exactly
 	// once, before the first state inspection (see finishLazy).
 	lazyOnce sync.Once
+
+	// obsSeq issues run-unique event ids for the observability
+	// subsystem's cause-linked traces; every node's recorder shares it.
+	obsSeq atomic.Uint64
 }
 
 // NewSystem builds a machine from declarations. The root node (0) holds
@@ -399,6 +416,36 @@ func (s *System) FinalAnnotations() map[vm.Addr]protocol.Annotation {
 		}
 	}
 	return out
+}
+
+// obsRecorders collects the per-node recorders (entries are nil when
+// observability is off).
+func (s *System) obsRecorders() []*obs.Recorder {
+	recs := make([]*obs.Recorder, len(s.nodes))
+	for i, n := range s.nodes {
+		recs[i] = n.obs
+	}
+	return recs
+}
+
+// ObsLatencies merges every node's latency histograms and returns the
+// per-operation summaries, keyed by operation name. Nil when metrics
+// were not enabled (Config.Metrics).
+func (s *System) ObsLatencies() map[string]obs.Summary {
+	return obs.MergeLatencies(s.obsRecorders())
+}
+
+// ObsProfile merges every node's hot-object counters into per-object
+// profiles, sorted by address. Nil when metrics were not enabled.
+func (s *System) ObsProfile() []obs.ObjectProfile {
+	return obs.MergeProfiles(s.obsRecorders())
+}
+
+// ObsEvents merges every node's event ring into one time-ordered stream
+// and reports how many events the rings dropped. Empty when tracing was
+// not enabled (Config.TraceEvents).
+func (s *System) ObsEvents() ([]obs.Event, uint64) {
+	return obs.MergeEvents(s.obsRecorders())
 }
 
 // NodeUserTime sums user-mode virtual time over node i's threads — the

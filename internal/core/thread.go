@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"munin/internal/obs"
 	"munin/internal/protocol"
 	"munin/internal/rt"
 	"munin/internal/vm"
@@ -77,21 +78,39 @@ func (t *Thread) Slice(addr vm.Addr, n int, write bool) [][]byte {
 // is charged as system time.
 func (t *Thread) AcquireLock(id int) {
 	defer t.system()()
+	if t.node.obs == nil {
+		t.node.acquireLock(t, id)
+		return
+	}
+	t0 := t.proc.Now()
 	t.node.acquireLock(t, id)
+	t.node.obs.Latency(obs.OpAcquire, int64(t.proc.Now()-t0))
 }
 
 // ReleaseLock releases the lock, first flushing the delayed update queue
 // (release consistency).
 func (t *Thread) ReleaseLock(id int) {
 	defer t.system()()
+	if t.node.obs == nil {
+		t.node.releaseLock(t, id)
+		return
+	}
+	t0 := t.proc.Now()
 	t.node.releaseLock(t, id)
+	t.node.obs.Latency(obs.OpRelease, int64(t.proc.Now()-t0))
 }
 
 // WaitAtBarrier flushes the DUQ and blocks until the barrier's expected
 // number of threads have arrived.
 func (t *Thread) WaitAtBarrier(id int) {
 	defer t.system()()
+	if t.node.obs == nil {
+		t.node.waitAtBarrier(t, id)
+		return
+	}
+	t0 := t.proc.Now()
 	t.node.waitAtBarrier(t, id)
+	t.node.obs.Latency(obs.OpBarrier, int64(t.proc.Now()-t0))
 }
 
 // FetchAndOp performs a Fetch-and-Φ on word off of a reduction object,

@@ -46,6 +46,11 @@ type Stats struct {
 	// BatchedMessages the protocol messages that rode inside them.
 	BatchEnvelopes  int
 	BatchedMessages int
+	// Delivered counts envelopes delivered into destination inboxes.
+	// After a quiescent run without fault injection Delivered == Sends:
+	// the transport conserves messages (the counter conservation tests
+	// assert exactly this per engine × transport).
+	Delivered int
 }
 
 // CountSend records one transport send of msg whose on-the-wire size —
@@ -196,6 +201,7 @@ func (nw *Network) Send(p *sim.Proc, src, dst int, msg wire.Message) {
 
 	env := Envelope{Src: src, Dst: dst, Msg: decoded, Bytes: size, SentAt: now, DeliveredAt: deliver}
 	nw.sim.At(deliver, func() {
+		nw.stats.Delivered++
 		if nw.Trace != nil {
 			nw.Trace(env)
 		}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// eventJSON is the export shape of an Event: the type as its stable
+// name, times in nanoseconds.
+type eventJSON struct {
+	ID    uint64 `json:"id"`
+	Cause uint64 `json:"cause,omitempty"`
+	Node  int32  `json:"node"`
+	Type  string `json:"type"`
+	Time  int64  `json:"ts_ns"`
+	Dur   int64  `json:"dur_ns,omitempty"`
+	Addr  uint64 `json:"addr,omitempty"`
+	Peer  int32  `json:"peer"`
+	Arg   int64  `json:"arg,omitempty"`
+}
+
+func toJSON(e Event) eventJSON {
+	return eventJSON{
+		ID:    e.ID,
+		Cause: e.Cause,
+		Node:  e.Node,
+		Type:  e.Type.String(),
+		Time:  e.Time,
+		Dur:   e.Dur,
+		Addr:  e.Addr,
+		Peer:  e.Peer,
+		Arg:   e.Arg,
+	}
+}
+
+// WriteJSONL writes the events as JSON lines, one event per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(toJSON(e)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// ph "X" complete events for spans, ph "i" instants, ph "M" metadata.
+// Each node renders as its own process track, so a multi-node protocol
+// exchange reads as aligned timelines in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int32          `json:"pid"`
+	TID   int32          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the events in Chrome trace_event format; the
+// output loads in chrome://tracing and Perfetto. Timestamps convert to
+// the format's microseconds (fractional, so nanosecond spacing
+// survives).
+func WriteChrome(w io.Writer, events []Event) error {
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+	seen := map[int32]bool{}
+	for _, e := range events {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name:  "process_name",
+				Phase: "M",
+				PID:   e.Node,
+				TID:   e.Node,
+				Args:  map[string]any{"name": fmt.Sprintf("node %d", e.Node)},
+			})
+		}
+		args := map[string]any{"id": e.ID}
+		if e.Cause != 0 {
+			args["cause"] = e.Cause
+		}
+		if e.Addr != 0 {
+			args["addr"] = fmt.Sprintf("%#x", e.Addr)
+		}
+		if e.Peer >= 0 {
+			args["peer"] = e.Peer
+		}
+		if e.Arg != 0 {
+			args["arg"] = e.Arg
+		}
+		ce := chromeEvent{
+			Name: e.Type.String(),
+			Cat:  "munin",
+			TS:   float64(e.Time) / 1e3,
+			PID:  e.Node,
+			TID:  e.Node,
+			Args: args,
+		}
+		if e.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

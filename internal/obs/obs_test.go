@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Buckets must tile the value space: every value lands in a bucket
+// whose upper bound is the smallest representative >= the value, and
+// the representative's relative error is bounded by the sub-bucket
+// resolution.
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d, below previous %d", v, idx, prev)
+		}
+		prev = idx
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, up, v)
+		}
+		if v >= histSubCount {
+			if rel := float64(up-v) / float64(v); rel > 1.0/histSubCount {
+				t.Fatalf("value %d: representative %d off by %.3f (> %.3f)", v, up, rel, 1.0/histSubCount)
+			}
+		}
+	}
+}
+
+func TestBucketUpperContiguous(t *testing.T) {
+	// Each bucket's upper bound + 1 must land in the next bucket.
+	for idx := 0; idx < 40*histSubCount; idx++ {
+		up := bucketUpper(idx)
+		if got := bucketIndex(up); got != idx {
+			t.Fatalf("bucketIndex(upper(%d)=%d) = %d", idx, up, got)
+		}
+		if got := bucketIndex(up + 1); got != idx+1 {
+			t.Fatalf("bucketIndex(upper(%d)+1=%d) = %d, want %d", idx, up+1, got, idx+1)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Summarize() != (Summary{}) {
+		t.Fatal("empty histogram must summarize to zero")
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v * 1000) // 1µs..1ms
+	}
+	s := h.Summarize()
+	if s.Count != 1000 || s.Min != 1000 || s.Max != 1000000 {
+		t.Fatalf("count/min/max wrong: %+v", s)
+	}
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.50, 500000}, {0.99, 990000}, {0.999, 999000}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		rel := float64(got-c.want) / float64(c.want)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 1.0/histSubCount {
+			t.Errorf("q%.3f = %d, want ~%d (rel err %.3f)", c.q, got, c.want, rel)
+		}
+	}
+	// Single observation: every quantile is that observation.
+	var one Histogram
+	one.Record(777)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 777 {
+			t.Errorf("single-sample q%v = %d, want 777", q, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for v := int64(0); v < 500; v++ {
+		a.Record(v)
+		all.Record(v)
+	}
+	for v := int64(500); v < 1000; v++ {
+		b.Record(v * 17)
+		all.Record(v * 17)
+	}
+	a.Merge(&b)
+	if a.Summarize() != all.Summarize() {
+		t.Fatalf("merge mismatch: %+v vs %+v", a.Summarize(), all.Summarize())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Append(Event{ID: uint64(i)})
+	}
+	if r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("len %d dropped %d, want 4/6", r.Len(), r.Dropped())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if want := uint64(7 + i); e.ID != want {
+			t.Fatalf("event %d has id %d, want %d (oldest-first)", i, e.ID, want)
+		}
+	}
+	// No wrap: insertion order preserved, nothing dropped.
+	r2 := NewRing(8)
+	r2.Append(Event{ID: 1})
+	r2.Append(Event{ID: 2})
+	if r2.Dropped() != 0 || len(r2.Events()) != 2 || r2.Events()[0].ID != 1 {
+		t.Fatal("unwrapped ring must preserve order with no drops")
+	}
+}
+
+func TestRecorderDisabledPieces(t *testing.T) {
+	var seq atomic.Uint64
+	// Tracing only: latency and profile calls are no-ops.
+	r := NewRecorder(0, &seq, false, 16)
+	r.Latency(OpAcquire, 100)
+	r.Access(0x1000, true)
+	if r.Histogram(OpAcquire) != nil {
+		t.Fatal("metrics-off recorder must have nil histograms")
+	}
+	if id := r.Event(EvFault, 1, 2, 0x1000, -1, 0); id != 1 {
+		t.Fatalf("first event id = %d, want 1", id)
+	}
+	// Metrics only: events are no-ops returning 0.
+	m := NewRecorder(1, &seq, true, 0)
+	if id := m.Event(EvFault, 1, 2, 0, -1, 0); id != 0 {
+		t.Fatalf("tracing-off Event returned %d, want 0", id)
+	}
+	m.Latency(OpBarrier, 42)
+	if m.Histogram(OpBarrier).Count() != 1 {
+		t.Fatal("metrics-on recorder must record")
+	}
+}
+
+func TestRecorderCauseScope(t *testing.T) {
+	var seq atomic.Uint64
+	r := NewRecorder(0, &seq, false, 16)
+	fault := r.Event(EvFault, 10, 5, 0x2000, -1, 0)
+	prev := r.BeginCause(fault)
+	fetch := r.Event(EvFetch, 12, 0, 0x2000, 3, 8192)
+	r.EndCause(prev)
+	after := r.Event(EvInvalidate, 20, 0, 0x2000, -1, 0)
+	ev := r.Ring().Events()
+	if len(ev) != 3 {
+		t.Fatalf("want 3 events, got %d", len(ev))
+	}
+	if ev[1].ID != fetch || ev[1].Cause != fault {
+		t.Fatalf("fetch not linked to fault: %+v", ev[1])
+	}
+	if ev[2].ID != after || ev[2].Cause != 0 {
+		t.Fatalf("post-scope event still linked: %+v", ev[2])
+	}
+}
+
+func TestMergeLatenciesAndProfiles(t *testing.T) {
+	var seq atomic.Uint64
+	recs := []*Recorder{
+		NewRecorder(0, &seq, true, 0),
+		nil, // a node with obs off entirely
+		NewRecorder(2, &seq, true, 0),
+	}
+	recs[0].Latency(OpAcquire, 100)
+	recs[2].Latency(OpAcquire, 300)
+	recs[0].Access(0xA000, false)
+	recs[0].Access(0xA000, true)
+	recs[2].Access(0xA000, false)
+	recs[2].Invalidated(0xA000)
+	recs[2].Migrated(0xB000)
+
+	lat := MergeLatencies(recs)
+	if lat["acquire"].Count != 2 {
+		t.Fatalf("acquire count = %d, want 2", lat["acquire"].Count)
+	}
+	if _, ok := lat["barrier"]; ok {
+		t.Fatal("unobserved op must be omitted")
+	}
+
+	prof := MergeProfiles(recs)
+	if len(prof) != 2 {
+		t.Fatalf("want 2 objects, got %d", len(prof))
+	}
+	a := prof[0]
+	if a.Addr != 0xA000 || a.Reads != 2 || a.Writes != 1 || a.Invalidations != 1 {
+		t.Fatalf("object A profile wrong: %+v", a)
+	}
+	if a.Accesses() != 3 || a.Sharers() != 2 {
+		t.Fatalf("accesses/sharers wrong: %d/%d", a.Accesses(), a.Sharers())
+	}
+	if a.PerNode[0] != 2 || a.PerNode[2] != 1 {
+		t.Fatalf("sharing row wrong: %v", a.PerNode)
+	}
+	if prof[1].Migrations != 1 {
+		t.Fatalf("object B migrations = %d", prof[1].Migrations)
+	}
+}
+
+func TestMergeEventsOrdered(t *testing.T) {
+	var seq atomic.Uint64
+	a := NewRecorder(0, &seq, false, 8)
+	b := NewRecorder(1, &seq, false, 8)
+	a.Event(EvFault, 30, 0, 0, -1, 0)
+	b.Event(EvFetch, 10, 0, 0, -1, 0)
+	a.Event(EvInvalidate, 10, 0, 0, -1, 0) // same time as b's, higher id
+	ev, dropped := MergeEvents([]*Recorder{a, b, nil})
+	if dropped != 0 || len(ev) != 3 {
+		t.Fatalf("merge: %d events, %d dropped", len(ev), dropped)
+	}
+	if ev[0].Type != EvFetch || ev[1].Type != EvInvalidate || ev[2].Type != EvFault {
+		t.Fatalf("events out of order: %+v", ev)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	events := []Event{
+		{ID: 1, Node: 0, Type: EvFault, Time: 1000, Dur: 500, Addr: 0x8000, Peer: -1},
+		{ID: 2, Cause: 1, Node: 0, Type: EvFetch, Time: 1200, Addr: 0x8000, Peer: 3, Arg: 8192},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["type"] != "fetch" || rec["cause"] != float64(1) || rec["peer"] != float64(3) {
+		t.Fatalf("bad jsonl record: %v", rec)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	events := []Event{
+		{ID: 1, Node: 0, Type: EvFault, Time: 1000, Dur: 500, Addr: 0x8000, Peer: -1},
+		{ID: 2, Cause: 1, Node: 1, Type: EvFetch, Time: 1200, Peer: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// 2 process_name metadata + 1 span + 1 instant.
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("want 4 trace events, got %d", len(out.TraceEvents))
+	}
+	var span, instant map[string]any
+	for _, e := range out.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			span = e
+		case "i":
+			instant = e
+		}
+	}
+	if span == nil || span["name"] != "fault" || span["dur"] != 0.5 {
+		t.Fatalf("bad span: %v", span)
+	}
+	if instant == nil || instant["s"] != "t" {
+		t.Fatalf("bad instant: %v", instant)
+	}
+}
+
+// The whole point of the recorder's shape: with observability off core
+// holds a nil pointer and hooks are one comparison. With a recorder
+// present but a piece disabled, its methods must not allocate either.
+func TestRecorderNoAllocs(t *testing.T) {
+	var seq atomic.Uint64
+	r := NewRecorder(0, &seq, false, 4)
+	if n := testing.AllocsPerRun(100, func() {
+		r.Latency(OpAcquire, 5)
+		r.Access(0x1000, true)
+	}); n != 0 {
+		t.Fatalf("disabled metrics path allocates %.1f/op", n)
+	}
+	// Ring appends after construction are allocation-free too.
+	if n := testing.AllocsPerRun(100, func() {
+		r.Event(EvFault, 0, 0, 0, -1, 0)
+	}); n != 0 {
+		t.Fatalf("ring append allocates %.1f/op", n)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import "sort"
+
+// ObjectProfile is the merged, run-wide view of one shared object's
+// protocol activity: total counts plus the inter-node sharing row — how
+// many misses each node resolved against the object, which is the
+// object's row of the run's sharing matrix. A row with one hot column
+// is private or migratory traffic; a row that is uniformly warm is true
+// (or false) sharing.
+type ObjectProfile struct {
+	Addr          uint64  `json:"addr"`
+	Reads         int64   `json:"reads"`
+	Writes        int64   `json:"writes"`
+	Invalidations int64   `json:"invalidations"`
+	Migrations    int64   `json:"migrations"`
+	Fetches       int64   `json:"fetches"`
+	PerNode       []int64 `json:"per_node"`
+}
+
+// Accesses is the object's total resolved misses.
+func (p ObjectProfile) Accesses() int64 { return p.Reads + p.Writes }
+
+// Sharers counts the nodes that touched the object.
+func (p ObjectProfile) Sharers() int {
+	n := 0
+	for _, c := range p.PerNode {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MergeProfiles folds every node's object counts into per-object
+// profiles, ordered by address (deterministic; sort by heat for a
+// top-N display).
+func MergeProfiles(recs []*Recorder) []ObjectProfile {
+	byAddr := map[uint64]*ObjectProfile{}
+	for node, r := range recs {
+		if r == nil || r.prof == nil {
+			continue
+		}
+		for addr, c := range r.prof {
+			p := byAddr[addr]
+			if p == nil {
+				p = &ObjectProfile{Addr: addr, PerNode: make([]int64, len(recs))}
+				byAddr[addr] = p
+			}
+			p.Reads += c.Reads
+			p.Writes += c.Writes
+			p.Invalidations += c.Invalidations
+			p.Migrations += c.Migrations
+			p.Fetches += c.Fetches
+			p.PerNode[node] += c.Reads + c.Writes
+		}
+	}
+	out := make([]ObjectProfile, 0, len(byAddr))
+	for _, p := range byAddr {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// MergeLatencies folds every node's histograms into one summary per
+// operation, keyed by the operation's stable name. Operations with no
+// observations are omitted. Returns nil when no recorder has metrics.
+func MergeLatencies(recs []*Recorder) map[string]Summary {
+	var merged [NumOps]Histogram
+	any := false
+	for _, r := range recs {
+		if r == nil || r.hist == nil {
+			continue
+		}
+		any = true
+		for op := 0; op < NumOps; op++ {
+			merged[op].Merge(&r.hist[op])
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make(map[string]Summary, NumOps)
+	for op := 0; op < NumOps; op++ {
+		if merged[op].Count() > 0 {
+			out[Op(op).String()] = merged[op].Summarize()
+		}
+	}
+	return out
+}
+
+// MergeEvents collects every node's retained events ordered by time
+// (id breaks ties), plus the total number overwritten by ring wrap.
+func MergeEvents(recs []*Recorder) ([]Event, uint64) {
+	var out []Event
+	var dropped uint64
+	for _, r := range recs {
+		if r == nil || r.ring == nil {
+			continue
+		}
+		out = append(out, r.ring.Events()...)
+		dropped += r.ring.Dropped()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, dropped
+}

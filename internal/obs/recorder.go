@@ -1,0 +1,190 @@
+package obs
+
+import "sync/atomic"
+
+// Recorder is one node's observability surface. Core keeps a *Recorder
+// per node, nil when observability is off, and guards every hook with
+// that pointer check; the recorder itself is unsynchronized because all
+// of a node's protocol work runs under the node monitor (the same
+// discipline the node's stat counters rely on). Only the event-id
+// counter is shared across nodes, and it is atomic.
+//
+// Metrics (histograms + object profile) and tracing (the event ring)
+// enable independently: a disabled piece leaves its pointer nil and its
+// methods return immediately.
+type Recorder struct {
+	node  int32
+	seq   *atomic.Uint64
+	hist  *[NumOps]Histogram
+	ring  *Ring
+	prof  map[uint64]*ObjectCounts
+	cause uint64
+}
+
+// NewRecorder builds a node's recorder. metrics enables histograms and
+// the object profile; traceCap > 0 enables the event ring with that
+// per-node capacity. seq is the run-wide event-id counter, shared by
+// every node's recorder.
+func NewRecorder(node int, seq *atomic.Uint64, metrics bool, traceCap int) *Recorder {
+	r := &Recorder{node: int32(node), seq: seq}
+	if metrics {
+		r.hist = new([NumOps]Histogram)
+		r.prof = make(map[uint64]*ObjectCounts)
+	}
+	if traceCap > 0 {
+		r.ring = NewRing(traceCap)
+	}
+	return r
+}
+
+// Node returns the recording node's id.
+func (r *Recorder) Node() int { return int(r.node) }
+
+// Latency records one observation of op taking d nanoseconds.
+func (r *Recorder) Latency(op Op, d int64) {
+	if r.hist == nil {
+		return
+	}
+	r.hist[op].Record(d)
+}
+
+// Histogram returns the node's histogram for op (nil when metrics off).
+func (r *Recorder) Histogram(op Op) *Histogram {
+	if r.hist == nil {
+		return nil
+	}
+	return &r.hist[op]
+}
+
+// Event records a traced event starting at start (ns since run start)
+// lasting dur (0 for an instant), and returns its run-unique id for
+// cause linking — 0 when tracing is off. The node's current cause scope
+// (BeginCause) is attached automatically.
+func (r *Recorder) Event(t EventType, start, dur int64, addr uint64, peer int, arg int64) uint64 {
+	if r.ring == nil {
+		return 0
+	}
+	id := r.seq.Add(1)
+	r.ring.Append(Event{
+		ID:    id,
+		Cause: r.cause,
+		Node:  r.node,
+		Type:  t,
+		Time:  start,
+		Dur:   dur,
+		Addr:  addr,
+		Peer:  int32(peer),
+		Arg:   arg,
+	})
+	return id
+}
+
+// SpanID reserves an event id for a span whose duration is not yet
+// known (a fault being resolved): sub-events recorded meanwhile can
+// link to the id via BeginCause, and Span records the event itself once
+// it completes. Returns 0 when tracing is off.
+func (r *Recorder) SpanID() uint64 {
+	if r.ring == nil {
+		return 0
+	}
+	return r.seq.Add(1)
+}
+
+// Span records a completed span under a pre-reserved id (SpanID). The
+// merged event stream is time-ordered, so the span sorts before the
+// sub-events it caused even though it was appended after them.
+func (r *Recorder) Span(id uint64, t EventType, start, dur int64, addr uint64, peer int, arg int64) {
+	if r.ring == nil || id == 0 {
+		return
+	}
+	r.ring.Append(Event{
+		ID:    id,
+		Cause: r.cause,
+		Node:  r.node,
+		Type:  t,
+		Time:  start,
+		Dur:   dur,
+		Addr:  addr,
+		Peer:  int32(peer),
+		Arg:   arg,
+	})
+}
+
+// BeginCause opens a cause scope: until EndCause, events this node
+// records link to id. It returns the previous scope for restoration.
+// Scopes are per-node and best-effort — when several user threads share
+// one node, a thread blocking inside the scope can let another thread's
+// events attribute to it; with one thread per node (every benchmark
+// configuration) attribution is exact.
+func (r *Recorder) BeginCause(id uint64) uint64 {
+	prev := r.cause
+	r.cause = id
+	return prev
+}
+
+// EndCause restores the previous cause scope.
+func (r *Recorder) EndCause(prev uint64) { r.cause = prev }
+
+// Ring returns the node's event ring (nil when tracing off).
+func (r *Recorder) Ring() *Ring { return r.ring }
+
+// ObjectCounts is one node's protocol activity against one object.
+type ObjectCounts struct {
+	// Reads and Writes count resolved read and write misses.
+	Reads  int64
+	Writes int64
+	// Invalidations counts invalidates applied here.
+	Invalidations int64
+	// Migrations counts the object migrating in.
+	Migrations int64
+	// Fetches counts remote data fetches (read copies, lazy base
+	// fetches, diffs applied).
+	Fetches int64
+}
+
+// objectCounts returns (creating if needed) the node's counts for addr.
+func (r *Recorder) objectCounts(addr uint64) *ObjectCounts {
+	c := r.prof[addr]
+	if c == nil {
+		c = &ObjectCounts{}
+		r.prof[addr] = c
+	}
+	return c
+}
+
+// Access records a resolved miss against addr (write selects the kind).
+func (r *Recorder) Access(addr uint64, write bool) {
+	if r.prof == nil {
+		return
+	}
+	c := r.objectCounts(addr)
+	if write {
+		c.Writes++
+	} else {
+		c.Reads++
+	}
+}
+
+// Invalidated records an invalidation applied to addr at this node.
+func (r *Recorder) Invalidated(addr uint64) {
+	if r.prof == nil {
+		return
+	}
+	r.objectCounts(addr).Invalidations++
+}
+
+// Migrated records addr migrating into this node.
+func (r *Recorder) Migrated(addr uint64) {
+	if r.prof == nil {
+		return
+	}
+	r.objectCounts(addr).Migrations++
+}
+
+// Fetched records a remote data fetch for addr completing at this node.
+func (r *Recorder) Fetched(addr uint64) {
+	if r.prof == nil {
+		return
+	}
+	r.objectCounts(addr).Fetches++
+}

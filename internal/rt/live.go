@@ -386,6 +386,9 @@ func (l *Live) Broadcast(p Proc, src int, msg wire.Message) {
 // enqueue delivers one envelope into its destination inbox. Callers must
 // not hold any node monitor.
 func (l *Live) enqueue(env Envelope) {
+	l.statsMu.Lock()
+	l.stats.Delivered++
+	l.statsMu.Unlock()
 	n := l.nodes[env.Dst]
 	n.mu.Lock()
 	defer n.mu.Unlock()

@@ -24,9 +24,12 @@ type Stats struct {
 	Bytes    int
 	// Sends counts transport sends: without batching it equals Messages;
 	// with WithBatching every envelope is one send however many messages
-	// ride it. BatchEnvelopes counts the wire.Batch envelopes among the
-	// sends, BatchedMessages the messages that rode inside them.
+	// ride it. Delivered counts envelopes delivered into destination
+	// inboxes — equal to Sends after a clean run (message conservation).
+	// BatchEnvelopes counts the wire.Batch envelopes among the sends,
+	// BatchedMessages the messages that rode inside them.
 	Sends           int
+	Delivered       int
 	BatchEnvelopes  int
 	BatchedMessages int
 	// PerKind and PerKindBytes break the traffic down by protocol
@@ -50,6 +53,13 @@ type Stats struct {
 	LrcRecordsGCed int
 	LrcNoticesSent int
 	LrcNoticesGCed int
+	// Latencies holds the per-operation latency distributions of a
+	// WithMetrics run, keyed by operation name ("acquire", "release",
+	// "barrier", "fault", "diff_fetch", "remote_op"); operations never
+	// observed are omitted. Nil when metrics were off. Values are
+	// nanoseconds — virtual on the simulator, wall on the live
+	// transports.
+	Latencies map[string]LatencySummary
 }
 
 // Result is everything one execution of a Program produced: statistics,
@@ -88,6 +98,7 @@ func newResult(p *Program, cfg runConfig, sys *core.System) *Result {
 			Messages:        st.TotalMessages(),
 			Bytes:           st.TotalBytes(),
 			Sends:           st.Sends,
+			Delivered:       st.Delivered,
 			BatchEnvelopes:  st.BatchEnvelopes,
 			BatchedMessages: st.BatchedMessages,
 			PerKind:         perKind,
@@ -100,6 +111,7 @@ func newResult(p *Program, cfg runConfig, sys *core.System) *Result {
 			LrcRecordsGCed:  lst.RecordsGCed,
 			LrcNoticesSent:  lst.NoticesSent,
 			LrcNoticesGCed:  lst.NoticesGCed,
+			Latencies:       sys.ObsLatencies(),
 		},
 	}
 }

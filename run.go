@@ -32,6 +32,8 @@ type runConfig struct {
 	pendingUpdates  bool
 	batching        bool
 	trace           func(network.Envelope)
+	metrics         bool
+	traceSink       *TraceBuffer
 }
 
 // WithTransport selects the substrate the machine runs on:
@@ -262,6 +264,8 @@ func (p *Program) Run(ctx context.Context, root func(t *Thread), opts ...RunOpti
 		Batching:        cfg.batching,
 		Lazy:            cfg.consistency == LazyRC,
 		Trace:           cfg.trace,
+		Metrics:         cfg.metrics,
+		TraceEvents:     traceCap(cfg.traceSink),
 	}, p.decls, p.locks, p.barriers)
 	for lock, addrs := range p.assoc {
 		sys.AssociateDataAndSynch(lock, addrs...)
@@ -269,5 +273,17 @@ func (p *Program) Run(ctx context.Context, root func(t *Thread), opts ...RunOpti
 	if err := sys.Run(root); err != nil {
 		return nil, err
 	}
+	if cfg.traceSink != nil {
+		cfg.traceSink.events, cfg.traceSink.dropped = sys.ObsEvents()
+	}
 	return newResult(p, cfg, sys), nil
+}
+
+// traceCap resolves the per-node event ring capacity for a run: zero
+// (tracing off) without a sink.
+func traceCap(sink *TraceBuffer) int {
+	if sink == nil {
+		return 0
+	}
+	return sink.capacity()
 }
