@@ -46,20 +46,24 @@ func expectRunError(t *testing.T, substr string, p *Program, opts ...RunOption) 
 }
 
 // TestConfigValidationErrors: every configuration problem is an error
-// surfaced from Run — processor counts outside 1–16, a barrier-tree
-// fanout below 2, an unknown transport — never a panic.
+// surfaced from Run — processor counts outside 1–MaxProcessors, a
+// barrier-tree fanout below 2, an unknown transport or home policy —
+// never a panic.
 func TestConfigValidationErrors(t *testing.T) {
 	t.Run("ZeroProcessors", func(t *testing.T) {
 		expectRunError(t, "processors", NewProgram(0))
 	})
-	t.Run("SeventeenProcessors", func(t *testing.T) {
-		expectRunError(t, "processors", NewProgram(17))
+	t.Run("TooManyProcessors", func(t *testing.T) {
+		expectRunError(t, "processors", NewProgram(MaxProcessors+1))
 	})
 	t.Run("NegativeProcessors", func(t *testing.T) {
 		expectRunError(t, "processors", NewProgram(-3))
 	})
 	t.Run("WithProcessorsOverride", func(t *testing.T) {
-		expectRunError(t, "processors", NewProgram(4), WithProcessors(99))
+		expectRunError(t, "processors", NewProgram(4), WithProcessors(MaxProcessors+1))
+	})
+	t.Run("UnknownHomePolicy", func(t *testing.T) {
+		expectRunError(t, "home policy", NewProgram(2), WithHomePolicy("shuffled"))
 	})
 	t.Run("BarrierFanoutBelowTwo", func(t *testing.T) {
 		expectRunError(t, "fanout", NewProgram(4), WithBarrierTree(1))
@@ -70,6 +74,11 @@ func TestConfigValidationErrors(t *testing.T) {
 	t.Run("SixteenProcessorsOK", func(t *testing.T) {
 		if _, err := NewProgram(16).Run(context.Background(), func(root *Thread) {}); err != nil {
 			t.Errorf("16 processors rejected: %v", err)
+		}
+	})
+	t.Run("MaxProcessorsOK", func(t *testing.T) {
+		if _, err := NewProgram(MaxProcessors).Run(context.Background(), func(root *Thread) {}); err != nil {
+			t.Errorf("%d processors rejected: %v", MaxProcessors, err)
 		}
 	})
 	t.Run("DefaultBarrierFanoutOK", func(t *testing.T) {

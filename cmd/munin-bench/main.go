@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"munin"
 	"munin/internal/bench"
 	"munin/internal/model"
 )
@@ -43,15 +44,19 @@ var results = map[string]any{}
 // the JSON goes to stdout (so `-json -` stays machine-parseable).
 var tableOut io.Writer = os.Stdout
 
+// scaleRounds is -rounds, consumed by the scale table only.
+var scaleRounds int
+
 func main() {
 	var (
-		table       = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive, lazy, wire or all")
+		table       = flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, 6, 6b, tsp, adaptive, lazy, wire, scale or all")
 		ablation    = flag.String("ablation", "", "ablation to run: A1-A6 or all")
 		procs       = flag.String("procs", "", "comma-separated processor counts for tables 3-5 (default 1,2,4,8,16)")
 		n           = flag.Int("n", 0, "matrix dimension for tables 3/4/6 (default 400)")
 		rows        = flag.Int("rows", 0, "SOR grid rows (default 512)")
 		cols        = flag.Int("cols", 0, "SOR grid columns (default 2048)")
 		iters       = flag.Int("iters", 0, "SOR iterations (default 100)")
+		rounds      = flag.Int("rounds", 0, "critical-section / per-phase rounds for the scale table (default 3)")
 		adaptive    = flag.Bool("adaptive", false, "run the application tables with the adaptive protocol engine enabled")
 		consistency = flag.String("consistency", "eager", "release-consistency engine for the application tables: eager or lazy")
 		transport   = flag.String("transport", "sim", "transport for the Munin runs: sim (virtual time), chan or tcp (real concurrency, wall clock)")
@@ -74,6 +79,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown consistency %q (want eager or lazy)", *consistency))
 	}
+	scaleRounds = *rounds
 	opts := bench.AppOpts{N: *n, Rows: *rows, Cols: *cols, Iters: *iters, Adaptive: *adaptive, Lazy: lazyRC, Transport: *transport}
 	if *procs != "" {
 		ps, err := parseProcs(*procs)
@@ -84,7 +90,7 @@ func main() {
 	}
 
 	if *table != "" {
-		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp", "adaptive", "lazy", "wire"}) {
+		for _, t := range splitList(*table, []string{"1", "2", "3", "4", "5", "6", "6b", "tsp", "adaptive", "lazy", "wire", "scale"}) {
 			runTable(t, opts)
 			fmt.Fprintln(tableOut)
 		}
@@ -144,8 +150,8 @@ func parseProcs(s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v < 1 || v > 16 {
-			return nil, fmt.Errorf("bad processor count %q (want 1-16)", f)
+		if err != nil || v < 1 || v > munin.MaxProcessors {
+			return nil, fmt.Errorf("bad processor count %q (want 1-%d)", f, munin.MaxProcessors)
 		}
 		out = append(out, v)
 	}
@@ -235,6 +241,17 @@ func runTable(t string, opts bench.AppOpts) {
 		}
 		r.Format(tableOut)
 		results["lazy"] = r
+	case "scale":
+		so := bench.ScaleOpts{Procs: opts.Procs, Rounds: scaleRounds}
+		if opts.Transport != "" && opts.Transport != "sim" {
+			fmt.Fprintln(tableOut, "(scale table sweeps virtual time; always runs on sim)")
+		}
+		r, err := bench.RunScale(so)
+		if err != nil {
+			fatal(err)
+		}
+		r.Format(tableOut)
+		results["scale"] = r
 	case "adaptive":
 		ao := bench.AdaptiveOpts{N: opts.N, Rows: opts.Rows, Cols: opts.Cols, Iters: opts.Iters, Transport: opts.Transport}
 		if len(opts.Procs) > 0 {

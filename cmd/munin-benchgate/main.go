@@ -13,6 +13,12 @@
 // workload and the pipeline, with both engines computing identical
 // results — absolute invariants of the lazy engine, needing no baseline.
 //
+// The scaling-knee table (-scale) is gated the same way at scale: past
+// the prototype's size (32 nodes and up) the lazy engine must stay
+// strictly below eager in lock-heavy message traffic — an inversion
+// means acquire-directed propagation stopped paying for itself as the
+// machine grew.
+//
 // Usage:
 //
 //	munin-bench -table 6 -n 128 -rows 64 -cols 512 -iters 10 -json out.json
@@ -22,6 +28,8 @@
 //	munin-bench -table wire -procs 8 -json wire.json
 //	munin-benchgate -wire wire.json
 //	munin-benchgate -baseline BENCH_baseline.json -current out.json -exact
+//	munin-bench -table scale -procs 8,16,32,64 -json scale.json
+//	munin-benchgate -scale scale.json -scale-baseline BENCH_scale.json
 //
 // The -wire gate holds the batching invariants (strictly fewer transport
 // sends where the design guarantees coalescing, never more anywhere,
@@ -48,9 +56,23 @@ type table6 struct {
 }
 
 type results struct {
-	Table6 table6    `json:"table6"`
-	Lazy   lazyTable `json:"lazy"`
-	Wire   wireTable `json:"wire"`
+	Table6 table6     `json:"table6"`
+	Lazy   lazyTable  `json:"lazy"`
+	Wire   wireTable  `json:"wire"`
+	Scale  scaleTable `json:"scale"`
+}
+
+// scaleTable mirrors the fields of bench.ScaleTable the scale gate
+// needs.
+type scaleTable struct {
+	Rows []struct {
+		App       string
+		Engine    string
+		Procs     int
+		Messages  int
+		MsgsPerOp float64
+		ChecksOK  bool
+	}
 }
 
 // wireTable mirrors the fields of bench.WireTable the wire gate needs.
@@ -76,6 +98,92 @@ type lazyTable struct {
 		ImageMatch    bool
 		ChecksOK      bool
 	}
+}
+
+// gateScale holds the scaling-knee invariants: every swept run must
+// reproduce its reference output, and on the lock-heavy workload at 32
+// nodes and beyond the lazy engine must send strictly fewer messages
+// than the eager engine — the whole point of acquire-directed
+// propagation is that per-op traffic stays flat while eager's release
+// broadcast grows with the machine, so an inversion past the prototype's
+// size is a scaling regression. With a baseline (-scale-baseline), each
+// (workload, engine, size) present in both runs must also keep its
+// messages-per-op within the regression band: the sweep is deterministic
+// virtual-time sim, so drift is a behavior change, not noise.
+func gateScale(path, baselinePath string, maxRegress float64) {
+	cur := loadScale(path)
+	if len(cur.Rows) == 0 {
+		fatal(fmt.Errorf("%s: no scale table", path))
+	}
+	type cell = [2]string
+	eager := map[cell]map[int]int{} // app/engine -> procs -> messages
+	for _, r := range cur.Rows {
+		k := cell{r.App, r.Engine}
+		if eager[k] == nil {
+			eager[k] = map[int]int{}
+		}
+		eager[k][r.Procs] = r.Messages
+	}
+	failed := false
+	gatedCounts := 0
+	for _, r := range cur.Rows {
+		status := "ok"
+		switch {
+		case !r.ChecksOK:
+			status = "WRONG RESULT"
+			failed = true
+		case r.App == "lockheavy" && r.Engine == "lazy" && r.Procs >= 32:
+			gatedCounts++
+			if e, ok := eager[cell{"lockheavy", "eager"}][r.Procs]; !ok {
+				status = "NO EAGER COUNTERPART"
+				failed = true
+			} else if r.Messages >= e {
+				status = fmt.Sprintf("INVERTED (lazy %d msgs >= eager %d at %d nodes)", r.Messages, e, r.Procs)
+				failed = true
+			}
+		}
+		fmt.Printf("%-10s %-8s %4d nodes  %8d msgs  %7.1f msgs/op  %s\n",
+			r.App, r.Engine, r.Procs, r.Messages, r.MsgsPerOp, status)
+	}
+	if gatedCounts == 0 {
+		fmt.Println("no lockheavy lazy rows at >= 32 nodes: the scaling gate needs them")
+		failed = true
+	}
+	if baselinePath != "" {
+		base := loadScale(baselinePath)
+		baseBy := map[string]float64{}
+		for _, r := range base.Rows {
+			baseBy[fmt.Sprintf("%s/%s@%d", r.App, r.Engine, r.Procs)] = r.MsgsPerOp
+		}
+		for _, r := range cur.Rows {
+			key := fmt.Sprintf("%s/%s@%d", r.App, r.Engine, r.Procs)
+			b, ok := baseBy[key]
+			if !ok || b <= 0 {
+				continue
+			}
+			if r.MsgsPerOp > b*(1+maxRegress/100) {
+				fmt.Printf("%-24s REGRESSED (baseline %.1f msgs/op, current %.1f)\n", key, b, r.MsgsPerOp)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "munin-benchgate: scaling-knee gate failed")
+		os.Exit(1)
+	}
+}
+
+// loadScale reads the scale table out of a munin-bench -json file.
+func loadScale(path string) scaleTable {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var r results
+	if err := json.Unmarshal(b, &r); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return r.Scale
 }
 
 // gateLazy holds the eager-vs-lazy invariants: on the lock-heavy
@@ -257,6 +365,8 @@ func main() {
 		maxRegress   = flag.Float64("max-regress", 20, "maximum allowed speedup regression, percent")
 		lazyPath     = flag.String("lazy", "", "munin-bench -table lazy -json output to gate (LazyRC must send strictly fewer messages than EagerRC on lockheavy and pipeline, with matching results)")
 		wirePath     = flag.String("wire", "", "munin-bench -table wire -json output to gate (batching must strictly reduce transport sends on pipeline under both engines and on lockheavy under the lazy engine, never increase them, and keep results byte-identical)")
+		scalePath    = flag.String("scale", "", "munin-bench -table scale -json output to gate (lazy messages strictly below eager on lockheavy at >= 32 nodes, every run reproducing its reference)")
+		scaleBase    = flag.String("scale-baseline", "", "committed scale baseline JSON (BENCH_scale.json); each matching sweep point's msgs/op must stay within -max-regress of it")
 		exact        = flag.Bool("exact", false, "require the current Table 6 eager numbers (times and message counts) to be byte-identical to the baseline instead of within the regression band — the batching fast path is opt-in, so the default-path numbers must not move at all")
 	)
 	flag.Parse()
@@ -266,7 +376,10 @@ func main() {
 	if *lazyPath != "" {
 		gateLazy(*lazyPath)
 	}
-	if (*wirePath != "" || *lazyPath != "") && *currentPath == "" {
+	if *scalePath != "" {
+		gateScale(*scalePath, *scaleBase, *maxRegress)
+	}
+	if (*wirePath != "" || *lazyPath != "" || *scalePath != "") && *currentPath == "" {
 		return
 	}
 	if *currentPath == "" {

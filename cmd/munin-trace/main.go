@@ -74,8 +74,8 @@ func main() {
 	if demo.Adaptive && cons == munin.LazyRC {
 		fatal(fmt.Errorf("the %s workload needs the adaptive engine, which does not run under the lazy engine (the engines are mutually exclusive)", demo.Name))
 	}
-	if *procs < demo.MinProcs || *procs > 16 {
-		fatal(fmt.Errorf("procs %d outside %d-16 for workload %s", *procs, demo.MinProcs, demo.Name))
+	if *procs < demo.MinProcs || *procs > munin.MaxProcessors {
+		fatal(fmt.Errorf("procs %d outside %d-%d for workload %s", *procs, demo.MinProcs, munin.MaxProcessors, demo.Name))
 	}
 
 	app, err := demo.New(apps.DemoConfig{Procs: *procs})

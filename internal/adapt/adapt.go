@@ -263,7 +263,7 @@ func (e *Engine) NoteFlush(ent *directory.Entry, cs directory.Copyset) bool {
 	g := e.group(ent)
 	ent.Acc.Flushes++
 	g.Acc.Flushes++
-	if ent.Acc.Flushes > 1 && cs == ent.Acc.FlushCopyset {
+	if ent.Acc.Flushes > 1 && cs.Equal(ent.Acc.FlushCopyset) {
 		ent.Acc.FlushStable++
 	} else {
 		ent.Acc.FlushStable = 0

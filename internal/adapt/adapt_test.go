@@ -4,8 +4,13 @@ import (
 	"testing"
 
 	"munin/internal/directory"
+	"munin/internal/nodeset"
 	"munin/internal/protocol"
 )
+
+// cs builds a copyset from a bitmask literal (the shape the old
+// single-word Copyset tests were written in).
+func cs(mask uint64) directory.Copyset { return nodeset.FromWord(mask) }
 
 func cfg() Config { return Config{Self: 0, Nodes: 8}.withDefaults() }
 
@@ -27,14 +32,14 @@ func TestClassifyReduction(t *testing.T) {
 }
 
 func TestClassifyInsufficientEvidence(t *testing.T) {
-	acc := directory.Access{ReadFaults: 2, Writers: 0, Readers: 1}
+	acc := directory.Access{ReadFaults: 2, Readers: cs(0b1)}
 	if _, ok := classify(t, acc, 0, protocol.Migratory); ok {
 		t.Error("classified below the evidence threshold")
 	}
 }
 
 func TestClassifyReadOnlyUnderMigration(t *testing.T) {
-	acc := directory.Access{ReadFaults: 8, Migrations: 4, Readers: 0b1111}
+	acc := directory.Access{ReadFaults: 8, Migrations: 4, Readers: cs(0b1111)}
 	got, ok := classify(t, acc, 0, protocol.Migratory)
 	if !ok || got != protocol.ReadOnly {
 		t.Errorf("read-only bouncing under migration -> (%v, %v), want read_only", got, ok)
@@ -48,7 +53,7 @@ func TestClassifyReadOnlyUnderMigration(t *testing.T) {
 func TestClassifyLockCoupledMigratory(t *testing.T) {
 	acc := directory.Access{
 		ReadFaults: 4, WriteFaults: 4, LockCoupled: 8,
-		Writers: 0b111, Readers: 0b111,
+		Writers: cs(0b111), Readers: cs(0b111),
 	}
 	got, ok := classify(t, acc, 0, protocol.Conventional)
 	if !ok || got != protocol.Migratory {
@@ -57,7 +62,7 @@ func TestClassifyLockCoupledMigratory(t *testing.T) {
 }
 
 func TestClassifyUnlockedMigrationChurn(t *testing.T) {
-	acc := directory.Access{WriteFaults: 3, Migrations: 6, Writers: 0b11, Readers: 0b11}
+	acc := directory.Access{WriteFaults: 3, Migrations: 6, Writers: cs(0b11), Readers: cs(0b11)}
 	got, ok := classify(t, acc, 0, protocol.Migratory)
 	if !ok || got != protocol.Conventional {
 		t.Errorf("un-locked migration churn -> (%v, %v), want conventional", got, ok)
@@ -65,13 +70,13 @@ func TestClassifyUnlockedMigrationChurn(t *testing.T) {
 }
 
 func TestClassifyStableFlushes(t *testing.T) {
-	acc := directory.Access{Flushes: 4, WriteFaults: 4, Writers: 0b1}
+	acc := directory.Access{Flushes: 4, WriteFaults: 4, Writers: cs(0b1)}
 	got, ok := Classify(&acc, 3, protocol.WriteShared, cfg())
 	if !ok || got.Target != protocol.ProducerConsumer {
 		t.Errorf("stable flush copysets -> (%v, %v), want producer_consumer", got.Target, ok)
 	}
 	// Drifting stable sets go the other way.
-	acc = directory.Access{Flushes: 4, WriteFaults: 4, Writers: 0b1, StableDrift: 2}
+	acc = directory.Access{Flushes: 4, WriteFaults: 4, Writers: cs(0b1), StableDrift: 2}
 	got, ok = Classify(&acc, 3, protocol.ProducerConsumer, cfg())
 	if !ok || got.Target != protocol.WriteShared {
 		t.Errorf("drifting stable sharing -> (%v, %v), want write_shared", got.Target, ok)
@@ -81,7 +86,7 @@ func TestClassifyStableFlushes(t *testing.T) {
 func TestClassifyOwnershipPingPong(t *testing.T) {
 	acc := directory.Access{
 		WriteFaults: 4, OwnTransfers: 3, InvalidatesTaken: 2,
-		Writers: 0b11, Readers: 0b11,
+		Writers: cs(0b11), Readers: cs(0b11),
 	}
 	got, ok := classify(t, acc, 0, protocol.Conventional)
 	if !ok || got != protocol.ProducerConsumer {
@@ -92,7 +97,7 @@ func TestClassifyOwnershipPingPong(t *testing.T) {
 func TestClassifySingleWriterRepeatReaders(t *testing.T) {
 	acc := directory.Access{
 		WriteFaults: 3, ServedReads: 5,
-		Writers: 0b1, Readers: 0b110,
+		Writers: cs(0b1), Readers: cs(0b110),
 	}
 	got, ok := classify(t, acc, 0, protocol.Conventional)
 	if !ok || got != protocol.ProducerConsumer {
@@ -103,7 +108,7 @@ func TestClassifySingleWriterRepeatReaders(t *testing.T) {
 func TestClassifyDelayedProtocolsLeftAlone(t *testing.T) {
 	// A healthy write-shared object (churn counters but Delayed current
 	// protocol) gets no invalidation-churn advice.
-	acc := directory.Access{WriteFaults: 6, ServedReads: 6, Writers: 0b11, Readers: 0b11}
+	acc := directory.Access{WriteFaults: 6, ServedReads: 6, Writers: cs(0b11), Readers: cs(0b11)}
 	if _, ok := classify(t, acc, 0, protocol.WriteShared); ok {
 		t.Error("healthy write-shared object should not switch on fault churn")
 	}
@@ -185,7 +190,7 @@ func TestEngineFlushStability(t *testing.T) {
 	eng := New(Config{Self: 0, Nodes: 4})
 	e := &directory.Entry{Start: 0x80000000, Size: 8192,
 		Annot: protocol.WriteShared, Params: protocol.WriteShared.Params()}
-	cs := directory.Copyset(0b10)
+	cs := cs(0b10)
 	eng.NoteFlush(e, cs)
 	eng.NoteFlush(e, cs)
 	eng.NoteFlush(e, cs)
@@ -193,7 +198,7 @@ func TestEngineFlushStability(t *testing.T) {
 	if g.MaxFlushStable != 2 {
 		t.Errorf("stable flushes = %d, want 2", g.MaxFlushStable)
 	}
-	eng.NoteFlush(e, directory.Copyset(0b100)) // set changed
+	eng.NoteFlush(e, nodeset.FromWord(0b100)) // set changed
 	if e.Acc.FlushStable != 0 {
 		t.Errorf("flush stability not reset on copyset change")
 	}

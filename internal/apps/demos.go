@@ -125,8 +125,8 @@ func DemoByName(name string) (Demo, error) {
 // the data (§2.5's AssociateDataAndSynch).
 func NewLockDemo(c DemoConfig) (*App, error) {
 	c = c.withDefaults()
-	if c.Procs < 2 || c.Procs > 16 {
-		return nil, fmt.Errorf("apps: lock demo needs 2-16 processors, got %d", c.Procs)
+	if c.Procs < 2 || c.Procs > munin.MaxProcessors {
+		return nil, fmt.Errorf("apps: lock demo needs 2-%d processors, got %d", munin.MaxProcessors, c.Procs)
 	}
 	p := munin.NewProgram(c.Procs)
 	l := p.CreateLock()
@@ -163,8 +163,8 @@ func NewLockDemo(c DemoConfig) (*App, error) {
 // one node accesses it per phase.
 func NewMigratoryDemo(c DemoConfig) (*App, error) {
 	c = c.withDefaults()
-	if c.Procs < 2 || c.Procs > 16 {
-		return nil, fmt.Errorf("apps: migratory demo needs 2-16 processors, got %d", c.Procs)
+	if c.Procs < 2 || c.Procs > munin.MaxProcessors {
+		return nil, fmt.Errorf("apps: migratory demo needs 2-%d processors, got %d", munin.MaxProcessors, c.Procs)
 	}
 	p := munin.NewProgram(c.Procs)
 	obj := munin.Declare[uint32](p, "token", 16, munin.Migratory)
@@ -209,8 +209,8 @@ const demoPhases = 8
 // other nodes read them back, with two barriers per phase. The declared
 // annotation is the only difference between the two demos using it.
 func demoExchange(c DemoConfig, annot protocol.Annotation, phases int) (*App, error) {
-	if c.Procs < 2 || c.Procs > 16 {
-		return nil, fmt.Errorf("apps: demo needs 2-16 processors, got %d", c.Procs)
+	if c.Procs < 2 || c.Procs > munin.MaxProcessors {
+		return nil, fmt.Errorf("apps: demo needs 2-%d processors, got %d", munin.MaxProcessors, c.Procs)
 	}
 	p := munin.NewProgram(c.Procs)
 	data := munin.Declare[uint32](p, "data", 512, annot)
@@ -276,8 +276,8 @@ func NewAdaptiveDemo(c DemoConfig) (*App, error) {
 // minimum: pure wire.ReduceReq/Reply traffic, no page motion at all.
 func NewReductionDemo(c DemoConfig) (*App, error) {
 	c = c.withDefaults()
-	if c.Procs < 2 || c.Procs > 16 {
-		return nil, fmt.Errorf("apps: reduction demo needs 2-16 processors, got %d", c.Procs)
+	if c.Procs < 2 || c.Procs > munin.MaxProcessors {
+		return nil, fmt.Errorf("apps: reduction demo needs 2-%d processors, got %d", munin.MaxProcessors, c.Procs)
 	}
 	p := munin.NewProgram(c.Procs)
 	minv := munin.DeclareVar[int32](p, "globalmin", munin.Reduction)

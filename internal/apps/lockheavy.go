@@ -96,8 +96,8 @@ func LockHeavyReference(c LockHeavyConfig) uint32 {
 // NewLockHeavy builds the lock-heavy workload as a reusable App.
 func NewLockHeavy(c LockHeavyConfig) (*App, error) {
 	c = c.withDefaults()
-	if c.Procs < 2 || c.Procs > 16 {
-		return nil, fmt.Errorf("apps: lock-heavy needs 2-16 processors, got %d", c.Procs)
+	if c.Procs < 2 || c.Procs > munin.MaxProcessors {
+		return nil, fmt.Errorf("apps: lock-heavy needs 2-%d processors, got %d", munin.MaxProcessors, c.Procs)
 	}
 	annot := protocol.WriteShared
 	if c.Override != nil {

@@ -114,8 +114,8 @@ func (c PipelineConfig) withDefaults() PipelineConfig {
 // Override. The engine itself is a per-run option.
 func NewPipeline(c PipelineConfig) (*App, error) {
 	c = c.withDefaults()
-	if c.Procs < 4 || c.Procs > 16 {
-		return nil, fmt.Errorf("apps: pipeline needs 4-16 processors, got %d", c.Procs)
+	if c.Procs < 4 || c.Procs > munin.MaxProcessors {
+		return nil, fmt.Errorf("apps: pipeline needs 4-%d processors, got %d", munin.MaxProcessors, c.Procs)
 	}
 	annot := protocol.ProducerConsumer
 	if c.Adaptive {

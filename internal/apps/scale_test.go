@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"context"
+	"testing"
+
+	"munin"
+)
+
+// Scaling equivalence: past the prototype's 16 nodes the protocol code
+// must stay correct, on every transport and under either home policy.
+// The 64-node configurations below cross the copyset representation's
+// inline/overflow boundary (nodes 0–63 inline, 64+ in overflow words),
+// so these runs drive the extended wire form end to end.
+
+// TestScale64CrossTransport runs the lock-heavy workload on a 64-node
+// machine on the simulator and the concurrent chan transport and
+// requires byte-identical final shared memory.
+func TestScale64CrossTransport(t *testing.T) {
+	cfg := LockHeavyConfig{Procs: 64, Rounds: 4}
+	app, err := NewLockHeavy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(tr string) RunResult {
+		r, err := app.Run(context.Background(), munin.WithTransport(tr))
+		if err != nil {
+			t.Fatalf("%s lockheavy: %v", tr, err)
+		}
+		return r
+	}
+	ref := run("sim")
+	if want := LockHeavyReference(cfg); ref.Check != want {
+		t.Fatalf("sim lockheavy checksum %08x, want reference %08x", ref.Check, want)
+	}
+	sameImage(t, "lockheavy64/chan", ref, run("chan"))
+}
+
+// TestStripedHomeEquivalence runs the same 64-node workload under the
+// default root home policy and under striped homes: the final memory
+// must be byte-identical — the policy moves directory service, never
+// data values.
+func TestStripedHomeEquivalence(t *testing.T) {
+	cfg := LockHeavyConfig{Procs: 64, Rounds: 4}
+	app, err := NewLockHeavy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(policy string) RunResult {
+		r, err := app.Run(context.Background(), munin.WithHomePolicy(policy))
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		return r
+	}
+	ref := run(munin.HomeRoot)
+	striped := run(munin.HomeStriped)
+	sameImage(t, "lockheavy64/striped", ref, striped)
+	if striped.Messages == 0 {
+		t.Error("striped run counted no messages")
+	}
+}
+
+// TestStripedHomeSingleObject covers the striped policy's catalog
+// entries: a SingleObject matrix spans multiple pages, whose later
+// pages stripe to nodes other than the object's home — blind requests
+// for those addresses must still resolve.
+func TestStripedHomeSingleObject(t *testing.T) {
+	cfg := MatMulConfig{Procs: 8, N: 48, Single: true}
+	app, err := NewMatMul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(policy string) RunResult {
+		r, err := app.Run(context.Background(), munin.WithHomePolicy(policy))
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		return r
+	}
+	ref := run(munin.HomeRoot)
+	if want := MatMulReference(cfg.N); ref.Check != want {
+		t.Fatalf("root matmul checksum %08x, want reference %08x", ref.Check, want)
+	}
+	sameImage(t, "matmul-single/striped", ref, run(munin.HomeStriped))
+}
+
+// TestStripedHomeLive drives the striped policy under real concurrency
+// (the -race CI job runs this package): striped directory service must
+// be as race-free as the root policy's.
+func TestStripedHomeLive(t *testing.T) {
+	cfg := LockHeavyConfig{Procs: 16, Rounds: 4}
+	app, err := NewLockHeavy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LockHeavyReference(cfg)
+	for _, tr := range transportsUnderTest {
+		r, err := app.Run(context.Background(),
+			munin.WithTransport(tr), munin.WithHomePolicy(munin.HomeStriped))
+		if err != nil {
+			t.Fatalf("%s striped lockheavy: %v", tr, err)
+		}
+		if r.Check != want {
+			t.Errorf("%s striped lockheavy checksum %08x, want %08x", tr, r.Check, want)
+		}
+	}
+}

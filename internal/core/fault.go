@@ -441,7 +441,7 @@ func (n *Node) conventionalWrite(t *Thread, e *directory.Entry) {
 		}
 		reply := n.rpc(t, dst, pendKey{pendOwn, uint64(e.Start)},
 			wire.OwnReq{Addr: e.Start, Requester: uint8(n.id)}).(wire.OwnReply)
-		cs := directory.Copyset(reply.Copyset).Remove(n.id)
+		cs := reply.Copyset.Remove(n.id)
 		if reply.Data != nil {
 			n.installObject(t.proc, e, reply.Data, vm.ProtReadWrite)
 		} else {
@@ -476,7 +476,7 @@ func (n *Node) conventionalWrite(t *Thread, e *directory.Entry) {
 func (n *Node) invalidateCopies(t *Thread, e *directory.Entry) {
 	members := e.Copyset.Remove(n.id).Nodes(n.sys.Nodes())
 	if len(members) == 0 {
-		e.Copyset = 0
+		e.Copyset = directory.Copyset{}
 		return
 	}
 	c := n.newCollector(pendKey{pendOwn, uint64(e.Start)}, len(members), "invalidate-acks")
@@ -485,7 +485,7 @@ func (n *Node) invalidateCopies(t *Thread, e *directory.Entry) {
 		n.sys.tr.Send(t.proc, n.id, d, wire.Invalidate{Addr: e.Start, NewOwner: uint8(n.id)})
 	}
 	c.fut.Wait(t.proc)
-	e.Copyset = 0
+	e.Copyset = directory.Copyset{}
 }
 
 // serveOwn transfers ownership: reply with data and the copyset, then drop
@@ -522,14 +522,14 @@ func (n *Node) serveOwn(p rt.Proc, m wire.OwnReq) {
 	n.dropObject(p, e)
 	e.Owned = false
 	e.ProbOwner = req
-	e.Copyset = 0
+	e.Copyset = directory.Copyset{}
 	if e.Home == n.id {
 		e.BackingStale = true
 		n.redispatchChase(p, e)
 	}
 	p.Advance(n.sys.cost.CopyCost(e.Size))
 	b := n.newBatcher(p)
-	b.send(req, wire.OwnReply{Addr: e.Start, Copyset: uint64(cs), Data: data})
+	b.send(req, wire.OwnReply{Addr: e.Start, Copyset: cs, Data: data})
 	if e.Home != n.id {
 		// Anchor the home's hint to the transfer history (see forward).
 		b.send(e.Home, wire.OwnNotify{Addr: e.Start, Owner: uint8(req)})
@@ -633,11 +633,12 @@ func (n *Node) forward(p rt.Proc, e *directory.Entry, m wire.Message, requester 
 }
 
 // forwardOrFail handles a request for an object this node has never seen:
-// only the home can be asked blind, so relay there; the home failing to
-// know the object is a program error.
+// only the node homeFor names can be asked blind, so relay there; that
+// node failing to know the object is a program error.
 func (n *Node) forwardOrFail(p rt.Proc, addr vm.Addr, requester int, m wire.Message, op string) {
-	if n.id == 0 {
+	home := n.homeFor(addr)
+	if n.id == home {
 		fail(n.id, addr, op, "request for an address outside every declared shared object")
 	}
-	n.sys.tr.Send(p, n.id, 0, m)
+	n.sys.tr.Send(p, n.id, home, m)
 }

@@ -257,7 +257,7 @@ func (n *Node) determineCopysetsExact(t *Thread, entries []*directory.Entry) {
 // tracked directory state. The home includes itself when it holds a live
 // copy, and marks its backing stale — the requester is writing.
 func (n *Node) serveCopysetLookup(p rt.Proc, m wire.CopysetLookup) {
-	sets := make([]uint64, len(m.Addrs))
+	sets := make([]directory.Copyset, len(m.Addrs))
 	for i, a := range m.Addrs {
 		e, ok := n.dir.Lookup(a)
 		if !ok {
@@ -267,7 +267,7 @@ func (n *Node) serveCopysetLookup(p rt.Proc, m wire.CopysetLookup) {
 		if e.Valid {
 			cs = cs.Add(n.id)
 		}
-		sets[i] = uint64(cs)
+		sets[i] = cs
 		if e.Home == n.id {
 			e.BackingStale = true
 			e.ProbOwner = int(m.From)

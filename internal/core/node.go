@@ -482,7 +482,7 @@ func (n *Node) collectCopysetInfo(m wire.CopysetInfo) {
 	}
 	for i, a := range m.Addrs {
 		if i < len(m.Sets) {
-			c.holders[a] |= directory.Copyset(m.Sets[i])
+			c.holders[a] = c.holders[a].Union(m.Sets[i])
 		}
 	}
 	c.add()
@@ -517,7 +517,8 @@ func (n *Node) entry(t *Thread, addr vm.Addr) *directory.Entry {
 	if e, ok := n.dir.Lookup(addr); ok {
 		return e
 	}
-	if n.id == 0 {
+	home := n.homeFor(addr)
+	if n.id == home {
 		fail(n.id, addr, "directory lookup", "address is not part of any declared shared object")
 	}
 	// Coalesce concurrent fetches of the same entry.
@@ -527,7 +528,7 @@ func (n *Node) entry(t *Thread, addr vm.Addr) *directory.Entry {
 	} else {
 		f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("dirfetch[n%d %#x]", n.id, base))
 		n.dirFetch[base] = f
-		n.sys.tr.Send(t.proc, n.id, 0, wire.DirReq{Addr: addr})
+		n.sys.tr.Send(t.proc, n.id, home, wire.DirReq{Addr: addr})
 		f.Wait(t.proc)
 		delete(n.dirFetch, base)
 	}
@@ -538,8 +539,22 @@ func (n *Node) entry(t *Thread, addr vm.Addr) *directory.Entry {
 	return e
 }
 
+// homeFor returns the node a blind request for addr should be sent to —
+// the node guaranteed to describe the address if any node does. Under
+// the root policy that is node 0 (home for all statically allocated
+// objects); under the striped policy it is the address's stripe node,
+// which holds either the object's home entry or a catalog entry for a
+// later page of a multi-page object. Computed locally: no node-0 relay.
+func (n *Node) homeFor(addr vm.Addr) int {
+	if n.sys.cfg.HomePolicy == HomeStriped {
+		return stripeHome(addr, n.sys.cfg.PageSize, n.sys.cfg.Processors)
+	}
+	return 0
+}
+
 // serveDirReq answers a directory fetch from the home node's table. Only
-// the root (home for all statically allocated objects) serves these.
+// a node that homeFor can name — an object's home, or a stripe node
+// holding its catalog entry — serves these.
 func (n *Node) serveDirReq(p rt.Proc, src int, m wire.DirReq) {
 	p.Advance(n.sys.cost.DirLookup)
 	e, ok := n.dir.Lookup(m.Addr)
@@ -684,7 +699,7 @@ func (n *Node) dropObject(p rt.Proc, e *directory.Entry) {
 	delete(n.fetchStash, e.Start)
 	// Reads deferred behind in-flight updates cannot be served from a
 	// dropped copy: route them onward instead.
-	e.AwaitFrom = 0
+	e.AwaitFrom = directory.Copyset{}
 	n.redispatchReads(p, e.Start)
 	if e.PendingAnnot != nil {
 		// A deferred annotation switch was waiting for this entry's next

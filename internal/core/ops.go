@@ -248,7 +248,7 @@ func (n *Node) servePhaseChange(m wire.PhaseChange) {
 // purgeSharing resets copyset knowledge; p may be nil in dispatcher
 // context where protection cost is charged to the dispatcher elsewhere.
 func (n *Node) purgeSharing(p rt.Proc, e *directory.Entry) {
-	e.Copyset = 0
+	e.Copyset = directory.Copyset{}
 	e.CopysetKnown = false
 	if e.Valid && e.Writable && !e.Enqueued {
 		// Privatized page: make it fault (and twin) again.
@@ -302,7 +302,7 @@ func (n *Node) serveChangeAnnot(m wire.ChangeAnnot) {
 func (n *Node) applyAnnotation(e *directory.Entry, annot protocol.Annotation) {
 	e.Annot = annot
 	e.Params = annot.Params()
-	e.Copyset = 0
+	e.Copyset = directory.Copyset{}
 	e.CopysetKnown = false
 	duq.DropTwin(e)
 	if e.Valid && e.Writable {

@@ -14,10 +14,36 @@ import (
 	"munin/internal/vm"
 )
 
+// MaxProcessors is the largest machine the runtime accepts. The paper's
+// prototype ran on 16 workstations; the protocol code itself scales to
+// the wire format's 8-bit node ids, so 256 is the hard ceiling (see
+// network.MaxNodes). The scaling bench table sweeps up to this count.
+const MaxProcessors = network.MaxNodes
+
+// Home policies: how shared objects are assigned to directory home
+// nodes at machine construction.
+const (
+	// HomeRoot places every object's home on node 0, as the prototype's
+	// static linker did — the default, and the configuration the paper
+	// tables are measured on.
+	HomeRoot = "root"
+	// HomeStriped stripes homes across the machine deterministically by
+	// page index (an object lives at node pageIndex(Start) mod
+	// Processors), so directory service load spreads instead of
+	// concentrating on node 0 as the machine grows.
+	HomeStriped = "striped"
+)
+
 // Config describes the simulated machine and runtime options.
 type Config struct {
-	// Processors is the number of nodes (1–16 in the prototype).
+	// Processors is the number of nodes (1–MaxProcessors; the paper's
+	// prototype was 16).
 	Processors int
+	// HomePolicy assigns shared objects to directory home nodes: "" or
+	// HomeRoot pins every home to node 0 (the prototype's layout, and
+	// bit-identical to the historical behavior); HomeStriped spreads
+	// homes across nodes by page index.
+	HomePolicy string
 	// PageSize overrides the 8 KB default (tests only).
 	PageSize int
 	// Model is the cost model; zero value means model.Default().
@@ -171,12 +197,40 @@ type System struct {
 	obsSeq atomic.Uint64
 }
 
-// NewSystem builds a machine from declarations. The root node (0) holds
-// every object's backing store; other nodes start with empty directories
-// and fault entries in from the home node on demand, as in the prototype.
+// stripeHome is the deterministic object→home mapping of the striped
+// policy: the stripe of an address is its page index modulo the machine
+// size. Every node can compute it locally from a faulting address alone,
+// which is what lets blind directory fetches skip a node-0 relay.
+func stripeHome(addr vm.Addr, pageSize, procs int) int {
+	return int(uint32(addr) / uint32(pageSize) % uint32(procs))
+}
+
+// NewSystem builds a machine from declarations. Each object's home node
+// holds its backing store (node 0 for everything under the default root
+// home policy); other nodes start with empty directories and fault
+// entries in from the object's home on demand, as in the prototype.
 func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDecl) *System {
-	if cfg.Processors <= 0 || cfg.Processors > 16 {
-		panic(fmt.Sprintf("core: %d processors outside the prototype's 1–16", cfg.Processors))
+	if cfg.Processors <= 0 || cfg.Processors > MaxProcessors {
+		panic(fmt.Sprintf("core: %d processors outside 1–%d", cfg.Processors, MaxProcessors))
+	}
+	switch cfg.HomePolicy {
+	case "", HomeRoot:
+	case HomeStriped:
+		// Reassign every object's home by its start page's stripe. The
+		// decls are copied first: a Program reuses one decl slice across
+		// runs (possibly concurrently, possibly at other processor
+		// counts), so the caller's slice must stay untouched.
+		ds := append([]Decl(nil), decls...)
+		ps := cfg.PageSize
+		if ps == 0 {
+			ps = vm.DefaultPageSize
+		}
+		for i := range ds {
+			ds[i].Home = stripeHome(ds[i].Start, ps, cfg.Processors)
+		}
+		decls = ds
+	default:
+		panic(fmt.Sprintf("core: unknown home policy %q (want %q or %q)", cfg.HomePolicy, HomeRoot, HomeStriped))
 	}
 	if cfg.Lazy && cfg.Adaptive {
 		panic("core: the lazy consistency engine does not compose with the adaptive protocol engine")
@@ -254,6 +308,35 @@ func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDec
 			Sem:       s.tr.NewSemaphore(d.Home, fmt.Sprintf("entry[%#x]", d.Start), 1),
 		}
 		s.nodes[d.Home].dir.Insert(e)
+		if cfg.HomePolicy == HomeStriped {
+			// A multi-page object's later pages stripe to other nodes
+			// than its start page. Blind requests for those addresses
+			// land there, so each such stripe node gets a catalog entry:
+			// the same static metadata a DirReply would install (no
+			// backing, not owned) — equivalent to a pre-completed
+			// directory fetch.
+			for base := d.Start - vm.Addr(uint32(d.Start)%uint32(cfg.PageSize)); base < d.Start+vm.Addr(d.Size); base += vm.Addr(cfg.PageSize) {
+				sp := stripeHome(base, cfg.PageSize, cfg.Processors)
+				if sp == d.Home {
+					continue
+				}
+				cn := s.nodes[sp]
+				if _, ok := cn.dir.Lookup(d.Start); ok {
+					continue
+				}
+				cn.dir.Insert(&directory.Entry{
+					Start:     d.Start,
+					Size:      d.Size,
+					Annot:     annot,
+					Params:    annot.Params(),
+					Home:      d.Home,
+					Group:     d.Group,
+					ProbOwner: d.Home,
+					Synchq:    -1,
+					Sem:       s.tr.NewSemaphore(sp, fmt.Sprintf("entry[n%d %#x]", sp, d.Start), 1),
+				})
+			}
+		}
 	}
 	// Synchronization object directories are populated everywhere: the
 	// prototype distributes lock/barrier identity at creation time.

@@ -17,51 +17,25 @@ import (
 	"fmt"
 	"sort"
 
+	"munin/internal/nodeset"
 	"munin/internal/protocol"
 	"munin/internal/rt"
 	"munin/internal/vm"
 )
 
-// Copyset is a bitmap of the nodes holding copies of an object. The paper
-// notes a bitmap suffices for a prototype-sized system (16 nodes) and
-// reserves a special value meaning "all nodes".
-type Copyset uint64
+// Copyset is the set of nodes holding copies of an object. The paper
+// notes a single-word bitmap suffices for a prototype-sized system
+// (16 nodes); the growable nodeset.Set keeps that word inline as the
+// allocation-free fast path and pages out to overflow words past 64
+// nodes. Copysets are values: Add/Remove/Union return new sets, and
+// comparisons go through Equal (never ==).
+type Copyset = nodeset.Set
 
-// AllNodes is the special copyset meaning every node holds a copy.
-const AllNodes Copyset = ^Copyset(0)
-
-// Has reports whether node n is in the set.
-func (c Copyset) Has(n int) bool { return c&(1<<uint(n)) != 0 }
-
-// Add returns the set with node n added.
-func (c Copyset) Add(n int) Copyset { return c | 1<<uint(n) }
-
-// Remove returns the set with node n removed.
-func (c Copyset) Remove(n int) Copyset { return c &^ (1 << uint(n)) }
-
-// Empty reports whether the set has no members.
-func (c Copyset) Empty() bool { return c == 0 }
-
-// Count returns the number of members (meaningless for AllNodes).
-func (c Copyset) Count() int {
-	n := 0
-	for ; c != 0; c &= c - 1 {
-		n++
-	}
-	return n
-}
-
-// Nodes lists the members in ascending order. limit bounds the scan (pass
-// the system's node count).
-func (c Copyset) Nodes(limit int) []int {
-	var out []int
-	for i := 0; i < limit; i++ {
-		if c.Has(i) {
-			out = append(out, i)
-		}
-	}
-	return out
-}
+// AllUpTo returns the copyset {0, ..., n-1} — every node of an n-node
+// machine. It replaces the retired AllNodes = ^0 sentinel, whose
+// implicit "nodes 0–63" membership would silently mask members on
+// larger machines.
+func AllUpTo(n int) Copyset { return nodeset.AllUpTo(n) }
 
 // Access accumulates the per-entry access events the adaptive profiler
 // (internal/adapt) consumes. Every count is what THIS node observed since

@@ -30,12 +30,15 @@ func TestCopysetBasics(t *testing.T) {
 	}
 }
 
-func TestCopysetAllNodes(t *testing.T) {
-	if !AllNodes.Has(0) || !AllNodes.Has(63) {
-		t.Error("AllNodes missing members")
-	}
-	if len(AllNodes.Nodes(16)) != 16 {
-		t.Error("AllNodes.Nodes(16) != 16 entries")
+func TestCopysetAllUpTo(t *testing.T) {
+	for _, n := range []int{1, 16, 64, 256} {
+		all := AllUpTo(n)
+		if !all.Has(0) || !all.Has(n-1) || all.Has(n) {
+			t.Errorf("AllUpTo(%d) membership wrong", n)
+		}
+		if got := len(all.Nodes(n)); got != n {
+			t.Errorf("AllUpTo(%d).Nodes = %d entries", n, got)
+		}
 	}
 }
 
@@ -44,7 +47,7 @@ func TestCopysetProperty(t *testing.T) {
 		var c Copyset
 		uniq := map[int]bool{}
 		for _, n := range nodes {
-			id := int(n % 64)
+			id := int(n) // 0–255: exercises the inline word and the overflow words
 			c = c.Add(id)
 			uniq[id] = true
 		}

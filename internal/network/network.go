@@ -117,10 +117,15 @@ type Network struct {
 	Faults *Faults
 }
 
+// MaxNodes is the largest machine any transport hosts — the wire
+// format's 8-bit node ids are the structural ceiling. core.MaxProcessors
+// re-exports it for configuration validation.
+const MaxNodes = 256
+
 // New creates a network of n nodes over the given simulation and cost
 // model.
 func New(s *sim.Sim, cost model.CostModel, n int) *Network {
-	if n <= 0 || n > 64 {
+	if n <= 0 || n > MaxNodes {
 		panic(fmt.Sprintf("network: invalid node count %d", n))
 	}
 	nw := &Network{

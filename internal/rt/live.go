@@ -96,7 +96,7 @@ func NewChan(cost model.CostModel, n int) *Live {
 }
 
 func newLive(name string, cost model.CostModel, n int) *Live {
-	if n <= 0 || n > 64 {
+	if n <= 0 || n > network.MaxNodes {
 		panic(fmt.Sprintf("rt: invalid node count %d", n))
 	}
 	l := &Live{

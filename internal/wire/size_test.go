@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"munin/internal/nodeset"
 	"munin/internal/vm"
 )
 
@@ -43,6 +44,28 @@ func randU32s(rng *rand.Rand, max int) []uint32 {
 	out := make([]uint32, n)
 	for i := range out {
 		out[i] = rng.Uint32()
+	}
+	return out
+}
+
+// randSet returns a random copyset: usually inline (any 64-bit word,
+// the old single-word regime), sometimes spilling past node 64 to
+// exercise the extended escape encoding.
+func randSet(rng *rand.Rand) nodeset.Set {
+	s := nodeset.FromWord(rng.Uint64())
+	if rng.Intn(3) == 0 {
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			s = s.Add(64 + rng.Intn(192))
+		}
+	}
+	return s
+}
+
+func randSets(rng *rand.Rand, max int) []nodeset.Set {
+	n := rng.Intn(max + 1)
+	out := make([]nodeset.Set, n)
+	for i := range out {
+		out[i] = randSet(rng)
 	}
 	return out
 }
@@ -113,7 +136,7 @@ func randomMessage(rng *rand.Rand, k Kind) Message {
 	case KindOwnReq:
 		return OwnReq{Addr: vm.Addr(rng.Uint32()), Requester: uint8(rng.Intn(16))}
 	case KindOwnReply:
-		return OwnReply{Addr: vm.Addr(rng.Uint32()), Copyset: rng.Uint64(), Data: randBytes(rng, 256)}
+		return OwnReply{Addr: vm.Addr(rng.Uint32()), Copyset: randSet(rng), Data: randBytes(rng, 256)}
 	case KindInvalidate:
 		return Invalidate{Addr: vm.Addr(rng.Uint32()), NewOwner: uint8(rng.Intn(16))}
 	case KindInvalidateAck:
@@ -159,7 +182,7 @@ func randomMessage(rng *rand.Rand, k Kind) Message {
 	case KindCopysetLookup:
 		return CopysetLookup{From: uint8(rng.Intn(16)), Addrs: randAddrs(rng, 6)}
 	case KindCopysetInfo:
-		return CopysetInfo{Addrs: randAddrs(rng, 6), Sets: []uint64{rng.Uint64(), rng.Uint64()}}
+		return CopysetInfo{Addrs: randAddrs(rng, 6), Sets: randSets(rng, 4)}
 	case KindCopysetNotify:
 		return CopysetNotify{Addr: vm.Addr(rng.Uint32()), Reader: uint8(rng.Intn(16))}
 	case KindOwnNotify:

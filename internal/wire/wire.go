@@ -21,8 +21,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 
+	"munin/internal/nodeset"
 	"munin/internal/vm"
 )
 
@@ -214,10 +216,13 @@ type OwnReq struct {
 }
 
 // OwnReply grants ownership: object data plus the copyset the new owner
-// must invalidate.
+// must invalidate. Copysets travel in a two-form encoding (see the set
+// encoder): the single-word inline form for sets confined to nodes
+// 0–63 — byte-identical to the codec's original fixed u64 layout — and
+// an escape-marked varint node list past that.
 type OwnReply struct {
 	Addr    vm.Addr
-	Copyset uint64
+	Copyset nodeset.Set
 	Data    []byte
 }
 
@@ -391,11 +396,12 @@ type CopysetLookup struct {
 	Addrs []vm.Addr
 }
 
-// CopysetInfo is the home's reply to a CopysetLookup: the tracked copyset
-// bitmap for each queried address, in the same order.
+// CopysetInfo is the home's reply to a CopysetLookup: the tracked
+// copyset for each queried address, in the same order (each in the
+// two-form set encoding).
 type CopysetInfo struct {
 	Addrs []vm.Addr
-	Sets  []uint64
+	Sets  []nodeset.Set
 }
 
 // CopysetNotify tells an object's home that Reader obtained a copy from a
@@ -697,6 +703,46 @@ func (e *encoder) updates(v []UpdateEntry) {
 	}
 }
 
+// setEscape is the 8-byte marker opening a copyset's extended form.
+// The inline form is the set's single bitmap word, which (for any set a
+// real machine produces) is distinguishable because a ≤64-node machine
+// never fills all 64 bits AND escapes the inline form for the one set
+// that would (nodeset.Set.Inline refuses the all-ones word).
+const setEscape = ^uint64(0)
+
+// maxWireNode bounds a decoded copyset member: wire node ids are uint8
+// everywhere else, so anything past one overflow word's reach is
+// corruption, not a bigger machine.
+const maxWireNode = 1 << 16
+
+// set encodes a copyset: the inline bitmap word for sets confined to
+// nodes 0–63 (byte-identical to the original fixed-u64 layout), or the
+// escape marker followed by a uvarint member count and uvarint node
+// ids for anything larger. Both forms encode without allocating (the
+// member walk is a manual word scan, not a ForEach closure, so the
+// encoder never escapes).
+func (e *encoder) set(s nodeset.Set) {
+	if lo, ok := s.Inline(); ok {
+		e.u64(lo)
+		return
+	}
+	e.u64(setEscape)
+	e.b = binary.AppendUvarint(e.b, uint64(s.Count()))
+	for wi := 0; wi < s.Words(); wi++ {
+		base := wi * 64
+		for w := s.Word(wi); w != 0; w &= w - 1 {
+			e.b = binary.AppendUvarint(e.b, uint64(base+bits.TrailingZeros64(w)))
+		}
+	}
+}
+
+func (e *encoder) csets(v []nodeset.Set) {
+	e.u32(uint32(len(v)))
+	for _, s := range v {
+		e.set(s)
+	}
+}
+
 func (e *encoder) u32s(v []uint32) {
 	e.u32(uint32(len(v)))
 	for _, x := range v {
@@ -803,15 +849,51 @@ func (d *decoder) bytes8() []uint8 {
 	d.b = d.b[n:]
 	return v
 }
-func (d *decoder) sets() []uint64 {
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+func (d *decoder) set() nodeset.Set {
+	w := d.u64()
+	if d.err != nil {
+		return nodeset.Set{}
+	}
+	if w != setEscape {
+		return nodeset.FromWord(w)
+	}
+	n := int(d.uvarint())
+	if d.err != nil || n > len(d.b) { // each member id is ≥ 1 byte
+		d.fail()
+		return nodeset.Set{}
+	}
+	var s nodeset.Set
+	for i := 0; i < n; i++ {
+		id := d.uvarint()
+		if d.err != nil || id >= maxWireNode {
+			d.fail()
+			return nodeset.Set{}
+		}
+		s = s.Add(int(id))
+	}
+	return s
+}
+func (d *decoder) csets() []nodeset.Set {
 	n := int(d.u32())
-	if d.err != nil || len(d.b) < 8*n {
+	if d.err != nil || len(d.b) < 8*n { // each set is ≥ 8 bytes
 		d.fail()
 		return nil
 	}
-	out := make([]uint64, n)
+	out := make([]nodeset.Set, n)
 	for i := range out {
-		out[i] = d.u64()
+		out[i] = d.set()
 	}
 	return out
 }
@@ -945,7 +1027,7 @@ func AppendTo(buf []byte, msg Message) []byte {
 		e.u8(m.Requester)
 	case OwnReply:
 		e.u32(uint32(m.Addr))
-		e.u64(m.Copyset)
+		e.set(m.Copyset)
 		e.bytes(m.Data)
 	case Invalidate:
 		e.u32(uint32(m.Addr))
@@ -1020,10 +1102,7 @@ func AppendTo(buf []byte, msg Message) []byte {
 		e.addrs(m.Addrs)
 	case CopysetInfo:
 		e.addrs(m.Addrs)
-		e.u32(uint32(len(m.Sets)))
-		for _, s := range m.Sets {
-			e.u64(s)
-		}
+		e.csets(m.Sets)
 	case CopysetNotify:
 		e.u32(uint32(m.Addr))
 		e.u8(m.Reader)
@@ -1118,7 +1197,7 @@ func Unmarshal(b []byte) (Message, error) {
 	case KindOwnReq:
 		msg = OwnReq{Addr: vm.Addr(d.u32()), Requester: d.u8()}
 	case KindOwnReply:
-		msg = OwnReply{Addr: vm.Addr(d.u32()), Copyset: d.u64(), Data: d.bytes()}
+		msg = OwnReply{Addr: vm.Addr(d.u32()), Copyset: d.set(), Data: d.bytes()}
 	case KindInvalidate:
 		msg = Invalidate{Addr: vm.Addr(d.u32()), NewOwner: d.u8()}
 	case KindInvalidateAck:
@@ -1163,7 +1242,7 @@ func Unmarshal(b []byte) (Message, error) {
 	case KindCopysetLookup:
 		msg = CopysetLookup{From: d.u8(), Addrs: d.addrs()}
 	case KindCopysetInfo:
-		msg = CopysetInfo{Addrs: d.addrs(), Sets: d.sets()}
+		msg = CopysetInfo{Addrs: d.addrs(), Sets: d.csets()}
 	case KindCopysetNotify:
 		msg = CopysetNotify{Addr: vm.Addr(d.u32()), Reader: d.u8()}
 	case KindOwnNotify:
@@ -1243,7 +1322,35 @@ func Unmarshal(b []byte) (Message, error) {
 // Size(msg) == len(Marshal(msg)) for every kind over randomized
 // messages, so the two cannot drift apart silently.
 
-func sizeBytes(b []byte) int    { return 4 + len(b) }
+func sizeBytes(b []byte) int { return 4 + len(b) }
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+func sizeSet(s nodeset.Set) int {
+	if _, ok := s.Inline(); ok {
+		return 8
+	}
+	n := 8 + uvarintLen(uint64(s.Count()))
+	for wi := 0; wi < s.Words(); wi++ {
+		base := wi * 64
+		for w := s.Word(wi); w != 0; w &= w - 1 {
+			n += uvarintLen(uint64(base + bits.TrailingZeros64(w)))
+		}
+	}
+	return n
+}
+func sizeSets(v []nodeset.Set) int {
+	n := 4
+	for _, s := range v {
+		n += sizeSet(s)
+	}
+	return n
+}
 func sizeAddrs(v []vm.Addr) int { return 4 + 4*len(v) }
 func sizeU32s(v []uint32) int   { return 4 + 4*len(v) }
 func sizeEntry(u *UpdateEntry) int {
@@ -1299,7 +1406,7 @@ func Size(msg Message) int {
 	case OwnReq:
 		return kind + 4 + 1
 	case OwnReply:
-		return kind + 4 + 8 + sizeBytes(m.Data)
+		return kind + 4 + sizeSet(m.Copyset) + sizeBytes(m.Data)
 	case Invalidate:
 		return kind + 4 + 1
 	case InvalidateAck:
@@ -1343,7 +1450,7 @@ func Size(msg Message) int {
 	case CopysetLookup:
 		return kind + 1 + sizeAddrs(m.Addrs)
 	case CopysetInfo:
-		return kind + sizeAddrs(m.Addrs) + 4 + 8*len(m.Sets)
+		return kind + sizeAddrs(m.Addrs) + sizeSets(m.Sets)
 	case CopysetNotify:
 		return kind + 4 + 1
 	case OwnNotify:

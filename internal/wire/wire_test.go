@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"munin/internal/nodeset"
 	"munin/internal/vm"
 )
 
@@ -16,7 +17,8 @@ func sampleMessages() []Message {
 		ReadReq{Addr: 0x80001000, Requester: 3, Prefetch: true},
 		ReadReply{Addr: 0x80001000, Owner: 2, Data: []byte{1, 2, 3, 4}},
 		OwnReq{Addr: 0x80002000, Requester: 7},
-		OwnReply{Addr: 0x80002000, Copyset: 0b1011, Data: []byte{9, 8, 7, 6}},
+		OwnReply{Addr: 0x80002000, Copyset: nodeset.FromWord(0b1011), Data: []byte{9, 8, 7, 6}},
+		OwnReply{Addr: 0x80002000, Copyset: nodeset.FromNodes(1, 63, 64, 200), Data: []byte{9, 8}},
 		Invalidate{Addr: 0x80003000, NewOwner: 5},
 		InvalidateAck{Addr: 0x80003000},
 		MigrateReq{Addr: 0x80004000, Requester: 1},
@@ -42,7 +44,8 @@ func sampleMessages() []Message {
 		PhaseChange{Addr: 0x8000b000},
 		ChangeAnnot{Addr: 0x8000b000, Annot: 2},
 		CopysetLookup{From: 5, Addrs: []vm.Addr{0x8000c000, 0x8000e000}},
-		CopysetInfo{Addrs: []vm.Addr{0x8000c000, 0x8000e000}, Sets: []uint64{0b101, 0b11000}},
+		CopysetInfo{Addrs: []vm.Addr{0x8000c000, 0x8000e000},
+			Sets: []nodeset.Set{nodeset.FromWord(0b101), nodeset.FromNodes(3, 4, 65, 130)}},
 		CopysetNotify{Addr: 0x8000c000, Reader: 12},
 		OwnNotify{Addr: 0x8000c000, Owner: 3},
 		AdaptPropose{Addr: 0x8000d000, Annot: 4, Epoch: 2, From: 6, Events: 31, Urgent: true},
@@ -213,6 +216,60 @@ func TestFuzzUnmarshalNeverPanics(t *testing.T) {
 			}()
 			Unmarshal(b) //nolint:errcheck // only looking for panics
 		}()
+	}
+}
+
+// TestCopysetInlineFormBytes pins the ≤64-node copyset encoding to the
+// codec's original fixed-u64 little-endian layout byte for byte — the
+// compatibility the Table 6 bit-identical gate rests on (the simulated
+// network charges wire time per encoded byte).
+func TestCopysetInlineFormBytes(t *testing.T) {
+	b := Marshal(OwnReply{Addr: 0x80002000, Copyset: nodeset.FromWord(0b1011), Data: []byte{7}})
+	// Layout: kind(1) addr(4) set(8) databytes(4+1).
+	want := []byte{0b1011, 0, 0, 0, 0, 0, 0, 0}
+	if !reflect.DeepEqual(b[5:13], want) {
+		t.Fatalf("inline copyset bytes = % x, want % x", b[5:13], want)
+	}
+	if len(b) != 1+4+8+4+1 {
+		t.Fatalf("inline OwnReply length = %d", len(b))
+	}
+}
+
+// TestCopysetRoundTripFuzz drives randomized sets — inline, overflow,
+// and straddling the 64-node line — through both copyset-carrying
+// messages and back.
+func TestCopysetRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		var s nodeset.Set
+		for j, n := 0, rng.Intn(80); j < n; j++ {
+			s = s.Add(rng.Intn(300))
+		}
+		out, err := Unmarshal(Marshal(OwnReply{Addr: 1 << 31, Copyset: s}))
+		if err != nil {
+			t.Fatalf("OwnReply{%v}: %v", s, err)
+		}
+		if got := out.(OwnReply).Copyset; !got.Equal(s) {
+			t.Fatalf("OwnReply copyset round trip: got %v, want %v", got, s)
+		}
+		info := CopysetInfo{Addrs: []vm.Addr{1 << 31}, Sets: []nodeset.Set{s}}
+		out, err = Unmarshal(Marshal(info))
+		if err != nil {
+			t.Fatalf("CopysetInfo{%v}: %v", s, err)
+		}
+		if got := out.(CopysetInfo).Sets[0]; !got.Equal(s) {
+			t.Fatalf("CopysetInfo copyset round trip: got %v, want %v", got, s)
+		}
+	}
+	// The full inline word is the escape marker: it must take the
+	// extended form and still round-trip.
+	full := nodeset.AllUpTo(64)
+	out, err := Unmarshal(Marshal(OwnReply{Addr: 1 << 31, Copyset: full}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(OwnReply).Copyset; !got.Equal(full) {
+		t.Fatalf("AllUpTo(64) round trip: got %v", got)
 	}
 }
 

@@ -98,6 +98,25 @@ const (
 // Transports lists the valid WithTransport values.
 func Transports() []string { return []string{TransportSim, TransportChan, TransportTCP} }
 
+// MaxProcessors is the largest machine a run accepts (the wire format's
+// 8-bit node ids are the hard ceiling). The paper's prototype was 16
+// workstations; the scaling bench table sweeps up to this count.
+const MaxProcessors = core.MaxProcessors
+
+// Home policy names accepted by WithHomePolicy.
+const (
+	// HomeRoot places every shared object's directory home on node 0,
+	// as the prototype's static linker did — the default.
+	HomeRoot = core.HomeRoot
+	// HomeStriped stripes object homes across the machine by page index
+	// (home = pageIndex mod processors), spreading directory service
+	// load that would otherwise concentrate on node 0 at scale.
+	HomeStriped = core.HomeStriped
+)
+
+// HomePolicies lists the valid WithHomePolicy values.
+func HomePolicies() []string { return []string{HomeRoot, HomeStriped} }
+
 // Consistency selects the release-consistency engine a run executes
 // under (WithConsistency).
 type Consistency int

@@ -35,7 +35,7 @@ type Program struct {
 }
 
 // NewProgram creates an empty program whose runs default to the given
-// processor count. The count is validated at Run (1–16, overridable per
+// processor count. The count is validated at Run (1–MaxProcessors, overridable per
 // run with WithProcessors), not here: configuration problems surface as
 // errors from Run, never as panics.
 func NewProgram(processors int) *Program {

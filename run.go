@@ -21,6 +21,7 @@ type RunOption func(*runConfig)
 type runConfig struct {
 	procs           int
 	transport       string
+	homePolicy      string
 	consistency     Consistency
 	model           model.CostModel
 	override        *Annotation
@@ -54,6 +55,25 @@ type runConfig struct {
 // Stats times are wall-clock, not modeled.
 func WithTransport(name string) RunOption {
 	return func(c *runConfig) { c.transport = name }
+}
+
+// WithHomePolicy selects how shared objects are assigned to directory
+// home nodes for this run:
+//
+//	"root" (default)  every object's home is node 0, as the prototype's
+//	                  static linker laid memory out — the configuration
+//	                  the paper tables are measured on
+//	"striped"         homes stripe across the machine deterministically
+//	                  by page index (home = pageIndex mod processors),
+//	                  spreading directory fetches, copyset lookups and
+//	                  ownership anchoring that would otherwise all land
+//	                  on node 0 as the machine grows
+//
+// The mapping is computable locally from a faulting address, so no
+// node-0 relay is introduced; final memory contents are identical under
+// either policy for a properly synchronized program.
+func WithHomePolicy(policy string) RunOption {
+	return func(c *runConfig) { c.homePolicy = policy }
 }
 
 // WithConsistency selects the release-consistency engine for this run:
@@ -150,8 +170,13 @@ func (p *Program) resolve(opts []RunOption) (runConfig, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.procs <= 0 || cfg.procs > 16 {
-		return cfg, fmt.Errorf("munin: %d processors outside 1–16", cfg.procs)
+	if cfg.procs <= 0 || cfg.procs > MaxProcessors {
+		return cfg, fmt.Errorf("munin: %d processors outside 1–%d", cfg.procs, MaxProcessors)
+	}
+	switch cfg.homePolicy {
+	case "", HomeRoot, HomeStriped:
+	default:
+		return cfg, fmt.Errorf("munin: unknown home policy %q (want %q or %q)", cfg.homePolicy, HomeRoot, HomeStriped)
 	}
 	if cfg.barrierTree && cfg.barrierFanout != 0 && cfg.barrierFanout < 2 {
 		return cfg, fmt.Errorf("munin: barrier tree fanout %d below 2", cfg.barrierFanout)
@@ -253,6 +278,7 @@ func (p *Program) Run(ctx context.Context, root func(t *Thread), opts ...RunOpti
 	sys := core.NewSystem(core.Config{
 		Transport:       tr,
 		Processors:      cfg.procs,
+		HomePolicy:      cfg.homePolicy,
 		Model:           cfg.model,
 		Override:        cfg.override,
 		Adaptive:        cfg.adaptive,
