@@ -78,14 +78,16 @@ type scaleTable struct {
 // wireTable mirrors the fields of bench.WireTable the wire gate needs.
 type wireTable struct {
 	Rows []struct {
-		App             string
-		Consistency     string
-		PlainSends      int
-		BatchedSends    int
-		PlainMessages   int
-		BatchedMessages int
-		ImageMatch      bool
-		ChecksOK        bool
+		App              string
+		Consistency      string
+		PlainSends       int
+		BatchedSends     int
+		WindowedSends    int
+		PlainMessages    int
+		BatchedMessages  int
+		WindowedMessages int
+		ImageMatch       bool
+		ChecksOK         bool
 	}
 }
 
@@ -263,6 +265,18 @@ func gateWire(path string) {
 		{"pipeline", "lazy"}:  true,
 		{"lockheavy", "lazy"}: true,
 	}
+	// The delay window must strictly reduce sends on both pipeline rows
+	// (it includes batching) and — the point of the window — on eager
+	// lockheavy, the row plain batching provably cannot improve: the
+	// window is what lets a release's traffic coalesce with the next
+	// acquire's. Lazy lockheavy is held only to the drift bound: its GC
+	// coalescing is timing-sensitive and the window's reshaped dispatch
+	// can move a chase message either way.
+	mustReduceWindowed := map[[2]string]bool{
+		{"pipeline", "eager"}:  true,
+		{"pipeline", "lazy"}:   true,
+		{"lockheavy", "eager"}: true,
+	}
 	failed := false
 	for _, row := range r.Wire.Rows {
 		key := [2]string{row.App, row.Consistency}
@@ -280,16 +294,32 @@ func gateWire(path string) {
 		case mustReduce[key] && row.BatchedSends >= row.PlainSends:
 			status = "REGRESSED (batching must strictly reduce transport sends)"
 			failed = true
+		case mustReduceWindowed[key] && row.WindowedSends >= row.PlainSends:
+			status = "REGRESSED (the delay window must strictly reduce transport sends)"
+			failed = true
+		case !mustReduceWindowed[key] && messageDrift(row.PlainSends, row.WindowedSends) > 0.05:
+			status = fmt.Sprintf("REGRESSED (the delay window moved sends %d -> %d)",
+				row.PlainSends, row.WindowedSends)
+			failed = true
 		case messageDrift(row.PlainMessages, row.BatchedMessages) > 0.05:
 			status = fmt.Sprintf("MESSAGES DIVERGED (%d -> %d: riders lost or duplicated?)",
 				row.PlainMessages, row.BatchedMessages)
 			failed = true
+		case messageDrift(row.PlainMessages, row.WindowedMessages) > 0.05:
+			status = fmt.Sprintf("MESSAGES DIVERGED (%d -> %d windowed: riders lost or duplicated?)",
+				row.PlainMessages, row.WindowedMessages)
+			failed = true
 		}
 		delete(mustReduce, key)
-		fmt.Printf("%-10s %-6s plain %6d sends  batched %6d sends  %s\n",
-			row.App, row.Consistency, row.PlainSends, row.BatchedSends, status)
+		delete(mustReduceWindowed, key)
+		fmt.Printf("%-10s %-6s plain %6d sends  batched %6d sends  windowed %6d sends  %s\n",
+			row.App, row.Consistency, row.PlainSends, row.BatchedSends, row.WindowedSends, status)
 	}
 	for key := range mustReduce {
+		fmt.Printf("%-10s %-6s MISSING from wire table\n", key[0], key[1])
+		failed = true
+	}
+	for key := range mustReduceWindowed {
 		fmt.Printf("%-10s %-6s MISSING from wire table\n", key[0], key[1])
 		failed = true
 	}

@@ -155,7 +155,7 @@ type MatMulConfig struct {
 	// Metrics enables latency histograms and hot-object profiles
 	// (munin.WithMetrics; charges nothing to the cost model).
 	Metrics bool
-	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
+	// Transport selects the substrate: "sim" (default), "chan", "tcp" or "mux".
 	Transport string
 }
 
@@ -187,7 +187,7 @@ type SORConfig struct {
 	// Metrics enables latency histograms and hot-object profiles
 	// (munin.WithMetrics; charges nothing to the cost model).
 	Metrics bool
-	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
+	// Transport selects the substrate: "sim" (default), "chan", "tcp" or "mux".
 	Transport string
 	// PhaseBarrier inserts a second barrier between the compute and copy
 	// phases of every iteration, making the program data-race-free. The

@@ -25,7 +25,7 @@ func TestBatchedEquivalencePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sim unbatched: %v", err)
 	}
-	for _, tr := range []string{"sim", "chan", "tcp"} {
+	for _, tr := range []string{"sim", "chan", "tcp", "mux"} {
 		c := cfg
 		c.Transport = tr
 		c.Batch = true
@@ -62,7 +62,7 @@ func TestBatchedEquivalenceLockHeavy(t *testing.T) {
 		if err != nil {
 			t.Fatalf("sim unbatched (lazy=%v): %v", lazy, err)
 		}
-		for _, tr := range []string{"sim", "chan", "tcp"} {
+		for _, tr := range []string{"sim", "chan", "tcp", "mux"} {
 			bc := c
 			bc.Transport = tr
 			bc.Batch = true
@@ -92,7 +92,7 @@ func TestBatchedConventionalInvalidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := SORReference(24, 64, 3)
-	for _, tr := range []string{"sim", "chan", "tcp"} {
+	for _, tr := range []string{"sim", "chan", "tcp", "mux"} {
 		got, err := app.Run(context.Background(),
 			munin.WithTransport(tr), munin.WithBatching())
 		if err != nil {

@@ -53,7 +53,7 @@ type LockHeavyConfig struct {
 	// Metrics enables latency histograms and hot-object profiles
 	// (munin.WithMetrics; charges nothing to the cost model).
 	Metrics bool
-	// Transport selects the substrate: "sim" (default), "chan" or "tcp".
+	// Transport selects the substrate: "sim" (default), "chan", "tcp" or "mux".
 	Transport string
 }
 

@@ -14,7 +14,7 @@ import (
 // so these runs drive the extended wire form end to end.
 
 // TestScale64CrossTransport runs the lock-heavy workload on a 64-node
-// machine on the simulator and the concurrent chan transport and
+// machine on the simulator and on every concurrent transport and
 // requires byte-identical final shared memory.
 func TestScale64CrossTransport(t *testing.T) {
 	cfg := LockHeavyConfig{Procs: 64, Rounds: 4}
@@ -33,7 +33,9 @@ func TestScale64CrossTransport(t *testing.T) {
 	if want := LockHeavyReference(cfg); ref.Check != want {
 		t.Fatalf("sim lockheavy checksum %08x, want reference %08x", ref.Check, want)
 	}
-	sameImage(t, "lockheavy64/chan", ref, run("chan"))
+	for _, tr := range transportsUnderTest {
+		sameImage(t, "lockheavy64/"+tr, ref, run(tr))
+	}
 }
 
 // TestStripedHomeEquivalence runs the same 64-node workload under the

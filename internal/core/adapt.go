@@ -88,7 +88,7 @@ func (n *Node) adviseGroup(p rt.Proc, g *adapt.Group) {
 		n.commitSwitch(p, e, d.Target)
 		return
 	}
-	n.sys.tr.Send(p, n.id, e.Home, wire.AdaptPropose{
+	n.send(p, e.Home, wire.AdaptPropose{
 		Addr: groupOf(e), Annot: uint8(d.Target), Epoch: e.Epoch,
 		From: uint8(n.id), Events: uint32(g.Acc.Events()),
 	})
@@ -116,7 +116,7 @@ func (n *Node) commitSwitch(p rt.Proc, e *directory.Entry, annot protocol.Annota
 		n.applySwitch(p, ge, annot, epoch)
 	}
 	n.adaptEng.Commits++
-	n.sys.tr.Broadcast(p, n.id, wire.AdaptCommit{Addr: base, Annot: uint8(annot), Epoch: epoch})
+	n.broadcast(p, wire.AdaptCommit{Addr: base, Annot: uint8(annot), Epoch: epoch})
 	n.adaptEng.ResetGroup(base)
 	n.wakeAnnotWaiters(base)
 	return true
@@ -134,7 +134,7 @@ func (n *Node) serveAdaptPropose(p rt.Proc, m wire.AdaptPropose) {
 		// including the proposer. Echo the current state to any urgent
 		// waiter in case its wait began after that commit passed it.
 		if m.Urgent {
-			n.sys.tr.Send(p, n.id, int(m.From), wire.AdaptCommit{
+			n.send(p, int(m.From), wire.AdaptCommit{
 				Addr: groupOf(e), Annot: uint8(e.Annot), Epoch: e.Epoch,
 			})
 		}
@@ -146,7 +146,7 @@ func (n *Node) serveAdaptPropose(p rt.Proc, m wire.AdaptPropose) {
 	if !n.commitSwitch(p, e, annot) && m.Urgent {
 		// Declined, but the proposer is blocked: echo the current state
 		// so it can retry or abort instead of hanging.
-		n.sys.tr.Send(p, n.id, int(m.From), wire.AdaptCommit{
+		n.send(p, int(m.From), wire.AdaptCommit{
 			Addr: groupOf(e), Annot: uint8(e.Annot), Epoch: e.Epoch,
 		})
 	}
@@ -255,7 +255,7 @@ func (n *Node) evacuate(p rt.Proc, e *directory.Entry) {
 func (n *Node) sendBase(p rt.Proc, e *directory.Entry, data []byte) {
 	advance(p, n.sys.cost.CopyCost(e.Size))
 	n.UpdatesSent++
-	n.sys.tr.Send(p, n.id, e.Home, wire.UpdateBatch{
+	n.send(p, e.Home, wire.UpdateBatch{
 		From:    uint8(n.id),
 		Entries: []wire.UpdateEntry{{Addr: e.Start, Size: uint32(e.Size), Full: data}},
 	})
@@ -299,11 +299,11 @@ func (n *Node) adaptRecover(t *Thread, e *directory.Entry, target protocol.Annot
 			f = n.sys.tr.NewFuture(n.id, fmt.Sprintf("adapt[n%d %#x]", n.id, base))
 			n.annotWait[base] = f
 		}
-		n.sys.tr.Send(t.proc, n.id, e.Home, wire.AdaptPropose{
+		n.send(t.proc, e.Home, wire.AdaptPropose{
 			Addr: base, Annot: uint8(target), Epoch: e.Epoch,
 			From: uint8(n.id), Urgent: true,
 		})
-		f.Wait(t.proc)
+		n.await(t.proc, f)
 	}
 	if !ok() {
 		fail(n.id, e.Start, op,

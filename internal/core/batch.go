@@ -28,6 +28,17 @@ package core
 //
 // With Config.Batching off, send() degenerates to an immediate transport
 // send and flush() to a no-op — bit-for-bit the unbatched runtime.
+//
+// Delay window (Config.DelayWindow): a batcher with a non-zero window is
+// long-lived — one per proc, held in Node.delayed — and its flush()
+// becomes soft: it returns without sending while the buffer's oldest
+// message is younger than the window, letting consecutive operations
+// coalesce their traffic (a release's update batch and lock grant with
+// the next acquire's lock request, say) the way Nagle's algorithm
+// coalesces small writes. hard() is the unconditional flush; the Node
+// helpers in delay.go call it at every block point so a proc never
+// parks, and never exits, with messages buffered — the liveness
+// invariant that bounds the added latency to one window.
 
 import (
 	"munin/internal/obs"
@@ -43,12 +54,24 @@ type batcher struct {
 	on   bool
 	dsts []int // first-enqueue order; also flush order
 	q    map[int][]wire.Message
+
+	// window makes flush() soft: buffered messages are held until the
+	// oldest has aged past it (zero on per-operation batchers — flush is
+	// then unconditional). oldest is stamped when the first message
+	// enters an empty buffer.
+	window rt.Time
+	oldest rt.Time
 }
 
 // newBatcher returns a batcher for one operation run by proc p. When the
 // system is not configured for batching the batcher passes messages
-// straight through.
+// straight through. Under a delay window it instead returns p's
+// persistent delayed batcher, so consecutive operations by the same proc
+// share one buffer and their messages coalesce across operations.
 func (n *Node) newBatcher(p rt.Proc) *batcher {
+	if n.sys.cfg.DelayWindow > 0 {
+		return n.delayBatcher(p)
+	}
 	return &batcher{n: n, p: p, on: n.sys.cfg.Batching}
 }
 
@@ -61,16 +84,31 @@ func (b *batcher) send(dst int, msg wire.Message) {
 	if b.q == nil {
 		b.q = make(map[int][]wire.Message, 4)
 	}
+	if b.window > 0 && len(b.dsts) == 0 {
+		b.oldest = b.p.Now()
+	}
 	if _, ok := b.q[dst]; !ok {
 		b.dsts = append(b.dsts, dst)
 	}
 	b.q[dst] = append(b.q[dst], msg)
 }
 
-// flush sends every queued destination's messages — bare when a
-// destination holds one message (an envelope of one would only add
-// framing), a wire.Batch otherwise — in first-enqueue destination order.
+// flush sends every queued destination's messages. Under a delay window
+// the flush is soft: if the buffer's oldest message is still younger
+// than the window, everything stays queued for a later operation (or the
+// hard flush at the proc's next block point) to pick up.
 func (b *batcher) flush() {
+	if b.window > 0 && len(b.dsts) > 0 && b.p.Now()-b.oldest < b.window {
+		return
+	}
+	b.hard()
+}
+
+// hard unconditionally sends every queued destination's messages — bare
+// when a destination holds one message (an envelope of one would only
+// add framing), a wire.Batch otherwise — in first-enqueue destination
+// order.
+func (b *batcher) hard() {
 	if !b.on || len(b.dsts) == 0 {
 		return
 	}

@@ -1,0 +1,101 @@
+package core
+
+// Delay-window plumbing (Config.DelayWindow): every proc owns one
+// long-lived batcher whose flush is soft (see batch.go), so messages
+// from consecutive protocol operations coalesce into shared envelopes.
+// The helpers here are the complete set of places runtime code touches
+// the transport or blocks; routing every send through n.send and every
+// block through n.await / n.acquire / n.broadcast / the dispatcher loop
+// maintains the one invariant that keeps the window safe:
+//
+//	a proc never blocks, and never exits, with a non-empty delay buffer.
+//
+// Without it, a message a remote node needs in order to make progress —
+// a lock grant, an update a waiter is acked on — could sit buffered
+// forever while its sender parks, and the machine would deadlock. With
+// it, the window only ever defers traffic by time the sender was going
+// to spend running anyway.
+//
+// The check-then-flush in await and acquire is safe because a proc runs
+// under its node monitor and cannot be preempted between the Done/Busy
+// probe and the Wait/Acquire call: a future that is Done stays Done, and
+// a semaphore that is not Busy cannot become Busy before this proc's
+// TryAcquire-equivalent proceeds. (A semaphore that turns free between
+// Busy() and Acquire costs only an unnecessary early flush — never a
+// buffered block.)
+//
+// With the window off (DelayWindow == 0) every helper degenerates to the
+// direct transport call it replaced, bit for bit.
+
+import (
+	"munin/internal/rt"
+	"munin/internal/wire"
+)
+
+// delayBatcher returns p's persistent delayed batcher, creating it on
+// first use. Only procs of this node call it, under the node monitor, so
+// the map needs no locking.
+func (n *Node) delayBatcher(p rt.Proc) *batcher {
+	b := n.delayed[p]
+	if b == nil {
+		if n.delayed == nil {
+			n.delayed = make(map[rt.Proc]*batcher)
+		}
+		b = &batcher{n: n, p: p, on: true, window: n.sys.cfg.DelayWindow}
+		n.delayed[p] = b
+	}
+	return b
+}
+
+// send transmits msg from this node to dst — directly when no delay
+// window is configured, through p's delayed batcher (with a soft flush)
+// otherwise.
+func (n *Node) send(p rt.Proc, dst int, msg wire.Message) {
+	if n.sys.cfg.DelayWindow == 0 {
+		n.sys.tr.Send(p, n.id, dst, msg)
+		return
+	}
+	b := n.delayBatcher(p)
+	b.send(dst, msg)
+	b.flush()
+}
+
+// preBlock hard-flushes p's delay buffer. It must run before p parks on
+// anything a remote node's progress feeds (and before p exits), and is a
+// no-op when the window is off or nothing is buffered.
+func (n *Node) preBlock(p rt.Proc) {
+	if n.sys.cfg.DelayWindow == 0 {
+		return
+	}
+	if b := n.delayed[p]; b != nil {
+		b.hard()
+	}
+}
+
+// await waits on f, hard-flushing the delay buffer first if the wait
+// could actually block. An already-completed future costs nothing — the
+// coalescing that makes the window pay for itself.
+func (n *Node) await(p rt.Proc, f rt.Future) any {
+	if n.sys.cfg.DelayWindow > 0 && !f.Done() {
+		n.preBlock(p)
+	}
+	return f.Wait(p)
+}
+
+// acquire takes s, hard-flushing the delay buffer first if the
+// semaphore is busy and the acquire would park.
+func (n *Node) acquire(p rt.Proc, s rt.Semaphore) {
+	if n.sys.cfg.DelayWindow > 0 && s.Busy() {
+		n.preBlock(p)
+	}
+	s.Acquire(p)
+}
+
+// broadcast sends msg to every other node. Broadcasts are rare,
+// full-fan-out events (copyset determination, phase changes); the delay
+// buffer is flushed first so the broadcast never overtakes buffered
+// messages on the causally ordered transports.
+func (n *Node) broadcast(p rt.Proc, msg wire.Message) {
+	n.preBlock(p)
+	n.sys.tr.Broadcast(p, n.id, msg)
+}

@@ -56,7 +56,7 @@ func (n *Node) handleFault(t *Thread, base vm.Addr, write bool) {
 func (n *Node) resolveFault(t *Thread, base vm.Addr, write bool) {
 	p := t.proc
 	e := n.entry(t, base)
-	e.Sem.Acquire(p)
+	n.acquire(p, e.Sem)
 	defer e.Sem.Release()
 	// Updates stashed during this fault but not consumed by an install
 	// die with it (see Node.fetchStash).
@@ -482,9 +482,9 @@ func (n *Node) invalidateCopies(t *Thread, e *directory.Entry) {
 	c := n.newCollector(pendKey{pendOwn, uint64(e.Start)}, len(members), "invalidate-acks")
 	for _, d := range members {
 		n.Invalidations++
-		n.sys.tr.Send(t.proc, n.id, d, wire.Invalidate{Addr: e.Start, NewOwner: uint8(n.id)})
+		n.send(t.proc, d, wire.Invalidate{Addr: e.Start, NewOwner: uint8(n.id)})
 	}
-	c.fut.Wait(t.proc)
+	n.await(t.proc, c.fut)
 	e.Copyset = directory.Copyset{}
 }
 
@@ -560,7 +560,7 @@ func (n *Node) serveInvalidate(p rt.Proc, src int, m wire.Invalidate) {
 			// (Multiple-writer delayed invalidations are different: they
 			// are flush propagation, and the home legitimately holds
 			// Owned; those proceed.)
-			n.sys.tr.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
+			n.send(p, src, wire.InvalidateAck{Addr: m.Addr})
 			return
 		}
 		if n.adaptEng != nil && n.adaptEng.NoteInvalidate(e, int(m.NewOwner)) {
@@ -602,7 +602,7 @@ func (n *Node) serveInvalidate(p rt.Proc, src int, m wire.Invalidate) {
 		b.flush()
 		return
 	}
-	n.sys.tr.Send(p, n.id, src, wire.InvalidateAck{Addr: m.Addr})
+	n.send(p, src, wire.InvalidateAck{Addr: m.Addr})
 }
 
 // forward relays a request along the probable-owner chain. A hint
@@ -629,7 +629,7 @@ func (n *Node) forward(p rt.Proc, e *directory.Entry, m wire.Message, requester 
 	if dst == n.id {
 		fail(n.id, e.Start, "forward", fmt.Sprintf("probable-owner chain for %v dead-ends here", m.Kind()))
 	}
-	n.sys.tr.Send(p, n.id, dst, m)
+	n.send(p, dst, m)
 }
 
 // forwardOrFail handles a request for an object this node has never seen:
@@ -640,5 +640,5 @@ func (n *Node) forwardOrFail(p rt.Proc, addr vm.Addr, requester int, m wire.Mess
 	if n.id == home {
 		fail(n.id, addr, op, "request for an address outside every declared shared object")
 	}
-	n.sys.tr.Send(p, n.id, home, m)
+	n.send(p, home, m)
 }

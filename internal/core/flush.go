@@ -23,7 +23,7 @@ func (n *Node) releaseFlush(t *Thread, b *batcher) {
 	if n.duq.Len() == 0 {
 		return
 	}
-	n.flushSem.Acquire(t.proc)
+	n.acquire(t.proc, n.flushSem)
 	defer n.flushSem.Release()
 	entries := n.duq.Drain()
 	n.Flushes++
@@ -150,8 +150,10 @@ func (n *Node) flushEntries(t *Thread, entries []*directory.Entry, b *batcher) {
 		if await {
 			// The acknowledged flush blocks here, so the updates must be
 			// on the wire first (nothing later can share their envelopes).
+			// Under a delay window the await's pre-block hard flush is
+			// what actually forces them out.
 			b.flush()
-			c.fut.Wait(p)
+			n.await(p, c.fut)
 		}
 	}
 
@@ -203,8 +205,8 @@ func (n *Node) determineCopysetsBroadcast(t *Thread, entries []*directory.Entry)
 		addrs = append(addrs, e.Start)
 	}
 	c := n.newCollector(pendKey{pendDir, 0}, n.sys.Nodes()-1, "copyset-determination")
-	n.sys.tr.Broadcast(t.proc, n.id, wire.CopysetQuery{From: uint8(n.id), Addrs: addrs})
-	holders := c.fut.Wait(t.proc).(map[vm.Addr]directory.Copyset)
+	n.broadcast(t.proc, wire.CopysetQuery{From: uint8(n.id), Addrs: addrs})
+	holders := n.await(t.proc, c.fut).(map[vm.Addr]directory.Copyset)
 	for _, e := range entries {
 		e.Copyset = holders[e.Start]
 		if e.Params.StableSharing {
@@ -241,9 +243,9 @@ func (n *Node) determineCopysetsExact(t *Thread, entries []*directory.Entry) {
 		c := n.newCollector(pendKey{pendDir, 0}, len(homes), "copyset-lookup")
 		c.holders = holders
 		for _, h := range homes {
-			n.sys.tr.Send(t.proc, n.id, h, wire.CopysetLookup{From: uint8(n.id), Addrs: byHome[h]})
+			n.send(t.proc, h, wire.CopysetLookup{From: uint8(n.id), Addrs: byHome[h]})
 		}
-		holders = c.fut.Wait(t.proc).(map[vm.Addr]directory.Copyset)
+		holders = n.await(t.proc, c.fut).(map[vm.Addr]directory.Copyset)
 	}
 	for _, e := range entries {
 		e.Copyset = holders[e.Start].Remove(n.id)
@@ -273,7 +275,7 @@ func (n *Node) serveCopysetLookup(p rt.Proc, m wire.CopysetLookup) {
 			e.ProbOwner = int(m.From)
 		}
 	}
-	n.sys.tr.Send(p, n.id, int(m.From), wire.CopysetInfo{Addrs: m.Addrs, Sets: sets})
+	n.send(p, int(m.From), wire.CopysetInfo{Addrs: m.Addrs, Sets: sets})
 }
 
 // serveCopysetNotify records at the home that Reader obtained a copy from
@@ -318,7 +320,7 @@ func (n *Node) serveCopysetQuery(p rt.Proc, m wire.CopysetQuery) {
 			n.redispatchChase(p, e)
 		}
 	}
-	n.sys.tr.Send(p, n.id, int(m.From), wire.CopysetReply{Addrs: held})
+	n.send(p, int(m.From), wire.CopysetReply{Addrs: held})
 }
 
 // encodeEntry turns a modified entry into an UpdateEntry: a word diff
@@ -343,7 +345,12 @@ func (n *Node) encodeEntry(p rt.Proc, e *directory.Entry) (*wire.UpdateEntry, bo
 // serveUpdateBatch merges incoming updates into the local copies (§3.3: a
 // node with a dirty copy incorporates the changes immediately — including
 // into the twin, so its own later diff carries only its own writes).
-func (n *Node) serveUpdateBatch(p rt.Proc, src int, m wire.UpdateBatch) {
+//
+// borrowed marks a zero-copy delivery: each entry's Diff/Full aliases
+// the transport's receive buffer, released when dispatch returns.
+// Applying in place is fine; an entry that outlives the dispatch — a
+// fetch-stash park, a pending-update enqueue — is re-owned first.
+func (n *Node) serveUpdateBatch(p rt.Proc, src int, m wire.UpdateBatch, borrowed bool) {
 	for _, u := range m.Entries {
 		e, ok := n.dir.Lookup(u.Addr)
 		if !ok {
@@ -351,6 +358,9 @@ func (n *Node) serveUpdateBatch(p rt.Proc, src int, m wire.UpdateBatch) {
 				// The entry itself is still being fetched (the flushing
 				// writer's query counted the fault in progress): buffer
 				// until the copy installs.
+				if borrowed {
+					u = wire.OwnEntry(u)
+				}
 				n.fetchStash[u.Addr] = append(n.fetchStash[u.Addr], u)
 				continue
 			}
@@ -359,7 +369,7 @@ func (n *Node) serveUpdateBatch(p rt.Proc, src int, m wire.UpdateBatch) {
 		if n.puq != nil {
 			// Pending update queue (§6): buffer now, apply at the next
 			// synchronization point or local touch.
-			n.queuePendingUpdate(u)
+			n.queuePendingUpdate(u, borrowed)
 			continue
 		}
 		e.AwaitFrom = e.AwaitFrom.Remove(src)
@@ -368,6 +378,9 @@ func (n *Node) serveUpdateBatch(p rt.Proc, src int, m wire.UpdateBatch) {
 			// fetched must observe this update (the sender's copyset
 			// query counted the fault as a holder). Buffer until the
 			// install completes (Node.fetchStash).
+			if borrowed {
+				u = wire.OwnEntry(u)
+			}
 			n.fetchStash[e.Start] = append(n.fetchStash[e.Start], u)
 		} else if u.Full == nil && diffenc.Empty(u.Diff) {
 			// An empty promise-keeping update (the queried flush turned
@@ -385,7 +398,7 @@ func (n *Node) serveUpdateBatch(p rt.Proc, src int, m wire.UpdateBatch) {
 		}
 	}
 	if m.NeedAck {
-		n.sys.tr.Send(p, n.id, src, wire.UpdateAck{Count: uint32(len(m.Entries))})
+		n.send(p, src, wire.UpdateAck{Count: uint32(len(m.Entries))})
 	}
 }
 

@@ -71,7 +71,7 @@ func (n *Node) lrcRelease(t *Thread, b *batcher) {
 	if n.duq.Len() == 0 {
 		return
 	}
-	n.flushSem.Acquire(t.proc)
+	n.acquire(t.proc, n.flushSem)
 	defer n.flushSem.Release()
 	entries := n.duq.Drain()
 	var lazyEntries, eager []*directory.Entry
@@ -180,8 +180,8 @@ func (n *Node) lrcRPC(t *Thread, dst int, build func(token uint32) wire.Message)
 	msg := build(token)
 	f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("lrc-rpc[n%d %v]", n.id, msg.Kind()))
 	n.pending[key] = f
-	n.sys.tr.Send(t.proc, n.id, dst, msg)
-	return f.Wait(t.proc)
+	n.send(t.proc, dst, msg)
+	return n.await(t.proc, f)
 }
 
 // lrcFetchBase pulls a base copy of the object from its home node and
@@ -247,7 +247,7 @@ func (n *Node) serveLrcFetch(p rt.Proc, m wire.LrcFetchReq) {
 	}
 	e.Copyset = e.Copyset.Add(int(m.Requester))
 	p.Advance(n.sys.cost.CopyCost(e.Size))
-	n.sys.tr.Send(p, n.id, int(m.Requester), wire.LrcFetchResp{
+	n.send(p, int(m.Requester), wire.LrcFetchResp{
 		Addr: e.Start, Token: m.Token, Applied: applied, Data: data,
 	})
 }
@@ -292,7 +292,7 @@ func (n *Node) serveLrcDiff(p rt.Proc, m wire.LrcDiffReq) {
 		sets = append(sets, wire.LrcDiffSet{Addr: a, Records: n.lrc.RecordsAfter(a, after)})
 		p.Advance(n.sys.cost.LrcDiffFetchCPU)
 	}
-	n.sys.tr.Send(p, n.id, int(m.Requester), wire.LrcDiffResp{Token: m.Token, Sets: sets})
+	n.send(p, int(m.Requester), wire.LrcDiffResp{Token: m.Token, Sets: sets})
 }
 
 // lrcApply merges fetched diff records into the entry's page (and twin,
@@ -404,7 +404,7 @@ func (n *Node) lrcAcquireRefresh(t *Thread) {
 	// Entries() is address-ascending; acquiring the semaphores in that
 	// order cannot cycle with the fault path (which holds one).
 	for _, e := range stale {
-		e.Sem.Acquire(t.proc)
+		n.acquire(t.proc, e.Sem)
 	}
 	defer func() {
 		for i := len(stale) - 1; i >= 0; i-- {

@@ -164,6 +164,11 @@ type Node struct {
 	// the transfer that displaced the requester is still in flight); they
 	// re-dispatch when the home's ownership knowledge refreshes.
 	deferredChase map[vm.Addr][]wire.Message
+
+	// delayed holds each local proc's persistent delay-window batcher
+	// (Config.DelayWindow); nil when the window is off. Lazily allocated
+	// and only touched under the node monitor — see delay.go.
+	delayed map[rt.Proc]*batcher
 }
 
 // stashedImage reconstructs the object's current content from the fetch
@@ -305,20 +310,54 @@ func (n *Node) Dir() *directory.Table { return n.dir }
 // startDispatcher spawns the node's Munin root thread: an event loop that
 // serves remote requests. It never blocks on remote state — requests it
 // cannot answer are forwarded — so request chains cannot deadlock.
+//
+// Under a delay window the loop drains bursts with TryRecv and only
+// hard-flushes its own delay buffer before parking in the blocking Recv:
+// a dispatcher answering a burst of requests (the grant churn at a
+// lock's home, say) coalesces its replies until the inbox runs dry.
 func (n *Node) startDispatcher() {
+	window := n.sys.cfg.DelayWindow > 0
 	n.sys.tr.Spawn(n.id, fmt.Sprintf("munin-root@n%d", n.id), func(p rt.Proc) {
 		n.procs = append(n.procs, p)
 		p.SetKind(rt.KindSystem)
 		for {
-			env := n.sys.tr.Recv(p, n.id)
+			env, ok := network.Envelope{}, false
+			if window {
+				env, ok = n.sys.tr.TryRecv(p, n.id)
+			}
+			if !ok {
+				n.preBlock(p)
+				env = n.sys.tr.Recv(p, n.id)
+			}
 			p.Advance(n.sys.cost.RequestHandlerCPU)
 			n.dispatch(p, env)
+			// A borrowed envelope's payloads alias the transport's pooled
+			// receive buffer; everything a handler retains past this point
+			// was re-owned in dispatch, so the buffer goes back now.
+			env.Release()
 		}
 	})
 }
 
 // dispatch handles one incoming message on the dispatcher.
+//
+// Zero-copy contract: when env.Borrowed, the message's byte payloads
+// alias the transport's pooled receive buffer, which the dispatcher loop
+// releases as soon as dispatch returns. Handlers that consume payloads
+// synchronously (an update applied in place, a barrier subtree walked
+// during the serve) need nothing; anything retained past dispatch — a
+// reply completed into a future for a parked thread, an update stashed
+// or queued for later — is re-owned first (wire.Own / wire.OwnEntry).
 func (n *Node) dispatch(p rt.Proc, env network.Envelope) {
+	if env.Borrowed {
+		switch env.Msg.(type) {
+		case wire.ReadReply, wire.OwnReply, wire.MigrateReply,
+			wire.LockGrant, wire.LrcLockGrant, wire.LrcDiffResp, wire.LrcFetchResp:
+			// Reply kinds that complete a future: the waiter consumes the
+			// payload after the dispatcher has released the buffer.
+			env.Msg = wire.Own(env.Msg)
+		}
+	}
 	switch m := env.Msg.(type) {
 	case wire.Batch:
 		// Unpack a batching envelope: the riders are handled in exactly
@@ -328,7 +367,9 @@ func (n *Node) dispatch(p rt.Proc, env network.Envelope) {
 		// dispatch cost for the envelope; each further rider pays its own.
 		// The synthetic per-rider envelopes carry no Bytes: no dispatch
 		// handler reads the field, and a payload-only size would disagree
-		// with the header-inclusive sizes real envelopes carry.
+		// with the header-inclusive sizes real envelopes carry. Riders of
+		// a borrowed envelope borrow too (Buf stays nil — only the real
+		// envelope owns, and releases, the buffer).
 		for i, sub := range m.Msgs {
 			if i > 0 {
 				p.Advance(n.sys.cost.RequestHandlerCPU)
@@ -336,6 +377,7 @@ func (n *Node) dispatch(p rt.Proc, env network.Envelope) {
 			n.dispatch(p, network.Envelope{
 				Src: env.Src, Dst: env.Dst, Msg: sub,
 				SentAt: env.SentAt, DeliveredAt: env.DeliveredAt,
+				Borrowed: env.Borrowed,
 			})
 		}
 	case wire.DirReq:
@@ -351,7 +393,7 @@ func (n *Node) dispatch(p rt.Proc, env network.Envelope) {
 	case wire.CopysetQuery:
 		n.serveCopysetQuery(p, m)
 	case wire.UpdateBatch:
-		n.serveUpdateBatch(p, env.Src, m)
+		n.serveUpdateBatch(p, env.Src, m, env.Borrowed)
 	case wire.ReduceReq:
 		n.serveReduce(p, m)
 	case wire.PhaseChange:
@@ -426,15 +468,18 @@ func (n *Node) dispatch(p rt.Proc, env network.Envelope) {
 }
 
 // rpc registers a future under key, sends msg, and blocks t until the
-// reply completes it.
+// reply completes it. The request routes through the delay buffer (when
+// a window is on) and the wait hard-flushes it: a release's update batch
+// and the next acquire's lock request bound for the same node leave as
+// one envelope.
 func (n *Node) rpc(t *Thread, dst int, key pendKey, msg wire.Message) any {
 	if _, ok := n.pending[key]; ok {
 		panic(fmt.Sprintf("core: node %d duplicate outstanding request %v", n.id, key))
 	}
 	f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("rpc[n%d %v]", n.id, msg.Kind()))
 	n.pending[key] = f
-	n.sys.tr.Send(t.proc, n.id, dst, msg)
-	return f.Wait(t.proc)
+	n.send(t.proc, dst, msg)
+	return n.await(t.proc, f)
 }
 
 // complete resolves the pending request under key with v.
@@ -524,12 +569,12 @@ func (n *Node) entry(t *Thread, addr vm.Addr) *directory.Entry {
 	// Coalesce concurrent fetches of the same entry.
 	base := addr - vm.Addr(uint32(addr)%uint32(n.sys.cfg.PageSize))
 	if f, ok := n.dirFetch[base]; ok {
-		f.Wait(t.proc)
+		n.await(t.proc, f)
 	} else {
 		f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("dirfetch[n%d %#x]", n.id, base))
 		n.dirFetch[base] = f
-		n.sys.tr.Send(t.proc, n.id, home, wire.DirReq{Addr: addr})
-		f.Wait(t.proc)
+		n.send(t.proc, home, wire.DirReq{Addr: addr})
+		n.await(t.proc, f)
 		delete(n.dirFetch, base)
 	}
 	e, ok := n.dir.Lookup(addr)
@@ -559,10 +604,10 @@ func (n *Node) serveDirReq(p rt.Proc, src int, m wire.DirReq) {
 	p.Advance(n.sys.cost.DirLookup)
 	e, ok := n.dir.Lookup(m.Addr)
 	if !ok {
-		n.sys.tr.Send(p, n.id, src, wire.DirReply{Found: false})
+		n.send(p, src, wire.DirReply{Found: false})
 		return
 	}
-	n.sys.tr.Send(p, n.id, src, wire.DirReply{
+	n.send(p, src, wire.DirReply{
 		Found: true,
 		Start: e.Start,
 		Size:  uint32(e.Size),

@@ -61,7 +61,7 @@ func (n *Node) fetchAndOp(t *Thread, addr vm.Addr, off int, op wire.ReduceOp, op
 		fail(n.id, addr, "fetch-and-op", fmt.Sprintf("word offset %d outside object", off))
 	}
 	if e.Home == n.id {
-		e.Sem.Acquire(p)
+		n.acquire(p, e.Sem)
 		defer e.Sem.Release()
 		return n.reduceAtHome(p, e, off, op, operand)
 	}
@@ -101,7 +101,7 @@ func (n *Node) reduceAtHome(p rt.Proc, e *directory.Entry, off int, op wire.Redu
 		data := append([]byte(nil), cur...)
 		for _, d := range members {
 			n.UpdatesSent++
-			n.sys.tr.Send(p, n.id, d, wire.UpdateBatch{
+			n.send(p, d, wire.UpdateBatch{
 				From:    uint8(n.id),
 				Entries: []wire.UpdateEntry{{Addr: e.Start, Size: uint32(e.Size), Full: data}},
 			})
@@ -130,7 +130,7 @@ func (n *Node) serveReduce(p rt.Proc, m wire.ReduceReq) {
 			fmt.Sprintf("object is %v; Fetch-and-Φ requires a reduction object", e.Annot))
 	}
 	old := n.reduceAtHome(p, e, int(m.Off)/vm.WordSize, m.Op, m.Operand)
-	n.sys.tr.Send(p, n.id, int(m.Requester), wire.ReduceReply{Addr: e.Start, Old: old})
+	n.send(p, int(m.Requester), wire.ReduceReply{Addr: e.Start, Old: old})
 }
 
 // flushObject implements the Flush library routine (§2.5): propagate one
@@ -141,7 +141,7 @@ func (n *Node) flushObject(t *Thread, addr vm.Addr) {
 	if !e.Enqueued {
 		return
 	}
-	n.flushSem.Acquire(t.proc)
+	n.acquire(t.proc, n.flushSem)
 	defer n.flushSem.Release()
 	n.duq.Remove(e)
 	if n.lazy(e) {
@@ -173,7 +173,7 @@ func (n *Node) invalidateObject(t *Thread, addr vm.Addr) {
 		// dropObject's lazy hook materializes the diffs (the record
 		// store preserves the data) and refreshes the home backing.
 		if e.Enqueued {
-			n.flushSem.Acquire(p)
+			n.acquire(p, n.flushSem)
 			n.duq.Remove(e)
 			n.lrcCloseEntries(p, []*directory.Entry{e})
 			n.flushSem.Release()
@@ -182,7 +182,7 @@ func (n *Node) invalidateObject(t *Thread, addr vm.Addr) {
 		return
 	}
 	if e.Enqueued {
-		n.flushSem.Acquire(p)
+		n.acquire(p, n.flushSem)
 		n.duq.Remove(e)
 		b := n.newBatcher(p)
 		n.flushEntries(t, []*directory.Entry{e}, b)
@@ -197,7 +197,7 @@ func (n *Node) invalidateObject(t *Thread, addr vm.Addr) {
 		// Sole copy: hand the data to the home before dropping.
 		p.Advance(n.sys.cost.CopyCost(e.Size))
 		data := n.readObject(e)
-		n.sys.tr.Send(p, n.id, e.Home, wire.UpdateBatch{
+		n.send(p, e.Home, wire.UpdateBatch{
 			From:    uint8(n.id),
 			Entries: []wire.UpdateEntry{{Addr: e.Start, Size: uint32(e.Size), Full: data}},
 		})
@@ -210,7 +210,7 @@ func (n *Node) invalidateObject(t *Thread, addr vm.Addr) {
 // to avoid the read-miss latency later.
 func (n *Node) preAcquire(t *Thread, addr vm.Addr) {
 	e := n.entry(t, addr)
-	e.Sem.Acquire(t.proc)
+	n.acquire(t.proc, e.Sem)
 	defer e.Sem.Release()
 	if n.lazy(e) {
 		n.drainPendingObject(t.proc, e.Start)
@@ -236,7 +236,7 @@ func (n *Node) preAcquire(t *Thread, addr vm.Addr) {
 func (n *Node) phaseChange(t *Thread, addr vm.Addr) {
 	e := n.entry(t, addr)
 	n.purgeSharing(t.proc, e)
-	n.sys.tr.Broadcast(t.proc, n.id, wire.PhaseChange{Addr: e.Start})
+	n.broadcast(t.proc, wire.PhaseChange{Addr: e.Start})
 }
 
 func (n *Node) servePhaseChange(m wire.PhaseChange) {
@@ -276,7 +276,7 @@ func (n *Node) changeAnnotation(t *Thread, addr vm.Addr, annot protocol.Annotati
 	}
 	n.drainPendingObject(t.proc, e.Start)
 	if e.Enqueued {
-		n.flushSem.Acquire(t.proc)
+		n.acquire(t.proc, n.flushSem)
 		n.duq.Remove(e)
 		b := n.newBatcher(t.proc)
 		n.flushEntries(t, []*directory.Entry{e}, b)
@@ -284,7 +284,7 @@ func (n *Node) changeAnnotation(t *Thread, addr vm.Addr, annot protocol.Annotati
 		n.flushSem.Release()
 	}
 	n.applyAnnotation(e, annot)
-	n.sys.tr.Broadcast(t.proc, n.id, wire.ChangeAnnot{Addr: e.Start, Annot: uint8(annot)})
+	n.broadcast(t.proc, wire.ChangeAnnot{Addr: e.Start, Annot: uint8(annot)})
 }
 
 func (n *Node) serveChangeAnnot(m wire.ChangeAnnot) {

@@ -87,8 +87,14 @@ func (q *pendingUpdates) addrs() []vm.Addr {
 	return out
 }
 
-// queuePendingUpdate buffers one incoming update at this node.
-func (n *Node) queuePendingUpdate(u wire.UpdateEntry) {
+// queuePendingUpdate buffers one incoming update at this node. A
+// borrowed entry's payloads alias the transport's receive buffer, which
+// dies when the dispatch returns; queuing retains it, so it is re-owned
+// first.
+func (n *Node) queuePendingUpdate(u wire.UpdateEntry, borrowed bool) {
+	if borrowed {
+		u = wire.OwnEntry(u)
+	}
 	n.PendingQueued++
 	n.PendingCoalesced += n.puq.queue(u)
 }
@@ -106,7 +112,7 @@ func (n *Node) drainPendingObject(p rt.Proc, addr vm.Addr) {
 	// crucially, even the emptiness check must wait for an in-progress
 	// drain. p is nil only post-run, when nothing runs concurrently.
 	if p != nil {
-		n.puqSem.Acquire(p)
+		n.acquire(p, n.puqSem)
 		defer n.puqSem.Release()
 	}
 	n.drainObjectLocked(p, addr)
@@ -119,7 +125,7 @@ func (n *Node) drainPendingAll(p rt.Proc) {
 		return
 	}
 	if p != nil {
-		n.puqSem.Acquire(p)
+		n.acquire(p, n.puqSem)
 		defer n.puqSem.Release()
 	}
 	for _, addr := range n.puq.addrs() {

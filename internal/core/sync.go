@@ -29,7 +29,7 @@ func (n *Node) acquireLock(t *Thread, id int) {
 		// releasing/acquiring thread hands over directly.
 		f := n.sys.tr.NewFuture(n.id, fmt.Sprintf("lockwait[n%d l%d]", n.id, id))
 		n.lockWait[id] = append(n.lockWait[id], f)
-		f.Wait(p)
+		n.await(p, f)
 		n.locksHeld++
 		n.drainPendingAll(p)
 		return
@@ -204,7 +204,7 @@ func (n *Node) serveLockRequest(p rt.Proc, m wire.Message, id, req int, reqVT []
 			n.lockChase[id] = append(n.lockChase[id], m)
 			return
 		}
-		n.sys.tr.Send(p, n.id, dst, m)
+		n.send(p, dst, m)
 		return
 	}
 	if !se.Held && len(n.lockWait[id]) == 0 && se.Succ < 0 {
@@ -239,9 +239,9 @@ func (n *Node) serveLockRequest(p rt.Proc, m wire.Message, id, req int, reqVT []
 			n.lockSuccVT[id] = append([]uint32(nil), reqVT...)
 		}
 	} else if n.lrc != nil {
-		n.sys.tr.Send(p, n.id, prevTail, wire.LrcLockSetSucc{Lock: uint32(id), Succ: uint8(req), VT: reqVT})
+		n.send(p, prevTail, wire.LrcLockSetSucc{Lock: uint32(id), Succ: uint8(req), VT: reqVT})
 	} else {
-		n.sys.tr.Send(p, n.id, prevTail, wire.LockSetSucc{Lock: uint32(id), Succ: uint8(req)})
+		n.send(p, prevTail, wire.LockSetSucc{Lock: uint32(id), Succ: uint8(req)})
 	}
 }
 
@@ -327,7 +327,7 @@ func (n *Node) waitAtBarrier(t *Thread, id int) {
 		b.send(se.Home, wire.BarrierArrive{Barrier: uint32(id), From: uint8(n.id)})
 	}
 	b.flush()
-	f.Wait(p)
+	n.await(p, f)
 	// Departing the barrier is an acquire: queued updates apply now, and
 	// under the lazy engine the stale copies this node holds refresh
 	// against the release's write notices.

@@ -104,6 +104,17 @@ type Config struct {
 	// the paper tables' traffic shape is untouched; the wire bench table
 	// (munin-bench -table wire) measures the difference.
 	Batching bool
+	// DelayWindow, when positive, extends batching across consecutive
+	// protocol operations: each proc keeps one persistent batcher whose
+	// flush is soft — buffered messages are held until the oldest has
+	// aged past the window or the proc is about to block — so a
+	// release's update batch and the next acquire's lock request bound
+	// for the same node leave as one envelope (a bounded Nagle delay
+	// for the DSM protocol). Implies Batching. Liveness is preserved by
+	// hard-flushing at every block point (see delay.go); the cost is up
+	// to one window of added latency on messages with no follow-up
+	// traffic.
+	DelayWindow rt.Time
 	// AwaitUpdateAcks makes a release block until every update it sent is
 	// acknowledged (decoded and merged remotely). The prototype does not
 	// block: it propagates updates at the release and relies on the
@@ -252,13 +263,19 @@ func NewSystem(cfg Config, decls []Decl, locks []LockDecl, barriers []BarrierDec
 		panic(fmt.Sprintf("core: transport has %d nodes for %d processors",
 			cfg.Transport.Nodes(), cfg.Processors))
 	}
-	if cfg.Transport.Name() == "tcp" {
-		// TCP guarantees only per-connection FIFO, not the cross-sender
+	if name := cfg.Transport.Name(); name == "tcp" || name == "mux" {
+		// TCP and Mux guarantee only per-pair FIFO, not the cross-sender
 		// causal order the simulator's serialized bus and the chan
 		// transport's synchronous enqueue both give. Release consistency
 		// then needs flushes to block until their updates are
 		// acknowledged (see the AwaitUpdateAcks comment above).
 		cfg.AwaitUpdateAcks = true
+	}
+	if cfg.DelayWindow > 0 {
+		// The delay window is cross-operation batching; the per-operation
+		// machinery (wire.Batch envelopes, per-destination queues) is the
+		// same.
+		cfg.Batching = true
 	}
 	s := &System{
 		cfg:      cfg,
@@ -401,6 +418,9 @@ func (s *System) Run(root func(t *Thread)) error {
 			}
 		}()
 		root(rootThread)
+		// The root thread exits here: anything left in its delay buffer
+		// must go out before the liveUser countdown can stop the machine.
+		rootThread.node.preBlock(p)
 	})
 	return s.tr.Run()
 }

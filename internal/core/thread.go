@@ -48,6 +48,9 @@ func (t *Thread) Spawn(node int, name string, fn func(*Thread)) {
 			}
 		}()
 		fn(nt)
+		// Thread exit is a block point: hard-flush any delay buffer so
+		// no message dies with the proc.
+		nt.node.preBlock(p)
 	})
 }
 

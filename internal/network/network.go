@@ -28,6 +28,28 @@ type Envelope struct {
 	Bytes       int // payload + HeaderBytes
 	SentAt      sim.Time
 	DeliveredAt sim.Time
+
+	// Borrowed marks a zero-copy delivery: Msg was decoded with
+	// wire.UnmarshalView and its byte payloads alias the pooled receive
+	// buffer Buf. The consumer must call Release exactly once after it
+	// is done with Msg, and must re-own (wire.Own / wire.OwnEntry)
+	// anything it retains past that point.
+	Borrowed bool
+	// Buf is the pooled receive buffer backing a borrowed Msg (nil on
+	// copying transports). A field rather than a closure so synthetic
+	// batch-rider envelopes stay allocation-free.
+	Buf *[]byte
+}
+
+// Release returns a borrowed envelope's receive buffer to the pool.
+// Safe (and a no-op) on envelopes that borrow nothing; must not be
+// called twice.
+func (e *Envelope) Release() {
+	if e.Buf != nil {
+		wire.PutBuf(e.Buf)
+		e.Buf = nil
+		e.Borrowed = false
+	}
 }
 
 // Stats aggregates traffic counts. Messages and Bytes attribute traffic
@@ -240,6 +262,16 @@ func (nw *Network) TryRecv(node int) (Envelope, bool) {
 		return Envelope{}, false
 	}
 	return v.(Envelope), true
+}
+
+// TryRecvCharged is TryRecv with the receive-path CPU charged to p on
+// success — the rt.Transport TryRecv contract.
+func (nw *Network) TryRecvCharged(p *sim.Proc, node int) (Envelope, bool) {
+	env, ok := nw.TryRecv(node)
+	if ok {
+		p.Advance(nw.cost.MsgRecvCPU)
+	}
+	return env, ok
 }
 
 // Pending reports the number of undelivered messages queued for node.

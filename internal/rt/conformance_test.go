@@ -1,0 +1,192 @@
+package rt_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"munin/internal/rt"
+	"munin/internal/vm"
+	"munin/internal/wire"
+)
+
+// This file is the transport conformance suite: every behavioral contract
+// the runtime (internal/core) leans on, asserted identically against all
+// four Transport implementations via eachTransport. The fault-injection
+// and deadlock-watchdog contracts live in rt_test.go; this file covers
+// the zero-copy envelope lifecycle, TryRecv drain semantics, broadcast
+// fan-out and context cancellation.
+
+// payload builds a page-carrying message so borrowed buffers span the
+// pool's size classes, not just the smallest one.
+func payload(src, seq, size int) wire.Message {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(seq + i)
+	}
+	return wire.ReadReply{Addr: vm.Addr(0x10000 + src*1000 + seq), Owner: uint8(src), Data: data}
+}
+
+// TestConformanceReleaseBalance drives all-to-all traffic with page-sized
+// payloads, releases every envelope after inspection, and requires the
+// pooled-buffer outstanding count to return to its baseline once the
+// machine stops. On mux every received envelope borrows a pooled buffer,
+// so a missing Release (or a double Put) shows up as a nonzero delta; on
+// the other transports Release is a no-op and the delta proves it stays
+// one.
+func TestConformanceReleaseBalance(t *testing.T) {
+	const nodes, perPair = 4, 8
+	baseline := wire.Outstanding()
+	eachTransport(t, nodes, func(t *testing.T, tr rt.Transport) {
+		var done atomic.Int32
+		for n := 0; n < nodes; n++ {
+			n := n
+			tr.Spawn(n, fmt.Sprintf("sender%d", n), func(p rt.Proc) {
+				for seq := 0; seq < perPair; seq++ {
+					for dst := 0; dst < nodes; dst++ {
+						if dst != n {
+							tr.Send(p, n, dst, payload(n, seq, 1<<uint(seq%8)*64))
+						}
+					}
+				}
+			})
+			tr.Spawn(n, fmt.Sprintf("receiver%d", n), func(p rt.Proc) {
+				next := make(map[int]int)
+				for i := 0; i < (nodes-1)*perPair; i++ {
+					env := tr.Recv(p, n)
+					m := env.Msg.(wire.ReadReply)
+					seq := int(m.Addr) - 0x10000 - env.Src*1000
+					if seq != next[env.Src] {
+						t.Errorf("%s: node %d got seq %d from %d, want %d",
+							tr.Name(), n, seq, env.Src, next[env.Src])
+					}
+					next[env.Src]++
+					if want := byte(seq); len(m.Data) > 0 && m.Data[0] != want {
+						t.Errorf("%s: node %d payload from %d corrupted", tr.Name(), n, env.Src)
+					}
+					env.Release()
+				}
+				if done.Add(1) == nodes {
+					tr.Stop()
+				}
+			})
+		}
+		if err := tr.Run(); err != nil {
+			t.Fatalf("%s: Run: %v", tr.Name(), err)
+		}
+		if got := wire.Outstanding() - baseline; got != 0 {
+			t.Fatalf("%s: %d pooled buffers still borrowed after Run", tr.Name(), got)
+		}
+	})
+}
+
+// TestConformanceTryRecvDrain checks the non-blocking receive the delay
+// window's dispatcher loop depends on: TryRecv drains queued messages in
+// per-pair FIFO order, reports false on an empty queue instead of
+// blocking, and returns envelopes with the same lifecycle as Recv.
+func TestConformanceTryRecvDrain(t *testing.T) {
+	const total = 30
+	baseline := wire.Outstanding()
+	eachTransport(t, 2, func(t *testing.T, tr rt.Transport) {
+		tr.Spawn(1, "sender", func(p rt.Proc) {
+			for seq := 0; seq < total; seq++ {
+				tr.Send(p, 1, 0, msg(1, seq))
+			}
+		})
+		tr.Spawn(0, "receiver", func(p rt.Proc) {
+			polled := 0
+			for seq := 0; seq < total; seq++ {
+				env, ok := tr.TryRecv(p, 0)
+				if ok {
+					polled++
+				} else {
+					env = tr.Recv(p, 0)
+				}
+				if got := int(env.Msg.(wire.ReduceReply).Old); got != seq {
+					t.Errorf("%s: delivered seq %d, want %d (TryRecv broke FIFO)", tr.Name(), got, seq)
+				}
+				env.Release()
+			}
+			// Exactly total messages were ever sent and all have been
+			// received, so a further poll must find nothing.
+			if _, ok := tr.TryRecv(p, 0); ok {
+				t.Errorf("%s: TryRecv returned a message after all %d were consumed", tr.Name(), total)
+			}
+			t.Logf("%s: %d/%d messages arrived via TryRecv", tr.Name(), polled, total)
+			tr.Stop()
+		})
+		if err := tr.Run(); err != nil {
+			t.Fatalf("%s: Run: %v", tr.Name(), err)
+		}
+		if got := wire.Outstanding() - baseline; got != 0 {
+			t.Fatalf("%s: %d pooled buffers still borrowed after Run", tr.Name(), got)
+		}
+	})
+}
+
+// TestConformanceBroadcast checks Broadcast reaches every node except the
+// source exactly once.
+func TestConformanceBroadcast(t *testing.T) {
+	const nodes = 5
+	eachTransport(t, nodes, func(t *testing.T, tr rt.Transport) {
+		var done atomic.Int32
+		tr.Spawn(2, "caster", func(p rt.Proc) {
+			tr.Broadcast(p, 2, msg(2, 77))
+		})
+		for n := 0; n < nodes; n++ {
+			if n == 2 {
+				continue
+			}
+			n := n
+			tr.Spawn(n, fmt.Sprintf("listener%d", n), func(p rt.Proc) {
+				env := tr.Recv(p, n)
+				if env.Src != 2 || int(env.Msg.(wire.ReduceReply).Old) != 77 {
+					t.Errorf("%s: node %d got %v from %d", tr.Name(), n, env.Msg, env.Src)
+				}
+				env.Release()
+				if done.Add(1) == nodes-1 {
+					tr.Stop()
+				}
+			})
+		}
+		if err := tr.Run(); err != nil {
+			t.Fatalf("%s: Run: %v", tr.Name(), err)
+		}
+		if got := tr.Stats().TotalMessages(); got != nodes-1 {
+			t.Errorf("%s: stats count %d messages, want %d", tr.Name(), got, nodes-1)
+		}
+	})
+}
+
+// TestConformanceContextCancel binds a cancelable context and checks Run
+// returns ctx.Err() even though the machine would otherwise run forever.
+func TestConformanceContextCancel(t *testing.T) {
+	eachTransport(t, 2, func(t *testing.T, tr rt.Transport) {
+		cb, ok := tr.(rt.ContextBinder)
+		if !ok {
+			t.Fatalf("%s: transport does not implement ContextBinder", tr.Name())
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cb.BindContext(ctx)
+		tr.Spawn(1, "pinger", func(p rt.Proc) {
+			for seq := 0; ; seq++ {
+				tr.Send(p, 1, 0, msg(1, seq))
+				p.Advance(1000)
+			}
+		})
+		tr.Spawn(0, "sink", func(p rt.Proc) {
+			for {
+				env := tr.Recv(p, 0)
+				env.Release()
+			}
+		})
+		timer := time.AfterFunc(30*time.Millisecond, cancel)
+		defer timer.Stop()
+		if err := tr.Run(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: Run = %v, want context.Canceled", tr.Name(), err)
+		}
+	})
+}

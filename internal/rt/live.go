@@ -32,6 +32,12 @@ type Live struct {
 	deliver func(env Envelope, encoded []byte)
 	// shutdown tears down delivery resources after every proc exited.
 	shutdown func()
+	// rawSend skips the sender-side decode round-trip: set by transports
+	// whose delivery layer ships the encoded frame and re-decodes on the
+	// receive side (mux), where a sender-side Unmarshal would only
+	// duplicate the receiver's work. The receiver still decodes from its
+	// own buffer, so handlers never alias sender memory.
+	rawSend bool
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -352,9 +358,13 @@ func (l *Live) Send(p Proc, src, dst int, msg wire.Message) {
 	bp := wire.GetBuf()
 	encoded := wire.AppendTo(*bp, msg)
 	*bp = encoded
-	decoded, err := wire.Unmarshal(encoded)
-	if err != nil {
-		panic(fmt.Sprintf("rt: message %v does not round-trip: %v", msg.Kind(), err))
+	decoded := msg
+	if !l.rawSend {
+		var err error
+		decoded, err = wire.Unmarshal(encoded)
+		if err != nil {
+			panic(fmt.Sprintf("rt: message %v does not round-trip: %v", msg.Kind(), err))
+		}
 	}
 	size := len(encoded) + network.HeaderBytes
 	lp.charge(l.cost.SendCPU(wire.Riders(msg)))
@@ -434,6 +444,37 @@ func (l *Live) Recv(p Proc, node int) Envelope {
 	l.activity.Add(1)
 	lp.charge(l.cost.MsgRecvCPU)
 	return env
+}
+
+// releaseInboxes returns any borrowed receive buffers still queued to
+// the pool: messages a stopped dispatcher never picked up. Called by the
+// mux shutdown hook after every proc and reader has exited.
+func (l *Live) releaseInboxes() {
+	for _, n := range l.nodes {
+		n.mu.Lock()
+		for i := range n.inbox {
+			n.inbox[i].Release()
+		}
+		n.inbox = nil
+		n.mu.Unlock()
+	}
+}
+
+// TryRecv pops a queued message for node without blocking, charging the
+// receive path only on success.
+func (l *Live) TryRecv(p Proc, node int) (Envelope, bool) {
+	lp := l.liveProcOf(p, node)
+	lp.checkStop()
+	n := lp.node
+	if len(n.inbox) == 0 {
+		return Envelope{}, false
+	}
+	env := n.inbox[0]
+	n.inbox = n.inbox[1:]
+	l.queued.Add(-1)
+	l.activity.Add(1)
+	lp.charge(l.cost.MsgRecvCPU)
+	return env, true
 }
 
 // ---- liveProc -------------------------------------------------------

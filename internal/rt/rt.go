@@ -13,6 +13,11 @@
 //     under true concurrency.
 //   - TCP: the Chan runtime with delivery over loopback TCP sockets, one
 //     connection per node pair, messages marshaled through internal/wire.
+//   - Mux: the Chan runtime with every node pair's traffic multiplexed
+//     over a small fixed set of shared loopback TCP connections using
+//     session frames, and a zero-copy receive path: frames decode as
+//     borrowed views into pooled buffers (wire.UnmarshalView) that the
+//     dispatcher releases after handling.
 //
 // The protocol code runs unmodified on all three: it sees only Proc,
 // Future, Semaphore and Transport. The simulator's cooperative scheduler
@@ -107,10 +112,10 @@ type ContextBinder interface {
 // the Chan runtime's synchronous enqueue additionally preserve causal
 // order (a message sent before a causally later one is delivered first),
 // which is the guarantee release consistency leans on when update acks
-// are not awaited. TCP only guarantees per-pair FIFO, so the runtime
-// enables update acknowledgements on it.
+// are not awaited. TCP and Mux only guarantee per-pair FIFO, so the
+// runtime enables update acknowledgements on them.
 type Transport interface {
-	// Name identifies the implementation: "sim", "chan" or "tcp".
+	// Name identifies the implementation: "sim", "chan", "tcp" or "mux".
 	Name() string
 	// Nodes returns the node count.
 	Nodes() int
@@ -131,6 +136,11 @@ type Transport interface {
 	// receive path. When the transport is stopped, Recv unwinds the
 	// calling proc instead of returning.
 	Recv(p Proc, node int) Envelope
+	// TryRecv returns a queued message for node without blocking,
+	// charging the receive path only on success. Dispatchers use it to
+	// drain bursts before flushing their delay buffers and parking in
+	// Recv.
+	TryRecv(p Proc, node int) (Envelope, bool)
 	// Stats returns accumulated traffic statistics. Stable only while no
 	// procs run (before Run, or after it returns).
 	Stats() *Stats

@@ -26,6 +26,13 @@ func eachTransport(t *testing.T, nodes int, fn func(t *testing.T, tr rt.Transpor
 		}
 		fn(t, tr)
 	})
+	t.Run("mux", func(t *testing.T) {
+		tr, err := rt.NewMux(cost, nodes)
+		if err != nil {
+			t.Fatalf("NewMux: %v", err)
+		}
+		fn(t, tr)
+	})
 }
 
 // msg encodes (src, seq) into a round-trippable wire message.

@@ -1,0 +1,76 @@
+package wire
+
+// Tiered size-class buffer pools. Every transport borrows scratch
+// buffers here — the simulator to size and round-trip each message, the
+// live runtimes to frame sends and (on the mux transport) to hold
+// received frames that the zero-copy decode path hands to the dispatcher
+// as borrowed views. A single 1 KB pool served when every buffer was an
+// encode scratch released within one send; framed receives live longer
+// and span three orders of magnitude in size (a lock acquire vs a
+// piggybacked page image), so buffers are now pooled per size class and
+// routed back by capacity.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// classSizes are the pool size classes, smallest first. A request larger
+// than the top class gets a plain allocation (returned buffers that
+// outgrew every class are dropped for the garbage collector).
+var classSizes = [...]int{1 << 10, 8 << 10, 64 << 10, 512 << 10}
+
+var pools [len(classSizes)]sync.Pool
+
+func init() {
+	for i := range pools {
+		size := classSizes[i]
+		pools[i].New = func() any { b := make([]byte, 0, size); return &b }
+	}
+}
+
+// outstanding counts buffers handed out and not yet returned — the
+// balance the leak checks assert returns to its starting value.
+var outstanding atomic.Int64
+
+// GetBuf returns a zero-length pooled scratch buffer (smallest class)
+// for AppendTo. Return it with PutBuf once the bytes are no longer
+// referenced.
+func GetBuf() *[]byte { return GetBufN(0) }
+
+// GetBufN returns a zero-length pooled buffer with at least n bytes of
+// capacity, from the smallest adequate size class. Requests beyond the
+// largest class are plainly allocated (and still counted outstanding
+// until PutBuf).
+func GetBufN(n int) *[]byte {
+	outstanding.Add(1)
+	for i := range classSizes {
+		if n <= classSizes[i] {
+			bp := pools[i].Get().(*[]byte)
+			*bp = (*bp)[:0]
+			return bp
+		}
+	}
+	b := make([]byte, 0, n)
+	return &b
+}
+
+// PutBuf recycles a buffer obtained from GetBuf/GetBufN, routing it by
+// capacity to the largest class it can serve. The caller must not retain
+// the contents past this call.
+func PutBuf(bp *[]byte) {
+	outstanding.Add(-1)
+	c := cap(*bp)
+	for i := len(classSizes) - 1; i >= 0; i-- {
+		if c >= classSizes[i] {
+			pools[i].Put(bp)
+			return
+		}
+	}
+	// Below the smallest class (an external slice handed in): drop it.
+}
+
+// Outstanding reports the number of pooled buffers currently borrowed.
+// Tests snapshot it around an operation to prove every borrow is
+// returned; it is monotone only under leaks.
+func Outstanding() int64 { return outstanding.Load() }

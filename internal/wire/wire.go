@@ -22,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sync"
 
 	"munin/internal/nodeset"
 	"munin/internal/vm"
@@ -782,6 +781,9 @@ func (e *encoder) diffSets(v []LrcDiffSet) {
 type decoder struct {
 	b   []byte
 	err error
+	// borrow makes bytes/bytes8 return views into b instead of copies
+	// (UnmarshalView); the caller owns b's lifetime.
+	borrow bool
 }
 
 func (d *decoder) fail() {
@@ -823,7 +825,15 @@ func (d *decoder) bytes() []byte {
 		d.fail()
 		return nil
 	}
-	v := append([]byte(nil), d.b[:n]...)
+	if n == 0 {
+		return nil
+	}
+	var v []byte
+	if d.borrow {
+		v = d.b[:n:n]
+	} else {
+		v = append([]byte(nil), d.b[:n]...)
+	}
 	d.b = d.b[n:]
 	return v
 }
@@ -845,7 +855,15 @@ func (d *decoder) bytes8() []uint8 {
 		d.fail()
 		return nil
 	}
-	v := append([]uint8(nil), d.b[:n]...)
+	if n == 0 {
+		return nil
+	}
+	var v []uint8
+	if d.borrow {
+		v = d.b[:n:n]
+	} else {
+		v = append([]uint8(nil), d.b[:n]...)
+	}
 	d.b = d.b[n:]
 	return v
 }
@@ -1184,9 +1202,23 @@ func AppendTo(buf []byte, msg Message) []byte {
 	return e.b
 }
 
-// Unmarshal decodes a message produced by Marshal.
+// Unmarshal decodes a message produced by Marshal. The returned message
+// owns all of its byte payloads (deep copies); b may be reused freely.
 func Unmarshal(b []byte) (Message, error) {
-	d := &decoder{b: b}
+	return unmarshal(b, false)
+}
+
+// UnmarshalView decodes like Unmarshal but byte payloads (update data,
+// diffs, read-reply images, subtree lists) are views into b, not copies —
+// the zero-copy receive path. The caller owns b's lifetime: the message
+// and anything extracted from it must not outlive b unless re-owned with
+// Own or OwnEntry first.
+func UnmarshalView(b []byte) (Message, error) {
+	return unmarshal(b, true)
+}
+
+func unmarshal(b []byte, borrow bool) (Message, error) {
+	d := &decoder{b: b, borrow: borrow}
 	kind := Kind(d.u8())
 	var msg Message
 	switch kind {
@@ -1290,7 +1322,7 @@ func Unmarshal(b []byte) (Message, error) {
 				d.fail()
 				break
 			}
-			sub, err := Unmarshal(d.b[:ln])
+			sub, err := unmarshal(d.b[:ln], d.borrow)
 			if err != nil {
 				return nil, fmt.Errorf("%w: batch rider %d: %v", ErrCorrupt, i, err)
 			}
@@ -1491,28 +1523,6 @@ func Size(msg Message) int {
 		panic(fmt.Sprintf("wire: cannot size %T", msg))
 	}
 }
-
-// --- Pooled encode buffers ---
-
-// bufPool recycles encode scratch buffers across sends: every transport
-// encodes each message once (the simulator to size and round-trip it,
-// the live runtimes to frame or copy it), and in steady state the
-// pooled buffer makes that encode allocation-free.
-var bufPool = sync.Pool{
-	New: func() any { b := make([]byte, 0, 1024); return &b },
-}
-
-// GetBuf returns a zero-length pooled scratch buffer for AppendTo.
-// Return it with PutBuf once the encoded bytes are no longer referenced.
-func GetBuf() *[]byte {
-	bp := bufPool.Get().(*[]byte)
-	*bp = (*bp)[:0]
-	return bp
-}
-
-// PutBuf recycles a buffer obtained from GetBuf. The caller must not
-// retain the encoded contents past this call.
-func PutBuf(bp *[]byte) { bufPool.Put(bp) }
 
 // Riders returns the number of protocol messages one transport send of
 // msg carries: len(b.Msgs) for a batch envelope, 1 for anything else.

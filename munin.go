@@ -93,10 +93,13 @@ const (
 	TransportSim  = "sim"
 	TransportChan = "chan"
 	TransportTCP  = "tcp"
+	TransportMux  = "mux"
 )
 
 // Transports lists the valid WithTransport values.
-func Transports() []string { return []string{TransportSim, TransportChan, TransportTCP} }
+func Transports() []string {
+	return []string{TransportSim, TransportChan, TransportTCP, TransportMux}
+}
 
 // MaxProcessors is the largest machine a run accepts (the wire format's
 // 8-bit node ids are the hard ceiling). The paper's prototype was 16

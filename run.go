@@ -32,6 +32,8 @@ type runConfig struct {
 	barrierFanout   int
 	pendingUpdates  bool
 	batching        bool
+	delayWindow     xrt.Time
+	delayWindowSet  bool
 	trace           func(network.Envelope)
 	metrics         bool
 	traceSink       *TraceBuffer
@@ -50,8 +52,16 @@ type runConfig struct {
 //	                 loopback TCP sockets, one connection per node
 //	                 pair (update acknowledgements are enabled
 //	                 automatically; TCP gives only per-pair FIFO)
+//	"mux"            the concurrent runtime with every node pair's
+//	                 traffic multiplexed over a small fixed set of
+//	                 shared loopback TCP connections (session frames
+//	                 route each message; the connection count does not
+//	                 grow with the node count) and a zero-copy receive
+//	                 path that decodes payloads in place from pooled
+//	                 buffers. Per-pair FIFO like "tcp", so update
+//	                 acknowledgements are enabled automatically.
 //
-// The protocol code is identical on all three; on "chan" and "tcp"
+// The protocol code is identical on all four; on the live transports
 // Stats times are wall-clock, not modeled.
 func WithTransport(name string) RunOption {
 	return func(c *runConfig) { c.transport = name }
@@ -158,6 +168,21 @@ func WithBatching() RunOption {
 	return func(c *runConfig) { c.batching = true }
 }
 
+// WithDelayWindow extends batching across consecutive protocol
+// operations: each proc keeps one persistent message buffer whose flush
+// is soft — held until the oldest buffered message has aged past d (in
+// the run's time unit: virtual nanoseconds on "sim", wall nanoseconds on
+// the live transports) or the proc is about to block — so a release's
+// update batch and the next acquire's lock request bound for the same
+// node leave as one envelope. A bounded Nagle-style delay for the DSM
+// protocol: strictly fewer transport sends on lock-heavy sharing, at the
+// cost of up to d of added latency on messages with no follow-up
+// traffic. Final memory contents are unchanged. Implies WithBatching;
+// d <= 0 is a configuration error reported by Run.
+func WithDelayWindow(d xrt.Time) RunOption {
+	return func(c *runConfig) { c.delayWindow = d; c.delayWindowSet = true }
+}
+
 // WithTrace observes every delivered protocol message.
 func WithTrace(fn func(network.Envelope)) RunOption {
 	return func(c *runConfig) { c.trace = fn }
@@ -182,9 +207,12 @@ func (p *Program) resolve(opts []RunOption) (runConfig, error) {
 		return cfg, fmt.Errorf("munin: barrier tree fanout %d below 2", cfg.barrierFanout)
 	}
 	switch cfg.transport {
-	case "", TransportSim, TransportChan, TransportTCP:
+	case "", TransportSim, TransportChan, TransportTCP, TransportMux:
 	default:
 		return cfg, errUnknownTransport(cfg.transport)
+	}
+	if cfg.delayWindowSet && cfg.delayWindow <= 0 {
+		return cfg, fmt.Errorf("munin: delay window %d is not positive", cfg.delayWindow)
 	}
 	switch cfg.consistency {
 	case EagerRC, LazyRC:
@@ -222,7 +250,7 @@ func (p *Program) resolve(opts []RunOption) (runConfig, error) {
 // newTransport's defensive default reuses it so the two switches cannot
 // drift apart in what they report.
 func errUnknownTransport(name string) error {
-	return fmt.Errorf("munin: unknown transport %q (want sim, chan or tcp)", name)
+	return fmt.Errorf("munin: unknown transport %q (want sim, chan, tcp or mux)", name)
 }
 
 // newTransport builds the transport the run configuration names (already
@@ -236,6 +264,8 @@ func newTransport(cfg runConfig) (xrt.Transport, error) {
 		return xrt.NewChan(cfg.model, cfg.procs), nil
 	case TransportTCP:
 		return xrt.NewTCP(cfg.model, cfg.procs)
+	case TransportMux:
+		return xrt.NewMux(cfg.model, cfg.procs)
 	default:
 		return nil, errUnknownTransport(cfg.transport)
 	}
@@ -288,6 +318,7 @@ func (p *Program) Run(ctx context.Context, root func(t *Thread), opts ...RunOpti
 		BarrierFanout:   cfg.barrierFanout,
 		PendingUpdates:  cfg.pendingUpdates,
 		Batching:        cfg.batching,
+		DelayWindow:     cfg.delayWindow,
 		Lazy:            cfg.consistency == LazyRC,
 		Trace:           cfg.trace,
 		Metrics:         cfg.metrics,
